@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every bench binary prints the rows of one table or figure of the
+ * paper. Set CPR_BENCH_QUICK=1 to cut the simulated reference counts
+ * (for smoke runs); the default budgets reproduce the reported shapes.
+ */
+
+#ifndef COMPRESSO_BENCH_COMMON_H
+#define COMPRESSO_BENCH_COMMON_H
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace compresso::bench {
+
+inline bool
+quickMode()
+{
+    const char *q = std::getenv("CPR_BENCH_QUICK");
+    return q && q[0] == '1';
+}
+
+/** Scale a reference budget down in quick mode. */
+inline uint64_t
+budget(uint64_t full)
+{
+    return quickMode() ? full / 10 : full;
+}
+
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double s = 0;
+    for (double x : xs)
+        s += std::log(x);
+    return std::exp(s / double(xs.size()));
+}
+
+inline double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double s = 0;
+    for (double x : xs)
+        s += x;
+    return s / double(xs.size());
+}
+
+inline void
+header(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+} // namespace compresso::bench
+
+#endif // COMPRESSO_BENCH_COMMON_H

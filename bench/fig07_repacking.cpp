@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 7: compression ratio lost when pages are never repacked.
+ *
+ * Controlled lifecycle experiment, mirroring how long-running programs
+ * squander compressibility: every page is first filled with its
+ * benchmark's live data, then a large fraction of its lines are freed
+ * (overwritten with zeros) or rewritten. A system without repacking
+ * keeps every page at the high-water allocation; dynamic repacking
+ * (triggered by metadata-cache evictions, Sec. IV-B4) recompresses
+ * pages to their current data.
+ *
+ * Paper: without repacking, 24% of the storage benefit is squandered
+ * on average; dynamic repacking recovers it to within 2.6%.
+ */
+
+#include "bench_common.h"
+
+#include "core/compresso_controller.h"
+#include "workloads/profiles.h"
+
+using namespace compresso;
+using namespace compresso::bench;
+
+namespace {
+
+double
+lifecycleRatio(const WorkloadProfile &prof, bool repack, unsigned pages)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(256) << 20;
+    cfg.repack_on_evict = repack;
+    cfg.mdcache.size_bytes = 8 * 1024; // evictions drive the trigger
+    CompressoController mc(cfg);
+
+    Line data;
+    auto writeLine = [&](PageNum page, unsigned l, DataClass cls,
+                         uint64_t seed) {
+        generateLine(cls, seed, data);
+        McTrace tr;
+        mc.writebackLine(Addr(page) * kPageBytes + l * kLineBytes, data,
+                         tr);
+    };
+
+    // Phase 1: live data everywhere.
+    for (PageNum page = 0; page < pages; ++page)
+        for (unsigned l = 0; l < kLinesPerPage; ++l)
+            writeLine(page, l, lineClass(prof, page, l, 0),
+                      Rng::mix(page, l, 1));
+
+    // Phase 2: half the lines are freed (zeroed) or rewritten with
+    // fresh content — the data becomes more compressible, but the
+    // allocations only shrink if someone repacks.
+    for (PageNum page = 0; page < pages; ++page) {
+        for (unsigned l = 0; l < kLinesPerPage; ++l) {
+            uint64_t h = Rng::mix(page, l, 2);
+            if (h % 10 < 3) {
+                McTrace tr;
+                mc.writebackLine(Addr(page) * kPageBytes +
+                                     l * kLineBytes,
+                                 Line{}, tr);
+            } else if (h % 10 < 6) {
+                writeLine(page, l, lineClass(prof, page, l, 0),
+                          Rng::mix(page, l, 3));
+            }
+        }
+    }
+
+    // Phase 3: the working set moves on; metadata entries for the old
+    // pages get evicted (repack trigger for the repacking system).
+    for (PageNum page = pages + 64; page < pages + 64 + 512; ++page)
+        writeLine(page, 0, DataClass::kSmallInt, page);
+
+    uint64_t alloc = 0;
+    for (PageNum page = 0; page < pages; ++page)
+        alloc += uint64_t(mc.pageMeta(page).chunks) * kChunkBytes;
+    if (alloc == 0)
+        return double(kPageBytes) / double(kChunkBytes);
+    return double(pages) * kPageBytes / double(alloc);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 7: compression ratio without vs with dynamic repacking");
+    std::printf("%-12s %12s %12s %10s\n", "benchmark", "no-repack",
+                "dyn-repack", "relative");
+
+    unsigned pages = quickMode() ? 64 : 192;
+    std::vector<double> rel;
+    for (const auto &prof : allProfiles()) {
+        double off = lifecycleRatio(prof, false, pages);
+        double on = lifecycleRatio(prof, true, pages);
+        double relative = on > 0 ? off / on : 1.0;
+        std::printf("%-12s %12.2f %12.2f %10.2f\n", prof.name.c_str(),
+                    off, on, relative);
+        rel.push_back(relative);
+        std::fflush(stdout);
+    }
+    std::printf("%-12s %36.2f\n", "Average", mean(rel));
+    std::printf("\nPaper: without repacking the achieved ratio drops to "
+                "~0.76 of the dynamic-repacking ratio on average\n"
+                "(24%% of storage benefits squandered; 2.6%% residual "
+                "with repacking).\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 9: SimPoint vs CompressPoint representativeness of
+ * compressibility (Sec. VI-B).
+ *
+ * A workload's compression ratio varies across execution phases.
+ * SimPoint picks representative intervals from basic-block vectors
+ * alone — blind to data — so its chosen interval can have a wildly
+ * unrepresentative compression ratio. CompressPoints extend the
+ * feature vector with compression metrics, picking intervals whose
+ * ratio matches the whole run. We reproduce the effect on the phased
+ * workloads (GemsFDTD and astar, as in the paper's figure).
+ */
+
+#include "bench_common.h"
+
+#include "capacity/paging_model.h"
+
+using namespace compresso;
+using namespace compresso::bench;
+
+int
+main()
+{
+    header("Fig. 9: SimPoint vs CompressPoint compressibility");
+
+    for (const char *bench : {"GemsFDTD", "astar"}) {
+        const WorkloadProfile &prof = profileByName(bench);
+        unsigned intervals = prof.phases * 3;
+        RatioTimeline timeline(prof, McKind::kCompresso, true);
+
+        std::vector<double> ratio(intervals);
+        double sum = 0;
+        for (unsigned i = 0; i < intervals; ++i) {
+            ratio[i] = timeline.ratioAt(i % prof.phases);
+            sum += ratio[i];
+        }
+        double run_avg = sum / intervals;
+
+        // SimPoint: basic-block vectors are identical across our
+        // phases (same code, different data), so it effectively picks
+        // the first interval of the dominant phase.
+        double simpoint = ratio[0];
+
+        // CompressPoint: the interval whose compression ratio is
+        // closest to the whole-run average.
+        double compresspoint = ratio[0];
+        for (double r : ratio) {
+            if (std::fabs(r - run_avg) <
+                std::fabs(compresspoint - run_avg)) {
+                compresspoint = r;
+            }
+        }
+
+        std::printf("\n%s (phases=%u):\n  interval ratios:", bench,
+                    prof.phases);
+        for (double r : ratio)
+            std::printf(" %.2f", r);
+        std::printf("\n  run average          %.2f\n", run_avg);
+        std::printf("  SimPoint pick        %.2f  (error %+.0f%%)\n",
+                    simpoint, 100 * (simpoint - run_avg) / run_avg);
+        std::printf("  CompressPoint pick   %.2f  (error %+.0f%%)\n",
+                    compresspoint,
+                    100 * (compresspoint - run_avg) / run_avg);
+    }
+    std::printf("\nPaper: GemsFDTD's SimPoint interval misrepresents its "
+                "compressibility by several x;\nCompressPoints track the "
+                "run-average ratio.\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fig. 10 (+ part of Tab. II): single-core evaluation.
+ *
+ *  (a) Cycle-based relative performance (compression overheads and
+ *      bandwidth benefits only). Paper geomeans: LCP 0.938,
+ *      LCP+Align 0.961, Compresso 0.998.
+ *  (a) Memory-capacity impact at 70% constrained memory. Paper:
+ *      LCP 1.11, Compresso 1.29, unconstrained 1.39.
+ *  (b) Overall = cycle x capacity (mcf/GemsFDTD/lbm excluded: they
+ *      thrash when constrained). Paper: LCP 1.03, LCP+Align 1.06,
+ *      Compresso 1.28 => Compresso outperforms LCP by 24.2%.
+ */
+
+#include "bench_common.h"
+
+#include "capacity/capacity_eval.h"
+#include "sim/runner.h"
+
+using namespace compresso;
+using namespace compresso::bench;
+
+namespace {
+
+double
+cyclePerf(McKind kind, const std::string &bench)
+{
+    RunSpec spec;
+    spec.kind = kind;
+    spec.workloads = {bench};
+    spec.refs_per_core = budget(150000);
+    spec.warmup_refs = budget(15000);
+    return runSystem(spec).perf;
+}
+
+double
+capPerf(McKind kind, bool unconstrained, const std::string &bench)
+{
+    CapacitySpec spec;
+    spec.workloads = {bench};
+    spec.kind = kind;
+    spec.unconstrained = unconstrained;
+    spec.mem_frac = 0.7;
+    spec.touches_per_core = budget(120000);
+    return capacitySpeedup(spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 10a/10b: single-core performance (70% memory)");
+    std::printf("%-12s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s %6s\n",
+                "", "cycle", "cycle", "cycle", "cap", "cap", "cap",
+                "ovrl", "ovrl", "ovrl", "ovrl");
+    std::printf("%-12s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s %6s\n",
+                "benchmark", "lcp", "lcp+a", "cmprso", "lcp", "cmprso",
+                "unconst", "lcp", "lcp+a", "cmprso", "unconst");
+
+    std::vector<double> cy_l, cy_a, cy_c;
+    std::vector<double> cp_l, cp_c, cp_u;
+    std::vector<double> ov_l, ov_a, ov_c, ov_u;
+
+    for (const auto &prof : allProfiles()) {
+        if (prof.name == "zeusmp")
+            continue; // the paper's Fig. 10a also omits zeusmp
+        double base = cyclePerf(McKind::kUncompressed, prof.name);
+        double lcp = cyclePerf(McKind::kLcp, prof.name) / base;
+        double lcpa = cyclePerf(McKind::kLcpAlign, prof.name) / base;
+        double cmp = cyclePerf(McKind::kCompresso, prof.name) / base;
+
+        double cap_lcp = capPerf(McKind::kLcp, false, prof.name);
+        double cap_cmp = capPerf(McKind::kCompresso, false, prof.name);
+        double cap_un =
+            capPerf(McKind::kUncompressed, true, prof.name);
+
+        bool excluded = prof.stalls_when_constrained;
+        double o_l = lcp * cap_lcp;
+        double o_a = lcpa * cap_lcp;
+        double o_c = cmp * cap_cmp;
+        double o_u = cap_un;
+
+        std::printf("%-12s | %6.3f %6.3f %6.3f | %6.2f %6.2f %6.2f | "
+                    "%6.2f %6.2f %6.2f %6.2f%s\n",
+                    prof.name.c_str(), lcp, lcpa, cmp, cap_lcp, cap_cmp,
+                    cap_un, o_l, o_a, o_c, o_u,
+                    excluded ? "  (excluded from 10b)" : "");
+        std::fflush(stdout);
+
+        cy_l.push_back(lcp);
+        cy_a.push_back(lcpa);
+        cy_c.push_back(cmp);
+        if (!excluded) {
+            cp_l.push_back(cap_lcp);
+            cp_c.push_back(cap_cmp);
+            cp_u.push_back(cap_un);
+            ov_l.push_back(o_l);
+            ov_a.push_back(o_a);
+            ov_c.push_back(o_c);
+            ov_u.push_back(o_u);
+        }
+    }
+
+    std::printf("\nCycle-based geomean:   lcp %.3f  lcp+align %.3f  "
+                "compresso %.3f   (paper 0.938 / 0.961 / 0.998)\n",
+                geomean(cy_l), geomean(cy_a), geomean(cy_c));
+    std::printf("Mem-capacity geomean:  lcp %.2f  compresso %.2f  "
+                "unconstrained %.2f   (paper 1.11 / 1.29 / 1.39)\n",
+                geomean(cp_l), geomean(cp_c), geomean(cp_u));
+    std::printf("Overall geomean:       lcp %.2f  lcp+align %.2f  "
+                "compresso %.2f  unconstrained %.2f   "
+                "(paper 1.03 / 1.06 / 1.28 / 1.39)\n",
+                geomean(ov_l), geomean(ov_a), geomean(ov_c),
+                geomean(ov_u));
+    std::printf("Compresso over LCP: %.1f%%   (paper 24.2%%)\n",
+                100 * (geomean(ov_c) / geomean(ov_l) - 1.0));
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): compressor throughput per
+ * algorithm and data class, offset-circuit computation, and metadata
+ * entry codec — the Sec. VII-C/D/E hardware-cost discussion's software
+ * counterpart.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/factory.h"
+#include "core/offset_circuit.h"
+#include "meta/metadata_entry.h"
+#include "workloads/datagen.h"
+
+using namespace compresso;
+
+namespace {
+
+Line
+lineFor(DataClass c)
+{
+    Line l;
+    generateLine(c, 42, l);
+    return l;
+}
+
+void
+BM_Compress(benchmark::State &state, const std::string &algo,
+            DataClass cls)
+{
+    auto codec = makeCompressor(algo);
+    Line line = lineFor(cls);
+    for (auto _ : state) {
+        BitWriter w;
+        benchmark::DoNotOptimize(codec->compress(line, w));
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * kLineBytes);
+}
+
+void
+BM_Decompress(benchmark::State &state, const std::string &algo,
+              DataClass cls)
+{
+    auto codec = makeCompressor(algo);
+    Line line = lineFor(cls);
+    BitWriter w;
+    codec->compress(line, w);
+    Line out;
+    for (auto _ : state) {
+        BitReader r(w.bytes().data(), w.bitSize());
+        benchmark::DoNotOptimize(codec->decompress(r, out));
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * kLineBytes);
+}
+
+void
+BM_OffsetCircuit(benchmark::State &state)
+{
+    OffsetCircuit oc(compressoBins());
+    std::array<uint8_t, kLinesPerPage> codes;
+    for (size_t i = 0; i < codes.size(); ++i)
+        codes[i] = uint8_t(i % 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(oc.offset(codes, 63));
+}
+
+void
+BM_MetadataCodec(benchmark::State &state)
+{
+    MetadataEntry m;
+    m.valid = true;
+    m.compressed = true;
+    m.chunks = 5;
+    for (size_t i = 0; i < kLinesPerPage; ++i)
+        m.line_code[i] = uint8_t(i % 4);
+    for (auto _ : state) {
+        auto raw = m.pack();
+        MetadataEntry out;
+        benchmark::DoNotOptimize(MetadataEntry::unpack(raw, out));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::pair<const char *, DataClass> kCases[] = {
+        {"delta-int", DataClass::kDeltaInt},
+        {"float", DataClass::kFloat},
+        {"random", DataClass::kRandom},
+    };
+    for (const auto &algo : compressorNames()) {
+        for (const auto &[cls_name, cls] : kCases) {
+            benchmark::RegisterBenchmark(
+                ("compress/" + algo + "/" + cls_name).c_str(),
+                [algo, cls = cls](benchmark::State &s) {
+                    BM_Compress(s, algo, cls);
+                });
+            benchmark::RegisterBenchmark(
+                ("decompress/" + algo + "/" + cls_name).c_str(),
+                [algo, cls = cls](benchmark::State &s) {
+                    BM_Decompress(s, algo, cls);
+                });
+        }
+    }
+    benchmark::RegisterBenchmark("offset_circuit", BM_OffsetCircuit);
+    benchmark::RegisterBenchmark("metadata_codec", BM_MetadataCodec);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    // Hardware-model numbers from Sec. VII-D/E for reference.
+    OffsetCircuit oc(compressoBins());
+    std::printf("\nOffset circuit model: %u NAND2-equivalent gates, %u "
+                "gate delays, %llu extra cycle(s)\n",
+                oc.gateCount(), oc.gateDelays(),
+                (unsigned long long)oc.extraCycles());
+    std::printf("Paper: <1.5K NAND gates, 32-38 gate delays, 1 cycle; "
+                "BPC unit 43Kum^2 / ~61K NAND2 @ 40nm.\n");
+    return 0;
+}

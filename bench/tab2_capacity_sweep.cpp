@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tab. II: memory-capacity impact speedups at 80% / 70% / 60%
+ * constrained memory, single-core (benchmark average) and 4-core (mix
+ * average), for LCP, Compresso, and the unconstrained upper bound.
+ *
+ * Paper's numbers (relative to the constrained uncompressed system):
+ *
+ *   mem%   LCP 1c  4c     Compresso 1c  4c    Unconstrained 1c  4c
+ *   80%    1.04   1.54    1.15         1.78   1.24             2.1
+ *   70%    1.11   1.97    1.29         2.33   1.39             2.51
+ *   60%    1.28   2.45    1.56         2.81   1.72             3.23
+ */
+
+#include "bench_common.h"
+
+#include "capacity/capacity_eval.h"
+#include "workloads/mixes.h"
+
+using namespace compresso;
+using namespace compresso::bench;
+
+namespace {
+
+double
+sweepSingle(McKind kind, bool unconstrained, double frac)
+{
+    std::vector<double> speedups;
+    for (const auto &prof : allProfiles()) {
+        if (prof.stalls_when_constrained)
+            continue; // paper: not all benchmarks finish
+        CapacitySpec spec;
+        spec.workloads = {prof.name};
+        spec.kind = kind;
+        spec.unconstrained = unconstrained;
+        spec.mem_frac = frac;
+        spec.touches_per_core = budget(100000);
+        speedups.push_back(capacitySpeedup(spec));
+    }
+    return geomean(speedups);
+}
+
+double
+sweepMulti(McKind kind, bool unconstrained, double frac)
+{
+    std::vector<double> speedups;
+    for (const auto &mix : allMixes()) {
+        CapacitySpec spec;
+        spec.workloads = {mix.benchmarks.begin(), mix.benchmarks.end()};
+        spec.kind = kind;
+        spec.unconstrained = unconstrained;
+        spec.mem_frac = frac;
+        spec.touches_per_core = budget(50000);
+        speedups.push_back(capacitySpeedup(spec));
+    }
+    return geomean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Tab. II: capacity-impact speedup vs constrained baseline");
+    std::printf("%-6s | %-13s | %-13s | %-13s\n", "", "LCP",
+                "Compresso", "Unconstrained");
+    std::printf("%-6s | %6s %6s | %6s %6s | %6s %6s\n", "mem%", "1-core",
+                "4-core", "1-core", "4-core", "1-core", "4-core");
+
+    for (double frac : {0.8, 0.7, 0.6}) {
+        double l1 = sweepSingle(McKind::kLcp, false, frac);
+        double l4 = sweepMulti(McKind::kLcp, false, frac);
+        double c1 = sweepSingle(McKind::kCompresso, false, frac);
+        double c4 = sweepMulti(McKind::kCompresso, false, frac);
+        double u1 = sweepSingle(McKind::kUncompressed, true, frac);
+        double u4 = sweepMulti(McKind::kUncompressed, true, frac);
+        std::printf("%-6.0f | %6.2f %6.2f | %6.2f %6.2f | %6.2f %6.2f\n",
+                    frac * 100, l1, l4, c1, c4, u1, u4);
+        std::fflush(stdout);
+    }
+    std::printf("\nPaper rows: 80%%: 1.04/1.54 | 1.15/1.78 | 1.24/2.1\n"
+                "            70%%: 1.11/1.97 | 1.29/2.33 | 1.39/2.51\n"
+                "            60%%: 1.28/2.45 | 1.56/2.81 | 1.72/3.23\n");
+    return 0;
+}

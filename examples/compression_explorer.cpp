@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Compression-algorithm explorer: the Sec. II-A design-space study.
+ *
+ * For every algorithm (BPC with and without Compresso's adaptive
+ * transform, BDI, FPC, C-PACK, LZ) and every data class, report the
+ * average compressed size, the size-bin distribution under Compresso's
+ * 0/8/32/64 bins, and the work each algorithm burns — culminating in
+ * the paper's conclusion: BPC's adaptive variant gives the best
+ * ratio-per-cost for a memory controller, while LZ's extra ratio costs
+ * an order of magnitude more matcher work.
+ *
+ * Build & run:  ./build/examples/compression_explorer
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "compress/factory.h"
+#include "compress/lz.h"
+#include "compress/size_bins.h"
+#include "workloads/datagen.h"
+
+using namespace compresso;
+
+int
+main()
+{
+    constexpr unsigned kSamples = 200;
+
+    std::printf("Average compressed bytes per 64 B line "
+                "(%u samples per class):\n\n",
+                kSamples);
+    std::printf("%-10s", "algorithm");
+    for (size_t c = 0; c < kNumDataClasses; ++c)
+        std::printf(" %9s", dataClassName(DataClass(c)));
+    std::printf(" %9s\n", "overall");
+
+    std::map<std::string, double> overall;
+    for (const auto &name : compressorNames()) {
+        auto codec = makeCompressor(name);
+        std::printf("%-10s", name.c_str());
+        double total = 0;
+        Line line;
+        for (size_t c = 0; c < kNumDataClasses; ++c) {
+            double sum = 0;
+            for (unsigned s = 0; s < kSamples; ++s) {
+                generateLine(DataClass(c), s, line);
+                sum += double(codec->compressedBytes(line));
+            }
+            double avg = sum / kSamples;
+            total += avg;
+            std::printf(" %9.1f", avg);
+        }
+        overall[name] = total / double(kNumDataClasses);
+        std::printf(" %9.1f\n", overall[name]);
+    }
+
+    std::printf("\nCompresso bin distribution (0/8/32/64) with BPC:\n");
+    auto bpc = makeCompressor("bpc");
+    std::printf("%-10s %6s %6s %6s %6s\n", "class", "zero", "8B",
+                "32B", "64B");
+    for (size_t c = 0; c < kNumDataClasses; ++c) {
+        unsigned bins[4] = {0, 0, 0, 0};
+        Line line;
+        for (unsigned s = 0; s < kSamples; ++s) {
+            generateLine(DataClass(c), s, line);
+            ++bins[compressoBins().binFor(bpc->compressedBytes(line),
+                                          isZeroLine(line))];
+        }
+        std::printf("%-10s %5.0f%% %5.0f%% %5.0f%% %5.0f%%\n",
+                    dataClassName(DataClass(c)),
+                    100.0 * bins[0] / kSamples,
+                    100.0 * bins[1] / kSamples,
+                    100.0 * bins[2] / kSamples,
+                    100.0 * bins[3] / kSamples);
+    }
+
+    std::printf("\nWhy not LZ in a memory controller (Sec. II-A)?\n");
+    LzCompressor lz;
+    Line line;
+    double lz_bytes = 0, bpc_bytes = 0, ops = 0;
+    unsigned n = 0;
+    for (size_t c = 1; c < kNumDataClasses; ++c) {
+        for (unsigned s = 0; s < 50; ++s) {
+            generateLine(DataClass(c), s, line);
+            lz_bytes += double(lz.compressedBytes(line));
+            bpc_bytes += double(bpc->compressedBytes(line));
+            ops += double(lz.matchSearchOps(line));
+            ++n;
+        }
+    }
+    std::printf("  LZ averages %.1f B/line vs BPC %.1f B/line,\n",
+                lz_bytes / n, bpc_bytes / n);
+    std::printf("  but burns ~%.0f byte-comparisons per line in its "
+                "matcher —\n  BPC's fixed transform pipeline does the "
+                "equivalent of ~33 plane scans\n  (the paper's "
+                "synthesized unit: 7 mW, 12 cycles).\n",
+                ops / n);
+
+    std::printf("\nCompresso's adaptive-transform gain over "
+                "always-transform BPC:\n");
+    auto xform = makeCompressor("bpc-xform");
+    double adap = 0, fixed = 0;
+    unsigned m = 0;
+    for (size_t c = 1; c < kNumDataClasses; ++c) {
+        for (unsigned s = 0; s < 100; ++s) {
+            generateLine(DataClass(c), s, line);
+            adap += double(bpc->compressedBytes(line));
+            fixed += double(xform->compressedBytes(line));
+            ++m;
+        }
+    }
+    std::printf("  %.1f%% smaller on average (paper: ~13%% more memory "
+                "saved)\n",
+                100.0 * (1.0 - adap / fixed));
+    return 0;
+}

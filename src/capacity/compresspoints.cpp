@@ -1,0 +1,225 @@
+#include "capacity/compresspoints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "capacity/paging_model.h"
+#include "compress/factory.h"
+
+namespace compresso {
+
+namespace {
+
+constexpr unsigned kBbvDims = 8;
+
+/** Feature matrix rows for clustering, normalized per dimension. */
+std::vector<std::vector<double>>
+buildRows(const std::vector<IntervalFeatures> &features, PointKind kind)
+{
+    std::vector<std::vector<double>> rows;
+    for (const auto &f : features) {
+        std::vector<double> row = f.bbv;
+        if (kind == PointKind::kCompressPoint) {
+            row.push_back(f.comp_ratio);
+            row.push_back(f.overflow_rate);
+            row.push_back(f.underflow_rate);
+            row.push_back(f.memory_usage);
+        }
+        rows.push_back(std::move(row));
+    }
+    if (rows.empty())
+        return rows;
+    // Min-max normalize each dimension so BBV and compression metrics
+    // carry comparable weight.
+    size_t dims = rows[0].size();
+    for (size_t d = 0; d < dims; ++d) {
+        double lo = rows[0][d], hi = rows[0][d];
+        for (const auto &r : rows) {
+            lo = std::min(lo, r[d]);
+            hi = std::max(hi, r[d]);
+        }
+        double span = hi - lo;
+        for (auto &r : rows)
+            r[d] = span > 0 ? (r[d] - lo) / span : 0.0;
+    }
+    return rows;
+}
+
+double
+dist2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<IntervalFeatures>
+profileIntervals(const WorkloadProfile &profile, unsigned intervals)
+{
+    auto codec = makeCompressor("bpc");
+    std::vector<IntervalFeatures> out;
+    out.reserve(intervals);
+
+    for (unsigned iv = 0; iv < intervals; ++iv) {
+        IntervalFeatures f;
+        unsigned phase =
+            profile.phases > 1 ? iv % profile.phases : 0;
+
+        // BBV proxy: the profile's code behaviour is phase-stable (the
+        // same loops run every interval); tiny deterministic jitter
+        // mimics measurement noise.
+        f.bbv.resize(kBbvDims);
+        Rng bbv_rng(Rng::mix(std::hash<std::string>{}(profile.name),
+                             0xbb77, iv));
+        for (unsigned d = 0; d < kBbvDims; ++d) {
+            double base = 1.0 / (1 + d); // fixed block-weight profile
+            f.bbv[d] = base * (0.98 + 0.04 * bbv_rng.uniform());
+        }
+
+        // Compression metrics from the interval's data phase.
+        uint64_t footprint = 0, compressed = 0;
+        unsigned samples = 32;
+        for (unsigned s = 0; s < samples; ++s) {
+            uint64_t page = (uint64_t(s) * profile.pages) / samples;
+            compressed += pageAllocatedBytes(profile, page, phase,
+                                             McKind::kCompresso, *codec);
+            footprint += kPageBytes;
+        }
+        f.comp_ratio = compressed == 0
+                           ? double(kPageBytes) / kChunkBytes
+                           : double(footprint) / double(compressed);
+
+        // Overflow/underflow rates: phase transitions churn data.
+        ClassMix cur = phaseMix(profile, phase);
+        ClassMix nxt = phaseMix(profile, phase + 1);
+        double churn = 0;
+        for (size_t c = 0; c < cur.size(); ++c)
+            churn += std::fabs(cur[c] - nxt[c]);
+        f.overflow_rate = profile.churn * 1000.0 * (0.5 + churn / 100.0);
+        f.underflow_rate = f.overflow_rate * 0.6;
+        f.memory_usage = std::min(1.0, 0.5 + 0.5 * double(iv) /
+                                           std::max(1u, intervals - 1));
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::vector<RepresentativePoint>
+selectPoints(const std::vector<IntervalFeatures> &features,
+             PointKind kind, unsigned k, uint64_t seed)
+{
+    std::vector<RepresentativePoint> result;
+    if (features.empty())
+        return result;
+    k = std::min<unsigned>(k, unsigned(features.size()));
+
+    auto rows = buildRows(features, kind);
+    size_t n = rows.size();
+
+    // k-means++ style deterministic seeding.
+    Rng rng(seed);
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(rows[rng.below(n)]);
+    while (centroids.size() < k) {
+        size_t best = 0;
+        double best_d = -1;
+        for (size_t i = 0; i < n; ++i) {
+            double d = 1e300;
+            for (const auto &c : centroids)
+                d = std::min(d, dist2(rows[i], c));
+            if (d > best_d) {
+                best_d = d;
+                best = i;
+            }
+        }
+        centroids.push_back(rows[best]);
+    }
+
+    std::vector<unsigned> assign(n, 0);
+    for (int iter = 0; iter < 32; ++iter) {
+        bool moved = false;
+        for (size_t i = 0; i < n; ++i) {
+            unsigned best = 0;
+            double best_d = 1e300;
+            for (unsigned c = 0; c < centroids.size(); ++c) {
+                double d = dist2(rows[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                moved = true;
+            }
+        }
+        for (unsigned c = 0; c < centroids.size(); ++c) {
+            std::vector<double> sum(rows[0].size(), 0.0);
+            unsigned count = 0;
+            for (size_t i = 0; i < n; ++i) {
+                if (assign[i] != c)
+                    continue;
+                ++count;
+                for (size_t d = 0; d < sum.size(); ++d)
+                    sum[d] += rows[i][d];
+            }
+            if (count == 0)
+                continue;
+            for (auto &v : sum)
+                v /= count;
+            centroids[c] = std::move(sum);
+        }
+        if (!moved)
+            break;
+    }
+
+    // Representative = the interval closest to its cluster centroid.
+    for (unsigned c = 0; c < centroids.size(); ++c) {
+        unsigned rep = 0;
+        double best_d = 1e300;
+        unsigned count = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (assign[i] != c)
+                continue;
+            ++count;
+            double d = dist2(rows[i], centroids[c]);
+            if (d < best_d) {
+                best_d = d;
+                rep = unsigned(i);
+            }
+        }
+        if (count > 0)
+            result.push_back(
+                RepresentativePoint{rep, double(count) / double(n)});
+    }
+    return result;
+}
+
+double
+estimateRatio(const std::vector<IntervalFeatures> &features,
+              const std::vector<RepresentativePoint> &points)
+{
+    double est = 0, weight = 0;
+    for (const auto &p : points) {
+        est += features[p.interval].comp_ratio * p.weight;
+        weight += p.weight;
+    }
+    return weight > 0 ? est / weight : 0;
+}
+
+double
+trueRatio(const std::vector<IntervalFeatures> &features)
+{
+    double sum = 0;
+    for (const auto &f : features)
+        sum += f.comp_ratio;
+    return features.empty() ? 0 : sum / double(features.size());
+}
+
+} // namespace compresso

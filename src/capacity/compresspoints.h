@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CompressPoints: representative-interval selection for compressed
+ * systems (Choukse et al., IEEE CAL 2018; used by the paper's
+ * Sec. VI-B).
+ *
+ * SimPoint clusters execution intervals by their basic-block vectors
+ * (BBVs) — which code executed — and simulates one interval per
+ * cluster. That correlates with pipeline and cache behaviour but is
+ * blind to *data*: two intervals can run identical code on wildly
+ * differently compressible data (the paper's Fig. 9, GemsFDTD).
+ * CompressPoints extend the feature vector with compression metrics —
+ * compression ratio, page overflow/underflow rates, memory usage — so
+ * the chosen intervals also represent compressibility.
+ *
+ * We implement the full selection pipeline: per-interval feature
+ * extraction from a workload profile, feature normalization, k-means
+ * clustering (deterministic seeding), and weighted representative
+ * selection, with a switch for SimPoint-style (BBV-only) vs
+ * CompressPoint-style (BBV + compression) features.
+ */
+
+#ifndef COMPRESSO_CAPACITY_COMPRESSPOINTS_H
+#define COMPRESSO_CAPACITY_COMPRESSPOINTS_H
+
+#include <vector>
+
+#include "workloads/profiles.h"
+
+namespace compresso {
+
+/** Feature vector of one execution interval. */
+struct IntervalFeatures
+{
+    /** Basic-block-vector proxy: relative execution weight of the
+     *  profile's code regions (identical across data phases, as in
+     *  real phase-stable loops). */
+    std::vector<double> bbv;
+
+    // Compression metrics (CompressPoints extension).
+    double comp_ratio = 1.0;
+    double overflow_rate = 0;  ///< line overflows per 1k writebacks
+    double underflow_rate = 0; ///< line underflows per 1k writebacks
+    double memory_usage = 0;   ///< resident fraction of footprint
+};
+
+/**
+ * Extract per-interval features for @p intervals consecutive
+ * 200 M-instruction-equivalent intervals of a workload.
+ */
+std::vector<IntervalFeatures> profileIntervals(
+    const WorkloadProfile &profile, unsigned intervals);
+
+/** Which features participate in clustering. */
+enum class PointKind
+{
+    kSimPoint,      ///< BBV only
+    kCompressPoint, ///< BBV + compression metrics
+};
+
+/** One selected representative. */
+struct RepresentativePoint
+{
+    unsigned interval = 0;
+    double weight = 1.0; ///< fraction of intervals its cluster covers
+};
+
+/**
+ * Cluster intervals (k-means, deterministic) and return one
+ * representative per cluster, weighted by cluster size.
+ */
+std::vector<RepresentativePoint> selectPoints(
+    const std::vector<IntervalFeatures> &features, PointKind kind,
+    unsigned k, uint64_t seed = 42);
+
+/**
+ * Weighted estimate of a metric from selected points, e.g. the
+ * compression ratio the chosen intervals would predict for the whole
+ * run. The Fig. 9 claim is that this estimate is accurate for
+ * CompressPoints and can be wildly off for SimPoints.
+ */
+double estimateRatio(const std::vector<IntervalFeatures> &features,
+                     const std::vector<RepresentativePoint> &points);
+
+/** True whole-run average ratio. */
+double trueRatio(const std::vector<IntervalFeatures> &features);
+
+} // namespace compresso
+
+#endif // COMPRESSO_CAPACITY_COMPRESSPOINTS_H

@@ -1,0 +1,110 @@
+#include "capacity/paging_model.h"
+
+#include <algorithm>
+
+#include "packing/lcp.h"
+#include "packing/linepack.h"
+
+namespace compresso {
+
+uint32_t
+pageAllocatedBytes(const WorkloadProfile &profile, uint64_t page,
+                   unsigned phase, McKind kind, Compressor &codec)
+{
+    if (kind == McKind::kUncompressed)
+        return uint32_t(kPageBytes);
+
+    // Synthesize the page's lines and measure their compressed sizes.
+    std::array<LineSize, kLinesPerPage> sizes;
+    bool all_zero = true;
+    Line line;
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        DataClass cls = lineClass(profile, page, l, phase);
+        if (cls == DataClass::kZero) {
+            sizes[l] = LineSize{0, true};
+            continue;
+        }
+        all_zero = false;
+        generateLine(cls, Rng::mix(page, l, phase), line);
+        sizes[l] =
+            LineSize{uint16_t(codec.compressedBytes(line)), false};
+    }
+    if (all_zero)
+        return 0;
+
+    switch (kind) {
+      case McKind::kCompresso: {
+        PageLayout lay = linePack(sizes, compressoBins());
+        return pageBinBytes(uint32_t(roundUp(lay.payload_bytes,
+                                             kLineBytes)),
+                            PageSizing::kChunked512);
+      }
+      case McKind::kRmc: {
+        // Four subpages, each LinePack-packed plus hysteresis slack.
+        uint32_t total = 0;
+        for (unsigned sp = 0; sp < 4; ++sp) {
+            uint32_t pack = 0;
+            for (unsigned l = sp * 16; l < (sp + 1) * 16; ++l) {
+                pack += legacyBins().quantize(sizes[l].bytes,
+                                              sizes[l].zero);
+            }
+            total += pack + 64;
+        }
+        return pageBinBytes(std::min<uint32_t>(total, kPageBytes),
+                            PageSizing::kVariable4);
+      }
+      case McKind::kLcp:
+      case McKind::kLcpAlign: {
+        const SizeBins &bins = kind == McKind::kLcpAlign
+                                   ? compressoBins()
+                                   : legacyBins();
+        LcpLayout lay = lcpPack(sizes, bins);
+        uint32_t want = lay.payload_bytes;
+        if (want < kPageBytes)
+            want += uint32_t(kChunkBytes); // exception-room reserve
+        return pageBinBytes(std::min<uint32_t>(want, kPageBytes),
+                            PageSizing::kVariable4);
+      }
+      default:
+        return uint32_t(kPageBytes);
+    }
+}
+
+RatioTimeline::RatioTimeline(const WorkloadProfile &profile, McKind kind,
+                             bool repack, unsigned samples)
+    : profile_(profile),
+      kind_(kind),
+      repack_(repack),
+      samples_(samples),
+      codec_(makeCompressor("bpc")),
+      high_water_(samples, 0)
+{
+}
+
+double
+RatioTimeline::ratioAt(unsigned phase)
+{
+    if (kind_ == McKind::kUncompressed)
+        return 1.0;
+    unsigned eff = profile_.phases > 1 ? phase % profile_.phases : 0;
+
+    uint64_t footprint = 0;
+    uint64_t compressed = 0;
+    for (unsigned s = 0; s < samples_; ++s) {
+        // Spread samples across the footprint deterministically.
+        uint64_t page = (uint64_t(s) * profile_.pages) / samples_;
+        uint32_t bytes =
+            pageAllocatedBytes(profile_, page, eff, kind_, *codec_);
+        if (!repack_) {
+            high_water_[s] = std::max(high_water_[s], bytes);
+            bytes = high_water_[s];
+        }
+        footprint += kPageBytes;
+        compressed += bytes;
+    }
+    if (compressed == 0)
+        return double(kPageBytes); // all-zero sample: effectively free
+    return double(footprint) / double(compressed);
+}
+
+} // namespace compresso

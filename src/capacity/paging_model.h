@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compression-ratio timelines for the memory-capacity impact
+ * evaluation (Sec. VI-A).
+ *
+ * The paper pauses real benchmarks every 200 M instructions, snapshots
+ * their resident memory, and derives a compression-ratio vector used
+ * to scale the cgroup memory budget over time. We derive the same
+ * vector analytically: sample pages of the workload's (phase-varying)
+ * data, pack them with the system under test, and report
+ * footprint / compressed-size.
+ *
+ * The `repack` flag models Sec. IV-B4: without repacking, a page's
+ * allocation ratchets up to the largest size it ever needed (Fig. 7);
+ * with dynamic repacking it tracks the current data.
+ */
+
+#ifndef COMPRESSO_CAPACITY_PAGING_MODEL_H
+#define COMPRESSO_CAPACITY_PAGING_MODEL_H
+
+#include <memory>
+#include <vector>
+
+#include "compress/factory.h"
+#include "sim/system.h"
+#include "workloads/profiles.h"
+
+namespace compresso {
+
+/** Compressed MPA bytes of one synthetic page under a back end. */
+uint32_t pageAllocatedBytes(const WorkloadProfile &profile, uint64_t page,
+                            unsigned phase, McKind kind, Compressor &codec);
+
+class RatioTimeline
+{
+  public:
+    /**
+     * @param profile  workload
+     * @param kind     memory back end (kUncompressed => ratio 1)
+     * @param repack   whether the system recompresses pages when data
+     *                 becomes more compressible
+     * @param samples  pages sampled per phase
+     */
+    RatioTimeline(const WorkloadProfile &profile, McKind kind, bool repack,
+                  unsigned samples = 48);
+
+    /** Footprint / compressed bytes at @p phase (>= 1.0). */
+    double ratioAt(unsigned phase);
+
+  private:
+    const WorkloadProfile &profile_;
+    McKind kind_;
+    bool repack_;
+    unsigned samples_;
+    std::unique_ptr<Compressor> codec_;
+    /** Ratcheted per-sample allocation for the no-repack case. */
+    std::vector<uint32_t> high_water_;
+    unsigned phases_applied_ = 0;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CAPACITY_PAGING_MODEL_H

@@ -1,0 +1,49 @@
+#include "common/bitstream.h"
+
+#include <cassert>
+
+namespace compresso {
+
+void
+BitWriter::put(uint64_t value, unsigned nbits)
+{
+    assert(nbits <= 64);
+    if (nbits == 0)
+        return;
+    if (nbits < 64)
+        value &= (uint64_t(1) << nbits) - 1;
+
+    // Emit MSB-first.
+    for (int shift = int(nbits) - 1; shift >= 0; ) {
+        unsigned bit_in_byte = bits_ % 8;
+        if (bit_in_byte == 0)
+            buf_.push_back(0);
+        unsigned room = 8 - bit_in_byte;
+        unsigned take = room < unsigned(shift) + 1 ? room : unsigned(shift) + 1;
+        uint8_t chunk = uint8_t((value >> (shift + 1 - int(take))) &
+                                ((1u << take) - 1));
+        buf_.back() |= uint8_t(chunk << (room - take));
+        bits_ += take;
+        shift -= int(take);
+    }
+}
+
+uint64_t
+BitReader::get(unsigned nbits)
+{
+    assert(nbits <= 64);
+    uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        uint64_t bit = 0;
+        if (pos_ < size_) {
+            bit = (data_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+        } else {
+            overrun_ = true;
+        }
+        v = (v << 1) | bit;
+        ++pos_;
+    }
+    return v;
+}
+
+} // namespace compresso

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-granular output/input streams used by the compression codecs.
+ *
+ * Compressed cache lines are genuine bitstreams (BPC emits 3-16 bit
+ * symbols), so the codecs serialize through these helpers. Writing is
+ * MSB-first within each byte, which makes the streams easy to inspect in
+ * hex dumps and matches the convention used in the BPC paper's figures.
+ */
+
+#ifndef COMPRESSO_COMMON_BITSTREAM_H
+#define COMPRESSO_COMMON_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace compresso {
+
+/** Append-only bit stream writer. */
+class BitWriter
+{
+  public:
+    BitWriter() = default;
+
+    /** Append the low @p nbits bits of @p value, MSB first. */
+    void put(uint64_t value, unsigned nbits);
+
+    /** Number of bits written so far. */
+    size_t bitSize() const { return bits_; }
+
+    /** Number of bytes needed to hold the stream (rounded up). */
+    size_t byteSize() const { return (bits_ + 7) / 8; }
+
+    /** Finished stream; trailing pad bits are zero. */
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+
+    void clear() { buf_.clear(); bits_ = 0; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t bits_ = 0;
+};
+
+/** Sequential bit stream reader over an external buffer. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size_bits)
+        : data_(data), size_(size_bits)
+    {}
+
+    explicit BitReader(const std::vector<uint8_t> &bytes)
+        : data_(bytes.data()), size_(bytes.size() * 8)
+    {}
+
+    /** Read @p nbits bits (MSB first); reading past the end returns
+     *  zero bits and sets overrun(). */
+    uint64_t get(unsigned nbits);
+
+    /** Peek without consuming. */
+    uint64_t
+    peek(unsigned nbits)
+    {
+        size_t saved = pos_;
+        bool saved_overrun = overrun_;
+        uint64_t v = get(nbits);
+        pos_ = saved;
+        overrun_ = saved_overrun;
+        return v;
+    }
+
+    size_t pos() const { return pos_; }
+    size_t remaining() const { return pos_ < size_ ? size_ - pos_ : 0; }
+    bool overrun() const { return overrun_; }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    bool overrun_ = false;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMMON_BITSTREAM_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic choice in the workload generators derives from one of
+ * these generators seeded with structured keys (benchmark id, page
+ * number, phase), so all experiments are bit-reproducible across runs
+ * and platforms. We avoid std::mt19937 because its distribution
+ * implementations are not specified identically across standard
+ * libraries.
+ */
+
+#ifndef COMPRESSO_COMMON_RNG_H
+#define COMPRESSO_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace compresso {
+
+/** SplitMix64; used to expand a single seed into xoshiro state. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation, re-expressed).
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x7262a8ee9d58cb1fULL) { reseed(seed); }
+
+    /** Reseed from a single 64-bit value via SplitMix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : s_)
+            word = splitmix64(seed);
+    }
+
+    /** Combine several key components into one seed (order-sensitive). */
+    static uint64_t
+    mix(uint64_t a, uint64_t b = 0, uint64_t c = 0)
+    {
+        uint64_t h = a * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL;
+        h ^= splitmix64(b);
+        h = h * 0xff51afd7ed558ccdULL;
+        h ^= splitmix64(c) >> 1;
+        return h;
+    }
+
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift reduction; bias is negligible for our bounds.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish integer in [lo, hi] biased toward lo. */
+    uint64_t
+    skewed(uint64_t lo, uint64_t hi)
+    {
+        double u = uniform();
+        return lo + uint64_t(double(hi - lo) * u * u);
+    }
+
+  private:
+    static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    uint64_t s_[4];
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMMON_RNG_H

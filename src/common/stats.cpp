@@ -1,0 +1,24 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace compresso {
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[key, value] : counters_) {
+        os << std::left << std::setw(40)
+           << (name_.empty() ? key : name_ + "." + key)
+           << value << "\n";
+    }
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[key, value] : other.counters_)
+        counters_[key] += value;
+}
+
+} // namespace compresso

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lightweight named-counter statistics, in the spirit of gem5's stats
+ * package but reduced to what the reproduction needs: scalar counters
+ * and simple derived ratios, grouped per component and dumpable as
+ * aligned text.
+ */
+
+#ifndef COMPRESSO_COMMON_STATS_H
+#define COMPRESSO_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace compresso {
+
+/**
+ * A group of named uint64 counters. Components own a StatGroup and
+ * bump counters through operator[]; harnesses read them by name.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Access (creating if absent) the counter called @p key. */
+    uint64_t &operator[](const std::string &key) { return counters_[key]; }
+
+    /** Read a counter; returns 0 for names never bumped. */
+    uint64_t
+    get(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Ratio of two counters; 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        uint64_t d = get(den);
+        return d == 0 ? 0.0 : double(get(num)) / double(d);
+    }
+
+    void reset() { counters_.clear(); }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, uint64_t> &counters() const { return counters_; }
+
+    /** Dump "group.key value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Fold another group's counters into this one (summing). */
+    void merge(const StatGroup &other);
+
+  private:
+    std::string name_;
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMMON_STATS_H

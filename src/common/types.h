@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental types and geometry constants shared by all Compresso
+ * subsystems.
+ *
+ * The terminology follows the paper:
+ *  - OSPA: the physical address space the OS believes it has (larger
+ *    than the installed memory).
+ *  - MPA: the machine physical address space of the installed DRAM.
+ */
+
+#ifndef COMPRESSO_COMMON_TYPES_H
+#define COMPRESSO_COMMON_TYPES_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace compresso {
+
+/** Cache line size in bytes; both the core access and the compression
+ *  granularity (Sec. II-A of the paper). */
+constexpr size_t kLineBytes = 64;
+
+/** OSPA page size in bytes. Compresso keeps the OS on fixed 4 KB pages. */
+constexpr size_t kPageBytes = 4096;
+
+/** Number of cache lines per OSPA page. */
+constexpr size_t kLinesPerPage = kPageBytes / kLineBytes;
+
+/** Machine-side allocation chunk (Sec. II-D): incremental allocation in
+ *  fixed-size 512 B chunks, up to 8 chunks per page. */
+constexpr size_t kChunkBytes = 512;
+constexpr size_t kChunksPerPage = kPageBytes / kChunkBytes;
+constexpr size_t kLinesPerChunk = kChunkBytes / kLineBytes;
+
+/** Metadata entry size per OSPA page (Sec. III). */
+constexpr size_t kMetadataEntryBytes = 64;
+
+/** Maximum number of inflated (uncompressed-overflow) lines trackable in
+ *  one metadata entry: 17 pointers of 6 bits each (Sec. III). */
+constexpr size_t kMaxInflatedLines = 17;
+
+/** Sentinel for an unused 28-bit machine-chunk pointer (metadata MPFN
+ *  field width; see meta/metadata_entry.h). */
+constexpr uint32_t kNoChunk = (1u << 28) - 1;
+
+/** A raw 64-byte cache line. */
+using Line = std::array<uint8_t, kLineBytes>;
+
+/** Addresses. OSPA/MPA are byte addresses; page/chunk numbers are
+ *  derived indices. */
+using Addr = uint64_t;
+using PageNum = uint64_t;   ///< OSPA page frame number
+using ChunkNum = uint64_t;  ///< MPA 512 B chunk number
+using Cycle = uint64_t;
+
+/** Line index within a page [0, 64). */
+using LineIdx = uint32_t;
+
+inline PageNum pageOf(Addr a) { return a / kPageBytes; }
+inline LineIdx lineOf(Addr a) { return LineIdx((a % kPageBytes) / kLineBytes); }
+inline Addr lineAddr(Addr a) { return a & ~Addr(kLineBytes - 1); }
+
+/** Round @p x up to a multiple of @p align (power of two not required). */
+inline uint64_t
+roundUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) / align * align;
+}
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMMON_TYPES_H

@@ -1,0 +1,245 @@
+#include "compress/bdi.h"
+
+#include <cstring>
+
+namespace compresso {
+
+namespace {
+
+/** Encoding selectors (4 bits). */
+enum Sel : unsigned
+{
+    kZero = 0b0000,
+    kRep8 = 0b0001,
+    kB8D1 = 0b0010,
+    kB8D2 = 0b0011,
+    kB8D4 = 0b0100,
+    kB4D1 = 0b0101,
+    kB4D2 = 0b0110,
+    kB2D1 = 0b0111,
+    kRaw = 0b1111,
+};
+
+struct Shape
+{
+    unsigned sel;
+    unsigned base_bytes;
+    unsigned delta_bytes;
+};
+
+constexpr Shape kShapes[] = {
+    {kB8D1, 8, 1}, {kB4D1, 4, 1}, {kB8D2, 8, 2},
+    {kB2D1, 2, 1}, {kB4D2, 4, 2}, {kB8D4, 8, 4},
+};
+
+/** Load a little-endian value of @p nbytes from @p src. */
+uint64_t
+loadLE(const uint8_t *src, unsigned nbytes)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, src, nbytes);
+    return v;
+}
+
+void
+storeLE(uint8_t *dst, uint64_t v, unsigned nbytes)
+{
+    std::memcpy(dst, &v, nbytes);
+}
+
+/** Sign-extend the low @p nbytes of @p v. */
+int64_t
+signExtend(uint64_t v, unsigned nbytes)
+{
+    unsigned shift = 64 - nbytes * 8;
+    return int64_t(v << shift) >> shift;
+}
+
+bool
+fitsSigned(int64_t v, unsigned nbytes)
+{
+    int64_t lo = -(int64_t(1) << (nbytes * 8 - 1));
+    int64_t hi = (int64_t(1) << (nbytes * 8 - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/**
+ * Try a (base, delta) shape. Each element uses either the line base
+ * (first non-immediate value) or the implicit zero base, indicated by a
+ * per-element mask bit.
+ *
+ * @return the payload size in bits if the shape fits, or 0 otherwise.
+ */
+size_t
+tryShape(const Line &line, const Shape &sh, uint64_t &base_out,
+         uint64_t *deltas, uint8_t *use_zero)
+{
+    unsigned n = unsigned(kLineBytes / sh.base_bytes);
+    bool have_base = false;
+    uint64_t base = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t v = loadLE(line.data() + i * sh.base_bytes, sh.base_bytes);
+        int64_t dz = signExtend(v, sh.base_bytes); // delta from zero base
+        if (fitsSigned(dz, sh.delta_bytes)) {
+            use_zero[i] = 1;
+            deltas[i] = uint64_t(dz);
+            continue;
+        }
+        if (!have_base) {
+            base = v;
+            have_base = true;
+        }
+        int64_t db = signExtend(v - base, sh.base_bytes);
+        if (!fitsSigned(db, sh.delta_bytes))
+            return 0;
+        use_zero[i] = 0;
+        deltas[i] = uint64_t(db);
+    }
+    base_out = base;
+    // base + per-element mask + deltas
+    return sh.base_bytes * 8 + n + n * sh.delta_bytes * 8;
+}
+
+} // namespace
+
+size_t
+BdiCompressor::compress(const Line &line, BitWriter &out) const
+{
+    size_t start = out.bitSize();
+
+    if (isZeroLine(line)) {
+        out.put(kZero, 4);
+        return out.bitSize() - start;
+    }
+
+    // Repeated 8-byte value?
+    uint64_t w0 = lineWord64(line, 0);
+    bool repeated = true;
+    for (size_t i = 1; i < 8 && repeated; ++i)
+        repeated = lineWord64(line, i) == w0;
+    if (repeated) {
+        out.put(kRep8, 4);
+        out.put(w0 >> 32, 32);
+        out.put(w0 & 0xffffffffu, 32);
+        return out.bitSize() - start;
+    }
+
+    // Pick the smallest fitting (base, delta) shape.
+    const Shape *best = nullptr;
+    size_t best_bits = kLineBytes * 8;
+    uint64_t best_base = 0;
+    uint64_t best_deltas[32];
+    uint8_t best_mask[32];
+    for (const Shape &sh : kShapes) {
+        uint64_t base;
+        uint64_t deltas[32];
+        uint8_t mask[32];
+        size_t bits = tryShape(line, sh, base, deltas, mask);
+        if (bits != 0 && bits < best_bits) {
+            best = &sh;
+            best_bits = bits;
+            best_base = base;
+            std::memcpy(best_deltas, deltas, sizeof(deltas));
+            std::memcpy(best_mask, mask, sizeof(mask));
+        }
+    }
+
+    if (!best) {
+        out.put(kRaw, 4);
+        for (size_t i = 0; i < 8; ++i) {
+            uint64_t w = lineWord64(line, i);
+            out.put(w >> 32, 32);
+            out.put(w & 0xffffffffu, 32);
+        }
+        return out.bitSize() - start;
+    }
+
+    unsigned n = unsigned(kLineBytes / best->base_bytes);
+    out.put(best->sel, 4);
+    if (best->base_bytes == 8) {
+        out.put(best_base >> 32, 32);
+        out.put(best_base & 0xffffffffu, 32);
+    } else {
+        out.put(best_base, best->base_bytes * 8);
+    }
+    for (unsigned i = 0; i < n; ++i)
+        out.put(best_mask[i], 1);
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t d = best_deltas[i];
+        if (best->delta_bytes == 8) {
+            out.put(d >> 32, 32);
+            out.put(d & 0xffffffffu, 32);
+        } else {
+            out.put(d, best->delta_bytes * 8);
+        }
+    }
+    return out.bitSize() - start;
+}
+
+bool
+BdiCompressor::decompress(BitReader &in, Line &out) const
+{
+    unsigned sel = unsigned(in.get(4));
+    if (in.overrun())
+        return false;
+
+    if (sel == kZero) {
+        out.fill(0);
+        return true;
+    }
+    if (sel == kRep8) {
+        uint64_t v = in.get(32) << 32;
+        v |= in.get(32);
+        for (size_t i = 0; i < 8; ++i)
+            setLineWord64(out, i, v);
+        return !in.overrun();
+    }
+    if (sel == kRaw) {
+        for (size_t i = 0; i < 8; ++i) {
+            uint64_t v = in.get(32) << 32;
+            v |= in.get(32);
+            setLineWord64(out, i, v);
+        }
+        return !in.overrun();
+    }
+
+    const Shape *sh = nullptr;
+    for (const Shape &s : kShapes) {
+        if (s.sel == sel) {
+            sh = &s;
+            break;
+        }
+    }
+    if (!sh)
+        return false;
+
+    unsigned n = unsigned(kLineBytes / sh->base_bytes);
+    uint64_t base;
+    if (sh->base_bytes == 8) {
+        base = in.get(32) << 32;
+        base |= in.get(32);
+    } else {
+        base = in.get(sh->base_bytes * 8);
+    }
+    uint8_t mask[32];
+    for (unsigned i = 0; i < n; ++i)
+        mask[i] = uint8_t(in.get(1));
+    uint64_t keep = sh->base_bytes == 8
+                        ? ~uint64_t(0)
+                        : (uint64_t(1) << (sh->base_bytes * 8)) - 1;
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t d;
+        if (sh->delta_bytes == 8) {
+            d = in.get(32) << 32;
+            d |= in.get(32);
+        } else {
+            d = in.get(sh->delta_bytes * 8);
+        }
+        int64_t sd = signExtend(d, sh->delta_bytes);
+        uint64_t v = mask[i] ? uint64_t(sd) : base + uint64_t(sd);
+        storeLE(out.data() + i * sh->base_bytes, v & keep, sh->base_bytes);
+    }
+    return !in.overrun();
+}
+
+} // namespace compresso

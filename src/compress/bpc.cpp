@@ -1,0 +1,349 @@
+#include "compress/bpc.h"
+
+namespace compresso {
+
+namespace {
+
+constexpr unsigned kXformPlanes = 33;  // 33-bit deltas
+constexpr unsigned kXformWidth = 15;   // 15 deltas
+constexpr unsigned kDirectPlanes = 32; // 32-bit words
+constexpr unsigned kDirectWidth = 16;  // 16 words
+
+/** Bit-planes before (dbp) and after (dbx) the XOR chain. */
+struct Planes
+{
+    uint32_t dbp[kXformPlanes];
+    uint32_t dbx[kXformPlanes];
+    unsigned count;
+    unsigned width;
+};
+
+/** Build the Delta-BitPlane planes from a line; returns the base word. */
+uint32_t
+buildTransformed(const Line &line, Planes &p)
+{
+    uint32_t words[16];
+    for (size_t i = 0; i < 16; ++i)
+        words[i] = lineWord32(line, i);
+
+    // 33-bit two's-complement deltas between adjacent words.
+    uint64_t deltas[kXformWidth];
+    for (unsigned i = 0; i < kXformWidth; ++i) {
+        int64_t d = int64_t(words[i + 1]) - int64_t(words[i]);
+        deltas[i] = uint64_t(d) & 0x1ffffffffULL;
+    }
+
+    p.count = kXformPlanes;
+    p.width = kXformWidth;
+    for (unsigned k = 0; k < kXformPlanes; ++k) {
+        uint32_t plane = 0;
+        for (unsigned j = 0; j < kXformWidth; ++j)
+            plane |= uint32_t((deltas[j] >> k) & 1) << j;
+        p.dbp[k] = plane;
+    }
+    // XOR chain with an implicit zero plane above the MSB plane.
+    for (unsigned k = 0; k < kXformPlanes; ++k) {
+        uint32_t above = (k + 1 < kXformPlanes) ? p.dbp[k + 1] : 0;
+        p.dbx[k] = p.dbp[k] ^ above;
+    }
+    return words[0];
+}
+
+/** Invert buildTransformed: planes + base -> line. */
+void
+unbuildTransformed(const Planes &p, uint32_t base, Line &line)
+{
+    uint64_t deltas[kXformWidth];
+    for (unsigned j = 0; j < kXformWidth; ++j) {
+        uint64_t d = 0;
+        for (unsigned k = 0; k < kXformPlanes; ++k)
+            d |= uint64_t((p.dbp[k] >> j) & 1) << k;
+        deltas[j] = d;
+    }
+    uint32_t w = base;
+    setLineWord32(line, 0, w);
+    for (unsigned j = 0; j < kXformWidth; ++j) {
+        // Sign-extend the 33-bit delta and wrap to 32 bits.
+        int64_t d = int64_t(deltas[j] << 31) >> 31;
+        w = uint32_t(int64_t(w) + d);
+        setLineWord32(line, j + 1, w);
+    }
+}
+
+/** Build raw-word bit-planes (direct mode: no delta transform). */
+void
+buildDirect(const Line &line, Planes &p)
+{
+    uint32_t words[kDirectWidth];
+    for (size_t i = 0; i < kDirectWidth; ++i)
+        words[i] = lineWord32(line, i);
+
+    p.count = kDirectPlanes;
+    p.width = kDirectWidth;
+    for (unsigned k = 0; k < kDirectPlanes; ++k) {
+        uint32_t plane = 0;
+        for (unsigned j = 0; j < kDirectWidth; ++j)
+            plane |= ((words[j] >> k) & 1u) << j;
+        p.dbp[k] = plane;
+    }
+    for (unsigned k = 0; k < kDirectPlanes; ++k) {
+        uint32_t above = (k + 1 < kDirectPlanes) ? p.dbp[k + 1] : 0;
+        p.dbx[k] = p.dbp[k] ^ above;
+    }
+}
+
+void
+unbuildDirect(const Planes &p, Line &line)
+{
+    for (unsigned j = 0; j < kDirectWidth; ++j) {
+        uint32_t w = 0;
+        for (unsigned k = 0; k < kDirectPlanes; ++k)
+            w |= ((p.dbp[k] >> j) & 1u) << k;
+        setLineWord32(line, j, w);
+    }
+}
+
+/** Encode the base word with a small-magnitude code. */
+void
+encodeBase(uint32_t base, BitWriter &out)
+{
+    int32_t s = int32_t(base);
+    if (base == 0) {
+        out.put(0b000, 3);
+    } else if (s >= -8 && s < 8) {
+        out.put(0b001, 3);
+        out.put(uint32_t(s) & 0xf, 4);
+    } else if (s >= -128 && s < 128) {
+        out.put(0b010, 3);
+        out.put(uint32_t(s) & 0xff, 8);
+    } else if (s >= -32768 && s < 32768) {
+        out.put(0b011, 3);
+        out.put(uint32_t(s) & 0xffff, 16);
+    } else {
+        out.put(1, 1);
+        out.put(base, 32);
+    }
+}
+
+bool
+decodeBase(BitReader &in, uint32_t &base)
+{
+    if (in.get(1)) {
+        base = uint32_t(in.get(32));
+        return !in.overrun();
+    }
+    unsigned sel = unsigned(in.get(2));
+    switch (sel) {
+      case 0:
+        base = 0;
+        break;
+      case 1:
+        base = uint32_t(int32_t(in.get(4) << 28) >> 28);
+        break;
+      case 2:
+        base = uint32_t(int32_t(in.get(8) << 24) >> 24);
+        break;
+      default:
+        base = uint32_t(int32_t(in.get(16) << 16) >> 16);
+        break;
+    }
+    return !in.overrun();
+}
+
+/** True iff @p v has exactly the bits p and p+1 set for some p. */
+bool
+isTwoConsecutiveOnes(uint32_t v, unsigned &pos)
+{
+    if (v == 0 || (v & (v - 1)) == 0)
+        return false;
+    unsigned p = unsigned(__builtin_ctz(v));
+    if (v == (3u << p)) {
+        pos = p;
+        return true;
+    }
+    return false;
+}
+
+/** Encode planes MSB-plane first; see the symbol table in bpc.h. */
+void
+encodePlanes(const Planes &p, BitWriter &out)
+{
+    uint32_t ones = (1u << p.width) - 1;
+    int k = int(p.count) - 1;
+    while (k >= 0) {
+        if (p.dbx[k] == 0) {
+            // Count the zero-DBX run downward.
+            unsigned run = 1;
+            while (int(k) - int(run) >= 0 && p.dbx[k - run] == 0 &&
+                   run < 33) {
+                ++run;
+            }
+            if (run >= 2) {
+                out.put(0b01, 2);
+                out.put(run - 2, 5);
+            } else {
+                out.put(0b001, 3);
+            }
+            k -= int(run);
+            continue;
+        }
+        unsigned pos = 0;
+        if (p.dbx[k] == ones) {
+            out.put(0b00000, 5);
+        } else if (p.dbp[k] == 0) {
+            out.put(0b00001, 5);
+        } else if (isTwoConsecutiveOnes(p.dbx[k], pos)) {
+            out.put(0b00010, 5);
+            out.put(pos, 4);
+        } else if ((p.dbx[k] & (p.dbx[k] - 1)) == 0) {
+            out.put(0b00011, 5);
+            out.put(unsigned(__builtin_ctz(p.dbx[k])), 4);
+        } else {
+            out.put(1, 1);
+            out.put(p.dbx[k], p.width);
+        }
+        --k;
+    }
+}
+
+/** Decode planes, reconstructing DBP top-down. */
+bool
+decodePlanes(BitReader &in, Planes &p)
+{
+    uint32_t ones = (1u << p.width) - 1;
+    int k = int(p.count) - 1;
+    uint32_t dbp_above = 0;
+    while (k >= 0) {
+        if (in.get(1)) {
+            // Verbatim DBX plane.
+            uint32_t dbx = uint32_t(in.get(p.width));
+            p.dbp[k] = dbx ^ dbp_above;
+        } else if (in.get(1)) {
+            // '01': zero-DBX run.
+            unsigned run = unsigned(in.get(5)) + 2;
+            for (unsigned i = 0; i < run; ++i) {
+                if (k < 0)
+                    return false;
+                p.dbp[k] = dbp_above; // DBX == 0
+                dbp_above = p.dbp[k];
+                --k;
+            }
+            if (in.overrun())
+                return false;
+            continue;
+        } else if (in.get(1)) {
+            // '001': single zero-DBX plane.
+            p.dbp[k] = dbp_above;
+        } else {
+            // '000xx' family.
+            unsigned sel = unsigned(in.get(2));
+            switch (sel) {
+              case 0: // all ones
+                p.dbp[k] = ones ^ dbp_above;
+                break;
+              case 1: // DBP == 0
+                p.dbp[k] = 0;
+                break;
+              case 2: { // two consecutive ones
+                unsigned pos = unsigned(in.get(4));
+                p.dbp[k] = (3u << pos) ^ dbp_above;
+                break;
+              }
+              default: { // single one
+                unsigned pos = unsigned(in.get(4));
+                p.dbp[k] = (1u << pos) ^ dbp_above;
+                break;
+              }
+            }
+        }
+        if (in.overrun())
+            return false;
+        dbp_above = p.dbp[k];
+        --k;
+    }
+    return true;
+}
+
+} // namespace
+
+size_t
+BpcCompressor::transformedBits(const Line &line) const
+{
+    Planes p;
+    uint32_t base = buildTransformed(line, p);
+    BitWriter w;
+    encodeBase(base, w);
+    encodePlanes(p, w);
+    return 1 + w.bitSize(); // +1 mode bit
+}
+
+size_t
+BpcCompressor::directBits(const Line &line) const
+{
+    Planes p;
+    buildDirect(line, p);
+    BitWriter w;
+    encodePlanes(p, w);
+    return 1 + w.bitSize();
+}
+
+size_t
+BpcCompressor::compress(const Line &line, BitWriter &out) const
+{
+    size_t start = out.bitSize();
+
+    Planes xf;
+    uint32_t base = buildTransformed(line, xf);
+    BitWriter xw;
+    encodeBase(base, xw);
+    encodePlanes(xf, xw);
+
+    bool use_direct = false;
+    BitWriter dw;
+    if (adaptive_) {
+        Planes dp;
+        buildDirect(line, dp);
+        encodePlanes(dp, dw);
+        use_direct = dw.bitSize() < xw.bitSize();
+    }
+
+    const BitWriter &best = use_direct ? dw : xw;
+    out.put(use_direct ? 1 : 0, 1);
+    // Re-append the winning stream bit by bit (streams are short).
+    BitReader rd(best.bytes().data(), best.bitSize());
+    size_t rem = best.bitSize();
+    while (rem >= 32) {
+        out.put(rd.get(32), 32);
+        rem -= 32;
+    }
+    if (rem > 0)
+        out.put(rd.get(unsigned(rem)), unsigned(rem));
+
+    return out.bitSize() - start;
+}
+
+bool
+BpcCompressor::decompress(BitReader &in, Line &out) const
+{
+    bool direct = in.get(1) != 0;
+    Planes p;
+    if (direct) {
+        p.count = kDirectPlanes;
+        p.width = kDirectWidth;
+        if (!decodePlanes(in, p))
+            return false;
+        unbuildDirect(p, out);
+    } else {
+        uint32_t base;
+        if (!decodeBase(in, base))
+            return false;
+        p.count = kXformPlanes;
+        p.width = kXformWidth;
+        if (!decodePlanes(in, p))
+            return false;
+        unbuildTransformed(p, base, out);
+    }
+    return !in.overrun();
+}
+
+} // namespace compresso

@@ -1,0 +1,134 @@
+#include "compress/cpack.h"
+
+namespace compresso {
+
+namespace {
+
+/** FIFO dictionary shared by the encoder and decoder. */
+struct Dict
+{
+    uint32_t entry[16] = {};
+    unsigned count = 0; // valid entries
+    unsigned head = 0;  // next slot to replace
+
+    void
+    push(uint32_t w)
+    {
+        entry[head] = w;
+        head = (head + 1) % 16;
+        if (count < 16)
+            ++count;
+    }
+};
+
+} // namespace
+
+size_t
+CpackCompressor::compress(const Line &line, BitWriter &out) const
+{
+    size_t start = out.bitSize();
+    Dict dict;
+    for (size_t i = 0; i < 16; ++i) {
+        uint32_t w = lineWord32(line, i);
+        if (w == 0) {
+            out.put(0b00, 2);
+            continue;
+        }
+
+        // Find the best dictionary match: full > 3-byte > halfword.
+        int full = -1, b3 = -1, b2 = -1;
+        for (unsigned j = 0; j < dict.count; ++j) {
+            uint32_t e = dict.entry[j];
+            if (e == w) {
+                full = int(j);
+                break;
+            }
+            if (b3 < 0 && (e & 0xffffff00u) == (w & 0xffffff00u))
+                b3 = int(j);
+            if (b2 < 0 && (e & 0xffff0000u) == (w & 0xffff0000u))
+                b2 = int(j);
+        }
+
+        if (full >= 0) {
+            out.put(0b01, 2);
+            out.put(unsigned(full), 4);
+            continue;
+        }
+        if ((w & 0xffffff00u) == 0) {
+            out.put(0b1100, 4);
+            out.put(w & 0xff, 8);
+            dict.push(w);
+            continue;
+        }
+        if (b3 >= 0) {
+            out.put(0b1110, 4);
+            out.put(unsigned(b3), 4);
+            out.put(w & 0xff, 8);
+            dict.push(w);
+            continue;
+        }
+        if (b2 >= 0) {
+            out.put(0b1101, 4);
+            out.put(unsigned(b2), 4);
+            out.put(w & 0xffff, 16);
+            dict.push(w);
+            continue;
+        }
+        out.put(0b10, 2);
+        out.put(w, 32);
+        dict.push(w);
+    }
+    return out.bitSize() - start;
+}
+
+bool
+CpackCompressor::decompress(BitReader &in, Line &out) const
+{
+    Dict dict;
+    for (size_t i = 0; i < 16; ++i) {
+        unsigned c2 = unsigned(in.get(2));
+        if (in.overrun())
+            return false;
+        uint32_t w = 0;
+        switch (c2) {
+          case 0b00:
+            w = 0;
+            break;
+          case 0b01: {
+            unsigned idx = unsigned(in.get(4));
+            if (idx >= dict.count)
+                return false;
+            w = dict.entry[idx];
+            break;
+          }
+          case 0b10:
+            w = uint32_t(in.get(32));
+            dict.push(w);
+            break;
+          default: { // 11xx
+            unsigned sub = unsigned(in.get(2));
+            if (sub == 0b00) { // zzzx
+                w = uint32_t(in.get(8));
+            } else if (sub == 0b10) { // mmmx
+                unsigned idx = unsigned(in.get(4));
+                if (idx >= dict.count)
+                    return false;
+                w = (dict.entry[idx] & 0xffffff00u) | uint32_t(in.get(8));
+            } else if (sub == 0b01) { // mmxx
+                unsigned idx = unsigned(in.get(4));
+                if (idx >= dict.count)
+                    return false;
+                w = (dict.entry[idx] & 0xffff0000u) | uint32_t(in.get(16));
+            } else {
+                return false; // 1111 unused
+            }
+            dict.push(w);
+            break;
+          }
+        }
+        setLineWord32(out, i, w);
+    }
+    return !in.overrun();
+}
+
+} // namespace compresso

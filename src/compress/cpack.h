@@ -1,0 +1,41 @@
+/**
+ * @file
+ * C-PACK cache compression (Chen et al., IEEE TVLSI 2010) for 64 B
+ * lines.
+ *
+ * Words are matched against a 16-entry FIFO dictionary of recent
+ * words. Per-word codes:
+ *
+ *   00                        zzzz: all-zero word
+ *   01   + 4 (index)          mmmm: full dictionary match
+ *   10   + 32                 xxxx: uncompressed word
+ *   1100 + 8                  zzzx: only the low byte is nonzero
+ *   1101 + 4 + 16             mmxx: upper halfword matches entry
+ *   1110 + 4 + 8              mmmx: upper 3 bytes match entry
+ *
+ * Every word that is not all-zero and not a full match is pushed into
+ * the dictionary (FIFO replacement), matching the published design.
+ */
+
+#ifndef COMPRESSO_COMPRESS_CPACK_H
+#define COMPRESSO_COMPRESS_CPACK_H
+
+#include "compress/compressor.h"
+
+namespace compresso {
+
+class CpackCompressor : public Compressor
+{
+  public:
+    std::string name() const override { return "cpack"; }
+
+    size_t compress(const Line &line, BitWriter &out) const override;
+    bool decompress(BitReader &in, Line &out) const override;
+
+  private:
+    static constexpr unsigned kDictEntries = 16;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMPRESS_CPACK_H

@@ -1,0 +1,35 @@
+#include "compress/factory.h"
+
+#include "compress/bdi.h"
+#include "compress/bpc.h"
+#include "compress/cpack.h"
+#include "compress/fpc.h"
+#include "compress/lz.h"
+
+namespace compresso {
+
+std::unique_ptr<Compressor>
+makeCompressor(const std::string &name)
+{
+    if (name == "bpc")
+        return std::make_unique<BpcCompressor>(true);
+    if (name == "bpc-xform")
+        return std::make_unique<BpcCompressor>(false);
+    if (name == "bdi")
+        return std::make_unique<BdiCompressor>();
+    if (name == "fpc")
+        return std::make_unique<FpcCompressor>();
+    if (name == "cpack")
+        return std::make_unique<CpackCompressor>();
+    if (name == "lz")
+        return std::make_unique<LzCompressor>();
+    return nullptr;
+}
+
+std::vector<std::string>
+compressorNames()
+{
+    return {"bpc", "bpc-xform", "bdi", "fpc", "cpack", "lz"};
+}
+
+} // namespace compresso

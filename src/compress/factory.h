@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Registry/factory for the line compressors.
+ */
+
+#ifndef COMPRESSO_COMPRESS_FACTORY_H
+#define COMPRESSO_COMPRESS_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+
+namespace compresso {
+
+/**
+ * Construct a compressor by name: "bpc" (adaptive, Compresso's
+ * configuration), "bpc-xform" (always-transform baseline BPC), "bdi",
+ * "fpc", "cpack", "lz".
+ * @return nullptr for unknown names.
+ */
+std::unique_ptr<Compressor> makeCompressor(const std::string &name);
+
+/** Names accepted by makeCompressor(). */
+std::vector<std::string> compressorNames();
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMPRESS_FACTORY_H

@@ -1,0 +1,120 @@
+#include "compress/fpc.h"
+
+namespace compresso {
+
+namespace {
+
+bool
+fitsSigned32(int32_t v, unsigned bits)
+{
+    int32_t lo = -(int32_t(1) << (bits - 1));
+    int32_t hi = (int32_t(1) << (bits - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+} // namespace
+
+size_t
+FpcCompressor::compress(const Line &line, BitWriter &out) const
+{
+    size_t start = out.bitSize();
+    size_t i = 0;
+    while (i < 16) {
+        uint32_t w = lineWord32(line, i);
+        if (w == 0) {
+            // Zero run, up to 8 words.
+            unsigned run = 1;
+            while (i + run < 16 && run < 8 && lineWord32(line, i + run) == 0)
+                ++run;
+            out.put(0b000, 3);
+            out.put(run - 1, 3);
+            i += run;
+            continue;
+        }
+        int32_t s = int32_t(w);
+        uint16_t lo16 = uint16_t(w);
+        uint16_t hi16 = uint16_t(w >> 16);
+        if (fitsSigned32(s, 4)) {
+            out.put(0b001, 3);
+            out.put(w & 0xf, 4);
+        } else if (fitsSigned32(s, 8)) {
+            out.put(0b010, 3);
+            out.put(w & 0xff, 8);
+        } else if (fitsSigned32(s, 16)) {
+            out.put(0b011, 3);
+            out.put(w & 0xffff, 16);
+        } else if (lo16 == 0) {
+            // Halfword padded with zeros (value in upper half).
+            out.put(0b100, 3);
+            out.put(hi16, 16);
+        } else if (fitsSigned32(int16_t(lo16), 8) &&
+                   fitsSigned32(int16_t(hi16), 8)) {
+            out.put(0b101, 3);
+            out.put(hi16 & 0xff, 8);
+            out.put(lo16 & 0xff, 8);
+        } else if (((w & 0xff) * 0x01010101u) == w) {
+            out.put(0b110, 3);
+            out.put(w & 0xff, 8);
+        } else {
+            out.put(0b111, 3);
+            out.put(w, 32);
+        }
+        ++i;
+    }
+    return out.bitSize() - start;
+}
+
+bool
+FpcCompressor::decompress(BitReader &in, Line &out) const
+{
+    size_t i = 0;
+    while (i < 16) {
+        unsigned prefix = unsigned(in.get(3));
+        if (in.overrun())
+            return false;
+        switch (prefix) {
+          case 0b000: {
+            unsigned run = unsigned(in.get(3)) + 1;
+            if (i + run > 16)
+                return false;
+            for (unsigned j = 0; j < run; ++j)
+                setLineWord32(out, i + j, 0);
+            i += run;
+            continue;
+          }
+          case 0b001:
+            setLineWord32(out, i,
+                          uint32_t(int32_t(in.get(4) << 28) >> 28));
+            break;
+          case 0b010:
+            setLineWord32(out, i,
+                          uint32_t(int32_t(in.get(8) << 24) >> 24));
+            break;
+          case 0b011:
+            setLineWord32(out, i,
+                          uint32_t(int32_t(in.get(16) << 16) >> 16));
+            break;
+          case 0b100:
+            setLineWord32(out, i, uint32_t(in.get(16)) << 16);
+            break;
+          case 0b101: {
+            uint32_t hi = uint32_t(int32_t(in.get(8) << 24) >> 24) & 0xffff;
+            uint32_t lo = uint32_t(int32_t(in.get(8) << 24) >> 24) & 0xffff;
+            setLineWord32(out, i, (hi << 16) | lo);
+            break;
+          }
+          case 0b110: {
+            uint32_t b = uint32_t(in.get(8));
+            setLineWord32(out, i, b * 0x01010101u);
+            break;
+          }
+          default:
+            setLineWord32(out, i, uint32_t(in.get(32)));
+            break;
+        }
+        ++i;
+    }
+    return !in.overrun();
+}
+
+} // namespace compresso

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Frequent Pattern Compression (Alameldeen & Wood, UW-Madison TR-1500,
+ * 2004) for 64 B lines.
+ *
+ * Each 32-bit word is encoded with a 3-bit prefix:
+ *
+ *   000  run of all-zero words (3-bit run length, 1..8)
+ *   001  4-bit sign-extended
+ *   010  8-bit sign-extended
+ *   011  16-bit sign-extended
+ *   100  16-bit value padded with zeros (upper halfword zero... lower
+ *        halfword zero, value in upper halfword)
+ *   101  two halfwords, each an 8-bit sign-extended value
+ *   110  word with all four bytes equal
+ *   111  uncompressed word
+ */
+
+#ifndef COMPRESSO_COMPRESS_FPC_H
+#define COMPRESSO_COMPRESS_FPC_H
+
+#include "compress/compressor.h"
+
+namespace compresso {
+
+class FpcCompressor : public Compressor
+{
+  public:
+    std::string name() const override { return "fpc"; }
+
+    size_t compress(const Line &line, BitWriter &out) const override;
+    bool decompress(BitReader &in, Line &out) const override;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMPRESS_FPC_H

@@ -1,0 +1,116 @@
+#include "compress/lz.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+namespace {
+
+constexpr unsigned kMinMatch = 3;
+constexpr unsigned kMaxMatch = 34;   // 5-bit length field: 3 + 31
+constexpr unsigned kMaxLiteral = 8;  // 3-bit length field: 1 + 7
+
+/** Longest match for position @p pos looking back into the line.
+ *  @param ops accumulates byte comparisons (energy proxy). */
+unsigned
+longestMatch(const Line &line, size_t pos, unsigned &dist, size_t *ops)
+{
+    unsigned best = 0;
+    dist = 0;
+    for (size_t start = pos > 63 ? pos - 63 : 0; start < pos; ++start) {
+        unsigned len = 0;
+        // Matches may overlap the current position (classic LZ77 run
+        // encoding), so compare against the sliding source.
+        while (pos + len < kLineBytes && len < kMaxMatch &&
+               line[start + len] == line[pos + len]) {
+            ++len;
+            if (ops)
+                ++*ops;
+        }
+        if (ops)
+            ++*ops; // the failing comparison
+        if (len > best) {
+            best = len;
+            dist = unsigned(pos - start);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+size_t
+LzCompressor::compress(const Line &line, BitWriter &out) const
+{
+    size_t start_bits = out.bitSize();
+    size_t pos = 0;
+    size_t lit_start = 0;
+
+    auto flushLiterals = [&](size_t end) {
+        while (lit_start < end) {
+            size_t n = std::min<size_t>(kMaxLiteral, end - lit_start);
+            out.put(0, 1);
+            out.put(uint64_t(n - 1), 3);
+            for (size_t i = 0; i < n; ++i)
+                out.put(line[lit_start + i], 8);
+            lit_start += n;
+        }
+    };
+
+    while (pos < kLineBytes) {
+        unsigned dist = 0;
+        unsigned len = longestMatch(line, pos, dist, nullptr);
+        if (len >= kMinMatch) {
+            flushLiterals(pos);
+            out.put(1, 1);
+            out.put(dist, 6);
+            out.put(len - kMinMatch, 5);
+            pos += len;
+            lit_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+    flushLiterals(kLineBytes);
+    return out.bitSize() - start_bits;
+}
+
+bool
+LzCompressor::decompress(BitReader &in, Line &out) const
+{
+    size_t pos = 0;
+    while (pos < kLineBytes) {
+        if (in.get(1)) {
+            unsigned dist = unsigned(in.get(6));
+            unsigned len = unsigned(in.get(5)) + kMinMatch;
+            if (dist == 0 || dist > pos || pos + len > kLineBytes)
+                return false;
+            for (unsigned i = 0; i < len; ++i, ++pos)
+                out[pos] = out[pos - dist];
+        } else {
+            unsigned n = unsigned(in.get(3)) + 1;
+            if (pos + n > kLineBytes)
+                return false;
+            for (unsigned i = 0; i < n; ++i, ++pos)
+                out[pos] = uint8_t(in.get(8));
+        }
+        if (in.overrun())
+            return false;
+    }
+    return !in.overrun();
+}
+
+size_t
+LzCompressor::matchSearchOps(const Line &line) const
+{
+    size_t ops = 0;
+    size_t pos = 0;
+    while (pos < kLineBytes) {
+        unsigned dist = 0;
+        unsigned len = longestMatch(line, pos, dist, &ops);
+        pos += len >= kMinMatch ? len : 1;
+    }
+    return ops;
+}
+
+} // namespace compresso

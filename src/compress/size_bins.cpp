@@ -1,0 +1,55 @@
+#include "compress/size_bins.h"
+
+#include <cassert>
+
+namespace compresso {
+
+SizeBins::SizeBins(std::string name, std::vector<uint16_t> sizes)
+    : name_(std::move(name)), sizes_(std::move(sizes))
+{
+    assert(!sizes_.empty());
+    assert(sizes_.front() == 0);
+    assert(sizes_.back() == kLineBytes);
+    for (size_t i = 1; i < sizes_.size(); ++i)
+        assert(sizes_[i] > sizes_[i - 1]);
+
+    code_bits_ = 1;
+    while ((size_t(1) << code_bits_) < sizes_.size())
+        ++code_bits_;
+}
+
+unsigned
+SizeBins::binFor(size_t bytes, bool is_zero) const
+{
+    if (is_zero)
+        return 0;
+    // Bin 0 is reserved for zero lines; non-zero data needs >= bin 1.
+    for (unsigned i = 1; i < sizes_.size(); ++i) {
+        if (bytes <= sizes_[i])
+            return i;
+    }
+    return unsigned(sizes_.size() - 1);
+}
+
+const SizeBins &
+compressoBins()
+{
+    static const SizeBins bins("compresso", {0, 8, 32, 64});
+    return bins;
+}
+
+const SizeBins &
+legacyBins()
+{
+    static const SizeBins bins("legacy", {0, 22, 44, 64});
+    return bins;
+}
+
+const SizeBins &
+eightBins()
+{
+    static const SizeBins bins("eight", {0, 8, 16, 24, 32, 40, 52, 64});
+    return bins;
+}
+
+} // namespace compresso

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Compressed cache-line size bins.
+ *
+ * Compressed systems quantize line sizes to a small set of bins so the
+ * per-line metadata is a 2- or 3-bit code (Sec. II-C). The choice of
+ * bin values is one of the paper's key trade-offs:
+ *
+ *  - 0/22/44/64 B ("legacy"): optimizes compression ratio alone (as in
+ *    LCP/RMC), but 30.9% of lines end up straddling 64 B device-access
+ *    boundaries.
+ *  - 0/8/32/64 B (Compresso, "alignment-friendly"): costs only 0.25%
+ *    compression while reducing split-access lines to 3.2%
+ *    (Sec. IV-B1).
+ *  - an 8-bin variant for the Sec. IV-A1 ablation (higher ratio, more
+ *    overflows, 3-bit codes).
+ */
+
+#ifndef COMPRESSO_COMPRESS_SIZE_BINS_H
+#define COMPRESSO_COMPRESS_SIZE_BINS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace compresso {
+
+class SizeBins
+{
+  public:
+    /** @param sizes ascending bin sizes in bytes; sizes.front() must be
+     *  0 (zero line) and sizes.back() must be 64 (uncompressed). */
+    SizeBins(std::string name, std::vector<uint16_t> sizes);
+
+    const std::string &name() const { return name_; }
+
+    /** Number of bins. */
+    size_t count() const { return sizes_.size(); }
+
+    /** Bits of metadata needed per line code. */
+    unsigned codeBits() const { return code_bits_; }
+
+    /** Size in bytes of bin @p idx. */
+    uint16_t binSize(unsigned idx) const { return sizes_[idx]; }
+
+    /**
+     * Bin index for a line whose compressed payload is @p bytes
+     * (@p is_zero selects bin 0, which stores nothing). Never fails:
+     * anything larger than the second-to-last bin maps to 64 B
+     * uncompressed.
+     */
+    unsigned binFor(size_t bytes, bool is_zero) const;
+
+    /** Convenience: quantized size in bytes. */
+    uint16_t
+    quantize(size_t bytes, bool is_zero) const
+    {
+        return sizes_[binFor(bytes, is_zero)];
+    }
+
+  private:
+    std::string name_;
+    std::vector<uint16_t> sizes_;
+    unsigned code_bits_;
+};
+
+/** Compresso's alignment-friendly bins: 0/8/32/64 B. */
+const SizeBins &compressoBins();
+/** Compression-ratio-optimal legacy bins: 0/22/44/64 B (LCP, RMC). */
+const SizeBins &legacyBins();
+/** Eight-bin variant for the Sec. IV-A1 ablation. */
+const SizeBins &eightBins();
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMPRESS_SIZE_BINS_H

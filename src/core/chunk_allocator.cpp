@@ -1,0 +1,56 @@
+#include "core/chunk_allocator.h"
+
+#include <cassert>
+
+namespace compresso {
+
+ChunkAllocator::ChunkAllocator(uint64_t capacity_bytes)
+    : total_(capacity_bytes / kChunkBytes)
+{
+}
+
+ChunkNum
+ChunkAllocator::allocate()
+{
+    if (used_ >= total_)
+        return kNoChunk;
+    ChunkNum c;
+    if (!free_list_.empty()) {
+        c = free_list_.back();
+        free_list_.pop_back();
+    } else {
+        c = next_fresh_++;
+    }
+    ++used_;
+    store_[c].fill(0);
+    return c;
+}
+
+void
+ChunkAllocator::release(ChunkNum chunk)
+{
+    assert(used_ > 0);
+    auto it = store_.find(chunk);
+    assert(it != store_.end());
+    store_.erase(it);
+    free_list_.push_back(chunk);
+    --used_;
+}
+
+std::array<uint8_t, kChunkBytes> &
+ChunkAllocator::data(ChunkNum chunk)
+{
+    auto it = store_.find(chunk);
+    assert(it != store_.end());
+    return it->second;
+}
+
+const std::array<uint8_t, kChunkBytes> &
+ChunkAllocator::data(ChunkNum chunk) const
+{
+    auto it = store_.find(chunk);
+    assert(it != store_.end());
+    return it->second;
+}
+
+} // namespace compresso

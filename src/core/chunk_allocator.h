@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Allocator for 512 B machine-memory chunks (Sec. II-D).
+ *
+ * Compresso allocates MPA space to compressed pages incrementally in
+ * fixed 512 B chunks (up to 8 per page, tracked by the metadata
+ * MPFNs). Fixed-size chunks are trivial to manage — a free list — and
+ * growing a page never relocates existing data, unlike variable-sized
+ * chunk allocation.
+ *
+ * The allocator also backs the functional store: each live chunk owns a
+ * real 512-byte buffer.
+ */
+
+#ifndef COMPRESSO_CORE_CHUNK_ALLOCATOR_H
+#define COMPRESSO_CORE_CHUNK_ALLOCATOR_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace compresso {
+
+class ChunkAllocator
+{
+  public:
+    /** @param capacity_bytes installed machine memory backing data
+     *  chunks. */
+    explicit ChunkAllocator(uint64_t capacity_bytes);
+
+    /** Allocate one chunk; returns kNoChunk if memory is exhausted. */
+    ChunkNum allocate();
+
+    /** Return a chunk to the free list and drop its contents. */
+    void release(ChunkNum chunk);
+
+    /** Backing bytes of a live chunk. */
+    std::array<uint8_t, kChunkBytes> &data(ChunkNum chunk);
+    const std::array<uint8_t, kChunkBytes> &data(ChunkNum chunk) const;
+
+    uint64_t totalChunks() const { return total_; }
+    uint64_t usedChunks() const { return used_; }
+    uint64_t freeChunks() const { return total_ - used_; }
+    uint64_t usedBytes() const { return used_ * kChunkBytes; }
+
+  private:
+    uint64_t total_;
+    uint64_t used_ = 0;
+    uint64_t next_fresh_ = 0; ///< never-allocated frontier
+    std::vector<ChunkNum> free_list_;
+    std::unordered_map<ChunkNum, std::array<uint8_t, kChunkBytes>> store_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_CHUNK_ALLOCATOR_H

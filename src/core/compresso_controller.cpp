@@ -1,0 +1,948 @@
+#include "core/compresso_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace compresso {
+
+namespace {
+
+/** Base MPA address of the dedicated metadata region (disjoint from
+ *  data chunks, which grow up from 0). */
+constexpr Addr kMetadataRegionBase = Addr(1) << 40;
+
+} // namespace
+
+CompressoController::CompressoController(const CompressoConfig &cfg)
+    : cfg_(cfg),
+      bins_(cfg.line_bins ? cfg.line_bins
+                          : (cfg.alignment_friendly ? &compressoBins()
+                                                    : &legacyBins())),
+      codec_(makeCompressor(cfg.compressor)),
+      chunks_(cfg.installed_bytes),
+      mdcache_(cfg.mdcache),
+      offsets_(*bins_)
+{
+    assert(codec_ && "unknown compressor name");
+    mdcache_.setEvictHook(
+        [this](PageNum page, bool dirty) { onMetaEvict(page, dirty); });
+}
+
+// ---------------------------------------------------------------------
+// Metadata helpers
+// ---------------------------------------------------------------------
+
+MetadataEntry &
+CompressoController::meta(PageNum page)
+{
+    return meta_[page];
+}
+
+CompressoController::PageShadow &
+CompressoController::shadow(PageNum page)
+{
+    return shadow_[page];
+}
+
+const MetadataEntry &
+CompressoController::pageMeta(PageNum page)
+{
+    return meta(page);
+}
+
+Addr
+CompressoController::metadataAddr(PageNum page) const
+{
+    return kMetadataRegionBase + page * kMetadataEntryBytes;
+}
+
+void
+CompressoController::mdAccess(PageNum page, bool dirty, McTrace &trace)
+{
+    const MetadataEntry &m = meta_[page];
+    bool hit = mdcache_.access(page, m.halfCacheable(), dirty);
+    trace.metadata_hit = hit;
+    trace.fixed_latency += cfg_.mdcache_hit_latency;
+    if (!hit) {
+        // Fetch the entry from the metadata region (critical).
+        trace.add(metadataAddr(page), false, true);
+        ++stats_["md_read_ops"];
+    }
+}
+
+void
+CompressoController::onMetaEvict(PageNum page, bool dirty)
+{
+    if (dirty && cur_trace_) {
+        cur_trace_->add(metadataAddr(page), true, false);
+        ++stats_["md_write_ops"];
+    }
+    if (!cfg_.repack_on_evict || !cur_trace_)
+        return;
+
+    auto mit = meta_.find(page);
+    if (mit == meta_.end())
+        return;
+    MetadataEntry &m = mit->second;
+    if (!m.valid || m.zero)
+        return;
+    // Repack only if at least one 512 B chunk is recoverable
+    // (Sec. IV-B4).
+    if (m.free_space >= kChunkBytes)
+        repackPage(page, *cur_trace_);
+}
+
+// ---------------------------------------------------------------------
+// Layout helpers
+// ---------------------------------------------------------------------
+
+uint32_t
+CompressoController::packBytes(const MetadataEntry &m) const
+{
+    uint32_t sum = 0;
+    for (uint8_t c : m.line_code)
+        sum += bins_->binSize(c);
+    return sum;
+}
+
+uint32_t
+CompressoController::irBase(const MetadataEntry &m) const
+{
+    // The inflation room starts at the next 64 B boundary past the
+    // packed lines so inflated lines are always single-access.
+    return uint32_t(roundUp(packBytes(m), kLineBytes));
+}
+
+int
+CompressoController::inflateSlot(const MetadataEntry &m, LineIdx idx) const
+{
+    for (unsigned s = 0; s < m.inflate_count; ++s)
+        if (m.inflate_line[s] == idx)
+            return int(s);
+    return -1;
+}
+
+// ---------------------------------------------------------------------
+// Functional store
+// ---------------------------------------------------------------------
+
+Addr
+CompressoController::mpaOf(const MetadataEntry &m, uint32_t off) const
+{
+    unsigned ci = off / kChunkBytes;
+    assert(ci < m.chunks);
+    // Scatter chunks across the physical space (bijective odd-multiplier
+    // hash mod 2^26): free-list allocation does not hand out DRAM-row-
+    // adjacent chunks in a long-running system, and modeling it as if
+    // it did would overstate compressed row-buffer locality.
+    Addr scattered = ((Addr(m.mpfn[ci]) >> 3) * 0x9e3779b1ULL * 8 + (Addr(m.mpfn[ci]) & 7)) &
+        ((1u << 26) - 1);
+    return scattered * kChunkBytes + off % kChunkBytes;
+}
+
+void
+CompressoController::storeBytes(const MetadataEntry &m, uint32_t off,
+                                const uint8_t *src, size_t len)
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        assert(ci < m.chunks && m.mpfn[ci] != kNoChunk);
+        std::copy(src, src + n, chunks_.data(m.mpfn[ci]).begin() + co);
+        src += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+void
+CompressoController::loadBytes(const MetadataEntry &m, uint32_t off,
+                               uint8_t *dst, size_t len) const
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        assert(ci < m.chunks && m.mpfn[ci] != kNoChunk);
+        const auto &chunk = chunks_.data(m.mpfn[ci]);
+        std::copy(chunk.begin() + co, chunk.begin() + co + n, dst);
+        dst += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+unsigned
+CompressoController::deviceOps(const MetadataEntry &m, uint32_t off,
+                               size_t len, bool write, bool critical,
+                               McTrace &trace)
+{
+    if (len == 0)
+        return 0;
+    unsigned first = off / kLineBytes;
+    unsigned last = unsigned((off + len - 1) / kLineBytes);
+    unsigned issued = 0;
+    for (unsigned b = first; b <= last; ++b) {
+        Addr block = mpaOf(m, b * uint32_t(kLineBytes));
+        if (write) {
+            streamBufferInvalidate(block);
+            trace.add(block, true, critical);
+            ++stats_["data_write_ops"];
+            ++issued;
+        } else {
+            if (critical && cfg_.stream_buffer && streamBufferHit(block)) {
+                ++stats_["prefetch_hits"];
+                continue;
+            }
+            trace.add(block, false, critical);
+            ++stats_["data_read_ops"];
+            if (critical && cfg_.stream_buffer)
+                streamBufferInsert(block);
+            ++issued;
+        }
+    }
+    return last - first + 1;
+}
+
+bool
+CompressoController::resizeAlloc(MetadataEntry &m, unsigned target)
+{
+    assert(target <= kChunksPerPage);
+    while (m.chunks < target) {
+        ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk) {
+            ++stats_["machine_oom"];
+            return false;
+        }
+        m.mpfn[m.chunks++] = uint32_t(c);
+    }
+    while (m.chunks > target) {
+        --m.chunks;
+        chunks_.release(m.mpfn[m.chunks]);
+        m.mpfn[m.chunks] = kNoChunk;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Compression helpers
+// ---------------------------------------------------------------------
+
+CompressoController::Encoded
+CompressoController::encodeLine(const Line &data) const
+{
+    Encoded enc;
+    enc.zero = isZeroLine(data);
+    BitWriter w;
+    codec_->compress(data, w);
+    enc.bytes = w.bytes();
+    enc.bin = bins_->binFor(enc.bytes.size(), enc.zero);
+    return enc;
+}
+
+void
+CompressoController::decodeSlot(const MetadataEntry &m, uint32_t off,
+                                unsigned bin, Line &out) const
+{
+    uint16_t sz = bins_->binSize(bin);
+    if (sz == kLineBytes) {
+        // Top-bin slots always store the line raw.
+        loadBytes(m, off, out.data(), kLineBytes);
+        return;
+    }
+    uint8_t buf[kLineBytes];
+    loadBytes(m, off, buf, sz);
+    BitReader r(buf, size_t(sz) * 8);
+    bool ok = codec_->decompress(r, out);
+    assert(ok && "corrupt compressed slot");
+    (void)ok;
+}
+
+// ---------------------------------------------------------------------
+// Page lifecycle
+// ---------------------------------------------------------------------
+
+void
+CompressoController::firstTouch(PageNum page, MetadataEntry &m)
+{
+    (void)page;
+    m.valid = true;
+    m.zero = true; // OSPA pages start as copy-on-write zero pages
+    m.compressed = false;
+    m.chunks = 0;
+    m.inflate_count = 0;
+    m.free_space = 0;
+    m.line_code.fill(0);
+    ++stats_["pages_touched"];
+}
+
+void
+CompressoController::materializeZeroPage(MetadataEntry &m, PageShadow &sh)
+{
+    m.zero = false;
+    m.compressed = true;
+    m.line_code.fill(0);
+    sh.actual_bin.fill(0);
+}
+
+void
+CompressoController::writeToSlot(MetadataEntry &m, LineIdx idx,
+                                 const Encoded &enc, McTrace &trace)
+{
+    // Caller guarantees enc fits the slot (enc.bin <= code).
+    unsigned code = m.line_code[idx];
+    uint32_t off = offsets_.offset(m.line_code, idx);
+    size_t len = std::max<size_t>(enc.bytes.size(), 1);
+    unsigned blocks = deviceOps(m, off, len, true, false, trace);
+    if (blocks > 1) {
+        ++stats_["split_wb_lines"];
+        stats_["split_extra_ops"] += blocks - 1;
+    }
+    if (bins_->binSize(code) == kLineBytes) {
+        // Raw-slot convention: reconstruct raw bytes from the encoding.
+        // (The caller passes raw data through handleLineOverflow /
+        // writebackLine paths; here we only have enc, so decode it.)
+        Line raw;
+        BitReader r(enc.bytes.data(), enc.bytes.size() * 8);
+        bool ok = codec_->decompress(r, raw);
+        assert(ok);
+        (void)ok;
+        storeBytes(m, off, raw.data(), kLineBytes);
+    } else {
+        storeBytes(m, off, enc.bytes.data(), enc.bytes.size());
+    }
+}
+
+void
+CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
+                                        LineIdx idx, const Line &raw,
+                                        const Encoded &enc, McTrace &trace)
+{
+    // Free growth: if nothing is stored after this slot (typical for
+    // in-order first writes filling a fresh page), growing the slot
+    // moves no data — only the metadata code changes and the page may
+    // gain a chunk. This is not the data-movement overflow the
+    // predictor hunts for.
+    bool tail_empty = m.inflate_count == 0;
+    if (tail_empty) {
+        for (LineIdx i = idx + 1; i < kLinesPerPage && tail_empty; ++i)
+            tail_empty = m.line_code[i] == 0;
+    }
+    if (tail_empty) {
+        ++stats_["free_slot_growths"];
+        uint32_t old_alloc = allocBytes(m);
+        m.line_code[idx] = uint8_t(enc.bin);
+        uint32_t new_used = uint32_t(roundUp(packBytes(m), kLineBytes));
+        uint32_t new_alloc = pageBinBytes(new_used, cfg_.page_sizing);
+        if (new_alloc > old_alloc) {
+            // Growing to admit a first write is not overflow pressure:
+            // nothing moved (chunked) and no data shrank. Keep it out
+            // of the predictor's page-overflow signal.
+            ++stats_["free_page_grows"];
+            if (cfg_.page_sizing == PageSizing::kVariable4 &&
+                old_alloc > 0) {
+                // Variable-size chunks: growth relocates the page.
+                uint32_t moved = offsets_.offset(m.line_code, idx);
+                unsigned blocks =
+                    unsigned((moved + kLineBytes - 1) / kLineBytes);
+                stats_["overflow_move_ops"] += 2ull * blocks;
+                deviceOps(m, 0, moved, false, false, trace);
+            }
+            if (!resizeAlloc(m, unsigned((new_alloc + kChunkBytes - 1) /
+                                         kChunkBytes))) {
+                m.line_code[idx] = 0; // OOM: drop the write
+                return;
+            }
+            if (cfg_.page_sizing == PageSizing::kVariable4) {
+                uint32_t moved = offsets_.offset(m.line_code, idx);
+                deviceOps(m, 0, moved, true, false, trace);
+            }
+        }
+        writeToSlot(m, idx, enc, trace);
+        return;
+    }
+
+    ++stats_["line_overflows"];
+    uint8_t *counter = mdcache_.predictorCounter(page);
+    predictor_.onLineOverflow(counter);
+
+    // Sec. III: place the inflated line, uncompressed, in the
+    // inflation room, if the current allocation has room for it.
+    if (cfg_.inflation_room && m.inflate_count < kMaxInflatedLines) {
+        uint32_t base = irBase(m);
+        uint32_t need = base + uint32_t(m.inflate_count + 1) *
+                                   uint32_t(kLineBytes);
+        if (need <= allocBytes(m)) {
+            uint32_t off = base +
+                uint32_t(m.inflate_count) * uint32_t(kLineBytes);
+            m.inflate_line[m.inflate_count++] = uint8_t(idx);
+            deviceOps(m, off, kLineBytes, true, false, trace);
+            storeBytes(m, off, raw.data(), kLineBytes);
+            ++stats_["ir_placements"];
+            return;
+        }
+    }
+
+    // The page must grow. Sec. IV-B2: if this page is receiving
+    // streaming incompressible data while the system is experiencing
+    // page overflows, skip the incremental size bins and speculatively
+    // inflate straight to uncompressed 4 KB.
+    if (cfg_.overflow_prediction && predictor_.predictInflate(counter)) {
+        ++stats_["predictor_inflations"];
+        inflateToUncompressed(page, m, trace);
+        shadow(page).predictor_inflated = true;
+        uint32_t off = idx * uint32_t(kLineBytes);
+        deviceOps(m, off, kLineBytes, true, false, trace);
+        storeBytes(m, off, raw.data(), kLineBytes);
+        return;
+    }
+
+    // Sec. IV-B3: expand the inflation room by one chunk instead of
+    // recompressing the page (Fig. 5c, Option 2).
+    if (cfg_.inflation_room && cfg_.dynamic_ir_expansion &&
+        cfg_.page_sizing == PageSizing::kChunked512 &&
+        m.inflate_count < kMaxInflatedLines &&
+        m.chunks < kChunksPerPage && resizeAlloc(m, m.chunks + 1)) {
+        ++stats_["dyn_ir_expansions"];
+        // The page did outgrow its allocation; the expansion just made
+        // the overflow cheap (1 write, no moves).
+        ++stats_["page_overflows"];
+        predictor_.onPageOverflow();
+        uint32_t base = irBase(m);
+        uint32_t off =
+            base + uint32_t(m.inflate_count) * uint32_t(kLineBytes);
+        m.inflate_line[m.inflate_count++] = uint8_t(idx);
+        deviceOps(m, off, kLineBytes, true, false, trace);
+        storeBytes(m, off, raw.data(), kLineBytes);
+        ++stats_["ir_placements"];
+        return;
+    }
+
+    // Fall back to growing the slot in place, moving the lines
+    // underneath (Fig. 1c / Fig. 5c Option 1).
+    growSlotInPlace(page, m, idx, enc, trace);
+}
+
+void
+CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
+                                     LineIdx idx, const Encoded &enc,
+                                     McTrace &trace)
+{
+    ++stats_["slot_growths"];
+
+    // Gather every stored line (functional rebuild).
+    std::array<Line, kLinesPerPage> buf;
+    std::array<bool, kLinesPerPage> present{};
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        int s = inflateSlot(m, i);
+        if (s >= 0) {
+            loadBytes(m, irBase(m) + uint32_t(s) * uint32_t(kLineBytes),
+                      buf[i].data(), kLineBytes);
+            present[i] = true;
+        } else if (m.line_code[i] != 0) {
+            decodeSlot(m, offsets_.offset(m.line_code, i), m.line_code[i],
+                       buf[i]);
+            present[i] = true;
+        }
+    }
+
+    uint32_t old_used = irBase(m) +
+        uint32_t(m.inflate_count) * uint32_t(kLineBytes);
+
+    // New slot codes: keep existing slots (no underflow harvesting on
+    // this path — that is the repacking optimization), but inflated
+    // lines must get real slots, sized for their current data.
+    std::array<uint8_t, kLinesPerPage> codes = m.line_code;
+    PageShadow &sh = shadow(page);
+    for (unsigned s = 0; s < m.inflate_count; ++s) {
+        LineIdx li = m.inflate_line[s];
+        codes[li] = std::max(codes[li], sh.actual_bin[li]);
+    }
+    codes[idx] = uint8_t(enc.bin);
+
+    uint32_t new_pack = 0;
+    for (uint8_t c : codes)
+        new_pack += bins_->binSize(c);
+    uint32_t new_used = uint32_t(roundUp(new_pack, kLineBytes));
+    uint32_t new_alloc = pageBinBytes(new_used, cfg_.page_sizing);
+
+    bool page_grew = new_alloc > allocBytes(m);
+    if (page_grew) {
+        ++stats_["page_overflows"];
+        predictor_.onPageOverflow();
+    }
+
+    // Movement cost: everything from the grown slot onward is
+    // rewritten. A grown page moves entirely under variable-size
+    // chunks (relocation); folding an inflated line back into a slot
+    // can shift offsets before idx, so that also rewrites from 0.
+    uint32_t move_from = offsets_.offset(m.line_code, idx);
+    if ((cfg_.page_sizing == PageSizing::kVariable4 && page_grew) ||
+        m.inflate_count > 0) {
+        move_from = 0;
+    }
+    uint32_t moved = old_used > move_from ? old_used - move_from : 0;
+    unsigned move_blocks = unsigned((moved + kLineBytes - 1) / kLineBytes);
+    stats_["overflow_move_ops"] += 2ull * move_blocks;
+    // Enqueue bandwidth for the move (reads then writes, background).
+    if (m.chunks > 0) {
+        deviceOps(m, move_from, moved, false, false, trace);
+    }
+
+    if (!resizeAlloc(m, unsigned((new_alloc + kChunkBytes - 1) /
+                                 kChunkBytes))) {
+        return; // machine OOM: drop the resize, data unchanged
+    }
+
+    m.line_code = codes;
+    m.inflate_count = 0;
+
+    // Rewrite the moved region in the new layout.
+    buf[idx] = Line{}; // will be overwritten below from enc
+    {
+        BitReader r(enc.bytes.data(), enc.bytes.size() * 8);
+        bool ok = codec_->decompress(r, buf[idx]);
+        assert(ok);
+        (void)ok;
+        present[idx] = true;
+    }
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        if (!present[i] || m.line_code[i] == 0)
+            continue;
+        uint32_t off = offsets_.offset(m.line_code, i);
+        if (off + bins_->binSize(m.line_code[i]) <= move_from)
+            continue; // untouched prefix
+        if (bins_->binSize(m.line_code[i]) == kLineBytes) {
+            storeBytes(m, off, buf[i].data(), kLineBytes);
+        } else {
+            BitWriter w;
+            codec_->compress(buf[i], w);
+            storeBytes(m, off, w.bytes().data(), w.bytes().size());
+        }
+    }
+    uint32_t rewrite_end = uint32_t(roundUp(new_pack, kLineBytes));
+    if (rewrite_end > move_from)
+        deviceOps(m, move_from, rewrite_end - move_from, true, false,
+                  trace);
+}
+
+void
+CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
+                                           McTrace &trace)
+{
+    // Read out the whole compressed page, then store it raw in 8
+    // chunks. Future streaming writebacks become 1:1 accesses.
+    std::array<Line, kLinesPerPage> buf;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        int s = inflateSlot(m, i);
+        if (s >= 0) {
+            loadBytes(m, irBase(m) + uint32_t(s) * uint32_t(kLineBytes),
+                      buf[i].data(), kLineBytes);
+        } else if (m.line_code[i] != 0) {
+            decodeSlot(m, offsets_.offset(m.line_code, i), m.line_code[i],
+                       buf[i]);
+        } else {
+            buf[i].fill(0);
+        }
+    }
+    uint32_t old_used = m.compressed
+        ? irBase(m) + uint32_t(m.inflate_count) * uint32_t(kLineBytes)
+        : uint32_t(kPageBytes);
+    if (m.chunks > 0)
+        deviceOps(m, 0, old_used, false, false, trace);
+    stats_["overflow_move_ops"] +=
+        (old_used + kLineBytes - 1) / kLineBytes + kLinesPerPage;
+
+    if (!resizeAlloc(m, unsigned(kChunksPerPage)))
+        return;
+    m.compressed = false;
+    m.inflate_count = 0;
+    m.line_code.fill(uint8_t(bins_->count() - 1));
+    for (LineIdx i = 0; i < kLinesPerPage; ++i)
+        storeBytes(m, i * uint32_t(kLineBytes), buf[i].data(), kLineBytes);
+    deviceOps(m, 0, kPageBytes, true, false, trace);
+    mdcache_.reshape(pageOf(Addr(page) * kPageBytes), m.halfCacheable());
+}
+
+void
+CompressoController::repackPage(PageNum page, McTrace &trace)
+{
+    auto mit = meta_.find(page);
+    if (mit == meta_.end())
+        return;
+    MetadataEntry &m = mit->second;
+    if (!m.valid || m.zero || m.chunks == 0)
+        return;
+    PageShadow &sh = shadow(page);
+
+    // Gather current data.
+    std::array<Line, kLinesPerPage> buf;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        int s = inflateSlot(m, i);
+        if (!m.compressed) {
+            loadBytes(m, i * uint32_t(kLineBytes), buf[i].data(),
+                      kLineBytes);
+        } else if (s >= 0) {
+            loadBytes(m, irBase(m) + uint32_t(s) * uint32_t(kLineBytes),
+                      buf[i].data(), kLineBytes);
+        } else if (m.line_code[i] != 0) {
+            decodeSlot(m, offsets_.offset(m.line_code, i), m.line_code[i],
+                       buf[i]);
+        } else {
+            buf[i].fill(0);
+        }
+    }
+
+    uint32_t old_used = m.compressed
+        ? irBase(m) + uint32_t(m.inflate_count) * uint32_t(kLineBytes)
+        : uint32_t(kPageBytes);
+
+    // New layout straight from the actual compressibility.
+    uint32_t new_pack = 0;
+    bool all_zero = true;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        new_pack += bins_->binSize(sh.actual_bin[i]);
+        all_zero &= sh.actual_bin[i] == 0;
+    }
+
+    ++stats_["repacks"];
+    stats_["repack_read_ops"] += (old_used + kLineBytes - 1) / kLineBytes;
+    deviceOps(m, 0, old_used, false, false, trace);
+
+    if (all_zero) {
+        resizeAlloc(m, 0);
+        m.zero = true;
+        m.compressed = false;
+        m.inflate_count = 0;
+        m.free_space = 0;
+        m.line_code.fill(0);
+        predictor_.onPageShrink();
+        return;
+    }
+
+    uint32_t new_used = uint32_t(roundUp(new_pack, kLineBytes));
+    uint32_t new_alloc = pageBinBytes(new_used, cfg_.page_sizing);
+
+    if (new_alloc >= kPageBytes) {
+        // Compression saves nothing: store the page raw. Raw pages
+        // skip decompression on fills and only need the first half of
+        // their metadata entry (Sec. IV-B5).
+        resizeAlloc(m, unsigned(kChunksPerPage));
+        m.line_code.fill(uint8_t(bins_->count() - 1));
+        m.inflate_count = 0;
+        m.compressed = false;
+        m.free_space = 0;
+        sh.predictor_inflated = false;
+        for (LineIdx i = 0; i < kLinesPerPage; ++i)
+            storeBytes(m, i * uint32_t(kLineBytes), buf[i].data(),
+                       kLineBytes);
+        stats_["repack_write_ops"] += kLinesPerPage;
+        deviceOps(m, 0, kPageBytes, true, false, trace);
+        mdcache_.reshape(page, m.halfCacheable());
+        return;
+    }
+
+    resizeAlloc(m, unsigned((new_alloc + kChunkBytes - 1) / kChunkBytes));
+    m.line_code = sh.actual_bin;
+    m.inflate_count = 0;
+    m.compressed = true;
+    m.free_space = 0;
+    sh.predictor_inflated = false;
+
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        if (m.line_code[i] == 0)
+            continue;
+        uint32_t off = offsets_.offset(m.line_code, i);
+        if (bins_->binSize(m.line_code[i]) == kLineBytes) {
+            storeBytes(m, off, buf[i].data(), kLineBytes);
+        } else {
+            BitWriter w;
+            codec_->compress(buf[i], w);
+            assert(w.bytes().size() <= bins_->binSize(m.line_code[i]));
+            storeBytes(m, off, w.bytes().data(), w.bytes().size());
+        }
+    }
+    stats_["repack_write_ops"] += (new_used + kLineBytes - 1) / kLineBytes;
+    deviceOps(m, 0, new_used, true, false, trace);
+    predictor_.onPageShrink();
+}
+
+void
+CompressoController::updateFreeSpace(MetadataEntry &m, const PageShadow &sh)
+{
+    // A compressed page whose slots are all top-bin is laid out
+    // exactly like a raw page (offsets i*64, lines stored raw).
+    // Clearing the compressed bit costs nothing and lets the metadata
+    // cache keep only the first half of its entry (Sec. IV-B5).
+    if (m.compressed && m.inflate_count == 0) {
+        bool all_top = true;
+        for (uint8_t c : m.line_code)
+            all_top &= bins_->binSize(c) == kLineBytes;
+        if (all_top)
+            m.compressed = false;
+    }
+
+    uint32_t potential_pack = 0;
+    for (uint8_t b : sh.actual_bin)
+        potential_pack += bins_->binSize(b);
+    uint32_t potential_alloc =
+        pageBinBytes(uint32_t(roundUp(potential_pack, kLineBytes)),
+                     cfg_.page_sizing);
+    uint32_t alloc = allocBytes(m);
+    uint32_t free_b = alloc > potential_alloc ? alloc - potential_alloc : 0;
+    m.free_space = uint16_t(std::min<uint32_t>(free_b, 4095));
+}
+
+// ---------------------------------------------------------------------
+// Stream buffer (free prefetch, Sec. VII-A)
+// ---------------------------------------------------------------------
+
+bool
+CompressoController::streamBufferHit(Addr block) const
+{
+    return std::find(stream_buf_.begin(), stream_buf_.end(), block) !=
+           stream_buf_.end();
+}
+
+void
+CompressoController::streamBufferInsert(Addr block)
+{
+    stream_buf_.push_back(block);
+    while (stream_buf_.size() > cfg_.stream_buffer_blocks)
+        stream_buf_.pop_front();
+}
+
+void
+CompressoController::streamBufferInvalidate(Addr block)
+{
+    auto it = std::find(stream_buf_.begin(), stream_buf_.end(), block);
+    if (it != stream_buf_.end())
+        stream_buf_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------
+
+void
+CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
+{
+    PageNum page = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["fills"];
+
+    MetadataEntry &m = meta(page);
+    mdAccess(page, false, trace);
+
+    if (!m.valid || m.zero) {
+        data.fill(0);
+        ++stats_["zero_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    if (!m.compressed) {
+        uint32_t off = idx * uint32_t(kLineBytes);
+        deviceOps(m, off, kLineBytes, false, true, trace);
+        loadBytes(m, off, data.data(), kLineBytes);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    int slot = inflateSlot(m, idx);
+    if (slot >= 0) {
+        uint32_t off = irBase(m) + uint32_t(slot) * uint32_t(kLineBytes);
+        deviceOps(m, off, kLineBytes, false, true, trace);
+        loadBytes(m, off, data.data(), kLineBytes);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    unsigned code = m.line_code[idx];
+    if (code == 0) {
+        data.fill(0);
+        ++stats_["zero_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    trace.fixed_latency += offsets_.extraCycles();
+    uint32_t off = offsets_.offset(m.line_code, idx);
+    uint16_t sz = bins_->binSize(code);
+    unsigned blocks = deviceOps(m, off, sz, false, true, trace);
+    if (blocks > 1) {
+        ++stats_["split_fill_lines"];
+        stats_["split_extra_ops"] += blocks - 1;
+    }
+    decodeSlot(m, off, code, data);
+    if (sz != kLineBytes)
+        trace.fixed_latency += cfg_.compression_latency;
+
+    // Free prefetch: neighboring compressed lines that arrived whole
+    // within the fetched 64 B bursts (Sec. VII-A).
+    uint32_t blk_lo = (off / kLineBytes) * uint32_t(kLineBytes);
+    uint32_t blk_hi = uint32_t(roundUp(off + sz, kLineBytes));
+    uint32_t acc = 0;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        uint16_t li_sz = bins_->binSize(m.line_code[i]);
+        uint32_t lo = acc;
+        acc += li_sz;
+        if (i == idx || li_sz == 0 || inflateSlot(m, i) >= 0)
+            continue;
+        if (lo >= blk_lo && lo + li_sz <= blk_hi &&
+            trace.co_fetched.size() < 8) {
+            trace.co_fetched.push_back(pageOf(addr) * kPageBytes +
+                                       Addr(i) * kLineBytes);
+        }
+    }
+    stats_["co_fetched_lines"] += trace.co_fetched.size();
+    cur_trace_ = nullptr;
+}
+
+void
+CompressoController::writebackLine(Addr addr, const Line &data,
+                                   McTrace &trace)
+{
+    PageNum page = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["writebacks"];
+
+    MetadataEntry &m = meta(page);
+    mdAccess(page, true, trace);
+
+    Encoded enc = encodeLine(data);
+    PageShadow &sh = shadow(page);
+
+    if (!m.valid)
+        firstTouch(page, m);
+
+    if (m.zero) {
+        if (enc.zero) {
+            ++stats_["zero_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        // First real data in the page: give the line a right-sized
+        // slot directly (all other lines are zero, nothing moves).
+        materializeZeroPage(m, sh);
+        m.line_code[idx] = uint8_t(enc.bin);
+        uint32_t pack = uint32_t(roundUp(bins_->binSize(enc.bin),
+                                         kLineBytes));
+        uint32_t alloc = pageBinBytes(pack, cfg_.page_sizing);
+        resizeAlloc(m, unsigned((alloc + kChunkBytes - 1) / kChunkBytes));
+    }
+
+    trace.fixed_latency += cfg_.compression_latency;
+
+    if (!m.compressed) {
+        uint32_t off = idx * uint32_t(kLineBytes);
+        deviceOps(m, off, kLineBytes, true, false, trace);
+        storeBytes(m, off, data.data(), kLineBytes);
+        if (enc.bin < sh.actual_bin[idx]) {
+            ++stats_["line_underflows"];
+            predictor_.onLineUnderflow(mdcache_.predictorCounter(page));
+        }
+        sh.actual_bin[idx] = uint8_t(enc.bin);
+        updateFreeSpace(m, sh);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    int slot = inflateSlot(m, idx);
+    if (slot >= 0) {
+        uint32_t off = irBase(m) + uint32_t(slot) * uint32_t(kLineBytes);
+        deviceOps(m, off, kLineBytes, true, false, trace);
+        storeBytes(m, off, data.data(), kLineBytes);
+        if (enc.bin < sh.actual_bin[idx]) {
+            ++stats_["line_underflows"];
+            predictor_.onLineUnderflow(mdcache_.predictorCounter(page));
+        }
+        sh.actual_bin[idx] = uint8_t(enc.bin);
+        updateFreeSpace(m, sh);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    unsigned code = m.line_code[idx];
+    if (enc.bin <= code) {
+        if (enc.zero && code == 0) {
+            ++stats_["zero_wbs"];
+        } else {
+            writeToSlot(m, idx, enc, trace);
+        }
+        if (enc.bin < sh.actual_bin[idx]) {
+            ++stats_["line_underflows"];
+            predictor_.onLineUnderflow(mdcache_.predictorCounter(page));
+        }
+        sh.actual_bin[idx] = uint8_t(enc.bin);
+        updateFreeSpace(m, sh);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    handleLineOverflow(page, m, idx, data, enc, trace);
+    sh.actual_bin[idx] = uint8_t(enc.bin);
+    updateFreeSpace(m, sh);
+    cur_trace_ = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Accounting & maintenance
+// ---------------------------------------------------------------------
+
+uint64_t
+CompressoController::ospaBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &[page, m] : meta_)
+        n += m.valid ? kPageBytes : 0;
+    return n;
+}
+
+uint64_t
+CompressoController::mpaDataBytes() const
+{
+    return chunks_.usedBytes();
+}
+
+uint64_t
+CompressoController::mpaMetadataBytes() const
+{
+    uint64_t valid = 0;
+    for (const auto &[page, m] : meta_)
+        valid += m.valid ? 1 : 0;
+    return valid * kMetadataEntryBytes;
+}
+
+void
+CompressoController::freePage(PageNum page)
+{
+    auto mit = meta_.find(page);
+    if (mit == meta_.end() || !mit->second.valid)
+        return;
+    resizeAlloc(mit->second, 0);
+    mit->second = MetadataEntry{};
+    shadow_.erase(page);
+    mdcache_.invalidate(page);
+    ++stats_["pages_freed"];
+}
+
+void
+CompressoController::repackAll()
+{
+    McTrace scratch;
+    cur_trace_ = &scratch;
+    std::vector<PageNum> pages;
+    pages.reserve(meta_.size());
+    for (const auto &[page, m] : meta_)
+        if (m.valid && !m.zero && m.free_space >= kChunkBytes)
+            pages.push_back(page);
+    for (PageNum p : pages)
+        repackPage(p, scratch);
+    cur_trace_ = nullptr;
+}
+
+} // namespace compresso

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The Compresso memory controller (Secs. III-V): an OS-transparent
+ * compressed main memory living entirely in the memory controller.
+ *
+ * Functional model: lines written back from the LLC are compressed
+ * (BPC by default), quantized to size bins, and packed with LinePack
+ * into 512 B machine chunks; fills decompress the stored bytes. The
+ * per-page metadata entry, metadata cache, inflation room, overflow
+ * predictor, dynamic inflation-room expansion and
+ * repack-on-metadata-eviction are all implemented as described in the
+ * paper, each behind an independent config flag so the Fig. 4/6/7
+ * experiments toggle the real mechanisms.
+ *
+ * Timing model: every operation reports the 64 B device accesses it
+ * caused (demand-critical vs background) plus fixed latencies
+ * (metadata cache hit 2 cycles, offset adder 1 cycle, (de)compression
+ * 12 cycles — Tab. III).
+ */
+
+#ifndef COMPRESSO_CORE_COMPRESSO_CONTROLLER_H
+#define COMPRESSO_CORE_COMPRESSO_CONTROLLER_H
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "compress/factory.h"
+#include "compress/size_bins.h"
+#include "core/chunk_allocator.h"
+#include "core/memory_controller.h"
+#include "core/offset_circuit.h"
+#include "core/predictor.h"
+#include "meta/metadata_cache.h"
+#include "meta/metadata_entry.h"
+#include "packing/linepack.h"
+
+namespace compresso {
+
+struct CompressoConfig
+{
+    std::string compressor = "bpc";
+
+    /** Alignment-friendly 0/8/32/64 bins (Sec. IV-B1) vs legacy
+     *  0/22/44/64. Overridden by @ref line_bins if set. */
+    bool alignment_friendly = true;
+    const SizeBins *line_bins = nullptr;
+
+    /** Incremental 512 B chunks (Compresso) vs 4 variable sizes. */
+    PageSizing page_sizing = PageSizing::kChunked512;
+
+    // Optimization toggles (Sec. IV-B).
+    bool inflation_room = true;        ///< base inflation room (Sec. III)
+    bool overflow_prediction = true;   ///< Sec. IV-B2
+    bool dynamic_ir_expansion = true;  ///< Sec. IV-B3
+    bool repack_on_evict = true;       ///< Sec. IV-B4
+    MetadataCacheConfig mdcache;       ///< half_entry_opt = Sec. IV-B5
+
+    /** Device-side stream buffer (ablation only; the free-prefetch
+     *  effect is modeled via McTrace::co_fetched + LLC insertion). */
+    bool stream_buffer = true;
+    unsigned stream_buffer_blocks = 4;
+
+    uint64_t installed_bytes = uint64_t(8) << 30; ///< data-chunk arena
+
+    Cycle compression_latency = 12; ///< Tab. III (BPC, each direction)
+    Cycle mdcache_hit_latency = 2;
+};
+
+class CompressoController : public MemoryController
+{
+  public:
+    explicit CompressoController(const CompressoConfig &cfg);
+
+    std::string name() const override { return "compresso"; }
+
+    void fillLine(Addr addr, Line &data, McTrace &trace) override;
+    void writebackLine(Addr addr, const Line &data,
+                       McTrace &trace) override;
+
+    uint64_t ospaBytes() const override;
+    uint64_t mpaDataBytes() const override;
+    uint64_t mpaMetadataBytes() const override;
+
+    void freePage(PageNum page) override;
+
+    StatGroup &stats() override { return stats_; }
+    const StatGroup &stats() const override { return stats_; }
+
+    MetadataCache &metadataCache() { return mdcache_; }
+    PageOverflowPredictor &predictor() { return predictor_; }
+    const SizeBins &lineBins() const { return *bins_; }
+    const CompressoConfig &config() const { return cfg_; }
+
+    /** Metadata entry for a page (creating an invalid one if absent);
+     *  exposed for tests and diagnostics. */
+    const MetadataEntry &pageMeta(PageNum page);
+
+    /** Force a repack pass over every touched page (diagnostic /
+     *  best-case accounting; not part of the architecture). */
+    void repackAll();
+
+    /** MemoryController::flush: settle pending repacking so capacity
+     *  accounting reflects current data. */
+    void flush() override { repackAll(); }
+
+  private:
+    struct PageShadow
+    {
+        /** Most recent *actual* compressed bin per line, which may be
+         *  smaller than the slot recorded in line_code (underflows are
+         *  only harvested at repack time). */
+        std::array<uint8_t, kLinesPerPage> actual_bin{};
+        bool predictor_inflated = false;
+    };
+
+    // --- metadata & timing helpers ---
+    MetadataEntry &meta(PageNum page);
+    PageShadow &shadow(PageNum page);
+    Addr metadataAddr(PageNum page) const;
+    void mdAccess(PageNum page, bool dirty, McTrace &trace);
+    void onMetaEvict(PageNum page, bool dirty);
+
+    // --- layout helpers ---
+    uint32_t packBytes(const MetadataEntry &m) const;
+    uint32_t irBase(const MetadataEntry &m) const;
+    uint32_t allocBytes(const MetadataEntry &m) const
+    {
+        return uint32_t(m.chunks) * uint32_t(kChunkBytes);
+    }
+    /** IR slot index of line @p idx, or -1 if not inflated. */
+    int inflateSlot(const MetadataEntry &m, LineIdx idx) const;
+
+    // --- functional store ---
+    void storeBytes(const MetadataEntry &m, uint32_t off,
+                    const uint8_t *src, size_t len);
+    void loadBytes(const MetadataEntry &m, uint32_t off, uint8_t *dst,
+                   size_t len) const;
+    Addr mpaOf(const MetadataEntry &m, uint32_t off) const;
+
+    /** Enqueue the device ops covering bytes [off, off+len) of a page;
+     *  returns the number of 64 B blocks touched. */
+    unsigned deviceOps(const MetadataEntry &m, uint32_t off, size_t len,
+                       bool write, bool critical, McTrace &trace);
+
+    /** Grow/shrink a page's chunk allocation to @p chunks. Returns
+     *  false if machine memory is exhausted. */
+    bool resizeAlloc(MetadataEntry &m, unsigned chunks);
+
+    // --- compression helpers ---
+    struct Encoded
+    {
+        std::vector<uint8_t> bytes; ///< empty for zero lines
+        unsigned bin = 0;
+        bool zero = false;
+    };
+    Encoded encodeLine(const Line &data) const;
+    void decodeSlot(const MetadataEntry &m, uint32_t off, unsigned bin,
+                    Line &out) const;
+
+    // --- page lifecycle ---
+    void firstTouch(PageNum page, MetadataEntry &m);
+    void materializeZeroPage(MetadataEntry &m, PageShadow &sh);
+    void writeToSlot(MetadataEntry &m, LineIdx idx, const Encoded &enc,
+                     McTrace &trace);
+    void handleLineOverflow(PageNum page, MetadataEntry &m, LineIdx idx,
+                            const Line &raw, const Encoded &enc,
+                            McTrace &trace);
+    void growSlotInPlace(PageNum page, MetadataEntry &m, LineIdx idx,
+                         const Encoded &enc, McTrace &trace);
+    void inflateToUncompressed(PageNum page, MetadataEntry &m,
+                               McTrace &trace);
+    void repackPage(PageNum page, McTrace &trace);
+    void updateFreeSpace(MetadataEntry &m, const PageShadow &sh);
+
+    // --- stream buffer (free prefetch) ---
+    bool streamBufferHit(Addr block) const;
+    void streamBufferInsert(Addr block);
+    void streamBufferInvalidate(Addr block);
+
+    CompressoConfig cfg_;
+    const SizeBins *bins_;
+    std::unique_ptr<Compressor> codec_;
+    ChunkAllocator chunks_;
+    MetadataCache mdcache_;
+    PageOverflowPredictor predictor_;
+    OffsetCircuit offsets_;
+
+    std::unordered_map<PageNum, MetadataEntry> meta_;
+    std::unordered_map<PageNum, PageShadow> shadow_;
+    std::deque<Addr> stream_buf_;
+    McTrace *cur_trace_ = nullptr; ///< active trace for evict hooks
+
+    StatGroup stats_{"mc"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_COMPRESSO_CONTROLLER_H

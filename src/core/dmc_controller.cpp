@@ -1,0 +1,490 @@
+#include "core/dmc_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "packing/linepack.h"
+
+namespace compresso {
+
+namespace {
+
+constexpr Addr kMetadataRegionBase = Addr(1) << 43;
+
+} // namespace
+
+DmcController::DmcController(const DmcConfig &cfg)
+    : cfg_(cfg),
+      hot_codec_(makeCompressor(cfg.hot_compressor)),
+      cold_codec_(makeCompressor(cfg.cold_compressor)),
+      chunks_(cfg.installed_bytes),
+      mdcache_(cfg.mdcache)
+{
+    assert(hot_codec_ && cold_codec_ && "unknown compressor name");
+    mdcache_.setEvictHook([this](PageNum pn, bool dirty) {
+        if (dirty && cur_trace_) {
+            cur_trace_->add(metadataAddr(pn), true, false);
+            ++stats_["md_write_ops"];
+        }
+    });
+}
+
+Addr
+DmcController::metadataAddr(PageNum pn) const
+{
+    return kMetadataRegionBase + pn * kMetadataEntryBytes;
+}
+
+void
+DmcController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
+{
+    bool hit = mdcache_.access(pn, false, dirty);
+    trace.metadata_hit = hit;
+    trace.fixed_latency += cfg_.mdcache_hit_latency;
+    if (!hit) {
+        trace.add(metadataAddr(pn), false, true);
+        ++stats_["md_read_ops"];
+    }
+}
+
+uint32_t
+DmcController::hotPack(const Page &p) const
+{
+    uint32_t sum = 0;
+    for (uint8_t c : p.code)
+        sum += compressoBins().binSize(c);
+    return sum;
+}
+
+uint32_t
+DmcController::hotOffset(const Page &p, LineIdx idx) const
+{
+    uint32_t off = 0;
+    for (LineIdx l = 0; l < idx; ++l)
+        off += compressoBins().binSize(p.code[l]);
+    return off;
+}
+
+Addr
+DmcController::mpaOf(const Page &p, uint32_t off) const
+{
+    unsigned ci = off / kChunkBytes;
+    assert(ci < p.chunks);
+    Addr scattered = ((Addr(p.chunk_id[ci]) >> 3) * 0x9e3779b1ULL * 8 +
+                      (Addr(p.chunk_id[ci]) & 7)) &
+                     ((1u << 26) - 1);
+    return scattered * kChunkBytes + off % kChunkBytes;
+}
+
+void
+DmcController::storeBytes(const Page &p, uint32_t off, const uint8_t *src,
+                          size_t len)
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        assert(ci < p.chunks);
+        std::copy(src, src + n, chunks_.data(p.chunk_id[ci]).begin() + co);
+        src += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+void
+DmcController::loadBytes(const Page &p, uint32_t off, uint8_t *dst,
+                         size_t len) const
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        assert(ci < p.chunks);
+        const auto &chunk = chunks_.data(p.chunk_id[ci]);
+        std::copy(chunk.begin() + co, chunk.begin() + co + n, dst);
+        dst += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+unsigned
+DmcController::deviceOps(const Page &p, uint32_t off, size_t len,
+                         bool write, bool critical, McTrace &trace)
+{
+    if (len == 0)
+        return 0;
+    unsigned first = off / kLineBytes;
+    unsigned last = unsigned((off + len - 1) / kLineBytes);
+    for (unsigned b = first; b <= last; ++b) {
+        trace.add(mpaOf(p, b * uint32_t(kLineBytes)), write, critical);
+        ++stats_[write ? "data_write_ops" : "data_read_ops"];
+    }
+    return last - first + 1;
+}
+
+bool
+DmcController::resizeAlloc(Page &p, unsigned target)
+{
+    assert(target <= kChunksPerPage);
+    while (p.chunks < target) {
+        ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk) {
+            ++stats_["machine_oom"];
+            return false;
+        }
+        p.chunk_id[p.chunks++] = uint32_t(c);
+    }
+    while (p.chunks > target) {
+        --p.chunks;
+        chunks_.release(p.chunk_id[p.chunks]);
+        p.chunk_id[p.chunks] = kNoChunk;
+    }
+    return true;
+}
+
+void
+DmcController::readHotLine(const Page &p, LineIdx idx, Line &out) const
+{
+    if (p.code[idx] == 0) {
+        out.fill(0);
+        return;
+    }
+    uint16_t sz = compressoBins().binSize(p.code[idx]);
+    uint32_t off = hotOffset(p, idx);
+    if (sz == kLineBytes) {
+        loadBytes(p, off, out.data(), kLineBytes);
+        return;
+    }
+    uint8_t buf[kLineBytes];
+    loadBytes(p, off, buf, sz);
+    BitReader r(buf, size_t(sz) * 8);
+    bool ok = hot_codec_->decompress(r, out);
+    assert(ok && "corrupt DMC hot slot");
+    (void)ok;
+}
+
+void
+DmcController::gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
+                      McTrace *trace)
+{
+    if (!p.valid || p.zero) {
+        for (auto &l : buf)
+            l.fill(0);
+        return;
+    }
+    if (!p.cold) {
+        for (LineIdx l = 0; l < kLinesPerPage; ++l)
+            readHotLine(p, l, buf[l]);
+        if (trace) {
+            uint32_t used = hotPack(p);
+            deviceOps(p, 0, used, false, false, *trace);
+        }
+        return;
+    }
+    // Cold: decompress every block (line streams back to back).
+    uint32_t off = 0;
+    for (unsigned b = 0; b < kColdBlocks; ++b) {
+        std::vector<uint8_t> raw(p.cold_bytes[b]);
+        loadBytes(p, off, raw.data(), raw.size());
+        BitReader r(raw.data(), raw.size() * 8);
+        for (unsigned l = 0; l < kLinesPerColdBlock; ++l) {
+            bool ok = cold_codec_->decompress(
+                r, buf[b * kLinesPerColdBlock + l]);
+            assert(ok && "corrupt DMC cold block");
+            (void)ok;
+        }
+        if (trace)
+            deviceOps(p, off, p.cold_bytes[b], false, false, *trace);
+        off += p.cold_bytes[b];
+    }
+}
+
+void
+DmcController::layoutHot(Page &p,
+                         const std::array<Line, kLinesPerPage> &buf,
+                         McTrace &trace)
+{
+    std::array<std::vector<uint8_t>, kLinesPerPage> enc;
+    uint32_t pack = 0;
+    bool all_zero = true;
+    for (LineIdx l = 0; l < kLinesPerPage; ++l) {
+        if (isZeroLine(buf[l])) {
+            p.code[l] = 0;
+            continue;
+        }
+        all_zero = false;
+        BitWriter w;
+        hot_codec_->compress(buf[l], w);
+        enc[l] = w.bytes();
+        p.code[l] =
+            uint8_t(compressoBins().binFor(enc[l].size(), false));
+    }
+    p.cold = false;
+    if (all_zero) {
+        p.zero = true;
+        p.code.fill(0);
+        resizeAlloc(p, 0);
+        return;
+    }
+    for (uint8_t c : p.code)
+        pack += compressoBins().binSize(c);
+    uint32_t alloc = pageBinBytes(uint32_t(roundUp(pack, kLineBytes)),
+                                  PageSizing::kVariable4);
+    resizeAlloc(p, (alloc + uint32_t(kChunkBytes) - 1) /
+                       uint32_t(kChunkBytes));
+    for (LineIdx l = 0; l < kLinesPerPage; ++l) {
+        if (p.code[l] == 0)
+            continue;
+        uint32_t off = hotOffset(p, l);
+        if (compressoBins().binSize(p.code[l]) == kLineBytes)
+            storeBytes(p, off, buf[l].data(), kLineBytes);
+        else
+            storeBytes(p, off, enc[l].data(), enc[l].size());
+    }
+    deviceOps(p, 0, uint32_t(roundUp(pack, kLineBytes)), true, false,
+              trace);
+}
+
+void
+DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
+{
+    (void)pn;
+    std::array<Line, kLinesPerPage> buf;
+    gather(p, buf, &trace);
+    stats_["migration_ops"] += trace.ops.size();
+
+    // Compress each 1 KB block as one unit (line streams concatenated).
+    std::array<std::vector<uint8_t>, kColdBlocks> blocks;
+    uint32_t total = 0;
+    for (unsigned b = 0; b < kColdBlocks; ++b) {
+        BitWriter w;
+        for (unsigned l = 0; l < kLinesPerColdBlock; ++l)
+            cold_codec_->compress(buf[b * kLinesPerColdBlock + l], w);
+        blocks[b] = w.bytes();
+        p.cold_bytes[b] = uint32_t(blocks[b].size());
+        total += p.cold_bytes[b];
+    }
+    uint32_t alloc = pageBinBytes(
+        std::min<uint32_t>(uint32_t(roundUp(total, kLineBytes)),
+                           kPageBytes),
+        PageSizing::kVariable4);
+    if (alloc < total) {
+        // LZ expansion beyond a page never pays off: stay hot.
+        layoutHot(p, buf, trace);
+        return;
+    }
+    resizeAlloc(p, (alloc + uint32_t(kChunkBytes) - 1) /
+                       uint32_t(kChunkBytes));
+    p.cold = true;
+    uint32_t off = 0;
+    for (unsigned b = 0; b < kColdBlocks; ++b) {
+        storeBytes(p, off, blocks[b].data(), blocks[b].size());
+        off += p.cold_bytes[b];
+    }
+    deviceOps(p, 0, total, true, false, trace);
+    ++stats_["demotions"];
+}
+
+void
+DmcController::promoteToHot(PageNum pn, Page &p, McTrace &trace)
+{
+    (void)pn;
+    std::array<Line, kLinesPerPage> buf;
+    gather(p, buf, &trace);
+    layoutHot(p, buf, trace);
+    stats_["migration_ops"] += trace.ops.size();
+    ++stats_["promotions"];
+}
+
+void
+DmcController::decayEpoch(McTrace &trace)
+{
+    unsigned budget = 64; // bounded migration work per epoch
+    for (auto &[pn, p] : pages_) {
+        if (!p.valid || p.zero)
+            continue;
+        if (!p.touched_this_epoch && !p.cold && budget > 0) {
+            demoteToCold(pn, p, trace);
+            --budget;
+        }
+        p.touched_this_epoch = false;
+    }
+}
+
+bool
+DmcController::isCold(PageNum pn)
+{
+    return page(pn).cold;
+}
+
+void
+DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
+{
+    PageNum pn = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["fills"];
+
+    Page &p = page(pn);
+    mdAccess(pn, false, trace);
+    p.touched_this_epoch = true;
+
+    if (!p.valid || p.zero) {
+        data.fill(0);
+        ++stats_["zero_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    if (p.cold) {
+        // Fetch + decompress the whole 1 KB block for one line.
+        unsigned b = idx / kLinesPerColdBlock;
+        uint32_t off = 0;
+        for (unsigned i = 0; i < b; ++i)
+            off += p.cold_bytes[i];
+        deviceOps(p, off, p.cold_bytes[b], false, true, trace);
+        trace.fixed_latency += cfg_.cold_latency;
+        ++stats_["cold_block_reads"];
+
+        std::vector<uint8_t> raw(p.cold_bytes[b]);
+        loadBytes(p, off, raw.data(), raw.size());
+        BitReader r(raw.data(), raw.size() * 8);
+        Line tmp;
+        for (unsigned l = 0; l <= idx % kLinesPerColdBlock; ++l) {
+            bool ok = cold_codec_->decompress(r, tmp);
+            assert(ok);
+            (void)ok;
+        }
+        data = tmp;
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    if (p.code[idx] == 0) {
+        data.fill(0);
+        ++stats_["zero_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
+    uint16_t sz = compressoBins().binSize(p.code[idx]);
+    uint32_t off = hotOffset(p, idx);
+    trace.fixed_latency += 1;
+    unsigned blocks = deviceOps(p, off, sz, false, true, trace);
+    if (blocks > 1) {
+        ++stats_["split_fill_lines"];
+        stats_["split_extra_ops"] += blocks - 1;
+    }
+    readHotLine(p, idx, data);
+    if (sz != kLineBytes)
+        trace.fixed_latency += cfg_.hot_latency;
+    cur_trace_ = nullptr;
+}
+
+void
+DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
+{
+    PageNum pn = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["writebacks"];
+
+    Page &p = page(pn);
+    mdAccess(pn, true, trace);
+    p.touched_this_epoch = true;
+
+    bool zero = isZeroLine(data);
+    if (!p.valid) {
+        p.valid = true;
+        p.zero = true;
+        ++stats_["pages_touched"];
+    }
+    if (p.zero) {
+        if (zero) {
+            ++stats_["zero_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        p.zero = false;
+        p.cold = false;
+        p.code.fill(0);
+    }
+
+    if (p.cold) {
+        // Writes promote: cold blocks are read-optimized.
+        promoteToHot(pn, p, trace);
+    }
+
+    trace.fixed_latency += cfg_.hot_latency;
+    BitWriter w;
+    hot_codec_->compress(data, w);
+    unsigned bin = compressoBins().binFor(w.bytes().size(), zero);
+
+    if (bin <= p.code[idx]) {
+        if (zero && p.code[idx] == 0) {
+            ++stats_["zero_wbs"];
+        } else {
+            uint32_t off = hotOffset(p, idx);
+            deviceOps(p, off, std::max<size_t>(w.bytes().size(), 1),
+                      true, false, trace);
+            if (compressoBins().binSize(p.code[idx]) == kLineBytes)
+                storeBytes(p, off, data.data(), kLineBytes);
+            else
+                storeBytes(p, off, w.bytes().data(), w.bytes().size());
+        }
+    } else {
+        // No inflation room in DMC: every overflow re-lays the page
+        // out (the data-movement cost the paper points at).
+        ++stats_["line_overflows"];
+        std::array<Line, kLinesPerPage> buf;
+        gather(p, buf, &trace);
+        buf[idx] = data;
+        layoutHot(p, buf, trace);
+        stats_["migration_ops"] += 2;
+    }
+
+    if (++epoch_wbs_ >= cfg_.epoch_writebacks) {
+        epoch_wbs_ = 0;
+        decayEpoch(trace);
+    }
+    cur_trace_ = nullptr;
+}
+
+uint64_t
+DmcController::ospaBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &[pn, p] : pages_)
+        n += p.valid ? kPageBytes : 0;
+    return n;
+}
+
+uint64_t
+DmcController::mpaDataBytes() const
+{
+    return chunks_.usedBytes();
+}
+
+uint64_t
+DmcController::mpaMetadataBytes() const
+{
+    uint64_t valid = 0;
+    for (const auto &[pn, p] : pages_)
+        valid += p.valid ? 1 : 0;
+    return valid * kMetadataEntryBytes;
+}
+
+void
+DmcController::freePage(PageNum pn)
+{
+    auto it = pages_.find(pn);
+    if (it == pages_.end() || !it->second.valid)
+        return;
+    resizeAlloc(it->second, 0);
+    it->second = Page{};
+    mdcache_.invalidate(pn);
+    ++stats_["pages_freed"];
+}
+
+} // namespace compresso

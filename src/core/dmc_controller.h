@@ -1,0 +1,144 @@
+/**
+ * @file
+ * DMC-style memory controller: Transparent Dual Memory Compression
+ * (Kim, Lee, Kim & Huh, PACT 2017) — the other OS-transparent system
+ * in the paper's related-work table (Tab. V).
+ *
+ * DMC keeps two compressed representations and migrates between them:
+ *  - **hot** pages use a fast line-granularity scheme (LCP with BDI in
+ *    the original; we use the same LinePack machinery as elsewhere so
+ *    the comparison isolates DMC's *granularity* decisions);
+ *  - **cold** pages are Lempel-Ziv-compressed at 1 KB granularity for
+ *    a higher ratio — at the cost that touching any line of a cold
+ *    1 KB block requires fetching and decompressing the whole block,
+ *    and any write dirties it back to hot.
+ *
+ * The controller demotes pages that have not been touched for a full
+ * decay epoch and promotes cold pages on first write (reads are served
+ * from the cold image directly, paying the block cost). The paper's
+ * critique — "opportunistically changing the granularity of
+ * compression involves substantial additional data movement" — falls
+ * out of exactly these migrations (stat: migration_ops).
+ */
+
+#ifndef COMPRESSO_CORE_DMC_CONTROLLER_H
+#define COMPRESSO_CORE_DMC_CONTROLLER_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/factory.h"
+#include "compress/size_bins.h"
+#include "core/chunk_allocator.h"
+#include "core/memory_controller.h"
+#include "meta/metadata_cache.h"
+
+namespace compresso {
+
+struct DmcConfig
+{
+    std::string hot_compressor = "bdi"; ///< as in the original design
+    std::string cold_compressor = "lz";
+    /** Writebacks per decay epoch; untouched pages demote at epoch
+     *  end. */
+    uint64_t epoch_writebacks = 4096;
+    MetadataCacheConfig mdcache{96 * 1024, 8, /*half_entry_opt=*/false};
+    uint64_t installed_bytes = uint64_t(8) << 30;
+    Cycle hot_latency = 6;    ///< BDI decompression
+    Cycle cold_latency = 64;  ///< LZ over a 1 KB block
+    Cycle mdcache_hit_latency = 2;
+};
+
+class DmcController : public MemoryController
+{
+  public:
+    explicit DmcController(const DmcConfig &cfg);
+
+    std::string name() const override { return "dmc"; }
+
+    void fillLine(Addr addr, Line &data, McTrace &trace) override;
+    void writebackLine(Addr addr, const Line &data,
+                       McTrace &trace) override;
+
+    uint64_t ospaBytes() const override;
+    uint64_t mpaDataBytes() const override;
+    uint64_t mpaMetadataBytes() const override;
+
+    void freePage(PageNum page) override;
+
+    StatGroup &stats() override { return stats_; }
+    const StatGroup &stats() const override { return stats_; }
+
+    /** 1 KB cold-compression granularity: 4 blocks per page. */
+    static constexpr unsigned kColdBlocks = 4;
+    static constexpr unsigned kLinesPerColdBlock =
+        kLinesPerPage / kColdBlocks;
+
+    /** True if @p page is currently in the cold representation. */
+    bool isCold(PageNum page);
+
+  private:
+    struct Page
+    {
+        bool valid = false;
+        bool zero = false;
+        bool cold = false;
+        bool touched_this_epoch = true;
+        std::array<uint8_t, kLinesPerPage> code{}; ///< hot: bin per line
+        /** Cold representation: per-1KB-block compressed byte counts
+         *  (the blocks are stored back to back). */
+        std::array<uint32_t, kColdBlocks> cold_bytes{};
+        uint8_t chunks = 0;
+        std::array<uint32_t, kChunksPerPage> chunk_id;
+
+        Page() { chunk_id.fill(kNoChunk); }
+    };
+
+    Page &page(PageNum pn) { return pages_[pn]; }
+    Addr metadataAddr(PageNum pn) const;
+    void mdAccess(PageNum pn, bool dirty, McTrace &trace);
+
+    uint32_t hotOffset(const Page &p, LineIdx idx) const;
+    uint32_t hotPack(const Page &p) const;
+    uint32_t allocBytes(const Page &p) const
+    {
+        return uint32_t(p.chunks) * uint32_t(kChunkBytes);
+    }
+
+    Addr mpaOf(const Page &p, uint32_t off) const;
+    void storeBytes(const Page &p, uint32_t off, const uint8_t *src,
+                    size_t len);
+    void loadBytes(const Page &p, uint32_t off, uint8_t *dst,
+                   size_t len) const;
+    unsigned deviceOps(const Page &p, uint32_t off, size_t len,
+                       bool write, bool critical, McTrace &trace);
+    bool resizeAlloc(Page &p, unsigned chunks);
+
+    void readHotLine(const Page &p, LineIdx idx, Line &out) const;
+    /** Rewrite the page in hot representation with the given data. */
+    void layoutHot(Page &p, const std::array<Line, kLinesPerPage> &buf,
+                   McTrace &trace);
+    /** Gather the page's current content (either representation). */
+    void gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
+                McTrace *trace);
+
+    void demoteToCold(PageNum pn, Page &p, McTrace &trace);
+    void promoteToHot(PageNum pn, Page &p, McTrace &trace);
+    void decayEpoch(McTrace &trace);
+
+    DmcConfig cfg_;
+    std::unique_ptr<Compressor> hot_codec_;
+    std::unique_ptr<Compressor> cold_codec_;
+    ChunkAllocator chunks_;
+    MetadataCache mdcache_;
+    std::unordered_map<PageNum, Page> pages_;
+    uint64_t epoch_wbs_ = 0;
+    McTrace *cur_trace_ = nullptr;
+
+    StatGroup stats_{"mc"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_DMC_CONTROLLER_H

@@ -1,0 +1,520 @@
+#include "core/lcp_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace compresso {
+
+namespace {
+
+constexpr Addr kMetadataRegionBase = Addr(1) << 41;
+
+/** Exception pointers that fit the 64 B LCP metadata entry. */
+constexpr uint32_t kMaxExceptionPtrs = 17;
+
+} // namespace
+
+LcpController::LcpController(const LcpConfig &cfg)
+    : cfg_(cfg),
+      bins_(cfg.alignment_friendly ? &compressoBins() : &legacyBins()),
+      codec_(makeCompressor(cfg.compressor)),
+      chunks_(cfg.installed_bytes),
+      mdcache_(cfg.mdcache)
+{
+    assert(codec_ && "unknown compressor name");
+    mdcache_.setEvictHook([this](PageNum pn, bool dirty) {
+        if (dirty && cur_trace_) {
+            cur_trace_->add(metadataAddr(pn), true, false);
+            ++stats_["md_write_ops"];
+        }
+    });
+}
+
+Addr
+LcpController::metadataAddr(PageNum pn) const
+{
+    return kMetadataRegionBase + pn * kMetadataEntryBytes;
+}
+
+void
+LcpController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
+{
+    bool hit = mdcache_.access(pn, false, dirty);
+    trace.metadata_hit = hit;
+    trace.fixed_latency += cfg_.mdcache_hit_latency;
+    if (!hit) {
+        trace.add(metadataAddr(pn), false, true);
+        ++stats_["md_read_ops"];
+    }
+}
+
+uint32_t
+LcpController::excCapacity(const Page &p) const
+{
+    uint32_t slots_end = uint32_t(kLinesPerPage) * p.target;
+    uint32_t alloc = allocBytes(p);
+    if (alloc <= slots_end)
+        return 0;
+    // The metadata entry holds a bounded list of exception pointers;
+    // beyond it, an overflow is a page fault (OS relayout).
+    return std::min<uint32_t>((alloc - slots_end) / uint32_t(kLineBytes),
+                              kMaxExceptionPtrs);
+}
+
+Addr
+LcpController::mpaOf(const Page &p, uint32_t off) const
+{
+    unsigned ci = off / kChunkBytes;
+    assert(ci < p.chunks);
+    // Same chunk scattering as the Compresso controller (see there):
+    // avoids overstating compressed-side DRAM row locality.
+    Addr scattered =
+        ((Addr(p.chunk_id[ci]) >> 3) * 0x9e3779b1ULL * 8 + (Addr(p.chunk_id[ci]) & 7)) &
+        ((1u << 26) - 1);
+    return scattered * kChunkBytes + off % kChunkBytes;
+}
+
+void
+LcpController::storeBytes(const Page &p, uint32_t off, const uint8_t *src,
+                          size_t len)
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        std::copy(src, src + n, chunks_.data(p.chunk_id[ci]).begin() + co);
+        src += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+void
+LcpController::loadBytes(const Page &p, uint32_t off, uint8_t *dst,
+                         size_t len) const
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        const auto &chunk = chunks_.data(p.chunk_id[ci]);
+        std::copy(chunk.begin() + co, chunk.begin() + co + n, dst);
+        dst += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+unsigned
+LcpController::deviceOps(const Page &p, uint32_t off, size_t len,
+                         bool write, bool critical, McTrace &trace)
+{
+    if (len == 0)
+        return 0;
+    unsigned first = off / kLineBytes;
+    unsigned last = unsigned((off + len - 1) / kLineBytes);
+    for (unsigned b = first; b <= last; ++b) {
+        Addr block = mpaOf(p, b * uint32_t(kLineBytes));
+        if (write) {
+            streamBufferInvalidate(block);
+            trace.add(block, true, critical);
+            ++stats_["data_write_ops"];
+        } else {
+            if (critical && cfg_.stream_buffer && streamBufferHit(block)) {
+                ++stats_["prefetch_hits"];
+                continue;
+            }
+            trace.add(block, false, critical);
+            ++stats_["data_read_ops"];
+            if (critical && cfg_.stream_buffer)
+                streamBufferInsert(block);
+        }
+    }
+    return last - first + 1;
+}
+
+bool
+LcpController::resizeAlloc(Page &p, unsigned target)
+{
+    assert(target <= kChunksPerPage);
+    while (p.chunks < target) {
+        ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk) {
+            ++stats_["machine_oom"];
+            return false;
+        }
+        p.chunk_id[p.chunks++] = uint32_t(c);
+    }
+    while (p.chunks > target) {
+        --p.chunks;
+        chunks_.release(p.chunk_id[p.chunks]);
+        p.chunk_id[p.chunks] = kNoChunk;
+    }
+    return true;
+}
+
+LcpController::Encoded
+LcpController::encodeLine(const Line &data) const
+{
+    Encoded enc;
+    enc.zero = isZeroLine(data);
+    BitWriter w;
+    codec_->compress(data, w);
+    enc.bytes = w.bytes();
+    return enc;
+}
+
+void
+LcpController::readStored(const Page &p, LineIdx idx, Line &out) const
+{
+    if (!p.valid || p.zero || p.zero_line[idx]) {
+        out.fill(0);
+        return;
+    }
+    if (p.exc_slot[idx] != 0xff) {
+        loadBytes(p, excOffset(p, p.exc_slot[idx]), out.data(), kLineBytes);
+        return;
+    }
+    if (p.target == kLineBytes) {
+        loadBytes(p, slotOffset(p, idx), out.data(), kLineBytes);
+        return;
+    }
+    uint8_t buf[kLineBytes];
+    loadBytes(p, slotOffset(p, idx), buf, p.target);
+    BitReader r(buf, size_t(p.target) * 8);
+    bool ok = codec_->decompress(r, out);
+    assert(ok && "corrupt LCP slot");
+    (void)ok;
+}
+
+void
+LcpController::initialAllocate(Page &p, const Encoded &enc)
+{
+    // Smallest candidate target that fits this first line.
+    uint16_t target = uint16_t(kLineBytes);
+    for (unsigned b = 1; b < bins_->count(); ++b) {
+        if (enc.bytes.size() <= bins_->binSize(b)) {
+            target = bins_->binSize(b);
+            break;
+        }
+    }
+    p.target = target;
+    // The OS sizes the page for its compressed footprint; the
+    // exception region is whatever slack the 4 page-size bins leave
+    // (pages at exactly a bin boundary have none, and overflow into a
+    // page fault).
+    uint32_t want = uint32_t(kLinesPerPage) * target;
+    uint32_t alloc = pageBinBytes(std::min<uint32_t>(want, kPageBytes),
+                                  PageSizing::kVariable4);
+    resizeAlloc(p, unsigned(alloc / kChunkBytes));
+    p.zero = false;
+    p.zero_line.set(); // all lines are zero until written
+}
+
+void
+LcpController::writeStored(Page &p, LineIdx idx, const Line &raw,
+                           const Encoded &enc, McTrace &trace)
+{
+    // Caller guarantees the line fits its slot.
+    uint32_t off = slotOffset(p, idx);
+    if (p.target == kLineBytes) {
+        deviceOps(p, off, kLineBytes, true, false, trace);
+        storeBytes(p, off, raw.data(), kLineBytes);
+        return;
+    }
+    size_t len = std::max<size_t>(enc.bytes.size(), 1);
+    unsigned blocks = deviceOps(p, off, len, true, false, trace);
+    if (blocks > 1) {
+        ++stats_["split_wb_lines"];
+        stats_["split_extra_ops"] += blocks - 1;
+    }
+    storeBytes(p, off, enc.bytes.data(), enc.bytes.size());
+}
+
+void
+LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
+                            const Line &raw, const Encoded &enc,
+                            McTrace &trace)
+{
+    (void)pn;
+    ++stats_["page_overflows"];
+    ++stats_["page_faults"];
+    // OS-aware: the overflow raises a page fault; the core stalls.
+    stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+    trace.stall_cycles += cfg_.page_fault_cycles;
+
+    // Gather all current data.
+    std::array<Line, kLinesPerPage> buf;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i)
+        readStored(p, i, buf[i]);
+    buf[idx] = raw;
+    p.zero_line[idx] = false;
+    p.actual_bytes[idx] = uint16_t(enc.bytes.size());
+
+    uint32_t old_used = allocBytes(p);
+    stats_["overflow_move_ops"] += old_used / kLineBytes;
+    deviceOps(p, 0, old_used, false, false, trace);
+
+    // Re-layout with the best target for the actual sizes.
+    std::array<LineSize, kLinesPerPage> sizes;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        sizes[i].bytes = p.actual_bytes[i];
+        sizes[i].zero = p.zero_line[i];
+    }
+    LcpLayout layout = lcpPack(sizes, *bins_);
+    // Raw 64 B slots hold anything; a layout that would exceed 4 KB
+    // falls back to the uncompressed-page layout.
+    if (layout.payload_bytes > kPageBytes) {
+        layout.target_bytes = uint16_t(kLineBytes);
+        layout.exception.fill(false);
+        layout.exception_count = 0;
+        layout.payload_bytes = uint32_t(kPageBytes);
+    }
+
+    p.target = layout.target_bytes;
+    uint32_t want = uint32_t(kLinesPerPage) * p.target +
+                    layout.exception_count * uint32_t(kLineBytes);
+    uint32_t alloc = pageBinBytes(std::min<uint32_t>(want, kPageBytes),
+                                  PageSizing::kVariable4);
+    resizeAlloc(p, unsigned(alloc / kChunkBytes));
+
+    p.exc_slot.fill(0xff);
+    p.exc_map.reset();
+    uint8_t next_exc = 0;
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        if (p.zero_line[i])
+            continue;
+        if (layout.exception[i] && p.target != kLineBytes) {
+            p.exc_slot[i] = next_exc;
+            p.exc_map.set(next_exc);
+            ++next_exc;
+            storeBytes(p, excOffset(p, p.exc_slot[i]), buf[i].data(),
+                       kLineBytes);
+        } else if (p.target == kLineBytes) {
+            storeBytes(p, slotOffset(p, i), buf[i].data(), kLineBytes);
+        } else {
+            BitWriter w;
+            codec_->compress(buf[i], w);
+            storeBytes(p, slotOffset(p, i), w.bytes().data(),
+                       w.bytes().size());
+        }
+    }
+    uint32_t new_used = uint32_t(kLinesPerPage) * p.target +
+                        uint32_t(next_exc) * uint32_t(kLineBytes);
+    stats_["overflow_move_ops"] += (new_used + kLineBytes - 1) / kLineBytes;
+    deviceOps(p, 0, new_used, true, false, trace);
+}
+
+void
+LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
+{
+    PageNum pn = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["fills"];
+
+    Page &p = page(pn);
+    mdAccess(pn, false, trace);
+
+    if (!p.valid || p.zero || p.zero_line[idx]) {
+        data.fill(0);
+        ++stats_["zero_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    // Speculative slot access in parallel with metadata (the TLB knows
+    // the target size in the OS-aware design).
+    trace.speculative_parallel = cfg_.speculative_access;
+    uint32_t off = slotOffset(p, idx);
+    unsigned blocks = deviceOps(p, off, p.target, false, true, trace);
+    if (blocks > 1) {
+        ++stats_["split_fill_lines"];
+        stats_["split_extra_ops"] += blocks - 1;
+    }
+
+    if (p.exc_slot[idx] != 0xff) {
+        // Speculation failed: serialized exception access.
+        ++stats_["exception_accesses"];
+        stats_["exception_extra_ops"] += blocks; // the wasted slot read
+        deviceOps(p, excOffset(p, p.exc_slot[idx]), kLineBytes, false,
+                  true, trace);
+        loadBytes(p, excOffset(p, p.exc_slot[idx]), data.data(),
+                  kLineBytes);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    readStored(p, idx, data);
+    if (p.target != kLineBytes)
+        trace.fixed_latency += cfg_.compression_latency;
+
+    // Free prefetch: slot-mates that arrived whole in the same bursts.
+    if (p.target < kLineBytes) {
+        uint32_t blk_lo = (off / kLineBytes) * uint32_t(kLineBytes);
+        uint32_t blk_hi = uint32_t(roundUp(off + p.target, kLineBytes));
+        LineIdx first = LineIdx(blk_lo / p.target +
+                                (blk_lo % p.target ? 1 : 0));
+        for (LineIdx j = first; j < kLinesPerPage; ++j) {
+            uint32_t lo = j * uint32_t(p.target);
+            if (lo + p.target > blk_hi)
+                break;
+            if (j == idx || p.zero_line[j] || p.exc_slot[j] != 0xff)
+                continue;
+            if (trace.co_fetched.size() < 8) {
+                trace.co_fetched.push_back(pn * kPageBytes +
+                                           Addr(j) * kLineBytes);
+            }
+        }
+        stats_["co_fetched_lines"] += trace.co_fetched.size();
+    }
+    cur_trace_ = nullptr;
+}
+
+void
+LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
+{
+    PageNum pn = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["writebacks"];
+
+    Page &p = page(pn);
+    mdAccess(pn, true, trace);
+
+    Encoded enc = encodeLine(data);
+
+    if (!p.valid) {
+        p.valid = true;
+        p.zero = true;
+        ++stats_["pages_touched"];
+    }
+
+    if (p.zero) {
+        if (enc.zero) {
+            ++stats_["zero_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        initialAllocate(p, enc);
+    }
+
+    trace.fixed_latency += cfg_.compression_latency;
+    p.actual_bytes[idx] = uint16_t(enc.bytes.size());
+
+    if (enc.zero) {
+        // Zero-line shortcut: metadata only; release any exception slot.
+        if (p.exc_slot[idx] != 0xff) {
+            p.exc_map.reset(p.exc_slot[idx]);
+            p.exc_slot[idx] = 0xff;
+        }
+        p.zero_line[idx] = true;
+        ++stats_["zero_wbs"];
+        cur_trace_ = nullptr;
+        return;
+    }
+    p.zero_line[idx] = false;
+
+    bool fits = p.target == kLineBytes || enc.bytes.size() <= p.target;
+    if (fits) {
+        if (p.exc_slot[idx] != 0xff) {
+            p.exc_map.reset(p.exc_slot[idx]);
+            p.exc_slot[idx] = 0xff; // back into its slot
+        }
+        writeStored(p, idx, data, enc, trace);
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    ++stats_["line_overflows"];
+    if (p.exc_slot[idx] != 0xff) {
+        // Already an exception: overwrite in place.
+        uint32_t off = excOffset(p, p.exc_slot[idx]);
+        deviceOps(p, off, kLineBytes, true, false, trace);
+        storeBytes(p, off, data.data(), kLineBytes);
+        cur_trace_ = nullptr;
+        return;
+    }
+    unsigned cap = excCapacity(p);
+    unsigned free_slot = cap;
+    for (unsigned s = 0; s < cap; ++s) {
+        if (!p.exc_map[s]) {
+            free_slot = s;
+            break;
+        }
+    }
+    if (free_slot < cap) {
+        p.exc_slot[idx] = uint8_t(free_slot);
+        p.exc_map.set(free_slot);
+        uint32_t off = excOffset(p, p.exc_slot[idx]);
+        deviceOps(p, off, kLineBytes, true, false, trace);
+        storeBytes(p, off, data.data(), kLineBytes);
+        ++stats_["ir_placements"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    pageOverflow(pn, p, idx, data, enc, trace);
+    cur_trace_ = nullptr;
+}
+
+uint64_t
+LcpController::ospaBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &[pn, p] : pages_)
+        n += p.valid ? kPageBytes : 0;
+    return n;
+}
+
+uint64_t
+LcpController::mpaDataBytes() const
+{
+    return chunks_.usedBytes();
+}
+
+uint64_t
+LcpController::mpaMetadataBytes() const
+{
+    uint64_t valid = 0;
+    for (const auto &[pn, p] : pages_)
+        valid += p.valid ? 1 : 0;
+    return valid * kMetadataEntryBytes;
+}
+
+void
+LcpController::freePage(PageNum pn)
+{
+    auto it = pages_.find(pn);
+    if (it == pages_.end() || !it->second.valid)
+        return;
+    resizeAlloc(it->second, 0);
+    it->second = Page{};
+    mdcache_.invalidate(pn);
+    ++stats_["pages_freed"];
+}
+
+bool
+LcpController::streamBufferHit(Addr block) const
+{
+    return std::find(stream_buf_.begin(), stream_buf_.end(), block) !=
+           stream_buf_.end();
+}
+
+void
+LcpController::streamBufferInsert(Addr block)
+{
+    stream_buf_.push_back(block);
+    while (stream_buf_.size() > cfg_.stream_buffer_blocks)
+        stream_buf_.pop_front();
+}
+
+void
+LcpController::streamBufferInvalidate(Addr block)
+{
+    auto it = std::find(stream_buf_.begin(), stream_buf_.end(), block);
+    if (it != stream_buf_.end())
+        stream_buf_.erase(it);
+}
+
+} // namespace compresso

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Memory-side controller interface shared by the uncompressed, LCP and
+ * Compresso back ends.
+ *
+ * Controllers are *functional*: fills return the bytes previously
+ * written back, with compression, packing, metadata and allocation
+ * really performed. Timing is expressed as a trace of 64 B device
+ * operations plus fixed latencies; the system simulator feeds the
+ * trace through the DRAM model.
+ */
+
+#ifndef COMPRESSO_CORE_MEMORY_CONTROLLER_H
+#define COMPRESSO_CORE_MEMORY_CONTROLLER_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram_model.h"
+
+namespace compresso {
+
+/** Timing-relevant outcome of one controller operation. */
+struct McTrace
+{
+    /** Device accesses in issue order. Critical ops stall the
+     *  requesting load; background ops only consume bandwidth. */
+    std::vector<DramOp> ops;
+    /** Fixed controller latency: metadata-cache hit, offset adder,
+     *  (de)compression. */
+    Cycle fixed_latency = 0;
+    /** Whether the OSPA->MPA metadata lookup hit the metadata cache. */
+    bool metadata_hit = true;
+    /** LCP speculation: the first critical data op may issue in
+     *  parallel with the metadata op rather than after it. */
+    bool speculative_parallel = false;
+    /** Synchronous software cost (OS page-fault handling in the
+     *  OS-aware baseline) that stalls the core outright. */
+    Cycle stall_cycles = 0;
+    /** Free prefetch (Sec. VII-A): other whole compressed lines that
+     *  arrived in the same 64 B device bursts; the system inserts them
+     *  into the LLC, where they live or die by normal replacement. */
+    std::vector<Addr> co_fetched;
+
+    void
+    add(Addr addr, bool write, bool critical)
+    {
+        ops.push_back(DramOp{addr, write, critical});
+    }
+
+    unsigned
+    criticalReads() const
+    {
+        unsigned n = 0;
+        for (const auto &op : ops)
+            n += op.critical && !op.write;
+        return n;
+    }
+};
+
+class MemoryController
+{
+  public:
+    virtual ~MemoryController() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Service an LLC fill: read the line at OSPA @p addr. */
+    virtual void fillLine(Addr addr, Line &data, McTrace &trace) = 0;
+
+    /** Service an LLC writeback of @p data to OSPA @p addr. */
+    virtual void writebackLine(Addr addr, const Line &data,
+                               McTrace &trace) = 0;
+
+    /** OSPA bytes of all pages ever touched (the footprint). */
+    virtual uint64_t ospaBytes() const = 0;
+
+    /** MPA bytes in use for data (excluding metadata). */
+    virtual uint64_t mpaDataBytes() const = 0;
+
+    /** MPA bytes in use for compression metadata. */
+    virtual uint64_t mpaMetadataBytes() const { return 0; }
+
+    /** Effective compression ratio over touched pages. */
+    double
+    compressionRatio() const
+    {
+        uint64_t mpa = mpaDataBytes();
+        return mpa == 0 ? 1.0 : double(ospaBytes()) / double(mpa);
+    }
+
+    /** Release an OSPA page (balloon driver path, Sec. V-B). */
+    virtual void freePage(PageNum page) { (void)page; }
+
+    /** Flush lazily-buffered state (e.g., force pending repacking);
+     *  used by tests and capacity accounting. */
+    virtual void flush() {}
+
+    virtual StatGroup &stats() = 0;
+    virtual const StatGroup &stats() const = 0;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_MEMORY_CONTROLLER_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Model of Compresso's cache-line offset-calculation unit (Sec. VII-E).
+ *
+ * With LinePack, the byte offset of line i is the sum of the binned
+ * sizes of lines 0..i-1. The paper's circuit first shifts the bin
+ * sizes (0/8/32/64) right by 3 bits, reducing them to 0/1/4/8, then
+ * adds up to 63 4-bit values: under 1.5K NAND2 gates and 38 gate
+ * delays, reducible to 32 with input-aware optimization — one extra
+ * cycle, partially overlapped with the metadata-cache lookup.
+ *
+ * This class computes the offset exactly as the circuit would (shifted
+ * domain) and exposes the area/delay model the paper reports.
+ */
+
+#ifndef COMPRESSO_CORE_OFFSET_CIRCUIT_H
+#define COMPRESSO_CORE_OFFSET_CIRCUIT_H
+
+#include <array>
+#include <cstdint>
+
+#include "compress/size_bins.h"
+#include "common/types.h"
+
+namespace compresso {
+
+class OffsetCircuit
+{
+  public:
+    explicit OffsetCircuit(const SizeBins &bins) : bins_(&bins) {}
+
+    /**
+     * Offset (bytes) of line @p idx given per-line bin codes, computed
+     * in the shifted (divide-by-8) domain when all bin sizes are
+     * multiples of 8, exactly as the hardware adder does.
+     */
+    uint32_t offset(const std::array<uint8_t, kLinesPerPage> &codes,
+                    LineIdx idx) const;
+
+    /** True if every bin size is a multiple of 8 so the 3-bit shift
+     *  trick applies (it does for 0/8/32/64 but not 0/22/44/64). */
+    bool shiftTrickApplies() const;
+
+    /** Modeled NAND2-equivalent gate count of the adder tree. */
+    unsigned gateCount() const;
+
+    /** Modeled gate delays (32 with the input-aware optimization). */
+    unsigned gateDelays() const { return 32; }
+
+    /** Extra pipeline cycles the offset calculation costs after overlap
+     *  with the metadata-cache lookup (Sec. VII-E: one cycle). */
+    Cycle extraCycles() const { return 1; }
+
+  private:
+    const SizeBins *bins_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_OFFSET_CIRCUIT_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Page-overflow predictor (Sec. IV-B2, Fig. 5b).
+ *
+ * Streaming incompressible data (e.g. overwriting zero-initialized
+ * arrays) makes a page's lines overflow one by one, dragging the page
+ * through every size bin — each jump a page overflow with data
+ * movement. The predictor detects the pattern and speculatively
+ * inflates the page straight to 4 KB uncompressed:
+ *
+ *  - a 2-bit saturating counter per metadata-cache entry, incremented
+ *    on cache-line overflow, decremented on underflow (the counter
+ *    itself lives in the MetadataCache entries);
+ *  - a 3-bit global counter tracking page overflows system-wide.
+ *
+ * The speculation fires when both counters have their high bit set.
+ */
+
+#ifndef COMPRESSO_CORE_PREDICTOR_H
+#define COMPRESSO_CORE_PREDICTOR_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace compresso {
+
+class PageOverflowPredictor
+{
+  public:
+    /** A writeback made a cache line outgrow its slot in @p counter
+     *  (the page's local 2-bit counter, owned by the metadata cache;
+     *  may be null if the entry is not resident). */
+    void
+    onLineOverflow(uint8_t *counter)
+    {
+        if (counter && *counter < 3)
+            ++*counter;
+    }
+
+    /** A writeback compressed to a smaller bin than its slot. */
+    void
+    onLineUnderflow(uint8_t *counter)
+    {
+        if (counter && *counter > 0)
+            --*counter;
+    }
+
+    /** A page outgrew its MPA allocation. */
+    void
+    onPageOverflow()
+    {
+        if (global_ < 7)
+            ++global_;
+    }
+
+    /** Pressure relief: a page was repacked smaller (or freed). */
+    void
+    onPageShrink()
+    {
+        if (global_ > 0)
+            --global_;
+    }
+
+    /** Should this page be speculatively inflated to 4 KB? */
+    bool
+    predictInflate(const uint8_t *counter) const
+    {
+        return counter && (*counter & 0b10) && (global_ & 0b100);
+    }
+
+    uint8_t global() const { return global_; }
+
+  private:
+    uint8_t global_ = 0; ///< 3-bit saturating
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_PREDICTOR_H

@@ -1,0 +1,453 @@
+#include "core/rmc_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "packing/linepack.h"
+
+namespace compresso {
+
+namespace {
+
+constexpr Addr kMetadataRegionBase = Addr(1) << 42;
+
+} // namespace
+
+RmcController::RmcController(const RmcConfig &cfg)
+    : cfg_(cfg),
+      bins_(cfg.alignment_friendly ? &compressoBins() : &legacyBins()),
+      codec_(makeCompressor(cfg.compressor)),
+      chunks_(cfg.installed_bytes),
+      bst_(cfg.bst)
+{
+    assert(codec_ && "unknown compressor name");
+    bst_.setEvictHook([this](PageNum pn, bool dirty) {
+        if (dirty && cur_trace_) {
+            cur_trace_->add(metadataAddr(pn), true, false);
+            ++stats_["md_write_ops"];
+        }
+    });
+}
+
+Addr
+RmcController::metadataAddr(PageNum pn) const
+{
+    return kMetadataRegionBase + pn * kMetadataEntryBytes;
+}
+
+void
+RmcController::bstAccess(PageNum pn, bool dirty, McTrace &trace)
+{
+    bool hit = bst_.access(pn, false, dirty);
+    trace.metadata_hit = hit;
+    trace.fixed_latency += cfg_.bst_hit_latency;
+    if (!hit) {
+        trace.add(metadataAddr(pn), false, true);
+        ++stats_["md_read_ops"];
+    }
+}
+
+uint32_t
+RmcController::subPack(const Page &p, unsigned sp) const
+{
+    uint32_t sum = 0;
+    for (unsigned l = sp * kLinesPerSubpage;
+         l < (sp + 1) * kLinesPerSubpage; ++l) {
+        sum += bins_->binSize(p.code[l]);
+    }
+    return sum;
+}
+
+uint32_t
+RmcController::subBase(const Page &p, unsigned sp) const
+{
+    uint32_t base = 0;
+    for (unsigned s = 0; s < sp; ++s)
+        base += p.sub_alloc[s];
+    return base;
+}
+
+uint32_t
+RmcController::lineOffset(const Page &p, LineIdx idx) const
+{
+    unsigned sp = subpageOf(idx);
+    uint32_t off = subBase(p, sp);
+    for (unsigned l = sp * kLinesPerSubpage; l < idx; ++l)
+        off += bins_->binSize(p.code[l]);
+    return off;
+}
+
+Addr
+RmcController::mpaOf(const Page &p, uint32_t off) const
+{
+    unsigned ci = off / kChunkBytes;
+    assert(ci < p.chunks);
+    Addr scattered =
+        ((Addr(p.chunk_id[ci]) >> 3) * 0x9e3779b1ULL * 8 + (Addr(p.chunk_id[ci]) & 7)) &
+        ((1u << 26) - 1);
+    return scattered * kChunkBytes + off % kChunkBytes;
+}
+
+void
+RmcController::storeBytes(const Page &p, uint32_t off, const uint8_t *src,
+                          size_t len)
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        assert(ci < p.chunks);
+        std::copy(src, src + n, chunks_.data(p.chunk_id[ci]).begin() + co);
+        src += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+void
+RmcController::loadBytes(const Page &p, uint32_t off, uint8_t *dst,
+                         size_t len) const
+{
+    while (len > 0) {
+        unsigned ci = off / kChunkBytes;
+        unsigned co = off % kChunkBytes;
+        size_t n = std::min(len, kChunkBytes - co);
+        assert(ci < p.chunks);
+        const auto &chunk = chunks_.data(p.chunk_id[ci]);
+        std::copy(chunk.begin() + co, chunk.begin() + co + n, dst);
+        dst += n;
+        off += uint32_t(n);
+        len -= n;
+    }
+}
+
+unsigned
+RmcController::deviceOps(const Page &p, uint32_t off, size_t len,
+                         bool write, bool critical, McTrace &trace)
+{
+    if (len == 0)
+        return 0;
+    unsigned first = off / kLineBytes;
+    unsigned last = unsigned((off + len - 1) / kLineBytes);
+    for (unsigned b = first; b <= last; ++b) {
+        trace.add(mpaOf(p, b * uint32_t(kLineBytes)), write, critical);
+        ++stats_[write ? "data_write_ops" : "data_read_ops"];
+    }
+    return last - first + 1;
+}
+
+bool
+RmcController::resizeAlloc(Page &p, unsigned target)
+{
+    assert(target <= kChunksPerPage);
+    while (p.chunks < target) {
+        ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk) {
+            ++stats_["machine_oom"];
+            return false;
+        }
+        p.chunk_id[p.chunks++] = uint32_t(c);
+    }
+    while (p.chunks > target) {
+        --p.chunks;
+        chunks_.release(p.chunk_id[p.chunks]);
+        p.chunk_id[p.chunks] = kNoChunk;
+    }
+    return true;
+}
+
+void
+RmcController::readStored(const Page &p, LineIdx idx, Line &out) const
+{
+    if (!p.valid || p.zero || p.code[idx] == 0) {
+        out.fill(0);
+        return;
+    }
+    uint16_t sz = bins_->binSize(p.code[idx]);
+    uint32_t off = lineOffset(p, idx);
+    if (sz == kLineBytes) {
+        loadBytes(p, off, out.data(), kLineBytes);
+        return;
+    }
+    uint8_t buf[kLineBytes];
+    loadBytes(p, off, buf, sz);
+    BitReader r(buf, size_t(sz) * 8);
+    bool ok = codec_->decompress(r, out);
+    assert(ok && "corrupt RMC slot");
+    (void)ok;
+}
+
+void
+RmcController::relayout(Page &p,
+                        const std::array<uint8_t, kLinesPerPage> &codes,
+                        LineIdx idx, const Line &raw, bool os_fault,
+                        McTrace &trace)
+{
+    // Gather current data.
+    std::array<Line, kLinesPerPage> buf;
+    for (LineIdx l = 0; l < kLinesPerPage; ++l)
+        readStored(p, l, buf[l]);
+    buf[idx] = raw;
+
+    uint32_t old_used = 0;
+    for (unsigned sp = 0; sp < kSubpages; ++sp)
+        old_used += p.sub_alloc[sp];
+    if (p.chunks > 0)
+        deviceOps(p, 0, old_used, false, false, trace);
+    stats_["overflow_move_ops"] += (old_used + kLineBytes - 1) /
+                                   kLineBytes;
+
+    p.code = codes;
+    uint32_t total = 0;
+    for (unsigned sp = 0; sp < kSubpages; ++sp) {
+        p.sub_alloc[sp] = subPack(p, sp) + cfg_.hysteresis_bytes;
+        total += p.sub_alloc[sp];
+    }
+    uint32_t alloc = pageBinBytes(std::min<uint32_t>(total, kPageBytes),
+                                  PageSizing::kVariable4);
+    if (alloc < total) {
+        // Full page: store raw, subpages degenerate to 1 KB each.
+        for (unsigned sp = 0; sp < kSubpages; ++sp)
+            p.sub_alloc[sp] = uint32_t(kPageBytes / kSubpages);
+        for (LineIdx l = 0; l < kLinesPerPage; ++l)
+            p.code[l] = uint8_t(bins_->count() - 1);
+        alloc = uint32_t(kPageBytes);
+    }
+    resizeAlloc(p, (alloc + uint32_t(kChunkBytes) - 1) /
+                       uint32_t(kChunkBytes));
+
+    if (os_fault) {
+        ++stats_["page_overflows"];
+        ++stats_["page_faults"];
+        stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+        trace.stall_cycles += cfg_.page_fault_cycles;
+    } else {
+        ++stats_["subpage_shifts"];
+    }
+
+    uint32_t new_used = 0;
+    for (unsigned sp = 0; sp < kSubpages; ++sp)
+        new_used += p.sub_alloc[sp];
+    for (LineIdx l = 0; l < kLinesPerPage; ++l) {
+        if (p.code[l] == 0)
+            continue;
+        uint32_t off = lineOffset(p, l);
+        if (bins_->binSize(p.code[l]) == kLineBytes) {
+            storeBytes(p, off, buf[l].data(), kLineBytes);
+        } else {
+            BitWriter w;
+            codec_->compress(buf[l], w);
+            storeBytes(p, off, w.bytes().data(), w.bytes().size());
+        }
+    }
+    deviceOps(p, 0, new_used, true, false, trace);
+    stats_["overflow_move_ops"] += (new_used + kLineBytes - 1) /
+                                   kLineBytes;
+}
+
+void
+RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
+{
+    PageNum pn = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["fills"];
+
+    Page &p = page(pn);
+    bstAccess(pn, false, trace);
+
+    if (!p.valid || p.zero || p.code[idx] == 0) {
+        data.fill(0);
+        ++stats_["zero_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    uint16_t sz = bins_->binSize(p.code[idx]);
+    uint32_t off = lineOffset(p, idx);
+    trace.fixed_latency += 1; // BST-side offset adder
+    unsigned blocks = deviceOps(p, off, sz, false, true, trace);
+    if (blocks > 1) {
+        ++stats_["split_fill_lines"];
+        stats_["split_extra_ops"] += blocks - 1;
+    }
+    readStored(p, idx, data);
+    if (sz != kLineBytes)
+        trace.fixed_latency += cfg_.compression_latency;
+    cur_trace_ = nullptr;
+}
+
+void
+RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
+{
+    PageNum pn = pageOf(addr);
+    LineIdx idx = lineOf(addr);
+    cur_trace_ = &trace;
+    ++stats_["writebacks"];
+
+    Page &p = page(pn);
+    bstAccess(pn, true, trace);
+
+    bool zero = isZeroLine(data);
+    BitWriter w;
+    codec_->compress(data, w);
+    unsigned bin = bins_->binFor(w.bytes().size(), zero);
+
+    if (!p.valid) {
+        p.valid = true;
+        p.zero = true;
+        ++stats_["pages_touched"];
+    }
+    if (p.zero) {
+        if (zero) {
+            ++stats_["zero_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        // First data: lay out the page with this line's code.
+        p.zero = false;
+        p.code.fill(0);
+        std::array<uint8_t, kLinesPerPage> codes{};
+        codes[idx] = uint8_t(bin);
+        // relayout() reads old content; page has no chunks yet.
+        trace.fixed_latency += cfg_.compression_latency;
+        relayout(p, codes, idx, data, false, trace);
+        stats_["subpage_shifts"] -= 1; // initial layout is not a shift
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    trace.fixed_latency += cfg_.compression_latency;
+    unsigned code = p.code[idx];
+
+    if (bin <= code) {
+        // Fits its slot.
+        if (zero && code == 0) {
+            ++stats_["zero_wbs"];
+        } else {
+            uint32_t off = lineOffset(p, idx);
+            uint16_t sz = bins_->binSize(code);
+            unsigned blocks = deviceOps(
+                p, off, std::max<size_t>(w.bytes().size(), 1), true,
+                false, trace);
+            if (blocks > 1) {
+                ++stats_["split_wb_lines"];
+                stats_["split_extra_ops"] += blocks - 1;
+            }
+            if (sz == kLineBytes)
+                storeBytes(p, off, data.data(), kLineBytes);
+            else
+                storeBytes(p, off, w.bytes().data(), w.bytes().size());
+        }
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    // Line overflow: try to absorb it in the subpage's hysteresis.
+    ++stats_["line_overflows"];
+    unsigned sp = subpageOf(idx);
+    std::array<uint8_t, kLinesPerPage> codes = p.code;
+    codes[idx] = uint8_t(bin);
+    uint32_t new_pack = 0;
+    for (unsigned l = sp * kLinesPerSubpage;
+         l < (sp + 1) * kLinesPerSubpage; ++l) {
+        new_pack += bins_->binSize(codes[l]);
+    }
+
+    if (new_pack <= p.sub_alloc[sp]) {
+        // Hysteresis absorbs it: shift only the lines after idx within
+        // this subpage ("light" movement).
+        std::array<Line, kLinesPerSubpage> buf;
+        for (unsigned l = idx + 1; l < (sp + 1) * kLinesPerSubpage; ++l)
+            readStored(p, LineIdx(l), buf[l - sp * kLinesPerSubpage]);
+        uint32_t moved_from = lineOffset(p, idx);
+        uint32_t sub_end = subBase(p, sp) + p.sub_alloc[sp];
+        deviceOps(p, moved_from, sub_end - moved_from, false, false,
+                  trace);
+        p.code = codes;
+        uint32_t off = lineOffset(p, idx);
+        if (bins_->binSize(bin) == kLineBytes)
+            storeBytes(p, off, data.data(), kLineBytes);
+        else
+            storeBytes(p, off, w.bytes().data(), w.bytes().size());
+        for (unsigned l = idx + 1; l < (sp + 1) * kLinesPerSubpage;
+             ++l) {
+            const Line &src = buf[l - sp * kLinesPerSubpage];
+            if (p.code[l] == 0)
+                continue;
+            uint32_t loff = lineOffset(p, LineIdx(l));
+            if (bins_->binSize(p.code[l]) == kLineBytes) {
+                storeBytes(p, loff, src.data(), kLineBytes);
+            } else {
+                BitWriter lw;
+                codec_->compress(src, lw);
+                storeBytes(p, loff, lw.bytes().data(),
+                           lw.bytes().size());
+            }
+        }
+        deviceOps(p, moved_from, sub_end - moved_from, true, false,
+                  trace);
+        stats_["overflow_move_ops"] +=
+            2ull * ((sub_end - moved_from + kLineBytes - 1) /
+                    kLineBytes);
+        ++stats_["hysteresis_absorbs"];
+        cur_trace_ = nullptr;
+        return;
+    }
+
+    // Subpage outgrew its slack: rebuild the page layout. If the new
+    // total still fits the current allocation it is a subpage shift;
+    // otherwise the OS must reallocate (page fault).
+    uint32_t total = 0;
+    for (unsigned s = 0; s < kSubpages; ++s) {
+        uint32_t pack = 0;
+        for (unsigned l = s * kLinesPerSubpage;
+             l < (s + 1) * kLinesPerSubpage; ++l) {
+            pack += bins_->binSize(codes[l]);
+        }
+        total += pack + cfg_.hysteresis_bytes;
+    }
+    bool os_fault = pageBinBytes(std::min<uint32_t>(total, kPageBytes),
+                                 PageSizing::kVariable4) >
+                    allocBytes(p);
+    relayout(p, codes, idx, data, os_fault, trace);
+    cur_trace_ = nullptr;
+}
+
+uint64_t
+RmcController::ospaBytes() const
+{
+    uint64_t n = 0;
+    for (const auto &[pn, p] : pages_)
+        n += p.valid ? kPageBytes : 0;
+    return n;
+}
+
+uint64_t
+RmcController::mpaDataBytes() const
+{
+    return chunks_.usedBytes();
+}
+
+uint64_t
+RmcController::mpaMetadataBytes() const
+{
+    uint64_t valid = 0;
+    for (const auto &[pn, p] : pages_)
+        valid += p.valid ? 1 : 0;
+    return valid * kMetadataEntryBytes;
+}
+
+void
+RmcController::freePage(PageNum pn)
+{
+    auto it = pages_.find(pn);
+    if (it == pages_.end() || !it->second.valid)
+        return;
+    resizeAlloc(it->second, 0);
+    it->second = Page{};
+    bst_.invalidate(pn);
+    ++stats_["pages_freed"];
+}
+
+} // namespace compresso

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * RMC-style memory controller: Robust Main-Memory Compression (Ekman
+ * & Stenström, ISCA 2005), the second OS-aware baseline in the
+ * paper's related-work table (Tab. V: LinePack-style packing, "light"
+ * data-movement optimizations).
+ *
+ * Design, as published and summarized by the paper:
+ *  - OS-aware: translation metadata lives with the page table (a
+ *    Block Size Table cached on chip); page overflows fault to the OS.
+ *  - A page is divided into four subpages, each packed LinePack-style
+ *    (per-line size codes, offset by prefix sum within the subpage).
+ *  - Each subpage ends in a small hysteresis area that absorbs line
+ *    growth without touching the neighboring subpages; only when a
+ *    subpage outgrows slack do the following subpages shift ("light"
+ *    movement), and only when the page outgrows its allocation does
+ *    the OS get involved.
+ *  - No repacking, no overflow prediction, no inflation room.
+ */
+
+#ifndef COMPRESSO_CORE_RMC_CONTROLLER_H
+#define COMPRESSO_CORE_RMC_CONTROLLER_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "compress/factory.h"
+#include "compress/size_bins.h"
+#include "core/chunk_allocator.h"
+#include "core/memory_controller.h"
+#include "meta/metadata_cache.h"
+
+namespace compresso {
+
+struct RmcConfig
+{
+    std::string compressor = "bpc";
+    /** Original RMC used ratio-optimal sizes (our legacy bins). */
+    bool alignment_friendly = false;
+    /** Hysteresis slack appended to each subpage. */
+    uint32_t hysteresis_bytes = 64;
+    MetadataCacheConfig bst{96 * 1024, 8, /*half_entry_opt=*/false};
+    uint64_t installed_bytes = uint64_t(8) << 30;
+    Cycle compression_latency = 12;
+    Cycle bst_hit_latency = 2;
+    /** OS page-fault cost for a page overflow. */
+    Cycle page_fault_cycles = 9000;
+};
+
+class RmcController : public MemoryController
+{
+  public:
+    explicit RmcController(const RmcConfig &cfg);
+
+    std::string name() const override { return "rmc"; }
+
+    void fillLine(Addr addr, Line &data, McTrace &trace) override;
+    void writebackLine(Addr addr, const Line &data,
+                       McTrace &trace) override;
+
+    uint64_t ospaBytes() const override;
+    uint64_t mpaDataBytes() const override;
+    uint64_t mpaMetadataBytes() const override;
+
+    void freePage(PageNum page) override;
+
+    StatGroup &stats() override { return stats_; }
+    const StatGroup &stats() const override { return stats_; }
+
+    static constexpr unsigned kSubpages = 4;
+    static constexpr unsigned kLinesPerSubpage =
+        kLinesPerPage / kSubpages;
+
+  private:
+    struct Page
+    {
+        bool valid = false;
+        bool zero = false;
+        std::array<uint8_t, kLinesPerPage> code{};    ///< bin per line
+        std::array<uint32_t, kSubpages> sub_alloc{};  ///< bytes incl slack
+        uint8_t chunks = 0;
+        std::array<uint32_t, kChunksPerPage> chunk_id;
+
+        Page() { chunk_id.fill(kNoChunk); }
+    };
+
+    Page &page(PageNum pn) { return pages_[pn]; }
+    Addr metadataAddr(PageNum pn) const;
+    void bstAccess(PageNum pn, bool dirty, McTrace &trace);
+
+    uint32_t subpageOf(LineIdx idx) const
+    {
+        return idx / kLinesPerSubpage;
+    }
+    /** Packed bytes of subpage @p sp (sum of its line bins). */
+    uint32_t subPack(const Page &p, unsigned sp) const;
+    /** Byte offset of subpage @p sp (sum of preceding sub_alloc). */
+    uint32_t subBase(const Page &p, unsigned sp) const;
+    /** Byte offset of line @p idx. */
+    uint32_t lineOffset(const Page &p, LineIdx idx) const;
+    uint32_t allocBytes(const Page &p) const
+    {
+        return uint32_t(p.chunks) * uint32_t(kChunkBytes);
+    }
+
+    Addr mpaOf(const Page &p, uint32_t off) const;
+    void storeBytes(const Page &p, uint32_t off, const uint8_t *src,
+                    size_t len);
+    void loadBytes(const Page &p, uint32_t off, uint8_t *dst,
+                   size_t len) const;
+    unsigned deviceOps(const Page &p, uint32_t off, size_t len,
+                       bool write, bool critical, McTrace &trace);
+    bool resizeAlloc(Page &p, unsigned chunks);
+
+    void readStored(const Page &p, LineIdx idx, Line &out) const;
+    /** Re-lay out the whole page for new codes (subpage shift or OS
+     *  page overflow), preserving data. */
+    void relayout(Page &p, const std::array<uint8_t, kLinesPerPage> &codes,
+                  LineIdx idx, const Line &raw, bool os_fault,
+                  McTrace &trace);
+
+    RmcConfig cfg_;
+    const SizeBins *bins_;
+    std::unique_ptr<Compressor> codec_;
+    ChunkAllocator chunks_;
+    MetadataCache bst_;
+    std::unordered_map<PageNum, Page> pages_;
+    McTrace *cur_trace_ = nullptr;
+
+    StatGroup stats_{"mc"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_RMC_CONTROLLER_H

@@ -1,0 +1,32 @@
+#include "core/uncompressed_controller.h"
+
+namespace compresso {
+
+void
+UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
+{
+    Addr la = lineAddr(addr);
+    touched_pages_.insert(pageOf(addr));
+    ++stats_["fills"];
+    auto it = store_.find(la);
+    if (it != store_.end())
+        data = it->second;
+    else
+        data.fill(0);
+    trace.add(la, false, true);
+    ++stats_["data_reads"];
+}
+
+void
+UncompressedController::writebackLine(Addr addr, const Line &data,
+                                      McTrace &trace)
+{
+    Addr la = lineAddr(addr);
+    touched_pages_.insert(pageOf(addr));
+    ++stats_["writebacks"];
+    store_[la] = data;
+    trace.add(la, true, false);
+    ++stats_["data_writes"];
+}
+
+} // namespace compresso

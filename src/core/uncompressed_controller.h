@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Baseline uncompressed memory controller: OSPA == MPA, one device
+ * access per fill or writeback, no metadata.
+ */
+
+#ifndef COMPRESSO_CORE_UNCOMPRESSED_CONTROLLER_H
+#define COMPRESSO_CORE_UNCOMPRESSED_CONTROLLER_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/memory_controller.h"
+
+namespace compresso {
+
+class UncompressedController : public MemoryController
+{
+  public:
+    UncompressedController() = default;
+
+    std::string name() const override { return "uncompressed"; }
+
+    void fillLine(Addr addr, Line &data, McTrace &trace) override;
+    void writebackLine(Addr addr, const Line &data,
+                       McTrace &trace) override;
+
+    uint64_t ospaBytes() const override
+    {
+        return touched_pages_.size() * kPageBytes;
+    }
+    uint64_t mpaDataBytes() const override { return ospaBytes(); }
+
+    StatGroup &stats() override { return stats_; }
+    const StatGroup &stats() const override { return stats_; }
+
+  private:
+    std::unordered_map<Addr, Line> store_; ///< by line address
+    std::unordered_set<PageNum> touched_pages_;
+    StatGroup stats_{"mc"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CORE_UNCOMPRESSED_CONTROLLER_H

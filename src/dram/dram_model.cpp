@@ -1,0 +1,102 @@
+#include "dram/dram_model.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg)
+{
+    banks_.resize(size_t(cfg_.channels) * cfg_.banks);
+    bus_free_at_.assign(cfg_.channels, 0);
+}
+
+unsigned
+DramModel::channelOf(Addr addr) const
+{
+    return unsigned((addr / kLineBytes) % cfg_.channels);
+}
+
+unsigned
+DramModel::bankOf(Addr addr) const
+{
+    // Line-granularity channel + bank interleaving (as in real
+    // controllers' address mappings): consecutive 64 B blocks rotate
+    // across channels and banks, so spatially-local bursts exploit
+    // bank-level parallelism.
+    unsigned bank =
+        unsigned((addr / kLineBytes / cfg_.channels) % cfg_.banks);
+    return channelOf(addr) * cfg_.banks + bank;
+}
+
+uint64_t
+DramModel::rowOf(Addr addr) const
+{
+    return addr / (cfg_.row_bytes * cfg_.banks * cfg_.channels);
+}
+
+Cycle
+DramModel::toCpu(unsigned dclks) const
+{
+    return Cycle(dclks) * cfg_.cpu_per_dclk_x4 / 4;
+}
+
+Cycle
+DramModel::bankReadyAt(Addr addr) const
+{
+    return banks_[bankOf(addr)].ready_at;
+}
+
+Cycle
+DramModel::access(Addr addr, bool write, Cycle now)
+{
+    Bank &bank = banks_[bankOf(addr)];
+    uint64_t row = rowOf(addr);
+
+    Cycle start = std::max(now, bank.ready_at);
+
+    unsigned dclks = 0;
+    if (bank.open_row == row) {
+        ++stats_["row_hits"];
+        dclks = cfg_.tCL;
+    } else if (bank.open_row == UINT64_MAX) {
+        ++stats_["row_misses"];
+        ++stats_["activates"];
+        dclks = cfg_.tRCD + cfg_.tCL;
+    } else {
+        ++stats_["row_conflicts"];
+        ++stats_["activates"];
+        ++stats_["precharges"];
+        dclks = cfg_.tRP + cfg_.tRCD + cfg_.tCL;
+    }
+    bank.open_row = row;
+
+    Cycle &bus_free = bus_free_at_[channelOf(addr)];
+    Cycle data_start = std::max(start + toCpu(dclks), bus_free);
+    Cycle done = data_start + toCpu(cfg_.tBURST);
+    bus_free = done;
+    // Bank occupancy: CAS commands to an open row pipeline at the
+    // burst rate (tCCD), so row hits only hold the bank for one burst;
+    // activates/precharges occupy it for the full command sequence.
+    // The bank never stays blocked on the shared data bus
+    // (bank-level parallelism).
+    if (dclks == cfg_.tCL)
+        bank.ready_at = start + toCpu(cfg_.tBURST);
+    else
+        bank.ready_at = start + toCpu(dclks) + toCpu(cfg_.tBURST);
+
+    ++stats_[write ? "writes" : "reads"];
+    return done;
+}
+
+void
+DramModel::reset()
+{
+    for (auto &b : banks_) {
+        b.open_row = UINT64_MAX;
+        b.ready_at = 0;
+    }
+    bus_free_at_.assign(cfg_.channels, 0);
+    stats_.reset();
+}
+
+} // namespace compresso

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * DDR4 main-memory timing model (Tab. III: DDR4-2666, BL8,
+ * tCL = tRCD = tRP = 18 DRAM cycles).
+ *
+ * Bank-level model: each bank tracks its open row and next-ready time;
+ * the channel data bus serializes bursts. All externally visible times
+ * are in CPU cycles (3 GHz core vs 1333 MHz DRAM command clock =>
+ * 2.25 CPU cycles per DRAM cycle, rounded to fixed-point x4).
+ *
+ * This is deliberately simpler than a full FR-FCFS scheduler: requests
+ * are serviced in arrival order per bank with bus arbitration, which
+ * preserves the row-locality and bandwidth-contention effects the
+ * paper's results depend on.
+ */
+
+#ifndef COMPRESSO_DRAM_DRAM_MODEL_H
+#define COMPRESSO_DRAM_DRAM_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace compresso {
+
+struct DramConfig
+{
+    /** Independent channels, line-interleaved; each has its own data
+     *  bus and bank set (4-core systems use 2, as on real boards). */
+    unsigned channels = 1;
+    unsigned banks = 16; ///< per channel
+    size_t row_bytes = 8192;
+    // DRAM-clock latencies (DDR4-2666 command clock, Tab. III).
+    unsigned tCL = 18;
+    unsigned tRCD = 18;
+    unsigned tRP = 18;
+    unsigned tBURST = 4; ///< BL8 on a x64 channel = 4 command clocks
+    /** CPU cycles per DRAM command clock, x4 fixed point (9 = 2.25). */
+    unsigned cpu_per_dclk_x4 = 9;
+};
+
+/** One 64 B device access. */
+struct DramOp
+{
+    Addr addr = 0;
+    bool write = false;
+    /** On the demand path (stalls the core) vs background traffic
+     *  (writebacks, overflow handling, repacking). */
+    bool critical = true;
+};
+
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &cfg = DramConfig());
+
+    /**
+     * Issue one 64 B access at CPU-cycle @p now.
+     * @return the CPU cycle at which the data burst completes.
+     */
+    Cycle access(Addr addr, bool write, Cycle now);
+
+    /** Earliest cycle the bank owning @p addr is ready. */
+    Cycle bankReadyAt(Addr addr) const;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Reset bank state and stats (between experiment points). */
+    void reset();
+
+  private:
+    struct Bank
+    {
+        uint64_t open_row = UINT64_MAX;
+        Cycle ready_at = 0;
+    };
+
+    unsigned channelOf(Addr addr) const;
+    unsigned bankOf(Addr addr) const;
+    uint64_t rowOf(Addr addr) const;
+    Cycle toCpu(unsigned dclks) const;
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_; ///< channels * banks
+    std::vector<Cycle> bus_free_at_;
+    StatGroup stats_{"dram"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_DRAM_DRAM_MODEL_H

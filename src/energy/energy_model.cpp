@@ -1,0 +1,29 @@
+#include "energy/energy_model.h"
+
+namespace compresso {
+
+EnergyBreakdown
+computeEnergy(const StatGroup &dram_stats, double cycles, unsigned cores,
+              uint64_t compressions, uint64_t md_accesses,
+              const EnergyParams &params)
+{
+    EnergyBreakdown e;
+
+    double seconds = cycles / params.core_freq_hz;
+    uint64_t bursts = dram_stats.get("reads") + dram_stats.get("writes");
+    e.dram_nj = double(bursts) * params.dram_rw_nj +
+                double(dram_stats.get("activates")) *
+                    params.dram_activate_nj +
+                params.dram_background_w * seconds * 1e9;
+
+    e.core_nj = params.core_w * double(cores) * seconds * 1e9;
+
+    double bpc_busy_s = double(compressions) *
+                        double(params.bpc_cycles_per_op) /
+                        params.bpc_freq_hz;
+    e.mc_nj = params.bpc_w * bpc_busy_s * 1e9 +
+              double(md_accesses) * params.mdcache_access_nj;
+    return e;
+}
+
+} // namespace compresso

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Event-count energy model (Sec. VII-C/D).
+ *
+ * Energies are charged per event from the simulation statistics, with
+ * the constants the paper reports: the synthesized BPC unit draws 7 mW
+ * at 800 MHz (< 0.4% of a DDR4-2666 channel's active power); a 96 KB
+ * 8-way metadata cache access costs 0.08 nJ (< 0.8% of a DRAM read).
+ * DRAM access/activate energies use standard DDR4 datasheet-scale
+ * values; core energy scales with cycles.
+ */
+
+#ifndef COMPRESSO_ENERGY_ENERGY_MODEL_H
+#define COMPRESSO_ENERGY_ENERGY_MODEL_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace compresso {
+
+struct EnergyParams
+{
+    // DRAM (per 64 B burst / per command), nanojoules.
+    double dram_rw_nj = 15.0;
+    double dram_activate_nj = 18.0;
+    /** DRAM background power (W) charged over wall-clock time. */
+    double dram_background_w = 0.6;
+    /** Core active power per core (W) at 3 GHz. */
+    double core_w = 12.0;
+    double core_freq_hz = 3.0e9;
+    /** Metadata cache access energy (paper: 0.08 nJ). */
+    double mdcache_access_nj = 0.08;
+    /** BPC compressor active power (paper: 7 mW @ 800 MHz) and the
+     *  12-cycle occupancy per (de)compression at 800 MHz. */
+    double bpc_w = 0.007;
+    double bpc_freq_hz = 800.0e6;
+    unsigned bpc_cycles_per_op = 12;
+};
+
+struct EnergyBreakdown
+{
+    double dram_nj = 0;
+    double core_nj = 0;
+    double mc_nj = 0; ///< compressor + metadata cache
+
+    double total() const { return dram_nj + core_nj + mc_nj; }
+};
+
+/**
+ * Charge energies from run statistics.
+ *
+ * @param dram_stats   DramModel stats (reads/writes/activates)
+ * @param cycles       wall-clock CPU cycles
+ * @param cores        active core count
+ * @param compressions number of compression + decompression operations
+ * @param md_accesses  metadata cache accesses (0 for uncompressed)
+ */
+EnergyBreakdown computeEnergy(const StatGroup &dram_stats, double cycles,
+                              unsigned cores, uint64_t compressions,
+                              uint64_t md_accesses,
+                              const EnergyParams &params = EnergyParams());
+
+} // namespace compresso
+
+#endif // COMPRESSO_ENERGY_ENERGY_MODEL_H

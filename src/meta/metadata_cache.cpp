@@ -1,0 +1,128 @@
+#include "meta/metadata_cache.h"
+
+#include <cassert>
+
+namespace compresso {
+
+MetadataCache::MetadataCache(const MetadataCacheConfig &cfg) : cfg_(cfg)
+{
+    size_t entries = cfg.size_bytes / kMetadataEntryBytes;
+    size_t sets = entries / cfg.ways;
+    assert(sets > 0);
+    sets_.resize(sets);
+}
+
+double
+MetadataCache::setWeight(const Set &s) const
+{
+    double w = 0;
+    for (const auto &e : s.entries)
+        w += weightOf(e);
+    return w;
+}
+
+MetadataCache::Set &
+MetadataCache::setFor(PageNum page)
+{
+    return sets_[page % sets_.size()];
+}
+
+const MetadataCache::Set &
+MetadataCache::setFor(PageNum page) const
+{
+    return sets_[page % sets_.size()];
+}
+
+bool
+MetadataCache::access(PageNum page, bool half, bool dirty)
+{
+    if (!cfg_.half_entry_opt)
+        half = false;
+    Set &set = setFor(page);
+    ++stats_["accesses"];
+
+    for (auto it = set.entries.begin(); it != set.entries.end(); ++it) {
+        if (it->page == page) {
+            ++stats_["hits"];
+            // Move to MRU; keep the larger shape if it grew.
+            Entry e = *it;
+            if (!half)
+                e.half = false;
+            e.dirty |= dirty;
+            set.entries.erase(it);
+            set.entries.push_front(e);
+            return true;
+        }
+    }
+
+    ++stats_["misses"];
+    set.entries.push_front(Entry{page, half, dirty, 0});
+    while (setWeight(set) > double(cfg_.ways)) {
+        Entry victim = set.entries.back();
+        set.entries.pop_back();
+        ++stats_["evictions"];
+        if (evict_hook_)
+            evict_hook_(victim.page, victim.dirty);
+    }
+    return false;
+}
+
+bool
+MetadataCache::contains(PageNum page) const
+{
+    const Set &set = setFor(page);
+    for (const auto &e : set.entries)
+        if (e.page == page)
+            return true;
+    return false;
+}
+
+void
+MetadataCache::invalidate(PageNum page)
+{
+    Set &set = setFor(page);
+    for (auto it = set.entries.begin(); it != set.entries.end(); ++it) {
+        if (it->page == page) {
+            set.entries.erase(it);
+            return;
+        }
+    }
+}
+
+void
+MetadataCache::reshape(PageNum page, bool half)
+{
+    if (!cfg_.half_entry_opt)
+        half = false;
+    Set &set = setFor(page);
+    for (auto it = set.entries.begin(); it != set.entries.end(); ++it) {
+        if (it->page == page) {
+            // Reshaping happens on an access, so refresh to MRU.
+            Entry e = *it;
+            e.half = half;
+            set.entries.erase(it);
+            set.entries.push_front(e);
+            break;
+        }
+    }
+    // Growing an entry can push the set over capacity.
+    while (setWeight(set) > double(cfg_.ways)) {
+        Entry victim = set.entries.back();
+        set.entries.pop_back();
+        ++stats_["evictions"];
+        if (evict_hook_)
+            evict_hook_(victim.page, victim.dirty);
+    }
+}
+
+uint8_t *
+MetadataCache::predictorCounter(PageNum page)
+{
+    Set &set = setFor(page);
+    for (auto &e : set.entries)
+        if (e.page == page)
+            return &e.ovf_counter;
+    return nullptr;
+}
+
+} // namespace compresso

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The memory controller's metadata cache (Sec. III / IV-B5).
+ *
+ * Set-associative, LRU, indexed by OSPA page number. Two features from
+ * the paper:
+ *
+ *  - each entry carries the 2-bit saturating page-overflow-predictor
+ *    counter (Sec. IV-B2);
+ *  - the half-entry optimization (Sec. IV-B5): entries for pages whose
+ *    second metadata half is unused (uncompressed pages) occupy half a
+ *    way, doubling effective capacity for incompressible working sets.
+ *
+ * An eviction callback lets the controller use evictions as the
+ * dynamic-repacking trigger (Sec. IV-B4).
+ */
+
+#ifndef COMPRESSO_META_METADATA_CACHE_H
+#define COMPRESSO_META_METADATA_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace compresso {
+
+struct MetadataCacheConfig
+{
+    size_t size_bytes = 96 * 1024; ///< Tab. III: 96 KB
+    unsigned ways = 8;
+    bool half_entry_opt = true;    ///< Sec. IV-B5 toggle
+};
+
+class MetadataCache
+{
+  public:
+    /** Called with the evicted page number and whether the cached entry
+     *  was dirty (needs writing back to the MPA metadata region); the
+     *  controller may use this as its repacking trigger. */
+    using EvictHook = std::function<void(PageNum, bool dirty)>;
+
+    explicit MetadataCache(const MetadataCacheConfig &cfg);
+
+    /**
+     * Look up @p page, inserting it (with weight by @p half) on miss.
+     * @param half whether only the first 32 B of metadata are needed
+     * @param dirty whether this access modifies the metadata entry
+     * @return true on hit
+     */
+    bool access(PageNum page, bool half, bool dirty = false);
+
+    /** True if present without touching LRU state. */
+    bool contains(PageNum page) const;
+
+    /** Drop @p page if present (no evict hook; used on page free). */
+    void invalidate(PageNum page);
+
+    /**
+     * Re-classify a resident page as needing full/half metadata (e.g.,
+     * a page transitioned compressed <-> uncompressed while hot).
+     */
+    void reshape(PageNum page, bool half);
+
+    /** 2-bit local overflow predictor counter for a resident page;
+     *  returns nullptr on miss. */
+    uint8_t *predictorCounter(PageNum page);
+
+    void setEvictHook(EvictHook hook) { evict_hook_ = std::move(hook); }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    size_t numSets() const { return sets_.size(); }
+
+  private:
+    struct Entry
+    {
+        PageNum page;
+        bool half;
+        bool dirty = false;
+        uint8_t ovf_counter = 0; ///< 2-bit saturating (Sec. IV-B2)
+    };
+
+    /** MRU-first list; total weight limited to `ways`. */
+    struct Set
+    {
+        std::list<Entry> entries;
+    };
+
+    double weightOf(const Entry &e) const { return e.half ? 0.5 : 1.0; }
+    double setWeight(const Set &s) const;
+    Set &setFor(PageNum page);
+    const Set &setFor(PageNum page) const;
+
+    MetadataCacheConfig cfg_;
+    std::vector<Set> sets_;
+    EvictHook evict_hook_;
+    StatGroup stats_{"mdcache"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_META_METADATA_CACHE_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Compresso per-OSPA-page metadata entry (Sec. III, Fig. 3).
+ *
+ * One 64 B entry per OSPA page, stored in a dedicated MPA region not
+ * exposed to the OS (1.6% of capacity). Layout, bit-packed:
+ *
+ *   first half (32 B) — sufficient for uncompressed pages:
+ *     valid(1) zero(1) compressed(1) chunks(4) free_space(12)
+ *     inflate_count(6) mpfn[8] (28 b each)
+ *   second half (32 B):
+ *     line size codes (64 x 2 b) inflation pointers (17 x 6 b)
+ *
+ * The metadata-cache optimization (Sec. IV-B5) caches only the first
+ * half for uncompressed pages, doubling effective capacity for
+ * incompressible working sets.
+ */
+
+#ifndef COMPRESSO_META_METADATA_ENTRY_H
+#define COMPRESSO_META_METADATA_ENTRY_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace compresso {
+
+struct MetadataEntry
+{
+    // --- control (first half) ---
+    bool valid = false;      ///< OSPA page mapped in MPA
+    bool zero = false;       ///< all-zero page: no MPA storage at all
+    bool compressed = false; ///< cleared when the page is stored raw
+    uint8_t chunks = 0;      ///< allocated 512 B chunks (0..8)
+    uint16_t free_space = 0; ///< recoverable bytes if repacked (Sec. IV-B4)
+    uint8_t inflate_count = 0; ///< lines in the inflation room (0..17)
+    std::array<uint32_t, kChunksPerPage> mpfn; ///< 28-bit chunk pointers
+
+    // --- second half ---
+    std::array<uint8_t, kLinesPerPage> line_code{}; ///< 2-bit bin codes
+    std::array<uint8_t, kMaxInflatedLines> inflate_line{}; ///< 6-bit idx
+
+    MetadataEntry() { mpfn.fill(kNoChunk); }
+
+    /** Serialize to the 64 B on-DRAM representation. */
+    std::array<uint8_t, kMetadataEntryBytes> pack() const;
+
+    /** Deserialize; returns false on malformed input (bad counts). */
+    static bool unpack(const std::array<uint8_t, kMetadataEntryBytes> &raw,
+                       MetadataEntry &out);
+
+    /** True if caching only the first 32 B suffices (uncompressed or
+     *  zero/invalid pages: line codes and inflation pointers unused). */
+    bool
+    halfCacheable() const
+    {
+        return !valid || zero || !compressed;
+    }
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_META_METADATA_ENTRY_H

@@ -1,0 +1,41 @@
+#include "os/balloon.h"
+
+namespace compresso {
+
+uint64_t
+BalloonDriver::inflate(uint64_t pages)
+{
+    std::vector<PageNum> freed = os_.reclaim(pages);
+    for (PageNum p : freed) {
+        mc_.freePage(p);
+        held_.push_back(p);
+    }
+    stats_["inflations"] += freed.size();
+    // The OS budget shrinks by what the balloon now holds.
+    if (os_.budget() >= freed.size())
+        os_.setBudget(os_.budget() - freed.size());
+    return freed.size();
+}
+
+void
+BalloonDriver::deflate(uint64_t pages)
+{
+    uint64_t n = std::min<uint64_t>(pages, held_.size());
+    held_.resize(held_.size() - n);
+    os_.setBudget(os_.budget() + n);
+    stats_["deflations"] += n;
+}
+
+uint64_t
+BalloonDriver::balance(uint64_t free_chunks, uint64_t reserve_chunks)
+{
+    if (free_chunks >= reserve_chunks)
+        return 0;
+    // Each reclaimed OSPA page frees up to 8 chunks; be conservative
+    // and assume half-compressed pages (4 chunks each).
+    uint64_t deficit = reserve_chunks - free_chunks;
+    uint64_t pages = (deficit + 3) / 4;
+    return inflate(pages);
+}
+
+} // namespace compresso

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Compresso balloon driver (Sec. V-B, Fig. 8).
+ *
+ * When poorly-compressible data exhausts machine memory, Compresso
+ * must shrink the OS's view of memory without the OS being
+ * compression-aware. The driver reuses the guest-ballooning facility
+ * every modern OS ships: it "inflates" by demanding pages through the
+ * regular allocation path (__alloc_pages() in Linux); the OS satisfies
+ * the demand by reclaiming free or cold pages; the driver then tells
+ * the hardware which OSPA pages were freed, and the controller marks
+ * them invalid, releasing their machine chunks.
+ */
+
+#ifndef COMPRESSO_OS_BALLOON_H
+#define COMPRESSO_OS_BALLOON_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "core/memory_controller.h"
+#include "os/sim_os.h"
+
+namespace compresso {
+
+class BalloonDriver
+{
+  public:
+    BalloonDriver(SimOs &os, MemoryController &mc) : os_(os), mc_(mc) {}
+
+    /**
+     * Inflate the balloon by @p pages: reclaim that many pages from
+     * the OS and invalidate them in the controller.
+     * @return pages actually reclaimed.
+     */
+    uint64_t inflate(uint64_t pages);
+
+    /** Deflate: give @p pages back to the OS budget. */
+    void deflate(uint64_t pages);
+
+    uint64_t heldPages() const { return held_.size(); }
+
+    /**
+     * Policy loop: keep machine free space above @p reserve_chunks by
+     * inflating as needed (invoked by the controller's out-of-memory
+     * watermark in a real design).
+     * @return pages reclaimed in this invocation.
+     */
+    uint64_t balance(uint64_t free_chunks, uint64_t reserve_chunks);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    SimOs &os_;
+    MemoryController &mc_;
+    std::vector<PageNum> held_;
+    StatGroup stats_{"balloon"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OS_BALLOON_H

@@ -1,0 +1,37 @@
+#include "os/page_allocator.h"
+
+namespace compresso {
+
+PageAllocator::PageAllocator(uint64_t frames) : total_(frames) {}
+
+PageNum
+PageAllocator::allocate()
+{
+    if (used_ >= total_)
+        return kNoPage;
+    PageNum f;
+    if (!free_list_.empty()) {
+        f = free_list_.back();
+        free_list_.pop_back();
+    } else {
+        f = next_fresh_++;
+    }
+    ++used_;
+    return f;
+}
+
+void
+PageAllocator::release(PageNum frame)
+{
+    free_list_.push_back(frame);
+    if (used_ > 0)
+        --used_;
+}
+
+void
+PageAllocator::setFrames(uint64_t frames)
+{
+    total_ = frames;
+}
+
+} // namespace compresso

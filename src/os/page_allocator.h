@@ -1,0 +1,48 @@
+/**
+ * @file
+ * OS physical page-frame allocator (free-list based), part of the
+ * miniature OS model used by the memory-capacity impact evaluation and
+ * the ballooning flow (Sec. V-B).
+ */
+
+#ifndef COMPRESSO_OS_PAGE_ALLOCATOR_H
+#define COMPRESSO_OS_PAGE_ALLOCATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace compresso {
+
+constexpr PageNum kNoPage = ~PageNum(0);
+
+class PageAllocator
+{
+  public:
+    explicit PageAllocator(uint64_t frames);
+
+    /** Allocate one frame; kNoPage when exhausted. */
+    PageNum allocate();
+    void release(PageNum frame);
+
+    /** Shrink/grow the frame pool (ballooning changes the budget). */
+    void setFrames(uint64_t frames);
+
+    uint64_t totalFrames() const { return total_; }
+    uint64_t usedFrames() const { return used_; }
+    uint64_t freeFrames() const
+    {
+        return total_ > used_ ? total_ - used_ : 0;
+    }
+
+  private:
+    uint64_t total_;
+    uint64_t used_ = 0;
+    uint64_t next_fresh_ = 0;
+    std::vector<PageNum> free_list_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OS_PAGE_ALLOCATOR_H

@@ -1,0 +1,66 @@
+#include "os/sim_os.h"
+
+namespace compresso {
+
+SimOs::SimOs(uint64_t budget_pages) : budget_(budget_pages) {}
+
+void
+SimOs::evictOne()
+{
+    if (lru_.empty())
+        return;
+    PageNum victim = lru_.back();
+    lru_.pop_back();
+    auto it = resident_.find(victim);
+    if (it != resident_.end()) {
+        if (it->second.dirty)
+            swap_.pageOut();
+        resident_.erase(it);
+    }
+    ++stats_["evictions"];
+}
+
+bool
+SimOs::touch(PageNum page, bool dirty)
+{
+    ++stats_["touches"];
+    auto it = resident_.find(page);
+    if (it != resident_.end()) {
+        lru_.erase(it->second.lru_it);
+        lru_.push_front(page);
+        it->second.lru_it = lru_.begin();
+        it->second.dirty |= dirty;
+        return false;
+    }
+
+    ++stats_["faults"];
+    swap_.pageIn();
+    while (resident_.size() >= budget_ && !resident_.empty())
+        evictOne();
+    lru_.push_front(page);
+    resident_[page] = Resident{lru_.begin(), dirty};
+    return true;
+}
+
+void
+SimOs::setBudget(uint64_t budget_pages)
+{
+    budget_ = budget_pages;
+    while (resident_.size() > budget_)
+        evictOne();
+}
+
+std::vector<PageNum>
+SimOs::reclaim(uint64_t n)
+{
+    std::vector<PageNum> freed;
+    while (n-- > 0 && !lru_.empty()) {
+        PageNum victim = lru_.back();
+        freed.push_back(victim);
+        evictOne();
+        ++stats_["balloon_reclaims"];
+    }
+    return freed;
+}
+
+} // namespace compresso

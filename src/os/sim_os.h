@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Miniature OS memory manager: resident-set tracking with LRU reclaim
+ * against a (dynamically adjustable) physical budget, paging evicted
+ * pages to a swap device.
+ *
+ * This is the substrate for two things:
+ *  - the memory-capacity impact evaluation (Sec. VI-A): the budget is
+ *    scaled by the workload's real-time compression ratio, exactly as
+ *    the paper does with cgroups;
+ *  - the ballooning flow (Sec. V-B): the balloon driver demands pages,
+ *    the OS reclaims cold pages via the same LRU path, and the freed
+ *    page numbers are handed to the hardware.
+ */
+
+#ifndef COMPRESSO_OS_SIM_OS_H
+#define COMPRESSO_OS_SIM_OS_H
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "os/page_allocator.h"
+#include "os/swap_device.h"
+
+namespace compresso {
+
+class SimOs
+{
+  public:
+    /** @param budget_pages physical frames initially available */
+    explicit SimOs(uint64_t budget_pages);
+
+    /**
+     * Process touches virtual page @p page (optionally dirtying it).
+     * @return true if the touch faulted (page was not resident).
+     */
+    bool touch(PageNum page, bool dirty = false);
+
+    /** Change the physical budget; reclaims immediately if shrinking. */
+    void setBudget(uint64_t budget_pages);
+    uint64_t budget() const { return budget_; }
+
+    /**
+     * Reclaim up to @p n cold pages (LRU order), as the balloon driver
+     * does via __alloc_pages(). Clean cold pages are dropped; dirty
+     * ones are paged out first.
+     * @return the virtual page numbers reclaimed.
+     */
+    std::vector<PageNum> reclaim(uint64_t n);
+
+    uint64_t residentPages() const { return resident_.size(); }
+    uint64_t faults() const { return stats_.get("faults"); }
+
+    SwapDevice &swap() { return swap_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Resident
+    {
+        std::list<PageNum>::iterator lru_it;
+        bool dirty;
+    };
+
+    void evictOne();
+
+    uint64_t budget_;
+    std::list<PageNum> lru_; ///< front = MRU
+    std::unordered_map<PageNum, Resident> resident_;
+    SwapDevice swap_;
+    StatGroup stats_{"os"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OS_SIM_OS_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Swap device model: counts page-ins/outs and charges a fixed cost per
+ * operation (the paper's memory-capacity methodology pages to an SSD
+ * swap area when the cgroup budget is exceeded).
+ */
+
+#ifndef COMPRESSO_OS_SWAP_DEVICE_H
+#define COMPRESSO_OS_SWAP_DEVICE_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace compresso {
+
+class SwapDevice
+{
+  public:
+    /** @param page_in_us  latency to fault a 4 KB page in from swap
+     *  @param page_out_us latency to clean and write a dirty page */
+    explicit SwapDevice(double page_in_us = 50.0, double page_out_us = 25.0)
+        : page_in_us_(page_in_us), page_out_us_(page_out_us)
+    {}
+
+    void
+    pageIn()
+    {
+        ++stats_["page_ins"];
+        busy_us_ += page_in_us_;
+    }
+
+    void
+    pageOut()
+    {
+        ++stats_["page_outs"];
+        busy_us_ += page_out_us_;
+    }
+
+    double busyMicros() const { return busy_us_; }
+    uint64_t pageIns() const { return stats_.get("page_ins"); }
+    uint64_t pageOuts() const { return stats_.get("page_outs"); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    double page_in_us_;
+    double page_out_us_;
+    double busy_us_ = 0;
+    StatGroup stats_{"swap"};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OS_SWAP_DEVICE_H

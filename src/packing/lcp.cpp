@@ -1,0 +1,48 @@
+#include "packing/lcp.h"
+
+namespace compresso {
+
+LcpLayout
+lcpPack(const std::array<LineSize, kLinesPerPage> &sizes,
+        const SizeBins &bins)
+{
+    LcpLayout best;
+    uint32_t best_bytes = UINT32_MAX;
+
+    // Candidate targets: every non-zero bin size (64 B included).
+    for (unsigned b = 1; b < bins.count(); ++b) {
+        uint16_t target = bins.binSize(b);
+        LcpLayout cand;
+        cand.target_bytes = target;
+        uint32_t exc = 0;
+        for (size_t i = 0; i < kLinesPerPage; ++i) {
+            // Zero lines fit in any slot; 64 B slots hold any line raw
+            // (oversized encodings are stored uncompressed).
+            bool fits = sizes[i].zero || sizes[i].bytes <= target ||
+                        target == kLineBytes;
+            cand.exception[i] = !fits;
+            if (!fits)
+                ++exc;
+        }
+        cand.exception_count = exc;
+        cand.payload_bytes =
+            uint32_t(kLinesPerPage) * target + exc * uint32_t(kLineBytes);
+        if (cand.payload_bytes < best_bytes) {
+            best_bytes = cand.payload_bytes;
+            best = cand;
+        }
+    }
+    return best;
+}
+
+uint32_t
+lcpOffset(const LcpLayout &layout, LineIdx idx, uint32_t exc_slot)
+{
+    if (layout.exception[idx]) {
+        return uint32_t(kLinesPerPage) * layout.target_bytes +
+               exc_slot * uint32_t(kLineBytes);
+    }
+    return idx * uint32_t(layout.target_bytes);
+}
+
+} // namespace compresso

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * LCP-style packing (Pekhimenko et al., MICRO 2013), used as the
+ * competitive baseline (Sec. II-C, VI-F).
+ *
+ * All lines in a page are compressed to one per-page target size;
+ * lines that do not fit ("exceptions") are stored uncompressed in an
+ * exception region at the end of the compressed page and located via
+ * explicit metadata pointers. The line offset is a multiply
+ * (idx * target), which permits a speculative data access in parallel
+ * with the metadata access.
+ */
+
+#ifndef COMPRESSO_PACKING_LCP_H
+#define COMPRESSO_PACKING_LCP_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "packing/linepack.h"
+
+namespace compresso {
+
+/** Result of LCP-packing one page. */
+struct LcpLayout
+{
+    uint16_t target_bytes = kLineBytes;          ///< per-line slot size
+    std::array<bool, kLinesPerPage> exception{}; ///< line stored in exc region
+    uint32_t exception_count = 0;
+    uint32_t payload_bytes = 0; ///< slots + exception region
+};
+
+/**
+ * Choose the best target size for a page and lay it out.
+ *
+ * Candidate targets are the non-zero bin sizes of @p bins plus 64 B
+ * (uncompressed). Zero lines still occupy their slot (LCP keeps the
+ * linear layout), but an all-zero page compresses to nothing at the
+ * metadata level, handled by the controller.
+ *
+ * @param sizes exact compressed sizes per line
+ * @param bins  candidate target sizes
+ */
+LcpLayout lcpPack(const std::array<LineSize, kLinesPerPage> &sizes,
+                  const SizeBins &bins);
+
+/** Byte offset of line @p idx in an LCP page (exceptions live past the
+ *  slot array; @p exc_slot is the line's index within the exception
+ *  region). */
+uint32_t lcpOffset(const LcpLayout &layout, LineIdx idx, uint32_t exc_slot);
+
+} // namespace compresso
+
+#endif // COMPRESSO_PACKING_LCP_H

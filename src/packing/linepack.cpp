@@ -1,0 +1,52 @@
+#include "packing/linepack.h"
+
+namespace compresso {
+
+PageLayout
+linePack(const std::array<LineSize, kLinesPerPage> &sizes,
+         const SizeBins &bins)
+{
+    PageLayout layout;
+    uint32_t off = 0;
+    for (size_t i = 0; i < kLinesPerPage; ++i) {
+        unsigned b = bins.binFor(sizes[i].bytes, sizes[i].zero);
+        uint16_t sz = bins.binSize(b);
+        layout.bin[i] = uint8_t(b);
+        layout.offset[i] = uint16_t(off);
+        if (sz > 0 && (off / kLineBytes) != ((off + sz - 1) / kLineBytes))
+            ++layout.split_lines;
+        off += sz;
+    }
+    layout.payload_bytes = off;
+    return layout;
+}
+
+uint32_t
+linePackOffset(const std::array<uint8_t, kLinesPerPage> &bin,
+               const SizeBins &bins, LineIdx idx)
+{
+    uint32_t off = 0;
+    for (LineIdx i = 0; i < idx; ++i)
+        off += bins.binSize(bin[i]);
+    return off;
+}
+
+uint32_t
+pageBinBytes(uint32_t payload_bytes, PageSizing scheme)
+{
+    if (payload_bytes == 0)
+        return 0;
+    switch (scheme) {
+      case PageSizing::kChunked512:
+        return uint32_t(roundUp(payload_bytes, kChunkBytes));
+      case PageSizing::kVariable4:
+        for (uint32_t sz : {512u, 1024u, 2048u, 4096u}) {
+            if (payload_bytes <= sz)
+                return sz;
+        }
+        return uint32_t(kPageBytes);
+    }
+    return uint32_t(kPageBytes);
+}
+
+} // namespace compresso

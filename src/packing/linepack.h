@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LinePack: Compresso's cache-line packing scheme (Sec. II-C).
+ *
+ * Compressed lines are stored back to back at their binned sizes; the
+ * per-page metadata stores a 2-bit size code per line and the offset of
+ * a line is the prefix sum of the binned sizes before it (computed by a
+ * ~1-cycle custom adder in hardware, modeled in core/offset_circuit).
+ *
+ * This module computes a page layout (per-line bins, offsets, payload
+ * bytes, split-access lines) from the compressed sizes of the 64 lines
+ * of an OSPA page.
+ */
+
+#ifndef COMPRESSO_PACKING_LINEPACK_H
+#define COMPRESSO_PACKING_LINEPACK_H
+
+#include <array>
+#include <cstdint>
+
+#include "compress/size_bins.h"
+#include "common/types.h"
+
+namespace compresso {
+
+/** Compressed size and zero-ness of one line, pre-quantization. */
+struct LineSize
+{
+    uint16_t bytes = kLineBytes; ///< exact compressed payload bytes
+    bool zero = false;           ///< all-zero line (stored in metadata only)
+};
+
+/** Result of packing one page. */
+struct PageLayout
+{
+    std::array<uint8_t, kLinesPerPage> bin{};     ///< bin index per line
+    std::array<uint16_t, kLinesPerPage> offset{}; ///< byte offset per line
+    uint32_t payload_bytes = 0; ///< bytes of packed compressed data
+    uint32_t split_lines = 0;   ///< lines straddling 64 B boundaries
+};
+
+/**
+ * Pack 64 line sizes with LinePack.
+ *
+ * @param sizes   exact compressed sizes (bytes) per line
+ * @param bins    the size-bin set in use
+ * @return the page layout
+ */
+PageLayout linePack(const std::array<LineSize, kLinesPerPage> &sizes,
+                    const SizeBins &bins);
+
+/** Offset of line @p idx given per-line bins (prefix sum), mirroring
+ *  the hardware adder. */
+uint32_t linePackOffset(const std::array<uint8_t, kLinesPerPage> &bin,
+                        const SizeBins &bins, LineIdx idx);
+
+/** Page sizing schemes (Sec. II-D). */
+enum class PageSizing
+{
+    kChunked512,  ///< incremental 512 B chunks: 0,512,...,4096 (9 states)
+    kVariable4,   ///< variable-size chunks: 0,512,1024,2048,4096
+};
+
+/** Smallest allowed MPA page size >= @p payload_bytes under @p scheme.
+ *  Non-zero payloads have a 512 B minimum (Sec. II-D). */
+uint32_t pageBinBytes(uint32_t payload_bytes, PageSizing scheme);
+
+} // namespace compresso
+
+#endif // COMPRESSO_PACKING_LINEPACK_H

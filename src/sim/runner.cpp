@@ -1,0 +1,68 @@
+#include "sim/runner.h"
+
+namespace compresso {
+
+SystemConfig
+makeSystemConfig(McKind kind, unsigned cores, const RunSpec &spec)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.cores = cores;
+    cfg.compresso = spec.compresso;
+    cfg.lcp = spec.lcp;
+    cfg.dram = spec.dram;
+    cfg.core = spec.core;
+    cfg.hierarchy.l3_bytes = cores > 1 ? size_t(8) << 20 : size_t(2) << 20;
+    // 4-core systems run dual-channel memory, as on real boards.
+    if (cores > 1 && cfg.dram.channels == 1)
+        cfg.dram.channels = 2;
+    return cfg;
+}
+
+RunResult
+runSystem(const RunSpec &spec)
+{
+    unsigned cores = unsigned(spec.workloads.size());
+    SystemConfig cfg = makeSystemConfig(spec.kind, cores, spec);
+    System sys(cfg, spec.workloads, spec.seed);
+
+    sys.populate();
+    if (spec.warmup_refs > 0) {
+        sys.run(spec.warmup_refs);
+        sys.resetStats();
+    }
+    sys.run(spec.refs_per_core);
+
+    RunResult r;
+    r.label = mcKindName(spec.kind);
+    r.cycles = double(sys.cycles());
+    r.insts = sys.instsRetired();
+    r.perf = r.cycles > 0 ? double(r.insts) / r.cycles : 0;
+    r.comp_ratio = sys.mc().compressionRatio();
+    r.mc_stats = sys.mc().stats();
+    r.dram_stats = sys.dram().stats();
+
+    const StatGroup &mc = r.mc_stats;
+    double baseline = double(mc.get("fills") + mc.get("writebacks"));
+    if (baseline > 0) {
+        r.extra_split = double(mc.get("split_extra_ops")) / baseline;
+        r.extra_overflow = double(mc.get("overflow_move_ops") +
+                                  mc.get("exception_extra_ops")) /
+                           baseline;
+        r.extra_repack = double(mc.get("repack_read_ops") +
+                                mc.get("repack_write_ops")) /
+                         baseline;
+        r.extra_metadata = double(mc.get("md_read_ops") +
+                                  mc.get("md_write_ops")) /
+                           baseline;
+        r.extra_total = r.extra_split + r.extra_overflow +
+                        r.extra_repack + r.extra_metadata;
+        r.zero_access_frac =
+            double(mc.get("zero_fills") + mc.get("zero_wbs")) / baseline;
+    }
+    if (MetadataCache *mdc = sys.metadataCache())
+        r.md_hit_rate = mdc->stats().ratio("hits", "accesses");
+    return r;
+}
+
+} // namespace compresso

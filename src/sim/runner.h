@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment runner: builds a System for (back end, workloads), runs a
+ * fixed reference budget, and reduces the statistics into the metrics
+ * the paper's figures report.
+ */
+
+#ifndef COMPRESSO_SIM_RUNNER_H
+#define COMPRESSO_SIM_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace compresso {
+
+struct RunSpec
+{
+    McKind kind = McKind::kCompresso;
+    /** One workload per core (1 or 4 entries). */
+    std::vector<std::string> workloads;
+    uint64_t refs_per_core = 400000;
+    uint64_t warmup_refs = 40000;
+    uint64_t seed = 1;
+    /** Optional overrides; cores/l3 are derived from workloads. */
+    CompressoConfig compresso;
+    LcpConfig lcp;
+    DramConfig dram;
+    CoreConfig core;
+};
+
+struct RunResult
+{
+    std::string label;
+    double cycles = 0;
+    uint64_t insts = 0;
+    double perf = 0; ///< instructions per cycle (all cores)
+
+    double comp_ratio = 1.0; ///< OSPA / MPA data bytes
+
+    /** Compression-related extra device accesses, relative to the
+     *  fills+writebacks an uncompressed system would issue (Fig. 4/6
+     *  metric), split by cause. */
+    double extra_split = 0;
+    double extra_overflow = 0; ///< line/page overflow handling moves
+    double extra_repack = 0;
+    double extra_metadata = 0;
+    double extra_total = 0;
+
+    double md_hit_rate = 0;
+    double zero_access_frac = 0; ///< fills+wbs served by metadata alone
+
+    StatGroup mc_stats;
+    StatGroup dram_stats;
+};
+
+/** Build and run one configuration. */
+RunResult runSystem(const RunSpec &spec);
+
+/** Convenience: standard Tab. III system for a given back end and
+ *  workload set (sets shared-L3 size by core count). */
+SystemConfig makeSystemConfig(McKind kind, unsigned cores,
+                              const RunSpec &spec);
+
+} // namespace compresso
+
+#endif // COMPRESSO_SIM_RUNNER_H

@@ -1,0 +1,288 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace compresso {
+
+namespace {
+
+/** Metadata-region ops live above the data-chunk arena. */
+bool
+isMetadataOp(const DramOp &op)
+{
+    return op.addr >= (Addr(1) << 40);
+}
+
+} // namespace
+
+const char *
+mcKindName(McKind kind)
+{
+    switch (kind) {
+      case McKind::kUncompressed: return "uncompressed";
+      case McKind::kLcp: return "lcp";
+      case McKind::kLcpAlign: return "lcp+align";
+      case McKind::kRmc: return "rmc";
+      case McKind::kCompresso: return "compresso";
+    }
+    return "?";
+}
+
+System::System(const SystemConfig &cfg,
+               const std::vector<std::string> &workloads, uint64_t seed)
+    : cfg_(cfg), dram_(cfg.dram), hier_([&] {
+          HierarchyConfig h = cfg.hierarchy;
+          h.cores = cfg.cores;
+          return h;
+      }())
+{
+    assert(workloads.size() == cfg.cores);
+
+    switch (cfg.kind) {
+      case McKind::kUncompressed:
+        mc_ = std::make_unique<UncompressedController>();
+        break;
+      case McKind::kLcp:
+      case McKind::kLcpAlign: {
+        LcpConfig lc = cfg.lcp;
+        lc.alignment_friendly = cfg.kind == McKind::kLcpAlign;
+        auto ctl = std::make_unique<LcpController>(lc);
+        lcp_ = ctl.get();
+        mc_ = std::move(ctl);
+        break;
+      }
+      case McKind::kRmc:
+        mc_ = std::make_unique<RmcController>(RmcConfig{});
+        break;
+      case McKind::kCompresso: {
+        auto ctl = std::make_unique<CompressoController>(cfg.compresso);
+        compresso_ = ctl.get();
+        mc_ = std::move(ctl);
+        break;
+      }
+    }
+
+    cores_.assign(cfg.cores, CoreModel(cfg.core));
+    miss_table_.assign(cfg.cores, {});
+    for (auto &t : miss_table_)
+        t.fill(~Addr(0));
+    miss_table_pos_.assign(cfg.cores, 0);
+
+    // Each core's workload instance occupies a disjoint OSPA range.
+    PageNum base = 0;
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const WorkloadProfile &prof = profileByName(workloads[c]);
+        streams_.push_back(std::make_unique<AccessStream>(
+            prof, Rng::mix(seed, c + 1), base));
+        base += prof.pages + 16; // guard gap between instances
+    }
+}
+
+MetadataCache *
+System::metadataCache()
+{
+    if (compresso_)
+        return &compresso_->metadataCache();
+    if (lcp_)
+        return &lcp_->metadataCache();
+    return nullptr;
+}
+
+AccessStream *
+System::streamOwning(Addr addr)
+{
+    for (auto &s : streams_) {
+        if (addr >= s->baseAddr() && addr < s->endAddr())
+            return s.get();
+    }
+    return nullptr;
+}
+
+void
+System::populate()
+{
+    for (auto &s : streams_) {
+        Line data;
+        for (Addr a = s->baseAddr(); a < s->endAddr(); a += kLineBytes) {
+            s->initialLineData(a, data);
+            McTrace scratch;
+            mc_->writebackLine(a, data, scratch);
+        }
+    }
+    resetStats();
+}
+
+void
+System::resetStats()
+{
+    mc_->stats().reset();
+    dram_.stats().reset();
+    hier_.l3().stats().reset();
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        hier_.l1(c).stats().reset();
+        hier_.l2(c).stats().reset();
+    }
+    if (MetadataCache *mdc = metadataCache())
+        mdc->stats().reset();
+}
+
+Cycle
+System::serviceFill(unsigned core, Addr addr, Cycle now)
+{
+    Line data;
+    McTrace tr;
+    mc_->fillLine(addr, data, tr);
+
+    Cycle done = now;
+    Cycle chain = now;
+    bool spec = tr.speculative_parallel;
+    unsigned spec_budget = 2; // metadata + slot issue together
+    for (const DramOp &op : tr.ops) {
+        if (!op.critical) {
+            dram_.access(op.addr, op.write, now);
+            continue;
+        }
+        if (spec && spec_budget > 0) {
+            // OS-aware LCP: the slot access issues in parallel with
+            // the metadata access (the TLB knows the target size); an
+            // exception access must serialize behind both.
+            --spec_budget;
+            Cycle t = dram_.access(op.addr, op.write, now);
+            done = std::max(done, t);
+        } else if (spec) {
+            Cycle t = dram_.access(op.addr, op.write, done);
+            done = std::max(done, t);
+        } else {
+            // Metadata first, then the (possibly multiple) data blocks
+            // issue in parallel with each other.
+            Cycle t = dram_.access(op.addr, op.write, chain);
+            if (isMetadataOp(op))
+                chain = t;
+            done = std::max(done, t);
+        }
+    }
+    return done + tr.fixed_latency;
+}
+
+void
+System::serviceWriteback(unsigned core, Addr addr)
+{
+    AccessStream *owner = streamOwning(addr);
+    if (!owner)
+        return; // spilled guard-gap line; cannot happen in practice
+    Line data;
+    owner->lineData(addr, data);
+    McTrace tr;
+    mc_->writebackLine(addr, data, tr);
+    Cycle now = cores_[core].now();
+    for (const DramOp &op : tr.ops)
+        dram_.access(op.addr, op.write, now);
+    if (tr.stall_cycles > 0)
+        cores_[core].stall(tr.stall_cycles);
+}
+
+void
+System::step(unsigned core)
+{
+    CoreModel &cm = cores_[core];
+    MemRef ref = streams_[core]->next();
+    cm.advanceInsts(ref.inst_gap);
+
+    HierarchyOutcome out = hier_.access(core, ref.addr, ref.write);
+    for (Addr wb : out.memory_writebacks)
+        serviceWriteback(core, wb);
+
+    if (out.hit_level != 0) {
+        if (ref.write)
+            cm.store();
+        else
+            cm.load(cm.now() + out.hit_latency);
+        return;
+    }
+
+    Cycle done = serviceFill(core, ref.addr, cm.now() + out.hit_latency);
+    if (ref.write)
+        cm.store(); // fill overlaps via the store buffer
+    else
+        cm.load(done);
+
+    // Stride-1 stream detected: prefetch the next line into the LLC.
+    Addr line = lineAddr(ref.addr);
+    if (cfg_.next_line_prefetch) {
+        for (Addr prev : miss_table_[core]) {
+            if (line == prev + kLineBytes) {
+                prefetchLine(core, line + kLineBytes);
+                break;
+            }
+        }
+    }
+    auto &table = miss_table_[core];
+    table[miss_table_pos_[core]] = line;
+    miss_table_pos_[core] = (miss_table_pos_[core] + 1) % table.size();
+}
+
+void
+System::prefetchLine(unsigned core, Addr addr)
+{
+    if (hier_.l3().contains(addr) || !streamOwning(addr))
+        return;
+    Line data;
+    McTrace tr;
+    mc_->fillLine(addr, data, tr);
+    Cycle now = cores_[core].now();
+    for (const DramOp &op : tr.ops)
+        dram_.access(op.addr, op.write, now); // bandwidth, no stall
+    CacheResult cr = hier_.l3().access(addr, false);
+    if (cr.writeback)
+        serviceWriteback(core, cr.victim_addr);
+}
+
+void
+System::run(uint64_t refs_per_core)
+{
+    std::vector<uint64_t> issued(cfg_.cores, 0);
+    bool remaining = true;
+    while (remaining) {
+        // Advance the core that is furthest behind in time so the
+        // cores stay under mutual contention (zsim-style interleave).
+        remaining = false;
+        unsigned pick = 0;
+        Cycle best = ~Cycle(0);
+        for (unsigned c = 0; c < cfg_.cores; ++c) {
+            if (issued[c] >= refs_per_core)
+                continue;
+            remaining = true;
+            if (cores_[c].now() < best) {
+                best = cores_[c].now();
+                pick = c;
+            }
+        }
+        if (!remaining)
+            break;
+        step(pick);
+        ++issued[pick];
+    }
+    for (auto &cm : cores_)
+        cm.drainAll();
+}
+
+Cycle
+System::cycles() const
+{
+    Cycle worst = 0;
+    for (const auto &cm : cores_)
+        worst = std::max(worst, cm.now());
+    return worst;
+}
+
+uint64_t
+System::instsRetired() const
+{
+    uint64_t total = 0;
+    for (const auto &cm : cores_)
+        total += cm.instsRetired();
+    return total;
+}
+
+} // namespace compresso

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-trace import/export and replay.
+ *
+ * The synthetic profiles (src/workloads) stand in for SPEC; users with
+ * their own pin/DynamoRIO/zsim traces can replay them through the same
+ * system model instead. The text format is one record per line:
+ *
+ *     R <hex-addr> [gap]
+ *     W <hex-addr> [gap] [class[:version]]
+ *
+ * where `gap` is the number of non-memory instructions preceding the
+ * reference (default 8), and `class` names the data-class whose
+ * deterministic content the write stores (default "random"; real
+ * traces rarely carry data, so the class lets users approximate their
+ * data's compressibility). Lines starting with '#' are comments.
+ */
+
+#ifndef COMPRESSO_SIM_TRACE_H
+#define COMPRESSO_SIM_TRACE_H
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "sim/system.h"
+
+namespace compresso {
+
+/** One parsed trace reference. */
+struct TraceRecord
+{
+    Addr addr = 0;
+    bool write = false;
+    double inst_gap = 8.0;
+    DataClass cls = DataClass::kRandom;
+    uint32_t version = 0;
+};
+
+/** Streaming text-trace parser. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::istream &in) : in_(in) {}
+
+    /** Parse the next record; false at end of stream.
+     *  Malformed lines are skipped and counted. */
+    bool next(TraceRecord &rec);
+
+    uint64_t parsed() const { return parsed_; }
+    uint64_t skipped() const { return skipped_; }
+
+  private:
+    std::istream &in_;
+    uint64_t parsed_ = 0;
+    uint64_t skipped_ = 0;
+};
+
+/** Emit a record in the canonical text form. */
+void writeTraceRecord(std::ostream &os, const TraceRecord &rec);
+
+/** Result of replaying a trace through a system. */
+struct TraceReplayReport
+{
+    uint64_t references = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    Cycle cycles = 0;
+    double ipc = 0;
+    double comp_ratio = 1.0;
+    StatGroup mc_stats;
+    StatGroup dram_stats;
+};
+
+/**
+ * Replay a trace through a freshly built system of the given kind
+ * (same Tab. III configuration the profile-driven runner uses).
+ *
+ * @param max_refs stop after this many references (0 = all)
+ */
+TraceReplayReport replayTrace(McKind kind, TraceReader &reader,
+                              uint64_t max_refs = 0);
+
+} // namespace compresso
+
+#endif // COMPRESSO_SIM_TRACE_H

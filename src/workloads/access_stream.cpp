@@ -1,0 +1,146 @@
+#include "workloads/access_stream.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+AccessStream::AccessStream(const WorkloadProfile &profile, uint64_t seed,
+                           PageNum base_page, uint64_t phase_len)
+    : profile_(profile),
+      seed_(seed),
+      base_page_(base_page),
+      phase_len_(std::max<uint64_t>(1, phase_len)),
+      rng_(Rng::mix(seed, 0xacce55ULL)),
+      stream_pos_(Addr(base_page) * kPageBytes)
+{
+}
+
+AccessStream::LineState
+AccessStream::stateOf(Addr addr) const
+{
+    auto it = mutated_.find(lineKey(addr));
+    if (it != mutated_.end())
+        return it->second;
+    PageNum page = pageOf(addr) - base_page_;
+    unsigned line = lineOf(addr);
+    return LineState{lineClass(profile_, page, line, 0), 0};
+}
+
+uint64_t
+AccessStream::contentSeed(Addr addr, const LineState &s) const
+{
+    return Rng::mix(seed_, lineKey(addr), s.version);
+}
+
+void
+AccessStream::lineData(Addr addr, Line &out) const
+{
+    LineState s = stateOf(addr);
+    generateLine(s.cls, contentSeed(addr, s), out);
+}
+
+void
+AccessStream::initialLineData(Addr addr, Line &out) const
+{
+    PageNum page = pageOf(addr) - base_page_;
+    unsigned line = lineOf(addr);
+    LineState s{lineClass(profile_, page, line, 0), 0};
+    generateLine(s.cls, contentSeed(addr, s), out);
+}
+
+MemRef
+AccessStream::next()
+{
+    MemRef ref;
+
+    // Continue an in-page burst if one is active. Strides span several
+    // lines (struct/row granularity): the lines share a metadata entry
+    // but usually not a 64 B device block.
+    if (burst_left_ > 0) {
+        --burst_left_;
+        burst_line_ = (burst_line_ + 4 +
+                       unsigned(rng_.below(12))) % kLinesPerPage;
+        ref.addr = Addr(burst_page_) * kPageBytes +
+                   Addr(burst_line_) * kLineBytes;
+        finishRef(ref, false);
+        return ref;
+    }
+
+    bool streaming = rng_.chance(profile_.seq_frac);
+
+    if (streaming) {
+        stream_pos_ += kLineBytes;
+        if (stream_pos_ >= endAddr())
+            stream_pos_ = baseAddr();
+        ref.addr = stream_pos_;
+    } else if (rng_.chance(profile_.hot_prob)) {
+        uint64_t hot_pages = std::max<uint64_t>(
+            1, uint64_t(profile_.pages * profile_.hot_frac));
+        PageNum page = base_page_ + rng_.below(hot_pages);
+        // The hot working set is live data: programs rarely hammer
+        // allocated-but-never-written (zero) pages. Zero pages are
+        // still reached by streaming sweeps and cold accesses.
+        for (int probe = 0;
+             probe < 4 &&
+             pageClass(profile_, page - base_page_, 0) == DataClass::kZero;
+             ++probe) {
+            page = base_page_ + rng_.below(hot_pages);
+        }
+        ref.addr = Addr(page) * kPageBytes +
+                   rng_.below(kLinesPerPage) * kLineBytes;
+    } else {
+        PageNum page = base_page_ + rng_.below(profile_.pages);
+        ref.addr = Addr(page) * kPageBytes +
+                   rng_.below(kLinesPerPage) * kLineBytes;
+    }
+
+    if (!streaming) {
+        // Start a burst on the chosen page: a handful of nearby lines
+        // before the next page transition (spatial locality).
+        burst_page_ = pageOf(ref.addr);
+        burst_line_ = lineOf(ref.addr);
+        burst_left_ = 6 + unsigned(rng_.below(20));
+    }
+    finishRef(ref, streaming);
+    return ref;
+}
+
+void
+AccessStream::finishRef(MemRef &ref, bool streaming)
+{
+    ref.write = rng_.chance(profile_.write_frac);
+    ref.inst_gap = profile_.inst_per_mem * (0.5 + rng_.uniform());
+
+    if (ref.write) {
+        LineState s = stateOf(ref.addr);
+        ++s.version;
+        if (rng_.chance(profile_.churn)) {
+            if (streaming && rng_.chance(profile_.stream_fill_random)) {
+                // The zero-init-then-stream pattern that motivates the
+                // page-overflow predictor (Sec. IV-B2).
+                s.cls = DataClass::kRandom;
+            } else if (rng_.chance(0.6)) {
+                // Most rewrites stay within the page's dominant data
+                // structure; fresh content, same shape.
+                s.cls = pageClass(profile_,
+                                  pageOf(ref.addr) - base_page_,
+                                  currentPhase());
+            } else {
+                // Compressibility swing: the phase mix governs how
+                // much of the redrawn data is stale zeros vs fresh
+                // incompressible values (Fig. 7's dynamics).
+                ClassMix m = phaseMix(profile_, currentPhase());
+                double z = m[size_t(DataClass::kZero)];
+                double r = m[size_t(DataClass::kRandom)];
+                double total = z + r > 0 ? z + r : 1.0;
+                s.cls = rng_.chance(z / total) ? DataClass::kZero
+                                               : DataClass::kRandom;
+            }
+        }
+        mutated_[lineKey(ref.addr)] = s;
+    }
+
+    ++refs_;
+}
+
+} // namespace compresso

@@ -1,0 +1,148 @@
+#include "workloads/datagen.h"
+
+#include <cstring>
+
+namespace compresso {
+
+const char *
+dataClassName(DataClass c)
+{
+    switch (c) {
+      case DataClass::kZero: return "zero";
+      case DataClass::kConstant: return "constant";
+      case DataClass::kSmallInt: return "small-int";
+      case DataClass::kDeltaInt: return "delta-int";
+      case DataClass::kFloat: return "float";
+      case DataClass::kPointer: return "pointer";
+      case DataClass::kText: return "text";
+      case DataClass::kRandom: return "random";
+      default: return "?";
+    }
+}
+
+void
+generateLine(DataClass c, uint64_t seed, Line &out)
+{
+    Rng rng(Rng::mix(seed, uint64_t(c) + 1));
+    switch (c) {
+      case DataClass::kZero:
+        out.fill(0);
+        break;
+
+      case DataClass::kConstant: {
+        uint64_t v = rng.next() & 0xffff; // small repeated value
+        for (size_t i = 0; i < 8; ++i)
+            std::memcpy(out.data() + i * 8, &v, 8);
+        break;
+      }
+
+      case DataClass::kSmallInt: {
+        // Counters/flags: one-byte magnitudes with a per-line zero
+        // density. BDI sees a constant B4D1 shape; BPC's size tracks
+        // the value entropy, spreading lines across bins.
+        double zprob = 0.2 + 0.2 * rng.uniform();
+        for (size_t i = 0; i < 16; ++i) {
+            uint32_t v = rng.chance(zprob)
+                             ? 0
+                             : uint32_t(rng.below(256)) -
+                                   (rng.chance(0.2) ? 128 : 0);
+            std::memcpy(out.data() + i * 4, &v, 4);
+        }
+        break;
+      }
+
+      case DataClass::kDeltaInt: {
+        // Smooth sequence: array indices, sorted keys. Small base and
+        // a near-constant stride keep the delta bit-planes almost
+        // empty (the BPC sweet spot: fits the 8 B bin).
+        // Range stays under 127 so BDI's B4D1 shape is stable across
+        // lines; the stride value still modulates BPC's plane count.
+        uint32_t v = uint32_t(rng.below(1 << 15));
+        uint32_t stride = uint32_t(rng.below(8));
+        for (size_t i = 0; i < 16; ++i) {
+            std::memcpy(out.data() + i * 4, &v, 4);
+            v += stride;
+            if (i == 7 && rng.chance(0.3))
+                v += uint32_t(rng.below(8));
+        }
+        break;
+      }
+
+      case DataClass::kFloat: {
+        // FP32 values in a narrow magnitude band: same exponent bits,
+        // noisy mantissa low bits (the BPC sweet spot after DBX). The
+        // per-line mantissa precision varies, so BPC sizes spread
+        // across bins within a page — the case where LCP-packing
+        // struggles but BDI (which stores these raw) looks uniform.
+        uint32_t exp = 0x3f800000u | (uint32_t(rng.below(4)) << 23);
+        // Pages are dominated by one precision band (bin 32 under
+        // BPC); occasional high-entropy lines are the bin-64 outliers
+        // that force LCP-packing into exceptions.
+        unsigned noise_bits = 8 + unsigned(rng.below(5));
+        if (rng.chance(0.14))
+            noise_bits = 17;
+        for (size_t i = 0; i < 16; ++i) {
+            uint32_t mant =
+                uint32_t(rng.below(uint64_t(1) << noise_bits))
+                << (23 - noise_bits);
+            uint32_t v = exp | mant;
+            std::memcpy(out.data() + i * 4, &v, 4);
+        }
+        break;
+      }
+
+      case DataClass::kPointer: {
+        // 8 pointers into a shared heap region: common high 40 bits.
+        uint64_t heap = (rng.next() & 0xffffff0000ULL) | 0x7f0000000000ULL;
+        // Per-line null density and offset spread: BDI's b8d4 shape is
+        // insensitive, but BPC's plane occupancy tracks both.
+        double null_prob = 0.12;
+        unsigned spread = 14 + unsigned(rng.below(6));
+        for (size_t i = 0; i < 8; ++i) {
+            uint64_t p = rng.chance(null_prob)
+                             ? 0
+                             : heap + (rng.below(uint64_t(1) << spread) &
+                                       ~uint64_t(7));
+            std::memcpy(out.data() + i * 8, &p, 8);
+        }
+        break;
+      }
+
+      case DataClass::kText: {
+        for (auto &b : out) {
+            static const char alphabet[] =
+                "etaoin shrdlucmfwypvbgkqjxz,.ETAOIN";
+            b = uint8_t(alphabet[rng.below(sizeof(alphabet) - 1)]);
+        }
+        break;
+      }
+
+      case DataClass::kRandom:
+      default: {
+        for (size_t i = 0; i < 8; ++i) {
+            uint64_t v = rng.next();
+            std::memcpy(out.data() + i * 8, &v, 8);
+        }
+        break;
+      }
+    }
+}
+
+DataClass
+sampleClass(const ClassMix &mix, double u)
+{
+    double total = 0;
+    for (double w : mix)
+        total += w;
+    if (total <= 0)
+        return DataClass::kZero;
+    double x = u * total;
+    for (size_t i = 0; i < mix.size(); ++i) {
+        x -= mix[i];
+        if (x < 0)
+            return DataClass(i);
+    }
+    return DataClass::kRandom;
+}
+
+} // namespace compresso

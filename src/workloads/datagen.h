@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic cache-line data generation.
+ *
+ * The paper evaluates on SPEC CPU2006 plus SNAP graph workloads; we do
+ * not have those binaries or their memory images, so each benchmark is
+ * modeled by a *data-class mix*: every line belongs to one of eight
+ * content classes whose compressed-size behaviour under BPC / BDI /
+ * FPC / C-PACK spans the spectrum the paper's Fig. 2 shows (all-zero
+ * pages, smooth integer arrays, FP arrays with shared exponents,
+ * pointer-dense heaps, text, and incompressible data).
+ *
+ * Generation is a pure function of (class, seed), so the same line is
+ * bit-identical across runs and across experiments.
+ */
+
+#ifndef COMPRESSO_WORKLOADS_DATAGEN_H
+#define COMPRESSO_WORKLOADS_DATAGEN_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace compresso {
+
+enum class DataClass : uint8_t
+{
+    kZero = 0,     ///< all zeros (untouched / cleared memory)
+    kConstant,     ///< one repeated 8-byte value
+    kSmallInt,     ///< 32-bit values with tiny magnitudes (FPC/BDI)
+    kDeltaInt,     ///< smooth 32-bit sequences, small deltas (BPC/BDI)
+    kFloat,        ///< FP32 array, shared exponent range (BPC)
+    kPointer,      ///< 64-bit pointers into a common heap (BDI b8)
+    kText,         ///< ASCII text (C-PACK-ish, mildly compressible)
+    kRandom,       ///< incompressible
+    kNumClasses,
+};
+
+constexpr size_t kNumDataClasses = size_t(DataClass::kNumClasses);
+
+/** Human-readable class name. */
+const char *dataClassName(DataClass c);
+
+/** Deterministically synthesize one 64 B line of class @p c. */
+void generateLine(DataClass c, uint64_t seed, Line &out);
+
+/** Per-class weights; need not be normalized. */
+using ClassMix = std::array<double, kNumDataClasses>;
+
+/** Sample a class from @p mix with uniform variate @p u in [0,1). */
+DataClass sampleClass(const ClassMix &mix, double u);
+
+} // namespace compresso
+
+#endif // COMPRESSO_WORKLOADS_DATAGEN_H

@@ -1,0 +1,23 @@
+#include "workloads/mixes.h"
+
+namespace compresso {
+
+const std::vector<WorkloadMix> &
+allMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        {"mix1", {"mcf", "GemsFDTD", "libquantum", "soplex"}},
+        {"mix2", {"milc", "astar", "gamess", "tonto"}},
+        {"mix3", {"Forestfire", "lbm", "leslie3d", "hmmer"}},
+        {"mix4", {"sjeng", "omnetpp", "gcc", "namd"}},
+        {"mix5", {"xalancbmk", "cactusADM", "calculix", "sphinx3"}},
+        {"mix6", {"perlbench", "bzip2", "gromacs", "gobmk"}},
+        {"mix7", {"bwaves", "povray", "h264ref", "Pagerank"}},
+        {"mix8", {"mcf", "bwaves", "Graph500", "perlbench"}},
+        {"mix9", {"Forestfire", "povray", "gamess", "hmmer"}},
+        {"mix10", {"Forestfire", "Pagerank", "Graph500", "cactusADM"}},
+    };
+    return mixes;
+}
+
+} // namespace compresso

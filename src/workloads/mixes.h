@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The ten 4-core workload mixes of Tab. IV.
+ */
+
+#ifndef COMPRESSO_WORKLOADS_MIXES_H
+#define COMPRESSO_WORKLOADS_MIXES_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace compresso {
+
+struct WorkloadMix
+{
+    std::string name;
+    std::array<std::string, 4> benchmarks;
+};
+
+/** Tab. IV, verbatim. Mix10 is the worst case for compression
+ *  overhead (three metadata-cache thrashers plus cactusADM). */
+const std::vector<WorkloadMix> &allMixes();
+
+} // namespace compresso
+
+#endif // COMPRESSO_WORKLOADS_MIXES_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the bit-granular streams underlying all codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitstream.h"
+#include "common/rng.h"
+
+using namespace compresso;
+
+TEST(BitWriter, EmptyStream)
+{
+    BitWriter w;
+    EXPECT_EQ(w.bitSize(), 0u);
+    EXPECT_EQ(w.byteSize(), 0u);
+    EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitWriter, SingleBits)
+{
+    BitWriter w;
+    w.put(1, 1);
+    w.put(0, 1);
+    w.put(1, 1);
+    EXPECT_EQ(w.bitSize(), 3u);
+    EXPECT_EQ(w.byteSize(), 1u);
+    // MSB-first: 101xxxxx.
+    EXPECT_EQ(w.bytes()[0], 0b10100000);
+}
+
+TEST(BitWriter, ValueIsMasked)
+{
+    BitWriter w;
+    w.put(0xff, 4); // only the low 4 bits should be kept
+    EXPECT_EQ(w.bytes()[0], 0xf0);
+}
+
+TEST(BitWriter, CrossByteBoundary)
+{
+    BitWriter w;
+    w.put(0b101, 3);
+    w.put(0b111111, 6); // spans into the second byte
+    EXPECT_EQ(w.bitSize(), 9u);
+    EXPECT_EQ(w.byteSize(), 2u);
+    EXPECT_EQ(w.bytes()[0], 0b10111111);
+    EXPECT_EQ(w.bytes()[1], 0b10000000);
+}
+
+TEST(BitWriter, ZeroWidthPutIsNoop)
+{
+    BitWriter w;
+    w.put(123, 0);
+    EXPECT_EQ(w.bitSize(), 0u);
+}
+
+TEST(BitWriter, SixtyFourBitValue)
+{
+    BitWriter w;
+    w.put(0xdeadbeefcafebabeULL, 64);
+    ASSERT_EQ(w.byteSize(), 8u);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.get(64), 0xdeadbeefcafebabeULL);
+}
+
+TEST(BitReader, ReadBack)
+{
+    BitWriter w;
+    w.put(0b1101, 4);
+    w.put(0x3a, 8);
+    w.put(1, 1);
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_EQ(r.get(4), 0b1101u);
+    EXPECT_EQ(r.get(8), 0x3au);
+    EXPECT_EQ(r.get(1), 1u);
+    EXPECT_FALSE(r.overrun());
+}
+
+TEST(BitReader, OverrunReturnsZeroAndFlags)
+{
+    BitWriter w;
+    w.put(0b1, 1);
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_EQ(r.get(1), 1u);
+    EXPECT_EQ(r.get(4), 0u);
+    EXPECT_TRUE(r.overrun());
+}
+
+TEST(BitReader, PeekDoesNotConsume)
+{
+    BitWriter w;
+    w.put(0b1011, 4);
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_EQ(r.peek(2), 0b10u);
+    EXPECT_EQ(r.pos(), 0u);
+    EXPECT_EQ(r.get(4), 0b1011u);
+}
+
+TEST(BitReader, RemainingTracksPosition)
+{
+    BitWriter w;
+    w.put(0xabcd, 16);
+    BitReader r(w.bytes().data(), w.bitSize());
+    EXPECT_EQ(r.remaining(), 16u);
+    r.get(5);
+    EXPECT_EQ(r.remaining(), 11u);
+}
+
+/** Property: any sequence of (value, width) writes reads back
+ *  identically. */
+TEST(BitStream, RandomRoundTrip)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 200; ++iter) {
+        BitWriter w;
+        std::vector<std::pair<uint64_t, unsigned>> items;
+        unsigned n = 1 + unsigned(rng.below(64));
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned width = 1 + unsigned(rng.below(64));
+            uint64_t value = rng.next();
+            if (width < 64)
+                value &= (uint64_t(1) << width) - 1;
+            items.emplace_back(value, width);
+            w.put(value, width);
+        }
+        BitReader r(w.bytes().data(), w.bitSize());
+        for (auto [value, width] : items)
+            ASSERT_EQ(r.get(width), value);
+        EXPECT_FALSE(r.overrun());
+    }
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the memory-capacity impact evaluation (Sec. VI-A) and the
+ * compression-ratio timelines feeding it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "capacity/capacity_eval.h"
+#include "capacity/paging_model.h"
+
+using namespace compresso;
+
+TEST(RatioTimeline, UncompressedIsOne)
+{
+    RatioTimeline t(profileByName("gcc"), McKind::kUncompressed, false);
+    EXPECT_DOUBLE_EQ(t.ratioAt(0), 1.0);
+}
+
+TEST(RatioTimeline, CompressoBeatsOne)
+{
+    RatioTimeline t(profileByName("zeusmp"), McKind::kCompresso, true);
+    EXPECT_GT(t.ratioAt(0), 2.0);
+}
+
+TEST(RatioTimeline, IncompressibleNearOne)
+{
+    RatioTimeline t(profileByName("lbm"), McKind::kCompresso, true);
+    EXPECT_LT(t.ratioAt(0), 1.6);
+}
+
+TEST(RatioTimeline, CompressoBeatsLcp)
+{
+    for (const char *bench : {"gcc", "zeusmp", "soplex", "Graph500"}) {
+        RatioTimeline c(profileByName(bench), McKind::kCompresso, true);
+        RatioTimeline l(profileByName(bench), McKind::kLcp, false);
+        EXPECT_GE(c.ratioAt(0), l.ratioAt(0) * 0.95) << bench;
+    }
+}
+
+TEST(RatioTimeline, NoRepackRatchetsDown)
+{
+    // Phased workload: without repacking the ratio can only decay.
+    const WorkloadProfile &p = profileByName("GemsFDTD");
+    RatioTimeline norepack(p, McKind::kCompresso, false);
+    RatioTimeline repack(p, McKind::kCompresso, true);
+    double nr_last = 0, r_last = 0;
+    for (unsigned ph = 0; ph < 6; ++ph) {
+        nr_last = norepack.ratioAt(ph);
+        r_last = repack.ratioAt(ph);
+    }
+    EXPECT_LE(nr_last, r_last);
+}
+
+TEST(PageAllocatedBytes, ZeroPhaseDeterministic)
+{
+    auto codec = makeCompressor("bpc");
+    const WorkloadProfile &p = profileByName("gcc");
+    uint32_t a =
+        pageAllocatedBytes(p, 3, 0, McKind::kCompresso, *codec);
+    uint32_t b =
+        pageAllocatedBytes(p, 3, 0, McKind::kCompresso, *codec);
+    EXPECT_EQ(a, b);
+    EXPECT_LE(a, kPageBytes);
+}
+
+TEST(CapacityEval, UnconstrainedHasNoSlowdown)
+{
+    CapacitySpec spec;
+    spec.workloads = {"gcc"};
+    spec.kind = McKind::kUncompressed;
+    spec.unconstrained = true;
+    spec.touches_per_core = 30000;
+    CapacityResult r = evalCapacity(spec);
+    EXPECT_NEAR(r.progress, 1.0, 0.02);
+    EXPECT_FALSE(r.stalled);
+}
+
+TEST(CapacityEval, ConstrainedUncompressedSlowsDown)
+{
+    CapacitySpec spec;
+    spec.workloads = {"libquantum"}; // streaming: LRU-hostile
+    spec.kind = McKind::kUncompressed;
+    spec.mem_frac = 0.7;
+    spec.touches_per_core = 30000;
+    CapacityResult r = evalCapacity(spec);
+    EXPECT_LT(r.progress, 0.95);
+}
+
+TEST(CapacityEval, CompressionRelievesPressure)
+{
+    CapacitySpec spec;
+    spec.workloads = {"zeusmp"}; // highly compressible
+    spec.mem_frac = 0.7;
+    spec.touches_per_core = 30000;
+
+    spec.kind = McKind::kUncompressed;
+    CapacityResult uncmp = evalCapacity(spec);
+    spec.kind = McKind::kCompresso;
+    CapacityResult cmp = evalCapacity(spec);
+    EXPECT_GE(cmp.progress, uncmp.progress);
+}
+
+TEST(CapacityEval, SpeedupOrdering)
+{
+    // Compresso >= LCP >= 1x-ish on a compressible benchmark.
+    CapacitySpec spec;
+    spec.workloads = {"cactusADM"};
+    spec.mem_frac = 0.7;
+    spec.touches_per_core = 30000;
+
+    spec.kind = McKind::kCompresso;
+    double compresso = capacitySpeedup(spec);
+    spec.kind = McKind::kLcp;
+    double lcp = capacitySpeedup(spec);
+    EXPECT_GE(compresso, lcp * 0.98);
+    EXPECT_GE(compresso, 0.99);
+}
+
+TEST(CapacityEval, ThrashersStall)
+{
+    CapacitySpec spec;
+    spec.workloads = {"mcf"};
+    spec.kind = McKind::kUncompressed;
+    spec.mem_frac = 0.5;
+    spec.touches_per_core = 30000;
+    spec.fault_cost = 200;
+    CapacityResult r = evalCapacity(spec);
+    EXPECT_LT(r.progress, 0.7);
+}
+
+TEST(CapacityEval, MultiCoreReportsPerCoreProgress)
+{
+    CapacitySpec spec;
+    spec.workloads = {"gcc", "zeusmp", "mcf", "lbm"};
+    spec.kind = McKind::kCompresso;
+    spec.mem_frac = 0.7;
+    spec.touches_per_core = 15000;
+    CapacityResult r = evalCapacity(spec);
+    EXPECT_EQ(r.per_core_progress.size(), 4u);
+    for (double p : r.per_core_progress) {
+        EXPECT_GT(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(CapacityEval, AverageRatioReported)
+{
+    CapacitySpec spec;
+    spec.workloads = {"zeusmp"};
+    spec.kind = McKind::kCompresso;
+    spec.touches_per_core = 20000;
+    CapacityResult r = evalCapacity(spec);
+    EXPECT_GT(r.avg_ratio, 1.5);
+}

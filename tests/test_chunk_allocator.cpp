@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the 512 B machine-chunk allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/chunk_allocator.h"
+
+using namespace compresso;
+
+TEST(ChunkAllocator, CapacityInChunks)
+{
+    ChunkAllocator a(8192);
+    EXPECT_EQ(a.totalChunks(), 16u);
+    EXPECT_EQ(a.usedChunks(), 0u);
+    EXPECT_EQ(a.freeChunks(), 16u);
+}
+
+TEST(ChunkAllocator, AllocateUnique)
+{
+    ChunkAllocator a(16 * kChunkBytes);
+    std::set<ChunkNum> seen;
+    for (int i = 0; i < 16; ++i) {
+        ChunkNum c = a.allocate();
+        ASSERT_NE(c, kNoChunk);
+        EXPECT_TRUE(seen.insert(c).second) << "duplicate chunk";
+    }
+    EXPECT_EQ(a.usedChunks(), 16u);
+}
+
+TEST(ChunkAllocator, ExhaustionReturnsSentinel)
+{
+    ChunkAllocator a(2 * kChunkBytes);
+    a.allocate();
+    a.allocate();
+    EXPECT_EQ(a.allocate(), kNoChunk);
+}
+
+TEST(ChunkAllocator, ReleaseRecycles)
+{
+    ChunkAllocator a(2 * kChunkBytes);
+    ChunkNum c0 = a.allocate();
+    a.allocate();
+    a.release(c0);
+    EXPECT_EQ(a.usedChunks(), 1u);
+    ChunkNum c2 = a.allocate();
+    EXPECT_EQ(c2, c0); // free list reuse
+}
+
+TEST(ChunkAllocator, FreshChunksAreZeroed)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    ChunkNum c = a.allocate();
+    for (uint8_t b : a.data(c))
+        ASSERT_EQ(b, 0);
+}
+
+TEST(ChunkAllocator, RecycledChunksAreZeroed)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    ChunkNum c = a.allocate();
+    a.data(c).fill(0xAB);
+    a.release(c);
+    ChunkNum c2 = a.allocate();
+    ASSERT_EQ(c2, c);
+    for (uint8_t b : a.data(c2))
+        ASSERT_EQ(b, 0);
+}
+
+TEST(ChunkAllocator, DataPersists)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    ChunkNum c = a.allocate();
+    a.data(c)[17] = 0x5a;
+    EXPECT_EQ(a.data(c)[17], 0x5a);
+}
+
+TEST(ChunkAllocator, UsedBytesTracksChunks)
+{
+    ChunkAllocator a(8 * kChunkBytes);
+    a.allocate();
+    a.allocate();
+    EXPECT_EQ(a.usedBytes(), 2 * kChunkBytes);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the DDR4 timing model (Tab. III parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_model.h"
+
+using namespace compresso;
+
+namespace {
+
+// With cpu_per_dclk_x4 = 9 (2.25 CPU cycles per DRAM clock):
+// tRCD+tCL = 36 dclk = 81 cpu; +tBURST 4 dclk = 9 cpu.
+constexpr Cycle kMissLatency = 81 + 9;
+constexpr Cycle kHitLatency = 18 * 9 / 4 + 9; // tCL + burst = 40+9
+
+} // namespace
+
+TEST(Dram, FirstAccessPaysActivate)
+{
+    DramModel d;
+    Cycle done = d.access(0, false, 0);
+    EXPECT_EQ(done, kMissLatency);
+    EXPECT_EQ(d.stats().get("row_misses"), 1u);
+    EXPECT_EQ(d.stats().get("activates"), 1u);
+}
+
+TEST(Dram, RowHitIsCheaper)
+{
+    DramModel d;
+    DramConfig cfg;
+    Cycle first = d.access(0, false, 0);
+    // Same bank (line-interleaved: stride = 64 * banks), same row.
+    Cycle second = d.access(64 * cfg.banks, false, first);
+    EXPECT_EQ(second - first, kHitLatency);
+    EXPECT_EQ(d.stats().get("row_hits"), 1u);
+}
+
+TEST(Dram, RowConflictPaysPrecharge)
+{
+    DramModel d;
+    DramConfig cfg;
+    Cycle first = d.access(0, false, 0);
+    // Same bank (multiple of 64*banks), far enough for another row.
+    Addr conflict = Addr(cfg.row_bytes) * cfg.banks;
+    Cycle second = d.access(conflict, false, first);
+    EXPECT_GT(second - first, kMissLatency);
+    EXPECT_EQ(d.stats().get("row_conflicts"), 1u);
+    EXPECT_EQ(d.stats().get("precharges"), 1u);
+}
+
+TEST(Dram, DifferentBanksOverlap)
+{
+    DramModel d;
+    Cycle a = d.access(0, false, 0);
+    // The adjacent line lives in the next bank: overlaps except for
+    // bus serialization.
+    Cycle b = d.access(64, false, 0);
+    EXPECT_LT(b, 2 * kMissLatency);
+    EXPECT_GE(b, a); // the shared data bus serializes the bursts
+}
+
+TEST(Dram, BusSerializesBursts)
+{
+    DramModel d;
+    DramConfig cfg;
+    Cycle prev = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        Cycle t = d.access(Addr(i) * kLineBytes, false, 0);
+        EXPECT_GE(t, prev + 9); // at least one burst apart
+        prev = t;
+    }
+}
+
+TEST(Dram, BankBusyDelaysNextAccess)
+{
+    DramModel d;
+    DramConfig cfg;
+    Cycle a = d.access(0, false, 0);
+    // Same bank again immediately: must wait for the bank.
+    Cycle b = d.access(64 * cfg.banks, false, 0);
+    EXPECT_GE(b, a);
+}
+
+TEST(Dram, ReadsAndWritesCounted)
+{
+    DramModel d;
+    d.access(0, false, 0);
+    d.access(64 * 16, true, 0);
+    d.access(128 * 16, true, 0);
+    EXPECT_EQ(d.stats().get("reads"), 1u);
+    EXPECT_EQ(d.stats().get("writes"), 2u);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    DramModel d;
+    d.access(0, false, 0);
+    d.reset();
+    EXPECT_EQ(d.stats().get("reads"), 0u);
+    Cycle done = d.access(0, false, 0);
+    EXPECT_EQ(done, kMissLatency); // row buffer closed again
+}
+
+TEST(Dram, LaterNowDelaysCompletion)
+{
+    DramModel d;
+    Cycle t1 = d.access(0, false, 1000);
+    EXPECT_EQ(t1, 1000 + kMissLatency);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the event-count energy model (Sec. VII-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+
+using namespace compresso;
+
+namespace {
+
+StatGroup
+dramStats(uint64_t reads, uint64_t writes, uint64_t activates)
+{
+    StatGroup g("dram");
+    g["reads"] = reads;
+    g["writes"] = writes;
+    g["activates"] = activates;
+    return g;
+}
+
+} // namespace
+
+TEST(Energy, ZeroActivityOnlyBackground)
+{
+    EnergyBreakdown e =
+        computeEnergy(dramStats(0, 0, 0), 3.0e9, 1, 0, 0);
+    // One second of wall clock: background DRAM + core power only.
+    EXPECT_NEAR(e.dram_nj, 0.6e9, 1e6);
+    EXPECT_NEAR(e.core_nj, 12.0e9, 1e7);
+    EXPECT_DOUBLE_EQ(e.mc_nj, 0.0);
+}
+
+TEST(Energy, DramScalesWithAccesses)
+{
+    EnergyBreakdown a =
+        computeEnergy(dramStats(1000, 0, 0), 1e6, 1, 0, 0);
+    EnergyBreakdown b =
+        computeEnergy(dramStats(2000, 0, 0), 1e6, 1, 0, 0);
+    EXPECT_GT(b.dram_nj, a.dram_nj);
+    EXPECT_NEAR(b.dram_nj - a.dram_nj, 1000 * 15.0, 1.0);
+}
+
+TEST(Energy, ActivatesCharged)
+{
+    EnergyBreakdown a =
+        computeEnergy(dramStats(0, 0, 100), 1e6, 1, 0, 0);
+    EnergyBreakdown b = computeEnergy(dramStats(0, 0, 0), 1e6, 1, 0, 0);
+    EXPECT_NEAR(a.dram_nj - b.dram_nj, 100 * 18.0, 0.5);
+}
+
+TEST(Energy, CompressorIsTinyVsDram)
+{
+    // Paper: BPC power is < 0.4% of a DRAM channel's active power.
+    // 1M compressions vs 1M DRAM accesses:
+    EnergyBreakdown e =
+        computeEnergy(dramStats(1000000, 0, 0), 1e9, 1, 1000000, 0);
+    double bpc_nj = e.mc_nj;
+    double dram_access_nj = 1000000 * 15.0;
+    EXPECT_LT(bpc_nj / dram_access_nj, 0.01);
+}
+
+TEST(Energy, MetadataCacheAccessMatchesPaper)
+{
+    EnergyBreakdown e =
+        computeEnergy(dramStats(0, 0, 0), 0, 1, 0, 1000);
+    EXPECT_NEAR(e.mc_nj, 1000 * 0.08, 1e-6);
+    // 0.08 nJ is < 0.8% of a DRAM read access energy (15 nJ).
+    EXPECT_LT(0.08 / 15.0, 0.008);
+}
+
+TEST(Energy, CoreScalesWithCoresAndCycles)
+{
+    EnergyBreakdown one = computeEnergy(dramStats(0, 0, 0), 3e9, 1, 0, 0);
+    EnergyBreakdown four =
+        computeEnergy(dramStats(0, 0, 0), 3e9, 4, 0, 0);
+    EXPECT_NEAR(four.core_nj / one.core_nj, 4.0, 0.01);
+}
+
+TEST(Energy, TotalSums)
+{
+    EnergyBreakdown e =
+        computeEnergy(dramStats(10, 10, 1), 1e6, 2, 100, 100);
+    EXPECT_DOUBLE_EQ(e.total(), e.dram_nj + e.core_nj + e.mc_nj);
+}

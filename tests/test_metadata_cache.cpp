@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the metadata cache, including the half-entry optimization
+ * (Sec. IV-B5) and the eviction hook that triggers repacking
+ * (Sec. IV-B4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "meta/metadata_cache.h"
+
+using namespace compresso;
+
+namespace {
+
+MetadataCacheConfig
+tinyConfig(bool half_opt)
+{
+    MetadataCacheConfig cfg;
+    cfg.size_bytes = 4 * kMetadataEntryBytes; // 4 entries
+    cfg.ways = 4;                             // single set
+    cfg.half_entry_opt = half_opt;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MetadataCache, MissThenHit)
+{
+    MetadataCache c(tinyConfig(false));
+    EXPECT_FALSE(c.access(1, false));
+    EXPECT_TRUE(c.access(1, false));
+    EXPECT_EQ(c.stats().get("misses"), 1u);
+    EXPECT_EQ(c.stats().get("hits"), 1u);
+}
+
+TEST(MetadataCache, LruEviction)
+{
+    MetadataCache c(tinyConfig(false));
+    for (PageNum p = 0; p < 4; ++p)
+        c.access(p, false);
+    c.access(0, false);  // refresh 0
+    c.access(99, false); // evicts LRU = 1
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(1));
+    EXPECT_TRUE(c.contains(99));
+}
+
+TEST(MetadataCache, HalfEntriesDoubleCapacity)
+{
+    MetadataCache c(tinyConfig(true));
+    for (PageNum p = 0; p < 8; ++p)
+        c.access(p, true); // half entries
+    // All 8 half entries fit in 4 ways.
+    for (PageNum p = 0; p < 8; ++p)
+        EXPECT_TRUE(c.contains(p)) << p;
+    EXPECT_EQ(c.stats().get("evictions"), 0u);
+}
+
+TEST(MetadataCache, HalfOptDisabledFallsBack)
+{
+    MetadataCache c(tinyConfig(false));
+    for (PageNum p = 0; p < 8; ++p)
+        c.access(p, true); // request half, but the opt is off
+    EXPECT_EQ(c.stats().get("evictions"), 4u);
+}
+
+TEST(MetadataCache, EvictHookFiresWithDirtyFlag)
+{
+    MetadataCache c(tinyConfig(false));
+    std::vector<std::pair<PageNum, bool>> evicted;
+    c.setEvictHook([&](PageNum p, bool d) { evicted.emplace_back(p, d); });
+    c.access(1, false, /*dirty=*/true);
+    for (PageNum p = 2; p <= 5; ++p)
+        c.access(p, false);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0].first, 1u);
+    EXPECT_TRUE(evicted[0].second);
+}
+
+TEST(MetadataCache, CleanEvictionReportsClean)
+{
+    MetadataCache c(tinyConfig(false));
+    std::vector<bool> dirty;
+    c.setEvictHook([&](PageNum, bool d) { dirty.push_back(d); });
+    for (PageNum p = 0; p < 5; ++p)
+        c.access(p, false, false);
+    ASSERT_EQ(dirty.size(), 1u);
+    EXPECT_FALSE(dirty[0]);
+}
+
+TEST(MetadataCache, GrowingHalfToFullEvictsIfNeeded)
+{
+    MetadataCache c(tinyConfig(true));
+    for (PageNum p = 0; p < 8; ++p)
+        c.access(p, true);
+    // Page 0 becomes compressed => needs its full entry.
+    c.reshape(0, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_EQ(c.stats().get("evictions"), 1u);
+}
+
+TEST(MetadataCache, InvalidateRemovesSilently)
+{
+    MetadataCache c(tinyConfig(false));
+    bool hook_fired = false;
+    c.setEvictHook([&](PageNum, bool) { hook_fired = true; });
+    c.access(42, false);
+    c.invalidate(42);
+    EXPECT_FALSE(c.contains(42));
+    EXPECT_FALSE(hook_fired);
+}
+
+TEST(MetadataCache, PredictorCounterPerEntry)
+{
+    MetadataCache c(tinyConfig(false));
+    c.access(7, false);
+    uint8_t *cnt = c.predictorCounter(7);
+    ASSERT_NE(cnt, nullptr);
+    EXPECT_EQ(*cnt, 0);
+    *cnt = 3;
+    EXPECT_EQ(*c.predictorCounter(7), 3);
+    EXPECT_EQ(c.predictorCounter(12345), nullptr);
+}
+
+TEST(MetadataCache, SetCountMatchesGeometry)
+{
+    MetadataCacheConfig cfg; // 96 KB, 8-way
+    MetadataCache c(cfg);
+    EXPECT_EQ(c.numSets(), 96u * 1024 / kMetadataEntryBytes / 8);
+}
+
+TEST(MetadataCache, AccessesDistributeAcrossSets)
+{
+    MetadataCacheConfig cfg;
+    cfg.size_bytes = 16 * kMetadataEntryBytes;
+    cfg.ways = 2; // 8 sets
+    MetadataCache c(cfg);
+    // Pages mapping to different sets never evict each other.
+    for (PageNum p = 0; p < 16; ++p)
+        c.access(p, false);
+    EXPECT_EQ(c.stats().get("evictions"), 0u);
+}

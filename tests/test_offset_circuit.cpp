@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the offset-calculation unit model (Sec. VII-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/offset_circuit.h"
+#include "packing/linepack.h"
+
+using namespace compresso;
+
+TEST(OffsetCircuit, ShiftTrickAppliesToCompressoBins)
+{
+    OffsetCircuit oc(compressoBins());
+    EXPECT_TRUE(oc.shiftTrickApplies());
+}
+
+TEST(OffsetCircuit, ShiftTrickRejectedForLegacyBins)
+{
+    OffsetCircuit oc(legacyBins());
+    EXPECT_FALSE(oc.shiftTrickApplies());
+}
+
+TEST(OffsetCircuit, MatchesPrefixSumReference)
+{
+    OffsetCircuit oc(compressoBins());
+    Rng rng(3);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::array<uint8_t, kLinesPerPage> codes;
+        for (auto &c : codes)
+            c = uint8_t(rng.below(4));
+        for (LineIdx idx : {LineIdx(0), LineIdx(1), LineIdx(31),
+                            LineIdx(63)}) {
+            EXPECT_EQ(oc.offset(codes, idx),
+                      linePackOffset(codes, compressoBins(), idx));
+        }
+    }
+}
+
+TEST(OffsetCircuit, LegacyBinsStillComputeCorrectly)
+{
+    OffsetCircuit oc(legacyBins());
+    std::array<uint8_t, kLinesPerPage> codes{};
+    codes.fill(1); // 22 B each
+    EXPECT_EQ(oc.offset(codes, 3), 66u);
+}
+
+TEST(OffsetCircuit, AreaAndDelayMatchPaper)
+{
+    OffsetCircuit oc(compressoBins());
+    // "under 1.5K NAND gates and 38 gate delays, reducible to 32".
+    EXPECT_LE(oc.gateCount(), 1600u);
+    EXPECT_EQ(oc.gateDelays(), 32u);
+    EXPECT_EQ(oc.extraCycles(), 1u);
+}
+
+TEST(OffsetCircuit, OffsetZeroForFirstLine)
+{
+    OffsetCircuit oc(compressoBins());
+    std::array<uint8_t, kLinesPerPage> codes;
+    codes.fill(3);
+    EXPECT_EQ(oc.offset(codes, 0), 0u);
+}

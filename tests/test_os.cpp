@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the miniature OS (LRU paging, swap) and the balloon driver
+ * flow (Sec. V-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compresso_controller.h"
+#include "os/balloon.h"
+#include "os/page_allocator.h"
+#include "os/sim_os.h"
+#include "workloads/datagen.h"
+
+using namespace compresso;
+
+TEST(PageAllocator, AllocFreeCycle)
+{
+    PageAllocator a(4);
+    PageNum p0 = a.allocate();
+    PageNum p1 = a.allocate();
+    EXPECT_NE(p0, kNoPage);
+    EXPECT_NE(p1, p0);
+    EXPECT_EQ(a.usedFrames(), 2u);
+    a.release(p0);
+    EXPECT_EQ(a.freeFrames(), 3u);
+    EXPECT_EQ(a.allocate(), p0);
+}
+
+TEST(PageAllocator, Exhaustion)
+{
+    PageAllocator a(2);
+    a.allocate();
+    a.allocate();
+    EXPECT_EQ(a.allocate(), kNoPage);
+}
+
+TEST(SimOs, FirstTouchFaults)
+{
+    SimOs os(4);
+    EXPECT_TRUE(os.touch(1));
+    EXPECT_FALSE(os.touch(1));
+    EXPECT_EQ(os.faults(), 1u);
+}
+
+TEST(SimOs, LruEvictionUnderPressure)
+{
+    SimOs os(2);
+    os.touch(1);
+    os.touch(2);
+    os.touch(1);    // 1 is MRU
+    os.touch(3);    // evicts 2
+    EXPECT_FALSE(os.touch(1)); // still resident
+    EXPECT_TRUE(os.touch(2));  // was evicted
+}
+
+TEST(SimOs, DirtyEvictionsPageOut)
+{
+    SimOs os(1);
+    os.touch(1, true);
+    os.touch(2, false); // evicts dirty 1
+    EXPECT_EQ(os.swap().pageOuts(), 1u);
+}
+
+TEST(SimOs, CleanEvictionsDoNotPageOut)
+{
+    SimOs os(1);
+    os.touch(1, false);
+    os.touch(2, false);
+    EXPECT_EQ(os.swap().pageOuts(), 0u);
+}
+
+TEST(SimOs, ShrinkingBudgetReclaims)
+{
+    SimOs os(8);
+    for (PageNum p = 0; p < 8; ++p)
+        os.touch(p);
+    os.setBudget(3);
+    EXPECT_LE(os.residentPages(), 3u);
+}
+
+TEST(SimOs, ReclaimReturnsColdPages)
+{
+    SimOs os(8);
+    for (PageNum p = 0; p < 6; ++p)
+        os.touch(p);
+    os.touch(0); // 0 is hot now
+    auto freed = os.reclaim(2);
+    ASSERT_EQ(freed.size(), 2u);
+    // Coldest pages (1, 2) go first; 0 must survive.
+    EXPECT_EQ(freed[0], 1u);
+    EXPECT_EQ(freed[1], 2u);
+}
+
+TEST(SwapDevice, AccumulatesLatency)
+{
+    SwapDevice swap(50.0, 25.0);
+    swap.pageIn();
+    swap.pageIn();
+    swap.pageOut();
+    EXPECT_DOUBLE_EQ(swap.busyMicros(), 125.0);
+}
+
+TEST(Balloon, InflateFreesControllerPages)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(16) << 20;
+    CompressoController mc(cfg);
+
+    // Populate a few pages with incompressible data.
+    Line rnd;
+    for (PageNum p = 0; p < 6; ++p) {
+        for (unsigned l = 0; l < kLinesPerPage; ++l) {
+            generateLine(DataClass::kRandom, p * 100 + l, rnd);
+            McTrace tr;
+            mc.writebackLine(Addr(p) * kPageBytes + l * kLineBytes, rnd,
+                             tr);
+        }
+    }
+    uint64_t before = mc.mpaDataBytes();
+
+    SimOs os(16);
+    for (PageNum p = 0; p < 6; ++p)
+        os.touch(p);
+
+    BalloonDriver balloon(os, mc);
+    uint64_t reclaimed = balloon.inflate(2);
+    EXPECT_EQ(reclaimed, 2u);
+    EXPECT_EQ(balloon.heldPages(), 2u);
+    EXPECT_LT(mc.mpaDataBytes(), before);
+
+    balloon.deflate(1);
+    EXPECT_EQ(balloon.heldPages(), 1u);
+}
+
+TEST(Balloon, BalanceTargetsReserve)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(16) << 20;
+    CompressoController mc(cfg);
+    SimOs os(32);
+    Line rnd;
+    for (PageNum p = 0; p < 8; ++p) {
+        os.touch(p);
+        for (unsigned l = 0; l < kLinesPerPage; ++l) {
+            generateLine(DataClass::kRandom, p * 7 + l, rnd);
+            McTrace tr;
+            mc.writebackLine(Addr(p) * kPageBytes + l * kLineBytes, rnd,
+                             tr);
+        }
+    }
+    BalloonDriver balloon(os, mc);
+    // Plenty free: no action.
+    EXPECT_EQ(balloon.balance(1000, 100), 0u);
+    // Deficit: inflates.
+    EXPECT_GT(balloon.balance(10, 100), 0u);
+}

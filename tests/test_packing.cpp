@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for LinePack and LCP page packing (Sec. II-C) and the page
+ * sizing schemes (Sec. II-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "packing/lcp.h"
+#include "packing/linepack.h"
+
+using namespace compresso;
+
+namespace {
+
+std::array<LineSize, kLinesPerPage>
+uniformSizes(uint16_t bytes, bool zero = false)
+{
+    std::array<LineSize, kLinesPerPage> s;
+    for (auto &x : s)
+        x = LineSize{bytes, zero};
+    return s;
+}
+
+} // namespace
+
+TEST(LinePack, AllZeroPagePacksToNothing)
+{
+    PageLayout lay = linePack(uniformSizes(0, true), compressoBins());
+    EXPECT_EQ(lay.payload_bytes, 0u);
+    EXPECT_EQ(lay.split_lines, 0u);
+    for (auto b : lay.bin)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(LinePack, UniformEightBytePage)
+{
+    PageLayout lay = linePack(uniformSizes(8), compressoBins());
+    EXPECT_EQ(lay.payload_bytes, 64u * 8);
+    // 8 B lines at 8 B offsets never straddle 64 B boundaries.
+    EXPECT_EQ(lay.split_lines, 0u);
+    EXPECT_EQ(lay.offset[1], 8u);
+    EXPECT_EQ(lay.offset[63], 63u * 8);
+}
+
+TEST(LinePack, OffsetsAreBinPrefixSums)
+{
+    std::array<LineSize, kLinesPerPage> sizes = uniformSizes(8);
+    sizes[0].bytes = 30; // quantizes to 32
+    sizes[1].bytes = 60; // quantizes to 64
+    PageLayout lay = linePack(sizes, compressoBins());
+    EXPECT_EQ(lay.offset[0], 0u);
+    EXPECT_EQ(lay.offset[1], 32u);
+    EXPECT_EQ(lay.offset[2], 96u);
+    EXPECT_EQ(lay.offset[3], 104u);
+    EXPECT_EQ(linePackOffset(lay.bin, compressoBins(), 3), 104u);
+}
+
+TEST(LinePack, LegacyBinsCauseSplits)
+{
+    // 22 B lines at 22 B strides straddle 64 B boundaries constantly.
+    PageLayout legacy = linePack(uniformSizes(20), legacyBins());
+    PageLayout aligned = linePack(uniformSizes(20), compressoBins());
+    EXPECT_GE(legacy.split_lines, 20u);
+    EXPECT_EQ(aligned.split_lines, 0u);
+}
+
+TEST(LinePack, AlignmentFriendlySplitsOnlyFromOddPrefixes)
+{
+    // A 32 B line at offset 40 (five 8 B lines before it) straddles
+    // the 64 B boundary.
+    std::array<LineSize, kLinesPerPage> sizes = uniformSizes(0, true);
+    for (unsigned i = 0; i < 5; ++i)
+        sizes[i] = LineSize{8, false};
+    sizes[5] = LineSize{30, false};
+    PageLayout lay = linePack(sizes, compressoBins());
+    EXPECT_EQ(lay.split_lines, 1u);
+}
+
+TEST(PageBin, Chunked512RoundsUp)
+{
+    EXPECT_EQ(pageBinBytes(0, PageSizing::kChunked512), 0u);
+    EXPECT_EQ(pageBinBytes(1, PageSizing::kChunked512), 512u);
+    EXPECT_EQ(pageBinBytes(512, PageSizing::kChunked512), 512u);
+    EXPECT_EQ(pageBinBytes(513, PageSizing::kChunked512), 1024u);
+    EXPECT_EQ(pageBinBytes(4096, PageSizing::kChunked512), 4096u);
+}
+
+TEST(PageBin, Variable4UsesFourSizes)
+{
+    EXPECT_EQ(pageBinBytes(1, PageSizing::kVariable4), 512u);
+    EXPECT_EQ(pageBinBytes(513, PageSizing::kVariable4), 1024u);
+    EXPECT_EQ(pageBinBytes(1500, PageSizing::kVariable4), 2048u);
+    EXPECT_EQ(pageBinBytes(2049, PageSizing::kVariable4), 4096u);
+}
+
+TEST(PageBin, ChunkedNeverLargerThanVariable)
+{
+    for (uint32_t payload = 0; payload <= 4096; payload += 37) {
+        EXPECT_LE(pageBinBytes(payload, PageSizing::kChunked512),
+                  pageBinBytes(payload, PageSizing::kVariable4))
+            << payload;
+    }
+}
+
+TEST(Lcp, UniformPagePicksTightTarget)
+{
+    LcpLayout lay = lcpPack(uniformSizes(8), compressoBins());
+    EXPECT_EQ(lay.target_bytes, 8u);
+    EXPECT_EQ(lay.exception_count, 0u);
+    EXPECT_EQ(lay.payload_bytes, 64u * 8);
+}
+
+TEST(Lcp, OutliersBecomeExceptions)
+{
+    std::array<LineSize, kLinesPerPage> sizes = uniformSizes(8);
+    sizes[10].bytes = 64;
+    sizes[20].bytes = 50;
+    LcpLayout lay = lcpPack(sizes, compressoBins());
+    EXPECT_EQ(lay.target_bytes, 8u);
+    EXPECT_EQ(lay.exception_count, 2u);
+    EXPECT_TRUE(lay.exception[10]);
+    EXPECT_TRUE(lay.exception[20]);
+    EXPECT_EQ(lay.payload_bytes, 64u * 8 + 2 * 64);
+}
+
+TEST(Lcp, ZeroLinesFitAnyTarget)
+{
+    std::array<LineSize, kLinesPerPage> sizes = uniformSizes(0, true);
+    sizes[0] = LineSize{8, false};
+    LcpLayout lay = lcpPack(sizes, compressoBins());
+    EXPECT_EQ(lay.target_bytes, 8u);
+    EXPECT_EQ(lay.exception_count, 0u);
+}
+
+TEST(Lcp, ManyOutliersForceLargerTarget)
+{
+    std::array<LineSize, kLinesPerPage> sizes = uniformSizes(8);
+    for (size_t i = 0; i < 40; ++i)
+        sizes[i].bytes = 30;
+    LcpLayout lay = lcpPack(sizes, compressoBins());
+    // 40 exceptions at 64 B each dwarf the slot savings; target 32
+    // with zero exceptions is cheaper.
+    EXPECT_EQ(lay.target_bytes, 32u);
+    EXPECT_EQ(lay.exception_count, 0u);
+}
+
+TEST(Lcp, OffsetsLinearAndExceptionsPastSlots)
+{
+    std::array<LineSize, kLinesPerPage> sizes = uniformSizes(8);
+    sizes[5].bytes = 64;
+    LcpLayout lay = lcpPack(sizes, compressoBins());
+    EXPECT_EQ(lcpOffset(lay, 3, 0), 3u * 8);
+    EXPECT_EQ(lcpOffset(lay, 5, 0), 64u * 8);
+    EXPECT_EQ(lcpOffset(lay, 5, 2), 64u * 8 + 128);
+}
+
+TEST(LcpVsLinePack, LinePackNeverLarger)
+{
+    // Sec. II-C: LCP trades compression for offset simplicity; on any
+    // size vector LinePack's payload is <= LCP's.
+    Rng rng(123);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::array<LineSize, kLinesPerPage> sizes;
+        for (auto &s : sizes) {
+            bool zero = rng.chance(0.2);
+            s = LineSize{uint16_t(zero ? 0 : 1 + rng.below(64)), zero};
+        }
+        PageLayout lp = linePack(sizes, compressoBins());
+        LcpLayout lcp = lcpPack(sizes, compressoBins());
+        EXPECT_LE(lp.payload_bytes, lcp.payload_bytes);
+    }
+}

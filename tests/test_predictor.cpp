@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the page-overflow predictor (Sec. IV-B2, Fig. 5b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+
+using namespace compresso;
+
+TEST(Predictor, LocalCounterSaturatesAtThree)
+{
+    PageOverflowPredictor p;
+    uint8_t counter = 0;
+    for (int i = 0; i < 10; ++i)
+        p.onLineOverflow(&counter);
+    EXPECT_EQ(counter, 3);
+}
+
+TEST(Predictor, LocalCounterDecrementsOnUnderflow)
+{
+    PageOverflowPredictor p;
+    uint8_t counter = 2;
+    p.onLineUnderflow(&counter);
+    EXPECT_EQ(counter, 1);
+    p.onLineUnderflow(&counter);
+    p.onLineUnderflow(&counter);
+    EXPECT_EQ(counter, 0); // saturates at zero
+}
+
+TEST(Predictor, GlobalCounterSaturatesAtSeven)
+{
+    PageOverflowPredictor p;
+    for (int i = 0; i < 20; ++i)
+        p.onPageOverflow();
+    EXPECT_EQ(p.global(), 7);
+    for (int i = 0; i < 20; ++i)
+        p.onPageShrink();
+    EXPECT_EQ(p.global(), 0);
+}
+
+TEST(Predictor, FiresOnlyWhenBothHighBitsSet)
+{
+    PageOverflowPredictor p;
+    uint8_t counter = 0;
+
+    // Neither high: no.
+    EXPECT_FALSE(p.predictInflate(&counter));
+
+    // Local high only: no.
+    counter = 2;
+    EXPECT_FALSE(p.predictInflate(&counter));
+
+    // Both high: yes.
+    for (int i = 0; i < 4; ++i)
+        p.onPageOverflow(); // global = 4 => high bit set
+    EXPECT_TRUE(p.predictInflate(&counter));
+
+    // Global high only: no.
+    counter = 1;
+    EXPECT_FALSE(p.predictInflate(&counter));
+}
+
+TEST(Predictor, NullCounterNeverFires)
+{
+    PageOverflowPredictor p;
+    for (int i = 0; i < 8; ++i)
+        p.onPageOverflow();
+    EXPECT_FALSE(p.predictInflate(nullptr));
+    // And the mutators tolerate nulls (non-resident metadata entries).
+    p.onLineOverflow(nullptr);
+    p.onLineUnderflow(nullptr);
+}
+
+TEST(Predictor, StreamingScenarioFires)
+{
+    // The motivating pattern: repeated line overflows while the system
+    // is experiencing page overflows.
+    PageOverflowPredictor p;
+    uint8_t counter = 0;
+    p.onLineOverflow(&counter);
+    EXPECT_FALSE(p.predictInflate(&counter));
+    p.onPageOverflow();
+    p.onLineOverflow(&counter);
+    EXPECT_FALSE(p.predictInflate(&counter)); // global still low
+    for (int i = 0; i < 3; ++i)
+        p.onPageOverflow();
+    EXPECT_TRUE(p.predictInflate(&counter));
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the deterministic RNG every experiment depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+using namespace compresso;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {uint64_t(1), uint64_t(2), uint64_t(7),
+                           uint64_t(64), uint64_t(1000),
+                           uint64_t(1) << 20}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, MixIsOrderSensitive)
+{
+    EXPECT_NE(Rng::mix(1, 2, 3), Rng::mix(3, 2, 1));
+    EXPECT_NE(Rng::mix(1, 2), Rng::mix(2, 1));
+    EXPECT_EQ(Rng::mix(5, 6, 7), Rng::mix(5, 6, 7));
+}
+
+TEST(Rng, ReseedResets)
+{
+    Rng rng(17);
+    uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(17);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, SkewedStaysInRange)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.skewed(10, 50);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 50u);
+    }
+}

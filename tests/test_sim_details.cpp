@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Simulator detail tests: the stride prefetcher, co-fetch reporting,
+ * zero-access accounting, and cross-system determinism of the shared
+ * access streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+
+using namespace compresso;
+
+namespace {
+
+SystemConfig
+config(McKind kind, bool prefetch = true)
+{
+    RunSpec spec;
+    SystemConfig cfg = makeSystemConfig(kind, 1, spec);
+    cfg.next_line_prefetch = prefetch;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Prefetcher, StreamDetectionReducesLoadStalls)
+{
+    // Same workload with and without the next-line prefetcher: the
+    // prefetcher must not slow the system down, and on a workload with
+    // a streaming component it should help.
+    SystemConfig with = config(McKind::kUncompressed, true);
+    SystemConfig without = config(McKind::kUncompressed, false);
+    System a(with, {"libquantum"}, 3);
+    System b(without, {"libquantum"}, 3);
+    a.populate();
+    b.populate();
+    a.run(20000);
+    b.run(20000);
+    EXPECT_LE(a.cycles(), b.cycles() * 1.02);
+}
+
+TEST(Prefetcher, InsertsIntoLlc)
+{
+    SystemConfig cfg = config(McKind::kUncompressed, true);
+    System sys(cfg, {"libquantum"}, 3);
+    sys.populate();
+    uint64_t before = sys.hierarchy().l3().stats().get("accesses");
+    sys.run(20000);
+    EXPECT_GT(sys.hierarchy().l3().stats().get("accesses"), before);
+}
+
+TEST(CoFetch, ReportedLinesShareThePage)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(32) << 20;
+    CompressoController mc(cfg);
+    Line d;
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        generateLine(DataClass::kDeltaInt, l, d);
+        McTrace tr;
+        mc.writebackLine(Addr(5) * kPageBytes + l * kLineBytes, d, tr);
+    }
+    McTrace tr;
+    mc.fillLine(Addr(5) * kPageBytes + 8 * kLineBytes, d, tr);
+    // 8 B lines: a 64 B burst carries several whole neighbors.
+    EXPECT_GE(tr.co_fetched.size(), 1u);
+    for (Addr co : tr.co_fetched) {
+        EXPECT_EQ(pageOf(co), 5u);
+        EXPECT_NE(lineOf(co), 8u);
+    }
+}
+
+TEST(CoFetch, RawPagesCoFetchNothing)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(32) << 20;
+    CompressoController mc(cfg);
+    Line d;
+    Rng rng(1);
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        generateLine(DataClass::kRandom, rng.next(), d);
+        McTrace tr;
+        mc.writebackLine(Addr(6) * kPageBytes + l * kLineBytes, d, tr);
+    }
+    McTrace tr;
+    mc.fillLine(Addr(6) * kPageBytes + 3 * kLineBytes, d, tr);
+    EXPECT_TRUE(tr.co_fetched.empty());
+}
+
+TEST(System, SameStreamAcrossBackends)
+{
+    // The access stream must be identical regardless of the memory
+    // back end (it only depends on the seed), so cycle comparisons
+    // are apples to apples.
+    SystemConfig a = config(McKind::kUncompressed);
+    SystemConfig b = config(McKind::kCompresso);
+    System sa(a, {"astar"}, 11);
+    System sb(b, {"astar"}, 11);
+    for (int i = 0; i < 10000; ++i) {
+        MemRef ra = sa.stream(0).next();
+        MemRef rb = sb.stream(0).next();
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.write, rb.write);
+    }
+}
+
+TEST(System, InstructionCountIndependentOfBackend)
+{
+    RunSpec spec;
+    spec.workloads = {"gobmk"};
+    spec.refs_per_core = 10000;
+    spec.warmup_refs = 1000;
+    spec.kind = McKind::kUncompressed;
+    RunResult u = runSystem(spec);
+    spec.kind = McKind::kCompresso;
+    RunResult c = runSystem(spec);
+    EXPECT_EQ(u.insts, c.insts);
+}
+
+TEST(System, ZeroAccessFractionTracksProfile)
+{
+    RunSpec spec;
+    spec.workloads = {"leslie3d"}; // paper: 43% zero-line accesses
+    spec.refs_per_core = 30000;
+    spec.warmup_refs = 3000;
+    spec.kind = McKind::kCompresso;
+    RunResult r = runSystem(spec);
+    EXPECT_GT(r.zero_access_frac, 0.15);
+
+    spec.workloads = {"lbm"}; // nearly no zeros
+    RunResult l = runSystem(spec);
+    EXPECT_LT(l.zero_access_frac, r.zero_access_frac);
+}
+
+TEST(System, MetadataRegionDisjointFromData)
+{
+    // All metadata ops live above 2^40; all data ops below.
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(32) << 20;
+    cfg.mdcache.size_bytes = 1024;
+    CompressoController mc(cfg);
+    Line d;
+    Rng rng(3);
+    for (PageNum p = 0; p < 64; ++p) {
+        McTrace tr;
+        generateLine(DataClass::kFloat, rng.next(), d);
+        mc.writebackLine(Addr(p) * kPageBytes, d, tr);
+        for (const auto &op : tr.ops) {
+            bool is_meta = op.addr >= (Addr(1) << 40);
+            // Scattered chunk space tops out at 2^26 chunks * 512 B.
+            bool in_data = op.addr < (Addr(1) << 36);
+            EXPECT_TRUE(is_meta || in_data) << std::hex << op.addr;
+        }
+    }
+}

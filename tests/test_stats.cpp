@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the stats substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+
+using namespace compresso;
+
+TEST(StatGroup, DefaultsToZero)
+{
+    StatGroup g("g");
+    EXPECT_EQ(g.get("nothing"), 0u);
+}
+
+TEST(StatGroup, IncrementAndRead)
+{
+    StatGroup g("g");
+    g["hits"] += 3;
+    ++g["hits"];
+    EXPECT_EQ(g.get("hits"), 4u);
+}
+
+TEST(StatGroup, RatioHandlesZeroDenominator)
+{
+    StatGroup g("g");
+    g["hits"] = 5;
+    EXPECT_DOUBLE_EQ(g.ratio("hits", "accesses"), 0.0);
+    g["accesses"] = 10;
+    EXPECT_DOUBLE_EQ(g.ratio("hits", "accesses"), 0.5);
+}
+
+TEST(StatGroup, MergeSums)
+{
+    StatGroup a("a"), b("b");
+    a["x"] = 1;
+    b["x"] = 2;
+    b["y"] = 3;
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(StatGroup, ResetClears)
+{
+    StatGroup g("g");
+    g["x"] = 9;
+    g.reset();
+    EXPECT_EQ(g.get("x"), 0u);
+}
+
+TEST(StatGroup, DumpIncludesGroupName)
+{
+    StatGroup g("mc");
+    g["fills"] = 7;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("mc.fills"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}

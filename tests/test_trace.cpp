@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for trace parsing, emission, and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.h"
+
+using namespace compresso;
+
+TEST(TraceReader, ParsesBasicRecords)
+{
+    std::istringstream in("R 1000 4\nW 2040 6 delta-int:3\n");
+    TraceReader r(in);
+    TraceRecord rec;
+
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_FALSE(rec.write);
+    EXPECT_EQ(rec.addr, 0x1000u);
+    EXPECT_DOUBLE_EQ(rec.inst_gap, 4.0);
+
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_TRUE(rec.write);
+    EXPECT_EQ(rec.addr, 0x2040u);
+    EXPECT_EQ(rec.cls, DataClass::kDeltaInt);
+    EXPECT_EQ(rec.version, 3u);
+
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.parsed(), 2u);
+}
+
+TEST(TraceReader, DefaultsApplied)
+{
+    std::istringstream in("W abc\n");
+    TraceReader r(in);
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.addr, 0xabcu);
+    EXPECT_DOUBLE_EQ(rec.inst_gap, 8.0);
+    EXPECT_EQ(rec.cls, DataClass::kRandom);
+}
+
+TEST(TraceReader, SkipsCommentsAndGarbage)
+{
+    std::istringstream in("# header\nX nope\nR zz\nR 40\n");
+    TraceReader r(in);
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.addr, 0x40u);
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.skipped(), 2u);
+}
+
+TEST(TraceRoundTrip, WriteThenParse)
+{
+    TraceRecord rec;
+    rec.addr = 0xdead40;
+    rec.write = true;
+    rec.inst_gap = 12.5;
+    rec.cls = DataClass::kFloat;
+    rec.version = 7;
+
+    std::ostringstream os;
+    writeTraceRecord(os, rec);
+    std::istringstream in(os.str());
+    TraceReader r(in);
+    TraceRecord back;
+    ASSERT_TRUE(r.next(back));
+    EXPECT_EQ(back.addr, rec.addr);
+    EXPECT_EQ(back.write, rec.write);
+    EXPECT_DOUBLE_EQ(back.inst_gap, rec.inst_gap);
+    EXPECT_EQ(back.cls, rec.cls);
+    EXPECT_EQ(back.version, rec.version);
+}
+
+namespace {
+
+std::string
+syntheticTrace(unsigned pages, unsigned reads_per_page)
+{
+    std::ostringstream os;
+    for (unsigned p = 0; p < pages; ++p)
+        for (unsigned l = 0; l < kLinesPerPage; ++l) {
+            TraceRecord rec;
+            rec.addr = Addr(p) * kPageBytes + l * kLineBytes;
+            rec.write = true;
+            rec.cls = DataClass::kDeltaInt;
+            writeTraceRecord(os, rec);
+        }
+    Rng rng(9);
+    for (unsigned i = 0; i < pages * reads_per_page; ++i) {
+        TraceRecord rec;
+        rec.addr = Addr(rng.below(pages)) * kPageBytes +
+                   rng.below(kLinesPerPage) * kLineBytes;
+        writeTraceRecord(os, rec);
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST(TraceReplay, CompressesCompressibleTrace)
+{
+    std::istringstream in(syntheticTrace(32, 64));
+    TraceReader reader(in);
+    TraceReplayReport rep = replayTrace(McKind::kCompresso, reader);
+    EXPECT_GT(rep.references, 32u * 64);
+    EXPECT_GT(rep.comp_ratio, 2.0);
+    EXPECT_GT(rep.ipc, 0.0);
+}
+
+TEST(TraceReplay, BackendsSeeSameReferences)
+{
+    std::string trace = syntheticTrace(16, 32);
+    std::istringstream a(trace), b(trace);
+    TraceReader ra(a), rb(b);
+    TraceReplayReport ua = replayTrace(McKind::kUncompressed, ra);
+    TraceReplayReport ub = replayTrace(McKind::kCompresso, rb);
+    EXPECT_EQ(ua.references, ub.references);
+    EXPECT_DOUBLE_EQ(ua.comp_ratio, 1.0);
+}
+
+TEST(TraceReplay, MaxRefsBounds)
+{
+    std::istringstream in(syntheticTrace(8, 16));
+    TraceReader reader(in);
+    TraceReplayReport rep =
+        replayTrace(McKind::kCompresso, reader, 100);
+    EXPECT_EQ(rep.references, 100u);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for data generation, benchmark profiles and access streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compress/bpc.h"
+#include "workloads/access_stream.h"
+#include "workloads/mixes.h"
+#include "workloads/profiles.h"
+
+using namespace compresso;
+
+TEST(DataGen, Deterministic)
+{
+    Line a, b;
+    generateLine(DataClass::kPointer, 42, a);
+    generateLine(DataClass::kPointer, 42, b);
+    EXPECT_EQ(a, b);
+    generateLine(DataClass::kPointer, 43, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(DataGen, ZeroClassIsZero)
+{
+    Line l;
+    generateLine(DataClass::kZero, 7, l);
+    EXPECT_TRUE(isZeroLine(l));
+}
+
+TEST(DataGen, ClassCompressibilityOrdering)
+{
+    // The classes must span the compressibility spectrum for the
+    // Fig. 2 reproduction to work.
+    BpcCompressor bpc;
+    auto avgBytes = [&](DataClass c) {
+        size_t total = 0;
+        Line l;
+        for (uint64_t s = 0; s < 32; ++s) {
+            generateLine(c, s, l);
+            total += bpc.compressedBytes(l);
+        }
+        return double(total) / 32;
+    };
+    double delta = avgBytes(DataClass::kDeltaInt);
+    double flt = avgBytes(DataClass::kFloat);
+    double rnd = avgBytes(DataClass::kRandom);
+    EXPECT_LT(delta, flt);
+    EXPECT_LT(flt, rnd);
+    EXPECT_LE(delta, 8.0);   // bin 8
+    EXPECT_GE(rnd, 60.0);    // incompressible
+}
+
+TEST(DataGen, SampleClassRespectsWeights)
+{
+    ClassMix m{};
+    m[size_t(DataClass::kFloat)] = 1.0;
+    EXPECT_EQ(sampleClass(m, 0.0), DataClass::kFloat);
+    EXPECT_EQ(sampleClass(m, 0.999), DataClass::kFloat);
+}
+
+TEST(Profiles, ThirtyBenchmarks)
+{
+    EXPECT_EQ(allProfiles().size(), 30u);
+    std::set<std::string> names;
+    for (const auto &p : allProfiles()) {
+        EXPECT_TRUE(names.insert(p.name).second) << "dup " << p.name;
+        EXPECT_GT(p.pages, 0u);
+        EXPECT_GT(p.inst_per_mem, 0.0);
+    }
+}
+
+TEST(Profiles, PaperBenchmarksPresent)
+{
+    for (const char *n :
+         {"mcf", "libquantum", "zeusmp", "leslie3d", "soplex", "omnetpp",
+          "Forestfire", "Pagerank", "Graph500", "GemsFDTD", "lbm"}) {
+        EXPECT_EQ(profileByName(n).name, n);
+    }
+}
+
+TEST(Profiles, StallersMarked)
+{
+    EXPECT_TRUE(profileByName("mcf").stalls_when_constrained);
+    EXPECT_TRUE(profileByName("GemsFDTD").stalls_when_constrained);
+    EXPECT_TRUE(profileByName("lbm").stalls_when_constrained);
+    EXPECT_FALSE(profileByName("gcc").stalls_when_constrained);
+}
+
+TEST(Profiles, PageClassDeterministic)
+{
+    const WorkloadProfile &p = profileByName("gcc");
+    EXPECT_EQ(pageClass(p, 5, 0), pageClass(p, 5, 0));
+}
+
+TEST(Profiles, PhaseMixShiftsCompressibility)
+{
+    const WorkloadProfile &p = profileByName("GemsFDTD");
+    ClassMix even = phaseMix(p, 0);
+    ClassMix odd = phaseMix(p, 1);
+    EXPECT_NE(even[size_t(DataClass::kZero)],
+              odd[size_t(DataClass::kZero)]);
+}
+
+TEST(Mixes, TabFourVerbatim)
+{
+    const auto &mixes = allMixes();
+    ASSERT_EQ(mixes.size(), 10u);
+    EXPECT_EQ(mixes[0].benchmarks[0], "mcf");
+    EXPECT_EQ(mixes[9].benchmarks[0], "Forestfire");
+    for (const auto &m : mixes)
+        for (const auto &b : m.benchmarks)
+            EXPECT_NO_FATAL_FAILURE(profileByName(b));
+}
+
+TEST(AccessStream, AddressesStayInRange)
+{
+    const WorkloadProfile &p = profileByName("gcc");
+    AccessStream s(p, 1, 100);
+    for (int i = 0; i < 20000; ++i) {
+        MemRef r = s.next();
+        ASSERT_GE(r.addr, s.baseAddr());
+        ASSERT_LT(r.addr, s.endAddr());
+    }
+}
+
+TEST(AccessStream, Deterministic)
+{
+    const WorkloadProfile &p = profileByName("mcf");
+    AccessStream a(p, 9), b(p, 9);
+    for (int i = 0; i < 5000; ++i) {
+        MemRef ra = a.next();
+        MemRef rb = b.next();
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.write, rb.write);
+    }
+}
+
+TEST(AccessStream, WriteFractionApproximatelyHonored)
+{
+    const WorkloadProfile &p = profileByName("lbm"); // write_frac 0.45
+    AccessStream s(p, 3);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += s.next().write;
+    EXPECT_NEAR(double(writes) / n, p.write_frac, 0.02);
+}
+
+TEST(AccessStream, HotSetConcentratesAccesses)
+{
+    const WorkloadProfile &p = profileByName("povray"); // hot_prob 0.95
+    AccessStream s(p, 4);
+    uint64_t hot_pages = uint64_t(p.pages * p.hot_frac);
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        MemRef r = s.next();
+        hot += (pageOf(r.addr) < hot_pages);
+    }
+    EXPECT_GT(double(hot) / n, 0.6);
+}
+
+TEST(AccessStream, WritesMutateDataModel)
+{
+    const WorkloadProfile &p = profileByName("bzip2");
+    AccessStream s(p, 5);
+    // Find a write.
+    MemRef r;
+    do {
+        r = s.next();
+    } while (!r.write);
+    Line now, initial;
+    s.lineData(r.addr, now);
+    s.initialLineData(r.addr, initial);
+    // Version bumped => content changed (unless both zero-class).
+    // Weak check: data is deterministic per (state), at least it does
+    // not crash and matches on re-read.
+    Line again;
+    s.lineData(r.addr, again);
+    EXPECT_EQ(now, again);
+}
+
+TEST(AccessStream, ChurnChangesCompressibilityOverTime)
+{
+    const WorkloadProfile &p = profileByName("astar"); // churn 0.10
+    AccessStream s(p, 6);
+    int changed = 0;
+    for (int i = 0; i < 50000; ++i) {
+        MemRef r = s.next();
+        if (!r.write)
+            continue;
+        Line cur, init;
+        s.lineData(r.addr, cur);
+        s.initialLineData(r.addr, init);
+        changed += cur != init;
+    }
+    EXPECT_GT(changed, 100);
+}
+
+TEST(AccessStream, PhaseAdvances)
+{
+    const WorkloadProfile &p = profileByName("GemsFDTD"); // 6 phases
+    AccessStream s(p, 7, 0, 1000);
+    EXPECT_EQ(s.currentPhase(), 0u);
+    for (int i = 0; i < 1001; ++i)
+        s.next();
+    EXPECT_EQ(s.currentPhase(), 1u);
+}
