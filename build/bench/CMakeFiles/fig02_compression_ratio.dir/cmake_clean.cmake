@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_compression_ratio.dir/fig02_compression_ratio.cpp.o"
+  "CMakeFiles/fig02_compression_ratio.dir/fig02_compression_ratio.cpp.o.d"
+  "fig02_compression_ratio"
+  "fig02_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_data_movement.dir/fig04_data_movement.cpp.o"
+  "CMakeFiles/fig04_data_movement.dir/fig04_data_movement.cpp.o.d"
+  "fig04_data_movement"
+  "fig04_data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_data_movement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_optimizations.dir/fig06_optimizations.cpp.o"
+  "CMakeFiles/fig06_optimizations.dir/fig06_optimizations.cpp.o.d"
+  "fig06_optimizations"
+  "fig06_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_repacking.dir/fig07_repacking.cpp.o"
+  "CMakeFiles/fig07_repacking.dir/fig07_repacking.cpp.o.d"
+  "fig07_repacking"
+  "fig07_repacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_repacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_compresspoints.dir/fig09_compresspoints.cpp.o"
+  "CMakeFiles/fig09_compresspoints.dir/fig09_compresspoints.cpp.o.d"
+  "fig09_compresspoints"
+  "fig09_compresspoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_compresspoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

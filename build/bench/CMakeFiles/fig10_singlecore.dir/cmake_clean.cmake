@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_singlecore.dir/fig10_singlecore.cpp.o"
+  "CMakeFiles/fig10_singlecore.dir/fig10_singlecore.cpp.o.d"
+  "fig10_singlecore"
+  "fig10_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

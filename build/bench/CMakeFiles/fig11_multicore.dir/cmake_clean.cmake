@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multicore.dir/fig11_multicore.cpp.o"
+  "CMakeFiles/fig11_multicore.dir/fig11_multicore.cpp.o.d"
+  "fig11_multicore"
+  "fig11_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

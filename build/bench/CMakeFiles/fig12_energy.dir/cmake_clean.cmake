@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_energy.dir/fig12_energy.cpp.o"
+  "CMakeFiles/fig12_energy.dir/fig12_energy.cpp.o.d"
+  "fig12_energy"
+  "fig12_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

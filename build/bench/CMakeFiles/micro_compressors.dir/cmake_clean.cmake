@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compressors.dir/micro_compressors.cpp.o"
+  "CMakeFiles/micro_compressors.dir/micro_compressors.cpp.o.d"
+  "micro_compressors"
+  "micro_compressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_capacity_sweep.dir/tab2_capacity_sweep.cpp.o"
+  "CMakeFiles/tab2_capacity_sweep.dir/tab2_capacity_sweep.cpp.o.d"
+  "tab2_capacity_sweep"
+  "tab2_capacity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_capacity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation_bins.dir/tab_ablation_bins.cpp.o"
+  "CMakeFiles/tab_ablation_bins.dir/tab_ablation_bins.cpp.o.d"
+  "tab_ablation_bins"
+  "tab_ablation_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_ablation_bins.
+# This may be replaced when dependencies are built.

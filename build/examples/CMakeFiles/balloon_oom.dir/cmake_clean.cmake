@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balloon_oom.dir/balloon_oom.cpp.o"
+  "CMakeFiles/balloon_oom.dir/balloon_oom.cpp.o.d"
+  "balloon_oom"
+  "balloon_oom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balloon_oom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

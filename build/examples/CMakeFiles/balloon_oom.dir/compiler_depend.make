@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for balloon_oom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for balloon_oom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_explorer.dir/compression_explorer.cpp.o"
+  "CMakeFiles/compression_explorer.dir/compression_explorer.cpp.o.d"
+  "compression_explorer"
+  "compression_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

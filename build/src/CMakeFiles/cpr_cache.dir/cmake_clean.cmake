@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_cache.dir/cache/cache.cpp.o"
+  "CMakeFiles/cpr_cache.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/cpr_cache.dir/cache/hierarchy.cpp.o"
+  "CMakeFiles/cpr_cache.dir/cache/hierarchy.cpp.o.d"
+  "libcpr_cache.a"
+  "libcpr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

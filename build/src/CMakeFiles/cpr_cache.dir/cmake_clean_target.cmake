@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpr_cache.a"
+)

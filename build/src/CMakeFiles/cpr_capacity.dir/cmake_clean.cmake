@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_capacity.dir/capacity/capacity_eval.cpp.o"
+  "CMakeFiles/cpr_capacity.dir/capacity/capacity_eval.cpp.o.d"
+  "CMakeFiles/cpr_capacity.dir/capacity/compresspoints.cpp.o"
+  "CMakeFiles/cpr_capacity.dir/capacity/compresspoints.cpp.o.d"
+  "CMakeFiles/cpr_capacity.dir/capacity/paging_model.cpp.o"
+  "CMakeFiles/cpr_capacity.dir/capacity/paging_model.cpp.o.d"
+  "libcpr_capacity.a"
+  "libcpr_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

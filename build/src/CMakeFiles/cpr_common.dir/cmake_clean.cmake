@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_common.dir/common/bitstream.cpp.o"
+  "CMakeFiles/cpr_common.dir/common/bitstream.cpp.o.d"
+  "CMakeFiles/cpr_common.dir/common/stats.cpp.o"
+  "CMakeFiles/cpr_common.dir/common/stats.cpp.o.d"
+  "libcpr_common.a"
+  "libcpr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

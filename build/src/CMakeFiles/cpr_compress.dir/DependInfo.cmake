@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cpp" "src/CMakeFiles/cpr_compress.dir/compress/bdi.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/bdi.cpp.o.d"
+  "/root/repo/src/compress/bpc.cpp" "src/CMakeFiles/cpr_compress.dir/compress/bpc.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/bpc.cpp.o.d"
+  "/root/repo/src/compress/cpack.cpp" "src/CMakeFiles/cpr_compress.dir/compress/cpack.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/cpack.cpp.o.d"
+  "/root/repo/src/compress/factory.cpp" "src/CMakeFiles/cpr_compress.dir/compress/factory.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/factory.cpp.o.d"
+  "/root/repo/src/compress/fpc.cpp" "src/CMakeFiles/cpr_compress.dir/compress/fpc.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/fpc.cpp.o.d"
+  "/root/repo/src/compress/lz.cpp" "src/CMakeFiles/cpr_compress.dir/compress/lz.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/lz.cpp.o.d"
+  "/root/repo/src/compress/size_bins.cpp" "src/CMakeFiles/cpr_compress.dir/compress/size_bins.cpp.o" "gcc" "src/CMakeFiles/cpr_compress.dir/compress/size_bins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_compress.dir/compress/bdi.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/bdi.cpp.o.d"
+  "CMakeFiles/cpr_compress.dir/compress/bpc.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/bpc.cpp.o.d"
+  "CMakeFiles/cpr_compress.dir/compress/cpack.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/cpack.cpp.o.d"
+  "CMakeFiles/cpr_compress.dir/compress/factory.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/factory.cpp.o.d"
+  "CMakeFiles/cpr_compress.dir/compress/fpc.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/fpc.cpp.o.d"
+  "CMakeFiles/cpr_compress.dir/compress/lz.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/lz.cpp.o.d"
+  "CMakeFiles/cpr_compress.dir/compress/size_bins.cpp.o"
+  "CMakeFiles/cpr_compress.dir/compress/size_bins.cpp.o.d"
+  "libcpr_compress.a"
+  "libcpr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

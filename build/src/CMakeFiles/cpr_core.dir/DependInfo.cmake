@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chunk_allocator.cpp" "src/CMakeFiles/cpr_core.dir/core/chunk_allocator.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/chunk_allocator.cpp.o.d"
+  "/root/repo/src/core/compresso_controller.cpp" "src/CMakeFiles/cpr_core.dir/core/compresso_controller.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/compresso_controller.cpp.o.d"
+  "/root/repo/src/core/dmc_controller.cpp" "src/CMakeFiles/cpr_core.dir/core/dmc_controller.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/dmc_controller.cpp.o.d"
+  "/root/repo/src/core/lcp_controller.cpp" "src/CMakeFiles/cpr_core.dir/core/lcp_controller.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/lcp_controller.cpp.o.d"
+  "/root/repo/src/core/offset_circuit.cpp" "src/CMakeFiles/cpr_core.dir/core/offset_circuit.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/offset_circuit.cpp.o.d"
+  "/root/repo/src/core/rmc_controller.cpp" "src/CMakeFiles/cpr_core.dir/core/rmc_controller.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/rmc_controller.cpp.o.d"
+  "/root/repo/src/core/uncompressed_controller.cpp" "src/CMakeFiles/cpr_core.dir/core/uncompressed_controller.cpp.o" "gcc" "src/CMakeFiles/cpr_core.dir/core/uncompressed_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

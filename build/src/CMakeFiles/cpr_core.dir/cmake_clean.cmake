@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_core.dir/core/chunk_allocator.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/chunk_allocator.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/core/compresso_controller.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/compresso_controller.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/core/dmc_controller.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/dmc_controller.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/core/lcp_controller.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/lcp_controller.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/core/offset_circuit.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/offset_circuit.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/core/rmc_controller.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/rmc_controller.cpp.o.d"
+  "CMakeFiles/cpr_core.dir/core/uncompressed_controller.cpp.o"
+  "CMakeFiles/cpr_core.dir/core/uncompressed_controller.cpp.o.d"
+  "libcpr_core.a"
+  "libcpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

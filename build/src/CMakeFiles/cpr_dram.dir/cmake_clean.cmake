@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_dram.dir/dram/dram_model.cpp.o"
+  "CMakeFiles/cpr_dram.dir/dram/dram_model.cpp.o.d"
+  "libcpr_dram.a"
+  "libcpr_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_energy.dir/energy/energy_model.cpp.o"
+  "CMakeFiles/cpr_energy.dir/energy/energy_model.cpp.o.d"
+  "libcpr_energy.a"
+  "libcpr_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cpr_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_meta.dir/meta/metadata_cache.cpp.o"
+  "CMakeFiles/cpr_meta.dir/meta/metadata_cache.cpp.o.d"
+  "CMakeFiles/cpr_meta.dir/meta/metadata_entry.cpp.o"
+  "CMakeFiles/cpr_meta.dir/meta/metadata_entry.cpp.o.d"
+  "libcpr_meta.a"
+  "libcpr_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/balloon.cpp" "src/CMakeFiles/cpr_os.dir/os/balloon.cpp.o" "gcc" "src/CMakeFiles/cpr_os.dir/os/balloon.cpp.o.d"
+  "/root/repo/src/os/page_allocator.cpp" "src/CMakeFiles/cpr_os.dir/os/page_allocator.cpp.o" "gcc" "src/CMakeFiles/cpr_os.dir/os/page_allocator.cpp.o.d"
+  "/root/repo/src/os/sim_os.cpp" "src/CMakeFiles/cpr_os.dir/os/sim_os.cpp.o" "gcc" "src/CMakeFiles/cpr_os.dir/os/sim_os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

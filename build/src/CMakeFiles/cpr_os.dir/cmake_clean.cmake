@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_os.dir/os/balloon.cpp.o"
+  "CMakeFiles/cpr_os.dir/os/balloon.cpp.o.d"
+  "CMakeFiles/cpr_os.dir/os/page_allocator.cpp.o"
+  "CMakeFiles/cpr_os.dir/os/page_allocator.cpp.o.d"
+  "CMakeFiles/cpr_os.dir/os/sim_os.cpp.o"
+  "CMakeFiles/cpr_os.dir/os/sim_os.cpp.o.d"
+  "libcpr_os.a"
+  "libcpr_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

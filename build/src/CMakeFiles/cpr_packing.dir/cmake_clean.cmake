@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_packing.dir/packing/lcp.cpp.o"
+  "CMakeFiles/cpr_packing.dir/packing/lcp.cpp.o.d"
+  "CMakeFiles/cpr_packing.dir/packing/linepack.cpp.o"
+  "CMakeFiles/cpr_packing.dir/packing/linepack.cpp.o.d"
+  "libcpr_packing.a"
+  "libcpr_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

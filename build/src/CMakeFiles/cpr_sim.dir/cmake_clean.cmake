@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/cpr_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/cpr_sim.dir/sim/system.cpp.o"
+  "CMakeFiles/cpr_sim.dir/sim/system.cpp.o.d"
+  "CMakeFiles/cpr_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/cpr_sim.dir/sim/trace.cpp.o.d"
+  "libcpr_sim.a"
+  "libcpr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

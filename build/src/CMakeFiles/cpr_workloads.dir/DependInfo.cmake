@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/access_stream.cpp" "src/CMakeFiles/cpr_workloads.dir/workloads/access_stream.cpp.o" "gcc" "src/CMakeFiles/cpr_workloads.dir/workloads/access_stream.cpp.o.d"
+  "/root/repo/src/workloads/datagen.cpp" "src/CMakeFiles/cpr_workloads.dir/workloads/datagen.cpp.o" "gcc" "src/CMakeFiles/cpr_workloads.dir/workloads/datagen.cpp.o.d"
+  "/root/repo/src/workloads/mixes.cpp" "src/CMakeFiles/cpr_workloads.dir/workloads/mixes.cpp.o" "gcc" "src/CMakeFiles/cpr_workloads.dir/workloads/mixes.cpp.o.d"
+  "/root/repo/src/workloads/profiles.cpp" "src/CMakeFiles/cpr_workloads.dir/workloads/profiles.cpp.o" "gcc" "src/CMakeFiles/cpr_workloads.dir/workloads/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

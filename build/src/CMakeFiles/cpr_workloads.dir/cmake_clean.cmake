@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpr_workloads.dir/workloads/access_stream.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/workloads/access_stream.cpp.o.d"
+  "CMakeFiles/cpr_workloads.dir/workloads/datagen.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/workloads/datagen.cpp.o.d"
+  "CMakeFiles/cpr_workloads.dir/workloads/mixes.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/workloads/mixes.cpp.o.d"
+  "CMakeFiles/cpr_workloads.dir/workloads/profiles.cpp.o"
+  "CMakeFiles/cpr_workloads.dir/workloads/profiles.cpp.o.d"
+  "libcpr_workloads.a"
+  "libcpr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

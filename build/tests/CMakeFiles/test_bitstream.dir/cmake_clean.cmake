@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitstream.dir/test_bitstream.cpp.o"
+  "CMakeFiles/test_bitstream.dir/test_bitstream.cpp.o.d"
+  "test_bitstream"
+  "test_bitstream.pdb"
+  "test_bitstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

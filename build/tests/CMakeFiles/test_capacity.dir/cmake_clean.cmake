@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capacity.dir/test_capacity.cpp.o"
+  "CMakeFiles/test_capacity.dir/test_capacity.cpp.o.d"
+  "test_capacity"
+  "test_capacity.pdb"
+  "test_capacity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

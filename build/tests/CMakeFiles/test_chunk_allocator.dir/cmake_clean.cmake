@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk_allocator.dir/test_chunk_allocator.cpp.o"
+  "CMakeFiles/test_chunk_allocator.dir/test_chunk_allocator.cpp.o.d"
+  "test_chunk_allocator"
+  "test_chunk_allocator.pdb"
+  "test_chunk_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compresso_ablations.dir/test_compresso_ablations.cpp.o"
+  "CMakeFiles/test_compresso_ablations.dir/test_compresso_ablations.cpp.o.d"
+  "test_compresso_ablations"
+  "test_compresso_ablations.pdb"
+  "test_compresso_ablations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compresso_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

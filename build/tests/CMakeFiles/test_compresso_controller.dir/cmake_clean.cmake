@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compresso_controller.dir/test_compresso_controller.cpp.o"
+  "CMakeFiles/test_compresso_controller.dir/test_compresso_controller.cpp.o.d"
+  "test_compresso_controller"
+  "test_compresso_controller.pdb"
+  "test_compresso_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compresso_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compresso_invariants.dir/test_compresso_invariants.cpp.o"
+  "CMakeFiles/test_compresso_invariants.dir/test_compresso_invariants.cpp.o.d"
+  "test_compresso_invariants"
+  "test_compresso_invariants.pdb"
+  "test_compresso_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compresso_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressors.dir/test_compressors.cpp.o"
+  "CMakeFiles/test_compressors.dir/test_compressors.cpp.o.d"
+  "test_compressors"
+  "test_compressors.pdb"
+  "test_compressors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compresspoints.dir/test_compresspoints.cpp.o"
+  "CMakeFiles/test_compresspoints.dir/test_compresspoints.cpp.o.d"
+  "test_compresspoints"
+  "test_compresspoints.pdb"
+  "test_compresspoints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compresspoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller_parity.dir/test_controller_parity.cpp.o"
+  "CMakeFiles/test_controller_parity.dir/test_controller_parity.cpp.o.d"
+  "test_controller_parity"
+  "test_controller_parity.pdb"
+  "test_controller_parity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmc_controller.dir/test_dmc_controller.cpp.o"
+  "CMakeFiles/test_dmc_controller.dir/test_dmc_controller.cpp.o.d"
+  "test_dmc_controller"
+  "test_dmc_controller.pdb"
+  "test_dmc_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dram_channels.cpp" "tests/CMakeFiles/test_dram_channels.dir/test_dram_channels.cpp.o" "gcc" "tests/CMakeFiles/test_dram_channels.dir/test_dram_channels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cpr_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_channels.dir/test_dram_channels.cpp.o"
+  "CMakeFiles/test_dram_channels.dir/test_dram_channels.cpp.o.d"
+  "test_dram_channels"
+  "test_dram_channels.pdb"
+  "test_dram_channels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcp_controller.dir/test_lcp_controller.cpp.o"
+  "CMakeFiles/test_lcp_controller.dir/test_lcp_controller.cpp.o.d"
+  "test_lcp_controller"
+  "test_lcp_controller.pdb"
+  "test_lcp_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcp_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_cache.dir/test_metadata_cache.cpp.o"
+  "CMakeFiles/test_metadata_cache.dir/test_metadata_cache.cpp.o.d"
+  "test_metadata_cache"
+  "test_metadata_cache.pdb"
+  "test_metadata_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

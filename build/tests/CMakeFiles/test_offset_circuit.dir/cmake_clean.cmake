@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offset_circuit.dir/test_offset_circuit.cpp.o"
+  "CMakeFiles/test_offset_circuit.dir/test_offset_circuit.cpp.o.d"
+  "test_offset_circuit"
+  "test_offset_circuit.pdb"
+  "test_offset_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offset_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor.dir/test_predictor.cpp.o"
+  "CMakeFiles/test_predictor.dir/test_predictor.cpp.o.d"
+  "test_predictor"
+  "test_predictor.pdb"
+  "test_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

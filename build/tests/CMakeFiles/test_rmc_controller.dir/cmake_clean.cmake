@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmc_controller.dir/test_rmc_controller.cpp.o"
+  "CMakeFiles/test_rmc_controller.dir/test_rmc_controller.cpp.o.d"
+  "test_rmc_controller"
+  "test_rmc_controller.pdb"
+  "test_rmc_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_details.dir/test_sim_details.cpp.o"
+  "CMakeFiles/test_sim_details.dir/test_sim_details.cpp.o.d"
+  "test_sim_details"
+  "test_sim_details.pdb"
+  "test_sim_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_size_bins.dir/test_size_bins.cpp.o"
+  "CMakeFiles/test_size_bins.dir/test_size_bins.cpp.o.d"
+  "test_size_bins"
+  "test_size_bins.pdb"
+  "test_size_bins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_size_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
