@@ -1,0 +1,67 @@
+#include "check/audit_report.h"
+
+#include <sstream>
+
+namespace compresso {
+
+const char *
+violationName(ViolationKind kind)
+{
+    switch (kind) {
+    case ViolationKind::kChunkLeak: return "chunk_leak";
+    case ViolationKind::kChunkDoubleMap: return "chunk_double_map";
+    case ViolationKind::kChunkDead: return "chunk_dead";
+    case ViolationKind::kChunkOutOfRange: return "chunk_out_of_range";
+    case ViolationKind::kChunkCountBad: return "chunk_count_bad";
+    case ViolationKind::kMpfnNotCleared: return "mpfn_not_cleared";
+    case ViolationKind::kMpfnMissing: return "mpfn_missing";
+    case ViolationKind::kZeroPageStorage: return "zero_page_storage";
+    case ViolationKind::kInvalidPageStorage:
+        return "invalid_page_storage";
+    case ViolationKind::kStaleFreeSpace: return "stale_free_space";
+    case ViolationKind::kBadSizeCode: return "bad_size_code";
+    case ViolationKind::kBadInflate: return "bad_inflate";
+    case ViolationKind::kOvercommit: return "overcommit";
+    case ViolationKind::kRawPageShape: return "raw_page_shape";
+    }
+    return "unknown";
+}
+
+void
+AuditReport::add(ViolationKind kind, PageNum page, ChunkNum chunk,
+                 std::string detail)
+{
+    violations_.push_back(
+        Violation{kind, page, chunk, std::move(detail)});
+}
+
+size_t
+AuditReport::count(ViolationKind kind) const
+{
+    size_t n = 0;
+    for (const auto &v : violations_)
+        n += v.kind == kind;
+    return n;
+}
+
+std::string
+AuditReport::summary() const
+{
+    if (clean())
+        return "audit: clean\n";
+    std::ostringstream os;
+    os << "audit: " << violations_.size() << " violation(s)\n";
+    for (const auto &v : violations_) {
+        os << "  [" << violationName(v.kind) << "]";
+        if (v.page != kNoPage)
+            os << " page " << v.page;
+        if (v.chunk != kNoChunk)
+            os << " chunk " << v.chunk;
+        if (!v.detail.empty())
+            os << ": " << v.detail;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace compresso

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structured violation report produced by the invariant auditor
+ * (src/check/invariant_auditor.h).
+ *
+ * Compresso's correctness rests on cross-structure invariants the
+ * paper states but no single module can check locally: metadata MPFNs
+ * must point at live, exclusively-owned 512 B chunks; `free_space` and
+ * `inflate_count` must match the actual LinePack layout; and the chunk
+ * allocator's free list must exactly complement the set of chunks
+ * reachable from metadata. Each way those invariants can break is a
+ * @ref ViolationKind; an audit pass returns an @ref AuditReport
+ * listing every violation found.
+ */
+
+#ifndef COMPRESSO_CHECK_AUDIT_REPORT_H
+#define COMPRESSO_CHECK_AUDIT_REPORT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace compresso {
+
+/** One class of invariant breakage per enumerator (Sec. III-IV). */
+enum class ViolationKind : uint8_t
+{
+    kChunkLeak,        ///< allocator-live chunk reachable from no page
+    kChunkDoubleMap,   ///< chunk referenced by two mappings
+    kChunkDead,        ///< mapping references a released chunk
+    kChunkOutOfRange,  ///< chunk id past the allocator's frontier
+    kChunkCountBad,    ///< per-page chunk count outside 0..8
+    kMpfnNotCleared,   ///< mpfn past `chunks` not reset to kNoChunk
+    kMpfnMissing,      ///< mpfn inside `chunks` is kNoChunk
+    kZeroPageStorage,  ///< zero page owns chunks / nonzero codes
+    kInvalidPageStorage, ///< invalid (freed) page still owns storage
+    kStaleFreeSpace,   ///< free_space != recomputed LinePack slack
+    kBadSizeCode,      ///< line size code outside the configured bins
+    kBadInflate,       ///< inflate_count/pointers malformed
+    kOvercommit,       ///< packed bytes + inflation room > allocation
+    kRawPageShape,     ///< uncompressed page with non-raw layout
+};
+
+/** Stable name of @p kind (for messages and test matching). */
+const char *violationName(ViolationKind kind);
+
+struct Violation
+{
+    ViolationKind kind;
+    PageNum page = kNoPage;   ///< offending OSPA page, if any
+    ChunkNum chunk = kNoChunk; ///< offending MPA chunk, if any
+    std::string detail;       ///< human-readable specifics
+};
+
+class AuditReport
+{
+  public:
+    void add(ViolationKind kind, PageNum page, ChunkNum chunk,
+             std::string detail);
+
+    bool clean() const { return violations_.empty(); }
+    size_t size() const { return violations_.size(); }
+
+    /** Number of violations of one kind. */
+    size_t count(ViolationKind kind) const;
+
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Multi-line human-readable report ("clean" if empty). */
+    std::string summary() const;
+
+  private:
+    std::vector<Violation> violations_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_CHECK_AUDIT_REPORT_H

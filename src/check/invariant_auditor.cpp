@@ -1,0 +1,207 @@
+#include "check/invariant_auditor.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+namespace {
+
+std::string
+str(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+void
+InvariantAuditor::checkCompressoPage(PageNum page, const MetadataEntry &m,
+                                     const uint8_t *actual_bin,
+                                     const ChunkAllocator &alloc,
+                                     AuditReport &rep) const
+{
+    // Architectural bounds (Sec. III): 8 chunk pointers, 17 inflation
+    // pointers, 12-bit free_space.
+    if (m.chunks > kChunksPerPage) {
+        rep.add(ViolationKind::kChunkCountBad, page, kNoChunk,
+                str(m.chunks) + " chunks");
+        return; // mpfn indexing below would be meaningless
+    }
+    if (m.inflate_count > kMaxInflatedLines)
+        rep.add(ViolationKind::kBadInflate, page, kNoChunk,
+                "inflate_count " + str(m.inflate_count));
+    if (m.free_space > kPageBytes - 1)
+        rep.add(ViolationKind::kStaleFreeSpace, page, kNoChunk,
+                "free_space " + str(m.free_space) +
+                    " exceeds the 12-bit field");
+
+    if (!m.valid || m.zero) {
+        // Invalid (never touched / freed) and zero pages own no MPA
+        // storage at all; their second-half metadata is quiescent.
+        ViolationKind kind = m.zero ? ViolationKind::kZeroPageStorage
+                                    : ViolationKind::kInvalidPageStorage;
+        if (m.chunks != 0)
+            rep.add(kind, page, kNoChunk,
+                    "owns " + str(m.chunks) + " chunk(s)");
+        for (unsigned c = 0; c < kChunksPerPage; ++c)
+            if (m.mpfn[c] != kNoChunk)
+                rep.add(kind, page, m.mpfn[c],
+                        "mpfn[" + str(c) + "] set");
+        if (m.inflate_count != 0)
+            rep.add(kind, page, kNoChunk, "inflate_count set");
+        if (m.free_space != 0)
+            rep.add(kind, page, kNoChunk, "free_space set");
+        if (m.zero)
+            for (unsigned i = 0; i < kLinesPerPage; ++i)
+                if (m.line_code[i] != 0) {
+                    rep.add(kind, page, kNoChunk,
+                            "line " + str(i) + " has nonzero code");
+                    break;
+                }
+        return;
+    }
+
+    // Chunk pointers: every slot below `chunks` holds a live,
+    // in-range id; every slot past it is cleared.
+    for (unsigned c = 0; c < kChunksPerPage; ++c) {
+        if (c < m.chunks) {
+            if (m.mpfn[c] == kNoChunk) {
+                rep.add(ViolationKind::kMpfnMissing, page, kNoChunk,
+                        "slot " + str(c));
+            } else if (m.mpfn[c] >= alloc.freshFrontier() ||
+                       m.mpfn[c] >= alloc.totalChunks()) {
+                rep.add(ViolationKind::kChunkOutOfRange, page,
+                        m.mpfn[c], "slot " + str(c));
+            } else if (!alloc.isLive(m.mpfn[c])) {
+                rep.add(ViolationKind::kChunkDead, page, m.mpfn[c],
+                        "slot " + str(c) + " (use-after-release)");
+            }
+        } else if (m.mpfn[c] != kNoChunk) {
+            rep.add(ViolationKind::kMpfnNotCleared, page, m.mpfn[c],
+                    "slot " + str(c));
+        }
+    }
+
+    // Size-bin codes must index the configured bin set (0/8/32/64 vs
+    // legacy 0/22/44/64 vs the 8-bin ablation).
+    uint32_t pack = 0;
+    bool codes_ok = true;
+    for (unsigned i = 0; i < kLinesPerPage; ++i) {
+        if (m.line_code[i] >= bins_.count()) {
+            rep.add(ViolationKind::kBadSizeCode, page, kNoChunk,
+                    "line " + str(i) + " code " + str(m.line_code[i]) +
+                        " with " + str(bins_.count()) + " bins");
+            codes_ok = false;
+            continue;
+        }
+        pack += bins_.binSize(m.line_code[i]);
+    }
+
+    // Inflation pointers: only on compressed pages, distinct,
+    // in-range line indices.
+    if (!m.compressed && m.inflate_count != 0)
+        rep.add(ViolationKind::kBadInflate, page, kNoChunk,
+                "inflation room on an uncompressed page");
+    for (unsigned i = 0; i < m.inflate_count && i < kMaxInflatedLines;
+         ++i) {
+        if (m.inflate_line[i] >= kLinesPerPage)
+            rep.add(ViolationKind::kBadInflate, page, kNoChunk,
+                    "inflate_line[" + str(i) + "] = " +
+                        str(m.inflate_line[i]));
+        for (unsigned j = i + 1;
+             j < m.inflate_count && j < kMaxInflatedLines; ++j)
+            if (m.inflate_line[i] == m.inflate_line[j])
+                rep.add(ViolationKind::kBadInflate, page, kNoChunk,
+                        "duplicate inflate pointer to line " +
+                            str(m.inflate_line[i]));
+    }
+
+    // Layout fits the allocation: packed lines (64 B-aligned) plus the
+    // occupied inflation room never exceed the allocated chunks.
+    uint32_t alloc_bytes = uint32_t(m.chunks) * uint32_t(kChunkBytes);
+    if (codes_ok) {
+        uint32_t used = uint32_t(roundUp(pack, kLineBytes)) +
+                        uint32_t(m.inflate_count) * uint32_t(kLineBytes);
+        if (used > alloc_bytes)
+            rep.add(ViolationKind::kOvercommit, page, kNoChunk,
+                    str(used) + " B used > " + str(alloc_bytes) +
+                        " B allocated");
+    }
+
+    // Uncompressed (raw) pages are laid out 1:1: every slot top-bin,
+    // no inflation room (Sec. IV-B5 relies on this shape).
+    if (!m.compressed && codes_ok)
+        for (unsigned i = 0; i < kLinesPerPage; ++i)
+            if (bins_.binSize(m.line_code[i]) != kLineBytes) {
+                rep.add(ViolationKind::kRawPageShape, page, kNoChunk,
+                        "line " + str(i) + " not top-bin");
+                break;
+            }
+
+    // free_space (Sec. IV-B4) equals the slack recomputed from the
+    // actual per-line compressed bins: allocation minus the smallest
+    // page size that would hold the page if repacked now.
+    if (actual_bin != nullptr) {
+        uint32_t potential_pack = 0;
+        bool shadow_ok = true;
+        for (unsigned i = 0; i < kLinesPerPage; ++i) {
+            if (actual_bin[i] >= bins_.count()) {
+                rep.add(ViolationKind::kBadSizeCode, page, kNoChunk,
+                        "shadow bin for line " + str(i) +
+                            " out of range");
+                shadow_ok = false;
+                break;
+            }
+            potential_pack += bins_.binSize(actual_bin[i]);
+        }
+        if (shadow_ok) {
+            uint32_t potential_alloc = pageBinBytes(
+                uint32_t(roundUp(potential_pack, kLineBytes)), sizing_);
+            uint32_t expect = alloc_bytes > potential_alloc
+                                  ? alloc_bytes - potential_alloc
+                                  : 0;
+            expect = std::min<uint32_t>(expect, 4095);
+            if (m.free_space != expect)
+                rep.add(ViolationKind::kStaleFreeSpace, page, kNoChunk,
+                        "free_space " + str(m.free_space) +
+                            ", recomputed " + str(expect));
+        }
+    } else if (m.free_space > alloc_bytes) {
+        rep.add(ViolationKind::kStaleFreeSpace, page, kNoChunk,
+                "free_space " + str(m.free_space) + " > allocation " +
+                    str(alloc_bytes));
+    }
+}
+
+void
+InvariantAuditor::ChunkCrossCheck::mapChunk(PageNum page, ChunkNum chunk,
+                                            AuditReport &rep)
+{
+    auto [it, fresh] = owner_.emplace(chunk, page);
+    if (!fresh)
+        rep.add(ViolationKind::kChunkDoubleMap, page, chunk,
+                "also mapped by page " + std::to_string(it->second));
+}
+
+void
+InvariantAuditor::ChunkCrossCheck::finish(const ChunkAllocator &alloc,
+                                          AuditReport &rep)
+{
+    for (const auto &[chunk, page] : owner_) {
+        if (chunk >= alloc.freshFrontier() ||
+            chunk >= alloc.totalChunks())
+            rep.add(ViolationKind::kChunkOutOfRange, page, chunk, "");
+        else if (!alloc.isLive(chunk))
+            rep.add(ViolationKind::kChunkDead, page, chunk,
+                    "mapped but released");
+    }
+    // The free list must exactly complement the mapped set: any live
+    // chunk no page reaches has leaked.
+    alloc.forEachLive([&](ChunkNum chunk) {
+        if (owner_.find(chunk) == owner_.end())
+            rep.add(ViolationKind::kChunkLeak, kNoPage, chunk,
+                    "live in the allocator, reachable from no page");
+    });
+}
+
+} // namespace compresso

@@ -45,6 +45,10 @@ constexpr size_t kMaxInflatedLines = 17;
  *  field width; see meta/metadata_entry.h). */
 constexpr uint32_t kNoChunk = (1u << 28) - 1;
 
+/** Sentinel page number ("no page"): frame-allocator exhaustion, audit
+ *  violations with no page context. */
+constexpr uint64_t kNoPage = ~uint64_t(0);
+
 /** A raw 64-byte cache line. */
 using Line = std::array<uint8_t, kLineBytes>;
 

@@ -1,6 +1,7 @@
 #include "core/chunk_allocator.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace compresso {
 
@@ -29,9 +30,17 @@ ChunkAllocator::allocate()
 void
 ChunkAllocator::release(ChunkNum chunk)
 {
-    assert(used_ > 0);
     auto it = store_.find(chunk);
-    assert(it != store_.end());
+    if (it == store_.end()) {
+        std::fprintf(stderr,
+                     "ChunkAllocator::release: chunk %llu is not live "
+                     "(double release, never allocated, or out of "
+                     "range; frontier %llu, total %llu)\n",
+                     static_cast<unsigned long long>(chunk),
+                     static_cast<unsigned long long>(next_fresh_),
+                     static_cast<unsigned long long>(total_));
+        std::abort();
+    }
     store_.erase(it);
     free_list_.push_back(chunk);
     --used_;
@@ -41,7 +50,12 @@ std::array<uint8_t, kChunkBytes> &
 ChunkAllocator::data(ChunkNum chunk)
 {
     auto it = store_.find(chunk);
-    assert(it != store_.end());
+    if (it == store_.end()) {
+        std::fprintf(stderr,
+                     "ChunkAllocator::data: chunk %llu is not live\n",
+                     static_cast<unsigned long long>(chunk));
+        std::abort();
+    }
     return it->second;
 }
 
@@ -49,7 +63,12 @@ const std::array<uint8_t, kChunkBytes> &
 ChunkAllocator::data(ChunkNum chunk) const
 {
     auto it = store_.find(chunk);
-    assert(it != store_.end());
+    if (it == store_.end()) {
+        std::fprintf(stderr,
+                     "ChunkAllocator::data: chunk %llu is not live\n",
+                     static_cast<unsigned long long>(chunk));
+        std::abort();
+    }
     return it->second;
 }
 

@@ -34,7 +34,12 @@ class ChunkAllocator
     /** Allocate one chunk; returns kNoChunk if memory is exhausted. */
     ChunkNum allocate();
 
-    /** Return a chunk to the free list and drop its contents. */
+    /** Return a chunk to the free list and drop its contents.
+     *  Releasing a chunk that is not live — double release, never
+     *  allocated, or out of range — is a hard error (abort) in every
+     *  build type: continuing would silently corrupt `used_` and the
+     *  free list, the exact stale-mapping failure mode the invariant
+     *  auditor exists to catch. */
     void release(ChunkNum chunk);
 
     /** Backing bytes of a live chunk. */
@@ -45,6 +50,29 @@ class ChunkAllocator
     uint64_t usedChunks() const { return used_; }
     uint64_t freeChunks() const { return total_ - used_; }
     uint64_t usedBytes() const { return used_ * kChunkBytes; }
+
+    // --- audit surface (src/check) -----------------------------------
+    // Inline so the auditor library can cross-check allocator state
+    // without a link dependency on cpr_core.
+
+    /** True if @p chunk is currently allocated. */
+    bool isLive(ChunkNum chunk) const
+    {
+        return store_.find(chunk) != store_.end();
+    }
+
+    /** One past the highest chunk number ever handed out; any mapped
+     *  id at or beyond it cannot have come from this allocator. */
+    uint64_t freshFrontier() const { return next_fresh_; }
+
+    /** Visit every live chunk number (order unspecified). */
+    template <class Fn>
+    void
+    forEachLive(Fn fn) const
+    {
+        for (const auto &[chunk, data] : store_)
+            fn(chunk);
+    }
 
   private:
     uint64_t total_;

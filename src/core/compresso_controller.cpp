@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "check/invariant_auditor.h"
 
 namespace compresso {
 
@@ -12,6 +16,14 @@ namespace {
 constexpr Addr kMetadataRegionBase = Addr(1) << 40;
 
 } // namespace
+
+/** Checked builds audit the touched page at every state-mutation
+ *  boundary; release builds compile the hook away entirely. */
+#ifdef COMPRESSO_CHECKED_BUILD
+#define CPR_CHECKED_AUDIT(page, site) checkedAudit((page), (site))
+#else
+#define CPR_CHECKED_AUDIT(page, site) ((void)0)
+#endif
 
 CompressoController::CompressoController(const CompressoConfig &cfg)
     : cfg_(cfg),
@@ -290,10 +302,15 @@ void
 CompressoController::writeToSlot(MetadataEntry &m, LineIdx idx,
                                  const Encoded &enc, McTrace &trace)
 {
-    // Caller guarantees enc fits the slot (enc.bin <= code).
+    // Caller guarantees enc fits the slot (enc.bin <= code). A raw
+    // slot stores the 64 raw bytes, not the encoding — an
+    // incompressible line's encoding can exceed kLineBytes, and sizing
+    // the device ops off it would walk past the allocation.
     unsigned code = m.line_code[idx];
     uint32_t off = offsets_.offset(m.line_code, idx);
-    size_t len = std::max<size_t>(enc.bytes.size(), 1);
+    size_t len = bins_->binSize(code) == kLineBytes
+                     ? kLineBytes
+                     : std::max<size_t>(enc.bytes.size(), 1);
     unsigned blocks = deviceOps(m, off, len, true, false, trace);
     if (blocks > 1) {
         ++stats_["split_wb_lines"];
@@ -618,6 +635,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         m.free_space = 0;
         m.line_code.fill(0);
         predictor_.onPageShrink();
+        CPR_CHECKED_AUDIT(page, "repack (to zero page)");
         return;
     }
 
@@ -640,6 +658,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         stats_["repack_write_ops"] += kLinesPerPage;
         deviceOps(m, 0, kPageBytes, true, false, trace);
         mdcache_.reshape(page, m.halfCacheable());
+        CPR_CHECKED_AUDIT(page, "repack (to raw page)");
         return;
     }
 
@@ -666,6 +685,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
     stats_["repack_write_ops"] += (new_used + kLineBytes - 1) / kLineBytes;
     deviceOps(m, 0, new_used, true, false, trace);
     predictor_.onPageShrink();
+    CPR_CHECKED_AUDIT(page, "repack");
 }
 
 void
@@ -847,6 +867,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         }
         sh.actual_bin[idx] = uint8_t(enc.bin);
         updateFreeSpace(m, sh);
+        CPR_CHECKED_AUDIT(page, "writeback (raw page)");
         cur_trace_ = nullptr;
         return;
     }
@@ -862,6 +883,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         }
         sh.actual_bin[idx] = uint8_t(enc.bin);
         updateFreeSpace(m, sh);
+        CPR_CHECKED_AUDIT(page, "writeback (inflation room)");
         cur_trace_ = nullptr;
         return;
     }
@@ -879,6 +901,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         }
         sh.actual_bin[idx] = uint8_t(enc.bin);
         updateFreeSpace(m, sh);
+        CPR_CHECKED_AUDIT(page, "writeback (in place)");
         cur_trace_ = nullptr;
         return;
     }
@@ -886,6 +909,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
     handleLineOverflow(page, m, idx, data, enc, trace);
     sh.actual_bin[idx] = uint8_t(enc.bin);
     updateFreeSpace(m, sh);
+    CPR_CHECKED_AUDIT(page, "writeback (overflow/inflation)");
     cur_trace_ = nullptr;
 }
 
@@ -928,6 +952,7 @@ CompressoController::freePage(PageNum page)
     shadow_.erase(page);
     mdcache_.invalidate(page);
     ++stats_["pages_freed"];
+    CPR_CHECKED_AUDIT(page, "freePage (balloon release)");
 }
 
 void
@@ -943,6 +968,62 @@ CompressoController::repackAll()
     for (PageNum p : pages)
         repackPage(p, scratch);
     cur_trace_ = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Invariant audit (src/check)
+// ---------------------------------------------------------------------
+
+AuditReport
+CompressoController::audit() const
+{
+    AuditReport rep;
+    InvariantAuditor auditor(*bins_, cfg_.page_sizing);
+    InvariantAuditor::ChunkCrossCheck xcheck;
+    for (const auto &[page, m] : meta_) {
+        auto sit = shadow_.find(page);
+        const uint8_t *actual_bin =
+            sit != shadow_.end() && m.valid && !m.zero
+                ? sit->second.actual_bin.data()
+                : nullptr;
+        auditor.checkCompressoPage(page, m, actual_bin, chunks_, rep);
+        if (m.valid && !m.zero)
+            for (unsigned c = 0; c < m.chunks && c < kChunksPerPage;
+                 ++c)
+                if (m.mpfn[c] != kNoChunk)
+                    xcheck.mapChunk(page, m.mpfn[c], rep);
+    }
+    xcheck.finish(chunks_, rep);
+    return rep;
+}
+
+void
+CompressoController::checkedAudit(PageNum page, const char *site) const
+{
+    AuditReport rep;
+    InvariantAuditor auditor(*bins_, cfg_.page_sizing);
+    auto mit = meta_.find(page);
+    if (mit != meta_.end()) {
+        auto sit = shadow_.find(page);
+        const uint8_t *actual_bin =
+            sit != shadow_.end() && mit->second.valid &&
+                    !mit->second.zero
+                ? sit->second.actual_bin.data()
+                : nullptr;
+        auditor.checkCompressoPage(page, mit->second, actual_bin,
+                                   chunks_, rep);
+    }
+    if (chunks_.usedChunks() > chunks_.totalChunks())
+        rep.add(ViolationKind::kChunkCountBad, kNoPage, kNoChunk,
+                "allocator used > total");
+    if (!rep.clean()) {
+        std::fprintf(stderr,
+                     "COMPRESSO_CHECKED_BUILD: invariant violation "
+                     "after %s (page %llu)\n%s",
+                     site, static_cast<unsigned long long>(page),
+                     rep.summary().c_str());
+        std::abort();
+    }
 }
 
 } // namespace compresso

@@ -104,6 +104,25 @@ class CompressoController : public MemoryController
      *  accounting reflects current data. */
     void flush() override { repackAll(); }
 
+    /**
+     * Full cross-structure invariant audit (Secs. III-IV): chunk
+     * allocator free list vs chunks reachable from valid metadata
+     * MPFNs (no leaks, double-mapping, or use-after-release),
+     * per-page chunks/free_space/inflate_count recomputed from the
+     * line size codes, size-bin code validity for the configured bin
+     * set, and zero pages owning no storage.
+     */
+    AuditReport audit() const override;
+
+    /** Mutable metadata access for fault-injection tests ONLY: lets
+     *  the auditor tests plant corruptions (leaked chunks, stale
+     *  free_space, invalid codes) and prove audit() reports them.
+     *  Never use from simulation code. */
+    MetadataEntry &pageMetaForTest(PageNum page) { return meta_[page]; }
+
+    /** Chunk-allocator access for the same fault-injection tests. */
+    ChunkAllocator &chunkAllocatorForTest() { return chunks_; }
+
   private:
     struct PageShadow
     {
@@ -113,6 +132,11 @@ class CompressoController : public MemoryController
         std::array<uint8_t, kLinesPerPage> actual_bin{};
         bool predictor_inflated = false;
     };
+
+    /** COMPRESSO_CHECKED_BUILD: fatal page-local invariant check,
+     *  run at state-mutation boundaries (writeback/overflow paths,
+     *  repack, page free). Aborts with the violation report. */
+    void checkedAudit(PageNum page, const char *site) const;
 
     // --- metadata & timing helpers ---
     MetadataEntry &meta(PageNum page);

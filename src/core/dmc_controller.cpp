@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariant_auditor.h"
 #include "packing/linepack.h"
 
 namespace compresso {
@@ -426,8 +427,13 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
             ++stats_["zero_wbs"];
         } else {
             uint32_t off = hotOffset(p, idx);
-            deviceOps(p, off, std::max<size_t>(w.bytes().size(), 1),
-                      true, false, trace);
+            // A raw slot stores the 64 raw bytes; an incompressible
+            // line's encoding can exceed kLineBytes.
+            size_t len = compressoBins().binSize(p.code[idx]) ==
+                                 kLineBytes
+                             ? kLineBytes
+                             : std::max<size_t>(w.bytes().size(), 1);
+            deviceOps(p, off, len, true, false, trace);
             if (compressoBins().binSize(p.code[idx]) == kLineBytes)
                 storeBytes(p, off, data.data(), kLineBytes);
             else
@@ -485,6 +491,12 @@ DmcController::freePage(PageNum pn)
     it->second = Page{};
     mdcache_.invalidate(pn);
     ++stats_["pages_freed"];
+}
+
+AuditReport
+DmcController::audit() const
+{
+    return InvariantAuditor::auditChunkMap(pages_, chunks_);
 }
 
 } // namespace compresso

@@ -67,6 +67,10 @@ class DmcController : public MemoryController
 
     void freePage(PageNum page) override;
 
+    /** Chunk-map invariant audit (src/check): every valid page's
+     *  chunks live and exclusively owned, free list complementary. */
+    AuditReport audit() const override;
+
     StatGroup &stats() override { return stats_; }
     const StatGroup &stats() const override { return stats_; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariant_auditor.h"
+
 namespace compresso {
 
 namespace {
@@ -243,10 +245,15 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
     stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
 
-    // Gather all current data.
+    // Gather all current data. The triggering line is taken from the
+    // incoming write, not its slot: the caller already flipped its
+    // zero/actual-bytes bookkeeping, and its stored slot may hold a
+    // stale (undecodable) image.
     std::array<Line, kLinesPerPage> buf;
-    for (LineIdx i = 0; i < kLinesPerPage; ++i)
-        readStored(p, i, buf[i]);
+    for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+        if (i != idx)
+            readStored(p, i, buf[i]);
+    }
     buf[idx] = raw;
     p.zero_line[idx] = false;
     p.actual_bytes[idx] = uint16_t(enc.bytes.size());
@@ -492,6 +499,12 @@ LcpController::freePage(PageNum pn)
     it->second = Page{};
     mdcache_.invalidate(pn);
     ++stats_["pages_freed"];
+}
+
+AuditReport
+LcpController::audit() const
+{
+    return InvariantAuditor::auditChunkMap(pages_, chunks_);
 }
 
 bool

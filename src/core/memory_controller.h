@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "check/audit_report.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/dram_model.h"
@@ -96,6 +97,14 @@ class MemoryController
     /** Flush lazily-buffered state (e.g., force pending repacking);
      *  used by tests and capacity accounting. */
     virtual void flush() {}
+
+    /**
+     * Full invariant audit of the controller's compressed-memory
+     * state (src/check/invariant_auditor.h): chunk map vs allocator
+     * free list, per-page metadata consistency, layout bounds.
+     * Controllers without auditable state report clean.
+     */
+    virtual AuditReport audit() const { return AuditReport{}; }
 
     virtual StatGroup &stats() = 0;
     virtual const StatGroup &stats() const = 0;

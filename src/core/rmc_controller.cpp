@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "check/invariant_auditor.h"
 #include "packing/linepack.h"
 
 namespace compresso {
@@ -327,9 +328,12 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         } else {
             uint32_t off = lineOffset(p, idx);
             uint16_t sz = bins_->binSize(code);
-            unsigned blocks = deviceOps(
-                p, off, std::max<size_t>(w.bytes().size(), 1), true,
-                false, trace);
+            // A raw slot stores the 64 raw bytes; an incompressible
+            // line's encoding can exceed kLineBytes.
+            size_t len = sz == kLineBytes
+                             ? kLineBytes
+                             : std::max<size_t>(w.bytes().size(), 1);
+            unsigned blocks = deviceOps(p, off, len, true, false, trace);
             if (blocks > 1) {
                 ++stats_["split_wb_lines"];
                 stats_["split_extra_ops"] += blocks - 1;
@@ -448,6 +452,12 @@ RmcController::freePage(PageNum pn)
     it->second = Page{};
     bst_.invalidate(pn);
     ++stats_["pages_freed"];
+}
+
+AuditReport
+RmcController::audit() const
+{
+    return InvariantAuditor::auditChunkMap(pages_, chunks_);
 }
 
 } // namespace compresso

@@ -15,8 +15,6 @@
 
 namespace compresso {
 
-constexpr PageNum kNoPage = ~PageNum(0);
-
 class PageAllocator
 {
   public:

@@ -85,3 +85,54 @@ TEST(ChunkAllocator, UsedBytesTracksChunks)
     a.allocate();
     EXPECT_EQ(a.usedBytes(), 2 * kChunkBytes);
 }
+
+TEST(ChunkAllocator, AuditSurface)
+{
+    ChunkAllocator a(8 * kChunkBytes);
+    ChunkNum c0 = a.allocate();
+    ChunkNum c1 = a.allocate();
+    EXPECT_TRUE(a.isLive(c0));
+    EXPECT_TRUE(a.isLive(c1));
+    EXPECT_EQ(a.freshFrontier(), 2u);
+    a.release(c0);
+    EXPECT_FALSE(a.isLive(c0));
+    std::set<ChunkNum> live;
+    a.forEachLive([&](ChunkNum c) { live.insert(c); });
+    EXPECT_EQ(live, std::set<ChunkNum>{c1});
+}
+
+// Releasing anything that is not live must be a hard error in every
+// build type: silently decrementing `used_` and pushing a bogus id
+// onto the free list is exactly the stale-metadata corruption the
+// invariant auditor exists to catch downstream.
+
+using ChunkAllocatorDeathTest = ::testing::Test;
+
+TEST(ChunkAllocatorDeathTest, DoubleReleaseAborts)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    ChunkNum c = a.allocate();
+    a.release(c);
+    EXPECT_DEATH(a.release(c), "not live");
+}
+
+TEST(ChunkAllocatorDeathTest, ReleaseNeverAllocatedAborts)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    a.allocate();
+    EXPECT_DEATH(a.release(3), "not live"); // past the frontier
+}
+
+TEST(ChunkAllocatorDeathTest, ReleaseOutOfRangeAborts)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    EXPECT_DEATH(a.release(kNoChunk), "not live");
+}
+
+TEST(ChunkAllocatorDeathTest, DataOfDeadChunkAborts)
+{
+    ChunkAllocator a(4 * kChunkBytes);
+    ChunkNum c = a.allocate();
+    a.release(c);
+    EXPECT_DEATH(a.data(c), "not live");
+}

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Include-hygiene and allocation-discipline lint for the Compresso tree.
+
+Run from the repository root (the `check_includes` CMake target does);
+exits non-zero listing every violation. Rules:
+
+ 1. Every header under src/ carries an include guard named
+    COMPRESSO_<SUBDIR>_<FILE>_H matching its path (so a moved file
+    whose guard was not updated is caught).
+ 2. Project includes use the subsystem-relative quoted form
+    ("core/chunk_allocator.h"); no "../", no "src/" prefix, and no
+    quoted includes of system headers.
+ 3. Every src/ .cpp includes its own header first — the cheapest test
+    that each header is self-contained.
+ 4. No `using namespace` at file scope in headers.
+ 5. No raw `new` / `delete` expressions anywhere in src/ outside the
+    chunk allocator (the one module allowed to own storage): lifetime
+    must flow through ChunkAllocator or standard containers /
+    smart pointers. Comments and string literals are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SRC = Path("src")
+
+# The only files allowed to contain raw new/delete expressions.
+NEW_DELETE_ALLOWLIST = {
+    Path("src/core/chunk_allocator.h"),
+    Path("src/core/chunk_allocator.cpp"),
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+GUARD_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)")
+USING_NS_RE = re.compile(r"^\s*using\s+namespace\s+\w")
+ANY_NEW_RE = re.compile(r"\bnew\b")
+ANY_DELETE_RE = re.compile(r"\bdelete\b(?!\s*;)")
+
+# `= delete;` (deleted special members) is legitimate everywhere.
+DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            seg = text[i : (n if j < 0 else j + 2)]
+            out.append("\n" * seg.count("\n"))
+            i = n if j < 0 else j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(SRC)
+    parts = [p.upper() for p in rel.parts[:-1]]
+    stem = rel.stem.upper()
+    return "COMPRESSO_" + "_".join(parts + [stem]) + "_H"
+
+
+def check_file(path: Path, errors: list[str]) -> None:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    # Preprocessor directives are scanned on the raw lines (the quoted
+    # include path IS a string); code rules use the stripped text.
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    is_header = path.suffix == ".h"
+
+    # Rule 1: include guard.
+    if is_header:
+        guard = next(
+            (
+                m.group(1)
+                for ln in raw_lines
+                if (m := GUARD_IFNDEF_RE.match(ln))
+            ),
+            None,
+        )
+        want = expected_guard(path)
+        if guard != want:
+            errors.append(
+                f"{path}: include guard is {guard or 'missing'}, "
+                f"expected {want}"
+            )
+
+    first_project_include = None
+    for lineno, ln in enumerate(raw_lines, 1):
+        m = INCLUDE_RE.match(ln)
+        if m:
+            style, inc = m.group(1), m.group(2)
+            if style == '"':
+                if first_project_include is None:
+                    first_project_include = inc
+                if inc.startswith("src/"):
+                    errors.append(
+                        f"{path}:{lineno}: include \"{inc}\" must not "
+                        f"carry the src/ prefix"
+                    )
+                if ".." in inc.split("/"):
+                    errors.append(
+                        f"{path}:{lineno}: relative include \"{inc}\""
+                    )
+                if not (SRC / inc).exists():
+                    errors.append(
+                        f"{path}:{lineno}: include \"{inc}\" does not "
+                        f"resolve under src/"
+                    )
+
+    # Rule 4: using namespace in headers.
+    if is_header:
+        for lineno, ln in enumerate(code_lines, 1):
+            if USING_NS_RE.match(ln):
+                errors.append(
+                    f"{path}:{lineno}: `using namespace` at file scope "
+                    f"in a header"
+                )
+
+    # Rule 3: own header first.
+    if path.suffix == ".cpp":
+        own = path.relative_to(SRC).with_suffix(".h")
+        if (SRC / own).exists() and first_project_include != str(own).replace(
+            "\\", "/"
+        ):
+            errors.append(
+                f"{path}: first project include must be its own header "
+                f"\"{own}\" (found \"{first_project_include}\")"
+            )
+
+    # Rule 5: raw new/delete outside the allocator.
+    if path not in NEW_DELETE_ALLOWLIST:
+        for lineno, ln in enumerate(code_lines, 1):
+            if ANY_NEW_RE.search(ln):
+                errors.append(f"{path}:{lineno}: raw `new` expression")
+            if ANY_DELETE_RE.search(ln) and not DELETED_FN_RE.search(ln):
+                errors.append(f"{path}:{lineno}: raw `delete` expression")
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print("check_includes.py: run from the repository root", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix in (".h", ".cpp"):
+            check_file(path, errors)
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"check_includes: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_includes: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
