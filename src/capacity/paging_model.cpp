@@ -101,9 +101,11 @@ RatioTimeline::ratioAt(unsigned phase)
         }
         footprint += kPageBytes;
         compressed += bytes;
+        // Metadata-inclusive accounting: every touched page carries a
+        // translation entry (~1.6% of a 4 KB page), which capacity
+        // planning pays even for all-zero pages.
+        compressed += kMetadataEntryBytes;
     }
-    if (compressed == 0)
-        return double(kPageBytes); // all-zero sample: effectively free
     return double(footprint) / double(compressed);
 }
 

@@ -44,7 +44,8 @@ class RatioTimeline
     RatioTimeline(const WorkloadProfile &profile, McKind kind, bool repack,
                   unsigned samples = 48);
 
-    /** Footprint / compressed bytes at @p phase (>= 1.0). */
+    /** Footprint / compressed bytes at @p phase, metadata entries
+     *  included (the effective ratio capacity planning gets). */
     double ratioAt(unsigned phase);
 
   private:

@@ -42,8 +42,19 @@ class SizeBins
     /** Bits of metadata needed per line code. */
     unsigned codeBits() const { return code_bits_; }
 
-    /** Size in bytes of bin @p idx. */
-    uint16_t binSize(unsigned idx) const { return sizes_[idx]; }
+    /**
+     * Size in bytes of bin @p idx. A metadata fault can hand the
+     * controllers a code past the configured bin set; such codes read
+     * as the top (raw 64 B) bin — a safe over-estimate — so corrupt
+     * metadata degrades instead of indexing out of bounds. The
+     * invariant auditor still flags them (it range-checks the codes
+     * itself).
+     */
+    uint16_t
+    binSize(unsigned idx) const
+    {
+        return sizes_[idx < sizes_.size() ? idx : sizes_.size() - 1];
+    }
 
     /**
      * Bin index for a line whose compressed payload is @p bytes

@@ -31,6 +31,7 @@
 #include "core/memory_controller.h"
 #include "core/offset_circuit.h"
 #include "core/predictor.h"
+#include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 #include "meta/metadata_entry.h"
 #include "packing/linepack.h"
@@ -84,6 +85,15 @@ class CompressoController : public MemoryController
 
     void freePage(PageNum page) override;
 
+    /** Wire the fault-injection harness (fault/fault_injector.h) into
+     *  the demand paths: exposed reads are ECC-adjudicated and
+     *  detected-uncorrectable faults enter the degradation ladder
+     *  (rebuild -> inflate-to-4KB -> poison). */
+    void attachFaultInjector(FaultInjector *fi) override
+    {
+        fault_.attach(fi);
+    }
+
     StatGroup &stats() override { return stats_; }
     const StatGroup &stats() const override { return stats_; }
 
@@ -135,8 +145,32 @@ class CompressoController : public MemoryController
 
     /** COMPRESSO_CHECKED_BUILD: fatal page-local invariant check,
      *  run at state-mutation boundaries (writeback/overflow paths,
-     *  repack, page free). Aborts with the violation report. */
-    void checkedAudit(PageNum page, const char *site) const;
+     *  repack, page free). Aborts with the violation report — unless
+     *  COMPRESSO_FAULT_RECOVERY is compiled in and a fault injector
+     *  with recovery enabled is attached, in which case the page is
+     *  degraded to a safe state instead (recoverCorruptPage). */
+    void checkedAudit(PageNum page, const char *site);
+
+    /** Page-local invariant audit, shared by checkedAudit and the
+     *  recovery path. */
+    AuditReport auditPage(PageNum page) const;
+
+    // --- fault handling (degradation ladder) ---
+    /** Detected-uncorrectable metadata fault: rebuild the entry by
+     *  re-walking the page; after max_meta_rebuilds, escalate to
+     *  inflating the page to uncompressed 4 KB (the paper's safe
+     *  state). Without recovery, retire (poison) the page. */
+    void recoverMetadataFault(PageNum page, McTrace &trace);
+    /** Detected-uncorrectable data fault on a demand fill: poison the
+     *  OSPA line and charge the recovery trace (retry read + poison-
+     *  pattern rewrite, which scrubs the faulty blocks). */
+    void poisonDataFault(Addr ospa_line, const MetadataEntry &m,
+                         uint32_t off, size_t len, McTrace &trace);
+    /** Best-effort local repair of an audit-caught corrupt page:
+     *  recompute derived fields, else retire the page to a poisoned
+     *  zero state. Returns false if the damage is cross-structure
+     *  (leaked/double-mapped chunks) and only an abort is safe. */
+    bool recoverCorruptPage(PageNum page);
 
     // --- metadata & timing helpers ---
     MetadataEntry &meta(PageNum page);
@@ -214,6 +248,10 @@ class CompressoController : public MemoryController
     std::unordered_map<PageNum, PageShadow> shadow_;
     std::deque<Addr> stream_buf_;
     McTrace *cur_trace_ = nullptr; ///< active trace for evict hooks
+
+    FaultHooks fault_;
+    /** Metadata rebuilds taken per page (escalation bound). */
+    std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
 };

@@ -26,6 +26,7 @@ DmcController::DmcController(const DmcConfig &cfg)
         if (dirty && cur_trace_) {
             cur_trace_->add(metadataAddr(pn), true, false);
             ++stats_["md_write_ops"];
+            fault_.onWrite(metadataAddr(pn));
         }
     });
 }
@@ -45,6 +46,11 @@ DmcController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
     if (!hit) {
         trace.add(metadataAddr(pn), false, true);
         ++stats_["md_read_ops"];
+        if (fault_.active() &&
+            fault_.onMetaRead(metadataAddr(pn)) ==
+                FaultOutcome::kDetected) {
+            recoverMetadataFault(pn, trace);
+        }
     }
 }
 
@@ -119,8 +125,13 @@ DmcController::deviceOps(const Page &p, uint32_t off, size_t len,
     unsigned first = off / kLineBytes;
     unsigned last = unsigned((off + len - 1) / kLineBytes);
     for (unsigned b = first; b <= last; ++b) {
-        trace.add(mpaOf(p, b * uint32_t(kLineBytes)), write, critical);
+        Addr block = mpaOf(p, b * uint32_t(kLineBytes));
+        trace.add(block, write, critical);
         ++stats_[write ? "data_write_ops" : "data_read_ops"];
+        if (write)
+            fault_.onWrite(block);
+        else if (critical)
+            fault_.onCriticalRead(block);
     }
     return last - first + 1;
 }
@@ -321,6 +332,87 @@ DmcController::isCold(PageNum pn)
 }
 
 void
+DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
+{
+    Page &p = pages_[pn];
+    FaultInjector *fi = fault_.injector();
+
+    if (!fault_.recoveryEnabled()) {
+        if (p.valid && !fault_.pagePoisoned(pn)) {
+            fault_.poisonPage(pn);
+            ++stats_["fault_pages_poisoned"];
+        }
+        fi->scrub(metadataAddr(pn));
+        return;
+    }
+
+    // OS-transparent rebuild: like Compresso, the controller re-walks
+    // the page's stored image in hardware to reconstruct the entry —
+    // no OS involvement, only the re-walk traffic.
+    ++stats_["fault_meta_rebuilds"];
+    fi->noteMetaRebuild();
+    size_t before = trace.ops.size();
+    {
+        FaultHooks::SuppressScope guard(fault_);
+        if (p.valid && !p.zero && p.chunks > 0) {
+            uint32_t used;
+            if (p.cold) {
+                used = 0;
+                for (unsigned b = 0; b < kColdBlocks; ++b)
+                    used += p.cold_bytes[b];
+            } else {
+                used = hotPack(p);
+            }
+            deviceOps(p, 0, used, false, false, trace);
+        }
+        trace.add(metadataAddr(pn), true, false);
+        ++stats_["md_write_ops"];
+        unsigned rebuilds = ++meta_rebuilds_[pn];
+        bool raw_already = !p.cold;
+        for (LineIdx l = 0; raw_already && l < kLinesPerPage; ++l)
+            raw_already = p.code[l] ==
+                          uint8_t(compressoBins().count() - 1);
+        if (rebuilds > fi->config().max_meta_rebuilds && p.valid &&
+            !p.zero && !raw_already) {
+            // Escalate: re-lay the page out raw/hot so slot lookups no
+            // longer depend on the per-line codes or cold block sizes.
+            ++stats_["fault_pages_inflated"];
+            fi->notePageInflatedSafety();
+            std::array<Line, kLinesPerPage> buf;
+            gather(p, buf, &trace);
+            p.cold = false;
+            p.cold_bytes.fill(0);
+            for (LineIdx l = 0; l < kLinesPerPage; ++l)
+                p.code[l] = uint8_t(compressoBins().count() - 1);
+            resizeAlloc(p, unsigned(kChunksPerPage));
+            for (LineIdx l = 0; l < kLinesPerPage; ++l)
+                storeBytes(p, hotOffset(p, l), buf[l].data(),
+                           kLineBytes);
+            deviceOps(p, 0, kPageBytes, true, false, trace);
+            meta_rebuilds_.erase(pn);
+        }
+    }
+    fi->scrub(metadataAddr(pn));
+    uint64_t ops = trace.ops.size() - before;
+    fi->noteRecoveryOps(ops);
+    stats_["fault_recovery_ops"] += ops;
+}
+
+void
+DmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
+                               size_t len, McTrace &trace)
+{
+    fault_.poisonLine(ospa_line);
+    ++stats_["fault_lines_poisoned"];
+    size_t before = trace.ops.size();
+    deviceOps(p, off, len, false, false, trace); // retry read
+    deviceOps(p, off, len, true, false, trace);  // poison rewrite
+    uint64_t ops = trace.ops.size() - before;
+    fault_.injector()->noteRecoveryOps(ops);
+    stats_["fault_recovery_ops"] += ops;
+}
+
+void
 DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
     PageNum pn = pageOf(addr);
@@ -331,6 +423,14 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     Page &p = page(pn);
     mdAccess(pn, false, trace);
     p.touched_this_epoch = true;
+
+    if (fault_.active() && (fault_.pagePoisoned(pn) ||
+                            fault_.linePoisoned(lineAddr(addr)))) {
+        data.fill(0);
+        ++stats_["fault_poison_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
 
     if (!p.valid || p.zero) {
         data.fill(0);
@@ -348,6 +448,13 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
         deviceOps(p, off, p.cold_bytes[b], false, true, trace);
         trace.fixed_latency += cfg_.cold_latency;
         ++stats_["cold_block_reads"];
+        if (fault_.takePending() == FaultOutcome::kDetected) {
+            poisonDataFault(lineAddr(addr), p, off, p.cold_bytes[b],
+                            trace);
+            data.fill(0);
+            cur_trace_ = nullptr;
+            return;
+        }
 
         std::vector<uint8_t> raw(p.cold_bytes[b]);
         loadBytes(p, off, raw.data(), raw.size());
@@ -377,6 +484,12 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
         ++stats_["split_fill_lines"];
         stats_["split_extra_ops"] += blocks - 1;
     }
+    if (fault_.takePending() == FaultOutcome::kDetected) {
+        poisonDataFault(lineAddr(addr), p, off, sz, trace);
+        data.fill(0);
+        cur_trace_ = nullptr;
+        return;
+    }
     readHotLine(p, idx, data);
     if (sz != kLineBytes)
         trace.fixed_latency += cfg_.hot_latency;
@@ -394,6 +507,15 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     Page &p = page(pn);
     mdAccess(pn, true, trace);
     p.touched_this_epoch = true;
+
+    if (fault_.active()) {
+        if (fault_.pagePoisoned(pn)) {
+            ++stats_["fault_dropped_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        fault_.clearLinePoison(lineAddr(addr));
+    }
 
     bool zero = isZeroLine(data);
     if (!p.valid) {
@@ -490,6 +612,8 @@ DmcController::freePage(PageNum pn)
     resizeAlloc(it->second, 0);
     it->second = Page{};
     mdcache_.invalidate(pn);
+    fault_.clearPagePoison(pn);
+    meta_rebuilds_.erase(pn);
     ++stats_["pages_freed"];
 }
 

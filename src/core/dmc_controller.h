@@ -32,6 +32,7 @@
 #include "compress/size_bins.h"
 #include "core/chunk_allocator.h"
 #include "core/memory_controller.h"
+#include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 
 namespace compresso {
@@ -66,6 +67,15 @@ class DmcController : public MemoryController
     uint64_t mpaMetadataBytes() const override;
 
     void freePage(PageNum page) override;
+
+    /** Fault wiring: OS-transparent degradation like Compresso — a
+     *  detected metadata fault triggers a hardware re-walk (bounded,
+     *  escalating to a raw hot re-layout); data DUEs poison the
+     *  line. */
+    void attachFaultInjector(FaultInjector *fi) override
+    {
+        fault_.attach(fi);
+    }
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -131,6 +141,17 @@ class DmcController : public MemoryController
     void promoteToHot(PageNum pn, Page &p, McTrace &trace);
     void decayEpoch(McTrace &trace);
 
+    // --- fault handling ---
+    /** Detected metadata fault: hardware re-walks the page's stored
+     *  image to rebuild the entry (bounded); after max_meta_rebuilds,
+     *  re-lay the page out raw/hot so slot lookups no longer depend on
+     *  the entry. Without recovery, retire the page. */
+    void recoverMetadataFault(PageNum pn, McTrace &trace);
+    /** Data DUE on a demand fill: poison the line, charge retry +
+     *  poison-pattern rewrite (which scrubs the blocks). */
+    void poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
+                         size_t len, McTrace &trace);
+
     DmcConfig cfg_;
     std::unique_ptr<Compressor> hot_codec_;
     std::unique_ptr<Compressor> cold_codec_;
@@ -139,6 +160,9 @@ class DmcController : public MemoryController
     std::unordered_map<PageNum, Page> pages_;
     uint64_t epoch_wbs_ = 0;
     McTrace *cur_trace_ = nullptr;
+
+    FaultHooks fault_;
+    std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
 };

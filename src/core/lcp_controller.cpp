@@ -28,6 +28,7 @@ LcpController::LcpController(const LcpConfig &cfg)
         if (dirty && cur_trace_) {
             cur_trace_->add(metadataAddr(pn), true, false);
             ++stats_["md_write_ops"];
+            fault_.onWrite(metadataAddr(pn));
         }
     });
 }
@@ -47,6 +48,11 @@ LcpController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
     if (!hit) {
         trace.add(metadataAddr(pn), false, true);
         ++stats_["md_read_ops"];
+        if (fault_.active() &&
+            fault_.onMetaRead(metadataAddr(pn)) ==
+                FaultOutcome::kDetected) {
+            recoverMetadataFault(pn, trace);
+        }
     }
 }
 
@@ -121,6 +127,7 @@ LcpController::deviceOps(const Page &p, uint32_t off, size_t len,
             streamBufferInvalidate(block);
             trace.add(block, true, critical);
             ++stats_["data_write_ops"];
+            fault_.onWrite(block);
         } else {
             if (critical && cfg_.stream_buffer && streamBufferHit(block)) {
                 ++stats_["prefetch_hits"];
@@ -128,6 +135,10 @@ LcpController::deviceOps(const Page &p, uint32_t off, size_t len,
             }
             trace.add(block, false, critical);
             ++stats_["data_read_ops"];
+            // Demand-critical reads are the architecturally exposed
+            // ones; background traffic rewrites and scrubs.
+            if (critical)
+                fault_.onCriticalRead(block);
             if (critical && cfg_.stream_buffer)
                 streamBufferInsert(block);
         }
@@ -313,6 +324,78 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
 }
 
 void
+LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
+{
+    Page &p = pages_[pn];
+    FaultInjector *fi = fault_.injector();
+
+    if (!fault_.recoveryEnabled()) {
+        if (p.valid && !fault_.pagePoisoned(pn)) {
+            fault_.poisonPage(pn);
+            ++stats_["fault_pages_poisoned"];
+        }
+        fi->scrub(metadataAddr(pn));
+        return;
+    }
+
+    // OS-aware rebuild: the DUE traps to the OS, which reconstructs
+    // the entry from its own page tables and rewrites it (a page
+    // fault's worth of stall, unlike Compresso's hardware re-walk).
+    ++stats_["fault_meta_rebuilds"];
+    fi->noteMetaRebuild();
+    ++stats_["page_faults"];
+    stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+    trace.stall_cycles += cfg_.page_fault_cycles;
+    size_t before = trace.ops.size();
+    {
+        FaultHooks::SuppressScope guard(fault_);
+        trace.add(metadataAddr(pn), true, false);
+        ++stats_["md_write_ops"];
+        unsigned rebuilds = ++meta_rebuilds_[pn];
+        if (rebuilds > fi->config().max_meta_rebuilds && p.valid &&
+            !p.zero && p.target != kLineBytes) {
+            // Escalate: the OS re-lays the page out uncompressed, so
+            // later slot lookups no longer depend on the entry.
+            ++stats_["fault_pages_inflated"];
+            fi->notePageInflatedSafety();
+            std::array<Line, kLinesPerPage> buf;
+            for (LineIdx i = 0; i < kLinesPerPage; ++i)
+                readStored(p, i, buf[i]);
+            deviceOps(p, 0, allocBytes(p), false, false, trace);
+            resizeAlloc(p, unsigned(kChunksPerPage));
+            p.target = uint16_t(kLineBytes);
+            p.exc_slot.fill(0xff);
+            p.exc_map.reset();
+            for (LineIdx i = 0; i < kLinesPerPage; ++i) {
+                if (!p.zero_line[i])
+                    storeBytes(p, slotOffset(p, i), buf[i].data(),
+                               kLineBytes);
+            }
+            deviceOps(p, 0, kPageBytes, true, false, trace);
+            meta_rebuilds_.erase(pn);
+        }
+    }
+    fi->scrub(metadataAddr(pn));
+    uint64_t ops = trace.ops.size() - before;
+    fi->noteRecoveryOps(ops);
+    stats_["fault_recovery_ops"] += ops;
+}
+
+void
+LcpController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
+                               size_t len, McTrace &trace)
+{
+    fault_.poisonLine(ospa_line);
+    ++stats_["fault_lines_poisoned"];
+    size_t before = trace.ops.size();
+    deviceOps(p, off, len, false, false, trace); // retry read
+    deviceOps(p, off, len, true, false, trace);  // poison rewrite
+    uint64_t ops = trace.ops.size() - before;
+    fault_.injector()->noteRecoveryOps(ops);
+    stats_["fault_recovery_ops"] += ops;
+}
+
+void
 LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
     PageNum pn = pageOf(addr);
@@ -322,6 +405,14 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     Page &p = page(pn);
     mdAccess(pn, false, trace);
+
+    if (fault_.active() && (fault_.pagePoisoned(pn) ||
+                            fault_.linePoisoned(lineAddr(addr)))) {
+        data.fill(0);
+        ++stats_["fault_poison_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
 
     if (!p.valid || p.zero || p.zero_line[idx]) {
         data.fill(0);
@@ -346,12 +437,26 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
         stats_["exception_extra_ops"] += blocks; // the wasted slot read
         deviceOps(p, excOffset(p, p.exc_slot[idx]), kLineBytes, false,
                   true, trace);
+        if (fault_.takePending() == FaultOutcome::kDetected) {
+            poisonDataFault(lineAddr(addr), p,
+                            excOffset(p, p.exc_slot[idx]), kLineBytes,
+                            trace);
+            data.fill(0);
+            cur_trace_ = nullptr;
+            return;
+        }
         loadBytes(p, excOffset(p, p.exc_slot[idx]), data.data(),
                   kLineBytes);
         cur_trace_ = nullptr;
         return;
     }
 
+    if (fault_.takePending() == FaultOutcome::kDetected) {
+        poisonDataFault(lineAddr(addr), p, off, p.target, trace);
+        data.fill(0);
+        cur_trace_ = nullptr;
+        return;
+    }
     readStored(p, idx, data);
     if (p.target != kLineBytes)
         trace.fixed_latency += cfg_.compression_latency;
@@ -388,6 +493,15 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     Page &p = page(pn);
     mdAccess(pn, true, trace);
+
+    if (fault_.active()) {
+        if (fault_.pagePoisoned(pn)) {
+            ++stats_["fault_dropped_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        fault_.clearLinePoison(lineAddr(addr));
+    }
 
     Encoded enc = encodeLine(data);
 
@@ -498,6 +612,8 @@ LcpController::freePage(PageNum pn)
     resizeAlloc(it->second, 0);
     it->second = Page{};
     mdcache_.invalidate(pn);
+    fault_.clearPagePoison(pn);
+    meta_rebuilds_.erase(pn);
     ++stats_["pages_freed"];
 }
 

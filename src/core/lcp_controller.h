@@ -33,6 +33,7 @@
 #include "compress/size_bins.h"
 #include "core/chunk_allocator.h"
 #include "core/memory_controller.h"
+#include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 #include "packing/lcp.h"
 
@@ -75,6 +76,15 @@ class LcpController : public MemoryController
     uint64_t mpaMetadataBytes() const override;
 
     void freePage(PageNum page) override;
+
+    /** Fault wiring: OS-aware degradation — a detected metadata fault
+     *  raises a page fault and the OS rebuilds the entry (bounded,
+     *  escalating to an uncompressed re-layout); data DUEs poison the
+     *  line. */
+    void attachFaultInjector(FaultInjector *fi) override
+    {
+        fault_.attach(fi);
+    }
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -157,6 +167,17 @@ class LcpController : public MemoryController
 
     void initialAllocate(Page &p, const Encoded &enc);
 
+    // --- fault handling ---
+    /** Detected metadata fault: OS page fault + entry rebuild from the
+     *  OS's own structures; after max_meta_rebuilds, re-layout the
+     *  page uncompressed (target 64 B). Without recovery, retire the
+     *  page. */
+    void recoverMetadataFault(PageNum pn, McTrace &trace);
+    /** Data DUE on a demand fill: poison the line, charge retry +
+     *  poison-pattern rewrite (which scrubs the blocks). */
+    void poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
+                         size_t len, McTrace &trace);
+
     bool streamBufferHit(Addr block) const;
     void streamBufferInsert(Addr block);
     void streamBufferInvalidate(Addr block);
@@ -169,6 +190,9 @@ class LcpController : public MemoryController
     std::unordered_map<PageNum, Page> pages_;
     std::deque<Addr> stream_buf_;
     McTrace *cur_trace_ = nullptr;
+
+    FaultHooks fault_;
+    std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
 };

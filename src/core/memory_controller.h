@@ -22,6 +22,8 @@
 
 namespace compresso {
 
+class FaultInjector;
+
 /** Timing-relevant outcome of one controller operation. */
 struct McTrace
 {
@@ -83,13 +85,31 @@ class MemoryController
     /** MPA bytes in use for compression metadata. */
     virtual uint64_t mpaMetadataBytes() const { return 0; }
 
-    /** Effective compression ratio over touched pages. */
+    /** Data-only compression ratio over touched pages (the paper's
+     *  headline number, which excludes metadata). */
     double
     compressionRatio() const
     {
         uint64_t mpa = mpaDataBytes();
         return mpa == 0 ? 1.0 : double(ospaBytes()) / double(mpa);
     }
+
+    /** Metadata-inclusive compression ratio: what capacity planning
+     *  actually gets after paying the ~1.6% metadata overhead. */
+    double
+    effectiveRatio() const
+    {
+        uint64_t mpa = mpaDataBytes() + mpaMetadataBytes();
+        return mpa == 0 ? 1.0 : double(ospaBytes()) / double(mpa);
+    }
+
+    /**
+     * Attach a fault injector (fault/fault_injector.h): exposed reads
+     * are adjudicated through its ECC model and detected faults enter
+     * the controller's degradation ladder. Pass nullptr to detach.
+     * Controllers without fault support ignore the call.
+     */
+    virtual void attachFaultInjector(FaultInjector *fi) { (void)fi; }
 
     /** Release an OSPA page (balloon driver path, Sec. V-B). */
     virtual void freePage(PageNum page) { (void)page; }

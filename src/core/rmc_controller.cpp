@@ -26,6 +26,7 @@ RmcController::RmcController(const RmcConfig &cfg)
         if (dirty && cur_trace_) {
             cur_trace_->add(metadataAddr(pn), true, false);
             ++stats_["md_write_ops"];
+            fault_.onWrite(metadataAddr(pn));
         }
     });
 }
@@ -45,6 +46,11 @@ RmcController::bstAccess(PageNum pn, bool dirty, McTrace &trace)
     if (!hit) {
         trace.add(metadataAddr(pn), false, true);
         ++stats_["md_read_ops"];
+        if (fault_.active() &&
+            fault_.onMetaRead(metadataAddr(pn)) ==
+                FaultOutcome::kDetected) {
+            recoverMetadataFault(pn, trace);
+        }
     }
 }
 
@@ -131,8 +137,13 @@ RmcController::deviceOps(const Page &p, uint32_t off, size_t len,
     unsigned first = off / kLineBytes;
     unsigned last = unsigned((off + len - 1) / kLineBytes);
     for (unsigned b = first; b <= last; ++b) {
-        trace.add(mpaOf(p, b * uint32_t(kLineBytes)), write, critical);
+        Addr block = mpaOf(p, b * uint32_t(kLineBytes));
+        trace.add(block, write, critical);
         ++stats_[write ? "data_write_ops" : "data_read_ops"];
+        if (write)
+            fault_.onWrite(block);
+        else if (critical)
+            fault_.onCriticalRead(block);
     }
     return last - first + 1;
 }
@@ -247,6 +258,84 @@ RmcController::relayout(Page &p,
 }
 
 void
+RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
+{
+    Page &p = pages_[pn];
+    FaultInjector *fi = fault_.injector();
+
+    if (!fault_.recoveryEnabled()) {
+        if (p.valid && !fault_.pagePoisoned(pn)) {
+            fault_.poisonPage(pn);
+            ++stats_["fault_pages_poisoned"];
+        }
+        fi->scrub(metadataAddr(pn));
+        return;
+    }
+
+    // OS-aware rebuild: the DUE traps to the OS, which reconstructs
+    // the BST entry from its own page tables and rewrites it (a page
+    // fault's worth of stall, like LCP's recovery path).
+    ++stats_["fault_meta_rebuilds"];
+    fi->noteMetaRebuild();
+    ++stats_["page_faults"];
+    stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+    trace.stall_cycles += cfg_.page_fault_cycles;
+    size_t before = trace.ops.size();
+    {
+        FaultHooks::SuppressScope guard(fault_);
+        trace.add(metadataAddr(pn), true, false);
+        ++stats_["md_write_ops"];
+        unsigned rebuilds = ++meta_rebuilds_[pn];
+        bool raw_already = true;
+        for (LineIdx l = 0; l < kLinesPerPage; ++l)
+            raw_already &= p.code[l] == uint8_t(bins_->count() - 1);
+        if (rebuilds > fi->config().max_meta_rebuilds && p.valid &&
+            !p.zero && !raw_already) {
+            // Escalate: the OS re-lays the page out raw (relayout's
+            // full-page fallback), so later slot lookups no longer
+            // depend on the per-line codes.
+            ++stats_["fault_pages_inflated"];
+            fi->notePageInflatedSafety();
+            std::array<Line, kLinesPerPage> buf;
+            for (LineIdx l = 0; l < kLinesPerPage; ++l)
+                readStored(p, l, buf[l]);
+            uint32_t old_used = 0;
+            for (unsigned sp = 0; sp < kSubpages; ++sp)
+                old_used += p.sub_alloc[sp];
+            deviceOps(p, 0, old_used, false, false, trace);
+            for (unsigned sp = 0; sp < kSubpages; ++sp)
+                p.sub_alloc[sp] = uint32_t(kPageBytes / kSubpages);
+            for (LineIdx l = 0; l < kLinesPerPage; ++l)
+                p.code[l] = uint8_t(bins_->count() - 1);
+            resizeAlloc(p, unsigned(kChunksPerPage));
+            for (LineIdx l = 0; l < kLinesPerPage; ++l)
+                storeBytes(p, lineOffset(p, l), buf[l].data(),
+                           kLineBytes);
+            deviceOps(p, 0, kPageBytes, true, false, trace);
+            meta_rebuilds_.erase(pn);
+        }
+    }
+    fi->scrub(metadataAddr(pn));
+    uint64_t ops = trace.ops.size() - before;
+    fi->noteRecoveryOps(ops);
+    stats_["fault_recovery_ops"] += ops;
+}
+
+void
+RmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
+                               size_t len, McTrace &trace)
+{
+    fault_.poisonLine(ospa_line);
+    ++stats_["fault_lines_poisoned"];
+    size_t before = trace.ops.size();
+    deviceOps(p, off, len, false, false, trace); // retry read
+    deviceOps(p, off, len, true, false, trace);  // poison rewrite
+    uint64_t ops = trace.ops.size() - before;
+    fault_.injector()->noteRecoveryOps(ops);
+    stats_["fault_recovery_ops"] += ops;
+}
+
+void
 RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
     PageNum pn = pageOf(addr);
@@ -256,6 +345,14 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     Page &p = page(pn);
     bstAccess(pn, false, trace);
+
+    if (fault_.active() && (fault_.pagePoisoned(pn) ||
+                            fault_.linePoisoned(lineAddr(addr)))) {
+        data.fill(0);
+        ++stats_["fault_poison_fills"];
+        cur_trace_ = nullptr;
+        return;
+    }
 
     if (!p.valid || p.zero || p.code[idx] == 0) {
         data.fill(0);
@@ -271,6 +368,12 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     if (blocks > 1) {
         ++stats_["split_fill_lines"];
         stats_["split_extra_ops"] += blocks - 1;
+    }
+    if (fault_.takePending() == FaultOutcome::kDetected) {
+        poisonDataFault(lineAddr(addr), p, off, sz, trace);
+        data.fill(0);
+        cur_trace_ = nullptr;
+        return;
     }
     readStored(p, idx, data);
     if (sz != kLineBytes)
@@ -288,6 +391,15 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     Page &p = page(pn);
     bstAccess(pn, true, trace);
+
+    if (fault_.active()) {
+        if (fault_.pagePoisoned(pn)) {
+            ++stats_["fault_dropped_wbs"];
+            cur_trace_ = nullptr;
+            return;
+        }
+        fault_.clearLinePoison(lineAddr(addr));
+    }
 
     bool zero = isZeroLine(data);
     BitWriter w;
@@ -451,6 +563,8 @@ RmcController::freePage(PageNum pn)
     resizeAlloc(it->second, 0);
     it->second = Page{};
     bst_.invalidate(pn);
+    fault_.clearPagePoison(pn);
+    meta_rebuilds_.erase(pn);
     ++stats_["pages_freed"];
 }
 

@@ -28,6 +28,7 @@
 #include "compress/size_bins.h"
 #include "core/chunk_allocator.h"
 #include "core/memory_controller.h"
+#include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 
 namespace compresso {
@@ -63,6 +64,15 @@ class RmcController : public MemoryController
     uint64_t mpaMetadataBytes() const override;
 
     void freePage(PageNum page) override;
+
+    /** Fault wiring: OS-aware degradation like LCP — a detected BST
+     *  fault raises a page fault and the OS rebuilds the entry
+     *  (bounded, escalating to a raw re-layout); data DUEs poison the
+     *  line. */
+    void attachFaultInjector(FaultInjector *fi) override
+    {
+        fault_.attach(fi);
+    }
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -123,6 +133,17 @@ class RmcController : public MemoryController
                   LineIdx idx, const Line &raw, bool os_fault,
                   McTrace &trace);
 
+    // --- fault handling ---
+    /** Detected BST-entry fault: OS page fault + entry rebuild from
+     *  the OS's structures; after max_meta_rebuilds, re-layout the
+     *  page raw so slot lookups no longer depend on the entry.
+     *  Without recovery, retire the page. */
+    void recoverMetadataFault(PageNum pn, McTrace &trace);
+    /** Data DUE on a demand fill: poison the line, charge retry +
+     *  poison-pattern rewrite (which scrubs the blocks). */
+    void poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
+                         size_t len, McTrace &trace);
+
     RmcConfig cfg_;
     const SizeBins *bins_;
     std::unique_ptr<Compressor> codec_;
@@ -130,6 +151,9 @@ class RmcController : public MemoryController
     MetadataCache bst_;
     std::unordered_map<PageNum, Page> pages_;
     McTrace *cur_trace_ = nullptr;
+
+    FaultHooks fault_;
+    std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
 };

@@ -8,6 +8,11 @@ UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
     Addr la = lineAddr(addr);
     touched_pages_.insert(pageOf(addr));
     ++stats_["fills"];
+    if (fault_.active() && fault_.linePoisoned(la)) {
+        data.fill(0);
+        ++stats_["fault_poison_fills"];
+        return;
+    }
     auto it = store_.find(la);
     if (it != store_.end())
         data = it->second;
@@ -15,6 +20,22 @@ UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
         data.fill(0);
     trace.add(la, false, true);
     ++stats_["data_reads"];
+    if (fault_.active()) {
+        fault_.onCriticalRead(la);
+        if (fault_.takePending() == FaultOutcome::kDetected) {
+            // Data DUE: poison just this line, charge the recovery
+            // trace (retry read + poison-pattern rewrite, scrubbing
+            // the block).
+            fault_.poisonLine(la);
+            ++stats_["fault_lines_poisoned"];
+            trace.add(la, false, false);
+            trace.add(la, true, false);
+            fault_.onWrite(la);
+            fault_.injector()->noteRecoveryOps(2);
+            stats_["fault_recovery_ops"] += 2;
+            data.fill(0);
+        }
+    }
 }
 
 void
@@ -27,6 +48,10 @@ UncompressedController::writebackLine(Addr addr, const Line &data,
     store_[la] = data;
     trace.add(la, true, false);
     ++stats_["data_writes"];
+    if (fault_.active()) {
+        fault_.clearLinePoison(la);
+        fault_.onWrite(la);
+    }
 }
 
 } // namespace compresso

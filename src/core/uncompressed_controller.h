@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "core/memory_controller.h"
+#include "fault/fault_hooks.h"
 
 namespace compresso {
 
@@ -31,12 +32,21 @@ class UncompressedController : public MemoryController
     }
     uint64_t mpaDataBytes() const override { return ospaBytes(); }
 
+    /** Fault wiring for the baseline: no metadata exists, so the
+     *  ladder collapses to the classic ECC story — correct, or poison
+     *  the one affected line. */
+    void attachFaultInjector(FaultInjector *fi) override
+    {
+        fault_.attach(fi);
+    }
+
     StatGroup &stats() override { return stats_; }
     const StatGroup &stats() const override { return stats_; }
 
   private:
     std::unordered_map<Addr, Line> store_; ///< by line address
     std::unordered_set<PageNum> touched_pages_;
+    FaultHooks fault_;
     StatGroup stats_{"mc"};
 };
 

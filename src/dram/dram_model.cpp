@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace compresso {
 
 DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg)
@@ -69,6 +71,18 @@ DramModel::access(Addr addr, bool write, Cycle now)
         dclks = cfg_.tRP + cfg_.tRCD + cfg_.tCL;
     }
     bank.open_row = row;
+    bool row_hit_cas = dclks == cfg_.tCL;
+
+    if (fault_ != nullptr && !write) {
+        unsigned bits = fault_->storedFaultBits(addr);
+        if (bits == 1) {
+            ++stats_["ecc_corrections"];
+            dclks += cfg_.ecc_correct_dclks;
+        } else if (bits >= 2) {
+            ++stats_["ecc_detections"];
+            dclks += cfg_.ecc_detect_dclks;
+        }
+    }
 
     Cycle &bus_free = bus_free_at_[channelOf(addr)];
     Cycle data_start = std::max(start + toCpu(dclks), bus_free);
@@ -79,7 +93,7 @@ DramModel::access(Addr addr, bool write, Cycle now)
     // activates/precharges occupy it for the full command sequence.
     // The bank never stays blocked on the shared data bus
     // (bank-level parallelism).
-    if (dclks == cfg_.tCL)
+    if (row_hit_cas)
         bank.ready_at = start + toCpu(cfg_.tBURST);
     else
         bank.ready_at = start + toCpu(dclks) + toCpu(cfg_.tBURST);

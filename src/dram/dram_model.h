@@ -39,6 +39,12 @@ struct DramConfig
     unsigned tBURST = 4; ///< BL8 on a x64 channel = 4 command clocks
     /** CPU cycles per DRAM command clock, x4 fixed point (9 = 2.25). */
     unsigned cpu_per_dclk_x4 = 9;
+    // ECC pipeline penalties, charged when an attached fault injector
+    // reports accumulated faults in the accessed block (SECDED DIMMs
+    // correct in the controller's read-return path; a DUE additionally
+    // traps to the error handler).
+    unsigned ecc_correct_dclks = 4;
+    unsigned ecc_detect_dclks = 16;
 };
 
 /** One 64 B device access. */
@@ -51,10 +57,21 @@ struct DramOp
     bool critical = true;
 };
 
+class FaultInjector;
+
 class DramModel
 {
   public:
     explicit DramModel(const DramConfig &cfg = DramConfig());
+
+    /**
+     * Attach a fault injector: reads of blocks with accumulated faults
+     * pay the ECC correction/detection latency and are counted. The
+     * query is stateless (storedFaultBits) — adjudication and RNG
+     * consumption stay with the controllers, which know which reads
+     * are architecturally exposed. Pass nullptr to detach.
+     */
+    void attachFaultInjector(const FaultInjector *fi) { fault_ = fi; }
 
     /**
      * Issue one 64 B access at CPU-cycle @p now.
@@ -86,6 +103,7 @@ class DramModel
     DramConfig cfg_;
     std::vector<Bank> banks_; ///< channels * banks
     std::vector<Cycle> bus_free_at_;
+    const FaultInjector *fault_ = nullptr;
     StatGroup stats_{"dram"};
 };
 

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SECDED ECC model for 64 B device operations.
+ *
+ * Commodity DDR4 ECC DIMMs protect each 64 b beat with an (72,64)
+ * Hamming+parity code; over a whole 64 B burst the controller-visible
+ * contract is the classic SECDED ladder: a single flipped bit is
+ * corrected on the fly, a double-bit flip raises a detected-but-
+ * uncorrectable error (DUE), and three or more flips can alias to a
+ * valid codeword and escape as silent data corruption. We model that
+ * contract at burst granularity rather than per-beat: the fault
+ * injector accumulates flipped bits per 64 B block, and this model
+ * adjudicates the accumulated count on every exposed read.
+ */
+
+#ifndef COMPRESSO_FAULT_ECC_H
+#define COMPRESSO_FAULT_ECC_H
+
+namespace compresso {
+
+/** Outcome of ECC adjudication for one 64 B device read. */
+enum class FaultOutcome
+{
+    kClean = 0,  ///< no accumulated fault in the block
+    kCorrected,  ///< single-bit fault, fixed in flight
+    kDetected,   ///< double-bit fault, DUE: data lost but flagged
+    kSilent,     ///< >= 3 bits (or ECC off): corruption escapes
+};
+
+struct EccModel
+{
+    bool enabled = true;
+
+    FaultOutcome
+    classify(unsigned flipped_bits) const
+    {
+        if (flipped_bits == 0)
+            return FaultOutcome::kClean;
+        if (!enabled)
+            return FaultOutcome::kSilent;
+        if (flipped_bits == 1)
+            return FaultOutcome::kCorrected;
+        if (flipped_bits == 2)
+            return FaultOutcome::kDetected;
+        return FaultOutcome::kSilent;
+    }
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_FAULT_ECC_H

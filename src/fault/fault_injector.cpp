@@ -1,0 +1,118 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+namespace {
+
+/** Saturating add for the per-block flipped-bit counter. */
+uint8_t
+satAdd(uint8_t cur, unsigned add)
+{
+    unsigned v = unsigned(cur) + add;
+    return uint8_t(std::min(v, 255u));
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), ecc_{cfg.ecc}, rng_(cfg.seed)
+{
+}
+
+void
+FaultInjector::record(unsigned bits, bool metadata)
+{
+    if (bits == 1)
+        ++report_.single_bit_faults;
+    else if (bits == 2)
+        ++report_.double_bit_faults;
+    else
+        ++report_.multi_bit_faults;
+    if (metadata)
+        ++report_.metadata_faults;
+    else
+        ++report_.data_faults;
+}
+
+void
+FaultInjector::deposit(Addr block, bool metadata)
+{
+    double bit_rate = metadata ? cfg_.meta_bit_rate : cfg_.data_bit_rate;
+    if (bit_rate > 0) {
+        // One Bernoulli trial for "an upset event hit this 64 B block
+        // during this exposure window": 512 bits x per-bit rate. Valid
+        // for the rates we sweep (<= 1e-4/bit, so p <= 5e-2).
+        double p_event = std::min(1.0, double(kLineBytes * 8) * bit_rate);
+        if (rng_.chance(p_event)) {
+            unsigned bits = rng_.chance(cfg_.double_bit_frac) ? 2u : 1u;
+            record(bits, metadata);
+            faults_[block] = satAdd(faults_[block], bits);
+        }
+    }
+    if (!metadata && cfg_.chunk_fault_rate > 0 &&
+        rng_.chance(cfg_.chunk_fault_rate)) {
+        injectChunkFault(block & ~Addr(kChunkBytes - 1));
+    }
+}
+
+FaultOutcome
+FaultInjector::onRead(Addr addr, bool metadata)
+{
+    Addr block = blockOf(addr);
+    deposit(block, metadata);
+    auto it = faults_.find(block);
+    unsigned bits = it == faults_.end() ? 0u : it->second;
+    FaultOutcome out = ecc_.classify(bits);
+    switch (out) {
+    case FaultOutcome::kClean:
+        break;
+    case FaultOutcome::kCorrected:
+        ++report_.corrected;
+        break;
+    case FaultOutcome::kDetected:
+        ++report_.detected_uncorrectable;
+        break;
+    case FaultOutcome::kSilent:
+        ++report_.silent_corruptions;
+        break;
+    }
+    return out;
+}
+
+void
+FaultInjector::scrub(Addr addr)
+{
+    faults_.erase(blockOf(addr));
+}
+
+void
+FaultInjector::inject(Addr addr, unsigned bits, bool metadata)
+{
+    if (bits == 0)
+        return;
+    record(bits, metadata);
+    Addr block = blockOf(addr);
+    faults_[block] = satAdd(faults_[block], bits);
+}
+
+void
+FaultInjector::injectChunkFault(Addr chunk_base)
+{
+    ++report_.chunk_faults;
+    Addr base = chunk_base & ~Addr(kChunkBytes - 1);
+    for (Addr off = 0; off < kChunkBytes; off += kLineBytes) {
+        record(3, /*metadata=*/false);
+        faults_[base + off] = satAdd(faults_[base + off], 3);
+    }
+}
+
+unsigned
+FaultInjector::storedFaultBits(Addr addr) const
+{
+    auto it = faults_.find(blockOf(addr));
+    return it == faults_.end() ? 0u : it->second;
+}
+
+} // namespace compresso

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Seed-deterministic DRAM fault injector.
+ *
+ * Faults are modeled per 64 B device block: each exposed read of a
+ * block may deposit a new upset event (single-bit, or double-bit with
+ * probability @ref FaultConfig::double_bit_frac — modeling the
+ * adjacent-cell multi-bit upsets that dominate beyond-SEC failures in
+ * field studies), and flipped bits *accumulate* in the block until a
+ * write rewrites (scrubs) it. The SECDED model (fault/ecc.h) then
+ * adjudicates the accumulated count on every exposed read, so a
+ * corrected single-bit fault that lingers can meet a second upset and
+ * become a DUE — the accumulation dynamic real scrubbing exists to
+ * bound.
+ *
+ * Modeling decisions (documented, deliberate):
+ *  - Exposure is per *read*, not per wall-clock second: the simulator
+ *    has no real time base, so hot blocks accrue faults in proportion
+ *    to how often their content matters. Rates are therefore
+ *    "per data bit per exposed read".
+ *  - Only demand-critical data reads and metadata fetches are exposed;
+ *    background traffic (writebacks, repacking) rewrites blocks and
+ *    scrubs instead. This keeps recovery from recursively injecting
+ *    into its own repair traffic.
+ *
+ * Determinism: one xoshiro256** stream seeded from FaultConfig::seed,
+ * consumed in controller call order. The whole pipeline is single-
+ * threaded and deterministic, so two identical campaigns produce
+ * bit-identical ReliabilityReports (asserted by test_fault_injector).
+ */
+
+#ifndef COMPRESSO_FAULT_FAULT_INJECTOR_H
+#define COMPRESSO_FAULT_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/ecc.h"
+#include "fault/reliability_report.h"
+
+namespace compresso {
+
+struct FaultConfig
+{
+    uint64_t seed = 0x5eedfau;
+    /** Upset probability per data bit per exposed read (64 B block). */
+    double data_bit_rate = 0.0;
+    /** Upset probability per metadata bit per metadata fetch. */
+    double meta_bit_rate = 0.0;
+    /** Whole-chunk (512 B) fault probability per exposed data read. */
+    double chunk_fault_rate = 0.0;
+    /** Fraction of upset events that flip two adjacent bits at once. */
+    double double_bit_frac = 0.05;
+    bool ecc = true;     ///< SECDED on; off = every fault is silent
+    bool recover = true; ///< graceful degradation vs. poison-only
+    /** Metadata rebuilds tolerated per page before escalating to
+     *  inflating the page to uncompressed 4 KB (the paper's safe
+     *  state). */
+    unsigned max_meta_rebuilds = 2;
+
+    bool
+    rates_enabled() const
+    {
+        return data_bit_rate > 0 || meta_bit_rate > 0 || chunk_fault_rate > 0;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg);
+
+    const FaultConfig &config() const { return cfg_; }
+
+    // ------------------------------------------------------------------
+    // Exposure hooks (called by controllers and tests).
+    // ------------------------------------------------------------------
+
+    /**
+     * An exposed read of the 64 B block at MPA @p block (data region
+     * if @p metadata is false, metadata region otherwise). Draws new
+     * upset events at the configured rate, accumulates them, and
+     * adjudicates the block's total through the ECC model.
+     */
+    FaultOutcome onRead(Addr block, bool metadata);
+
+    /** A write rewrites the block: accumulated faults are scrubbed. */
+    void scrub(Addr block);
+
+    // ------------------------------------------------------------------
+    // Targeted campaigns (rate-independent, for tests and examples).
+    // ------------------------------------------------------------------
+
+    /** Deposit @p bits flipped bits into the 64 B block at @p block. */
+    void inject(Addr block, unsigned bits, bool metadata);
+
+    /** Whole-chunk fault: every 64 B block of the 512 B chunk at
+     *  @p chunk_base gets an uncorrectable multi-bit fault. */
+    void injectChunkFault(Addr chunk_base);
+
+    // ------------------------------------------------------------------
+    // Degradation bookkeeping (controllers report the actions they
+    // take so one report covers the whole pipeline).
+    // ------------------------------------------------------------------
+
+    void noteLinePoisoned() { ++report_.lines_poisoned; }
+    void notePagePoisoned() { ++report_.pages_poisoned; }
+    void noteMetaRebuild() { ++report_.meta_rebuilds; }
+    void notePageInflatedSafety() { ++report_.pages_inflated_safety; }
+    void noteAuditRecovery() { ++report_.audit_recoveries; }
+    void noteRecoveryOps(uint64_t n) { report_.recovery_device_ops += n; }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
+
+    /** Accumulated flipped bits currently stored in @p block; used by
+     *  DramModel to charge ECC correction/detection latency without
+     *  consuming RNG state. */
+    unsigned storedFaultBits(Addr block) const;
+
+    const ReliabilityReport &report() const { return report_; }
+
+    /** Pending (unscrubbed) faulty blocks, across both regions. */
+    size_t pendingFaultyBlocks() const { return faults_.size(); }
+
+  private:
+    static Addr blockOf(Addr addr) { return addr & ~Addr(kLineBytes - 1); }
+
+    /** Draw upset events for one exposed read and record them. */
+    void deposit(Addr block, bool metadata);
+    void record(unsigned bits, bool metadata);
+
+    FaultConfig cfg_;
+    EccModel ecc_;
+    Rng rng_;
+    /** 64 B block MPA -> accumulated flipped bits (saturating). */
+    std::unordered_map<Addr, uint8_t> faults_;
+    ReliabilityReport report_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_FAULT_FAULT_INJECTOR_H

@@ -1,0 +1,46 @@
+#include "fault/reliability_report.h"
+
+#include <sstream>
+
+namespace compresso {
+
+void
+ReliabilityReport::mergeInto(StatGroup &sg) const
+{
+    sg["single_bit_faults"] += single_bit_faults;
+    sg["double_bit_faults"] += double_bit_faults;
+    sg["multi_bit_faults"] += multi_bit_faults;
+    sg["chunk_faults"] += chunk_faults;
+    sg["data_faults"] += data_faults;
+    sg["metadata_faults"] += metadata_faults;
+    sg["corrected"] += corrected;
+    sg["detected_uncorrectable"] += detected_uncorrectable;
+    sg["silent_corruptions"] += silent_corruptions;
+    sg["lines_poisoned"] += lines_poisoned;
+    sg["pages_poisoned"] += pages_poisoned;
+    sg["meta_rebuilds"] += meta_rebuilds;
+    sg["pages_inflated_safety"] += pages_inflated_safety;
+    sg["audit_recoveries"] += audit_recoveries;
+    sg["recovery_device_ops"] += recovery_device_ops;
+}
+
+std::string
+ReliabilityReport::summary() const
+{
+    std::ostringstream os;
+    os << "faults injected: " << injected() << " (" << single_bit_faults
+       << " single, " << double_bit_faults << " double, " << multi_bit_faults
+       << " multi; " << chunk_faults << " whole-chunk; " << data_faults
+       << " data, " << metadata_faults << " metadata)\n";
+    os << "ecc: " << corrected << " corrected, " << detected_uncorrectable
+       << " detected-uncorrectable, " << silent_corruptions << " silent\n";
+    os << "degradation: " << lines_poisoned << " lines poisoned, "
+       << pages_poisoned << " pages poisoned, " << meta_rebuilds
+       << " metadata rebuilds, " << pages_inflated_safety
+       << " pages inflated for safety, " << audit_recoveries
+       << " audit recoveries, " << recovery_device_ops
+       << " recovery device ops\n";
+    return os.str();
+}
+
+} // namespace compresso

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Aggregate outcome of a fault-injection campaign.
+ *
+ * Everything a reliability evaluation needs to compare designs: how
+ * many faults were injected (by class and by target region), how the
+ * ECC adjudicated the reads that saw them, and which graceful-
+ * degradation actions the controllers took. The struct is plain data
+ * with defaulted equality so determinism tests can compare two
+ * campaign runs wholesale.
+ */
+
+#ifndef COMPRESSO_FAULT_RELIABILITY_REPORT_H
+#define COMPRESSO_FAULT_RELIABILITY_REPORT_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+
+namespace compresso {
+
+struct ReliabilityReport
+{
+    // --- faults injected, by event class ---
+    uint64_t single_bit_faults = 0;
+    uint64_t double_bit_faults = 0;
+    uint64_t multi_bit_faults = 0; ///< >= 3 bits per event (incl. chunk)
+    uint64_t chunk_faults = 0;     ///< whole-512B-chunk upsets
+    // --- faults injected, by target region ---
+    uint64_t data_faults = 0;
+    uint64_t metadata_faults = 0;
+
+    // --- ECC adjudication of exposed reads ---
+    uint64_t corrected = 0;              ///< single-bit, fixed in flight
+    uint64_t detected_uncorrectable = 0; ///< DUE: flagged, data lost
+    uint64_t silent_corruptions = 0;     ///< escaped ECC entirely
+
+    // --- graceful-degradation actions taken by controllers ---
+    uint64_t lines_poisoned = 0;         ///< data DUE -> poisoned line
+    uint64_t pages_poisoned = 0;         ///< unrecoverable page retired
+    uint64_t meta_rebuilds = 0;          ///< metadata entry re-walked
+    uint64_t pages_inflated_safety = 0;  ///< escalated to raw 4 KB
+    uint64_t audit_recoveries = 0;       ///< checked-audit degrade path
+    uint64_t recovery_device_ops = 0;    ///< extra 64 B ops spent recovering
+
+    bool operator==(const ReliabilityReport &) const = default;
+
+    /** Total injected fault events across all classes. */
+    uint64_t
+    injected() const
+    {
+        return single_bit_faults + double_bit_faults + multi_bit_faults;
+    }
+
+    /** Fold every field into @p sg under stable counter names. */
+    void mergeInto(StatGroup &sg) const;
+
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_FAULT_RELIABILITY_REPORT_H

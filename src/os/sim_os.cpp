@@ -34,7 +34,11 @@ SimOs::touch(PageNum page, bool dirty)
     }
 
     ++stats_["faults"];
-    swap_.pageIn();
+    if (!swap_.pageIn()) {
+        // Device-level retry already charged; the OS just records the
+        // I/O error and proceeds with the (now successful) read.
+        ++stats_["swap_read_errors"];
+    }
     while (resident_.size() >= budget_ && !resident_.empty())
         evictOne();
     lru_.push_front(page);

@@ -3,6 +3,12 @@
  * Swap device model: counts page-ins/outs and charges a fixed cost per
  * operation (the paper's memory-capacity methodology pages to an SSD
  * swap area when the cgroup budget is exceeded).
+ *
+ * Page-ins can be configured with a deterministic error rate (flash
+ * read errors / transport failures). A failed page-in is retried once
+ * at the device level; the retry is charged and always succeeds — the
+ * observable effects are the extra latency and the `page_in_errors`
+ * count the fault campaigns read back.
  */
 
 #ifndef COMPRESSO_OS_SWAP_DEVICE_H
@@ -10,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/rng.h"
 #include "common/stats.h"
 
 namespace compresso {
@@ -23,11 +30,29 @@ class SwapDevice
         : page_in_us_(page_in_us), page_out_us_(page_out_us)
     {}
 
+    /** Enable page-in errors at probability @p rate per operation,
+     *  drawn from a deterministic stream seeded by @p seed. */
     void
+    setPageInErrorRate(double rate, uint64_t seed = 0x5eedfa)
+    {
+        page_in_error_rate_ = rate;
+        rng_.reseed(Rng::mix(seed, 0x5fa9));
+    }
+
+    /** @return false when the read failed once and was retried (the
+     *  retry is charged and succeeds). */
+    bool
     pageIn()
     {
         ++stats_["page_ins"];
         busy_us_ += page_in_us_;
+        if (page_in_error_rate_ > 0 &&
+            rng_.chance(page_in_error_rate_)) {
+            ++stats_["page_in_errors"];
+            busy_us_ += page_in_us_; // device-level retry
+            return false;
+        }
+        return true;
     }
 
     void
@@ -40,12 +65,15 @@ class SwapDevice
     double busyMicros() const { return busy_us_; }
     uint64_t pageIns() const { return stats_.get("page_ins"); }
     uint64_t pageOuts() const { return stats_.get("page_outs"); }
+    uint64_t pageInErrors() const { return stats_.get("page_in_errors"); }
 
     StatGroup &stats() { return stats_; }
 
   private:
     double page_in_us_;
     double page_out_us_;
+    double page_in_error_rate_ = 0;
+    Rng rng_;
     double busy_us_ = 0;
     StatGroup stats_{"swap"};
 };

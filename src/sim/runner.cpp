@@ -12,6 +12,7 @@ makeSystemConfig(McKind kind, unsigned cores, const RunSpec &spec)
     cfg.lcp = spec.lcp;
     cfg.dram = spec.dram;
     cfg.core = spec.core;
+    cfg.fault = spec.fault;
     cfg.hierarchy.l3_bytes = cores > 1 ? size_t(8) << 20 : size_t(2) << 20;
     // 4-core systems run dual-channel memory, as on real boards.
     if (cores > 1 && cfg.dram.channels == 1)
@@ -39,8 +40,14 @@ runSystem(const RunSpec &spec)
     r.insts = sys.instsRetired();
     r.perf = r.cycles > 0 ? double(r.insts) / r.cycles : 0;
     r.comp_ratio = sys.mc().compressionRatio();
+    r.effective_ratio = sys.mc().effectiveRatio();
     r.mc_stats = sys.mc().stats();
     r.dram_stats = sys.dram().stats();
+    if (FaultInjector *fi = sys.faultInjector()) {
+        r.reliability = fi->report();
+        r.reliability.mergeInto(r.mc_stats);
+        r.audit_violations = sys.mc().audit().violations().size();
+    }
 
     const StatGroup &mc = r.mc_stats;
     double baseline = double(mc.get("fills") + mc.get("writebacks"));

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/reliability_report.h"
 #include "sim/system.h"
 
 namespace compresso {
@@ -28,6 +29,9 @@ struct RunSpec
     LcpConfig lcp;
     DramConfig dram;
     CoreConfig core;
+    /** Fault-campaign mode: nonzero rates attach a deterministic
+     *  FaultInjector (src/fault) for the whole run. */
+    FaultConfig fault;
 };
 
 struct RunResult
@@ -38,6 +42,8 @@ struct RunResult
     double perf = 0; ///< instructions per cycle (all cores)
 
     double comp_ratio = 1.0; ///< OSPA / MPA data bytes
+    /** Metadata-inclusive ratio (what capacity planning gets). */
+    double effective_ratio = 1.0;
 
     /** Compression-related extra device accesses, relative to the
      *  fills+writebacks an uncompressed system would issue (Fig. 4/6
@@ -50,6 +56,11 @@ struct RunResult
 
     double md_hit_rate = 0;
     double zero_access_frac = 0; ///< fills+wbs served by metadata alone
+
+    /** Fault-campaign outcome (all-zero when no injector ran). */
+    ReliabilityReport reliability;
+    /** Open invariant violations at end of run (post-degradation). */
+    uint64_t audit_violations = 0;
 
     StatGroup mc_stats;
     StatGroup dram_stats;

@@ -63,6 +63,12 @@ System::System(const SystemConfig &cfg,
       }
     }
 
+    if (cfg.fault.rates_enabled()) {
+        fault_ = std::make_unique<FaultInjector>(cfg.fault);
+        mc_->attachFaultInjector(fault_.get());
+        dram_.attachFaultInjector(fault_.get());
+    }
+
     cores_.assign(cfg.cores, CoreModel(cfg.core));
     miss_table_.assign(cfg.cores, {});
     for (auto &t : miss_table_)

@@ -17,6 +17,7 @@
 #include "core/rmc_controller.h"
 #include "core/uncompressed_controller.h"
 #include "dram/dram_model.h"
+#include "fault/fault_injector.h"
 #include "sim/core_model.h"
 #include "workloads/access_stream.h"
 
@@ -46,6 +47,10 @@ struct SystemConfig
     HierarchyConfig hierarchy; ///< l3 sized by caller (2 MB / 8 MB)
     DramConfig dram;
     CoreConfig core;
+    /** Fault campaign (src/fault): when any rate is nonzero the system
+     *  owns a seed-deterministic FaultInjector attached to both the
+     *  controller and the DRAM timing model. */
+    FaultConfig fault;
 };
 
 class System
@@ -76,6 +81,8 @@ class System
     Hierarchy &hierarchy() { return hier_; }
     AccessStream &stream(unsigned core) { return *streams_[core]; }
     MetadataCache *metadataCache();
+    /** Non-null only when the config enabled fault injection. */
+    FaultInjector *faultInjector() { return fault_.get(); }
 
     void resetStats();
 
@@ -87,6 +94,7 @@ class System
     AccessStream *streamOwning(Addr addr);
 
     SystemConfig cfg_;
+    std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<MemoryController> mc_;
     CompressoController *compresso_ = nullptr; ///< non-owning view
     LcpController *lcp_ = nullptr;

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the fault subsystem: SECDED adjudication, targeted
+ * injection, scrub semantics, chunk faults, and the determinism
+ * guarantee (two identical campaigns produce bit-identical
+ * ReliabilityReports).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/ecc.h"
+#include "fault/fault_hooks.h"
+#include "fault/fault_injector.h"
+
+using namespace compresso;
+
+namespace {
+
+FaultConfig
+quietConfig()
+{
+    // All rates zero: only targeted injection deposits faults.
+    FaultConfig cfg;
+    cfg.seed = 42;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Ecc, SecdedClassification)
+{
+    EccModel ecc;
+    EXPECT_EQ(ecc.classify(0), FaultOutcome::kClean);
+    EXPECT_EQ(ecc.classify(1), FaultOutcome::kCorrected);
+    EXPECT_EQ(ecc.classify(2), FaultOutcome::kDetected);
+    EXPECT_EQ(ecc.classify(3), FaultOutcome::kSilent);
+    EXPECT_EQ(ecc.classify(17), FaultOutcome::kSilent);
+}
+
+TEST(Ecc, DisabledMissesEverything)
+{
+    EccModel ecc;
+    ecc.enabled = false;
+    EXPECT_EQ(ecc.classify(0), FaultOutcome::kClean);
+    EXPECT_EQ(ecc.classify(1), FaultOutcome::kSilent);
+    EXPECT_EQ(ecc.classify(2), FaultOutcome::kSilent);
+}
+
+TEST(FaultInjector, CleanReadWithoutFaults)
+{
+    FaultInjector fi(quietConfig());
+    EXPECT_EQ(fi.onRead(0x1000, false), FaultOutcome::kClean);
+    EXPECT_EQ(fi.report().injected(), 0u);
+    EXPECT_EQ(fi.pendingFaultyBlocks(), 0u);
+}
+
+TEST(FaultInjector, TargetedSingleBitIsCorrected)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x1000, 1, /*metadata=*/false);
+    EXPECT_EQ(fi.storedFaultBits(0x1000), 1u);
+    EXPECT_EQ(fi.onRead(0x1000, false), FaultOutcome::kCorrected);
+    EXPECT_EQ(fi.report().corrected, 1u);
+    EXPECT_EQ(fi.report().single_bit_faults, 1u);
+    EXPECT_EQ(fi.report().data_faults, 1u);
+}
+
+TEST(FaultInjector, TargetedDoubleBitIsDetected)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x2000, 2, /*metadata=*/true);
+    EXPECT_EQ(fi.onRead(0x2000, true), FaultOutcome::kDetected);
+    EXPECT_EQ(fi.report().detected_uncorrectable, 1u);
+    EXPECT_EQ(fi.report().double_bit_faults, 1u);
+    EXPECT_EQ(fi.report().metadata_faults, 1u);
+}
+
+TEST(FaultInjector, TripleBitEscapesSecded)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x3000, 3, false);
+    EXPECT_EQ(fi.onRead(0x3000, false), FaultOutcome::kSilent);
+    EXPECT_EQ(fi.report().silent_corruptions, 1u);
+}
+
+TEST(FaultInjector, FaultsAccumulateUntilScrub)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x4000, 1, false);
+    fi.inject(0x4000, 1, false);
+    // Two lingering single-bit upsets in one block meet as a DUE.
+    EXPECT_EQ(fi.storedFaultBits(0x4000), 2u);
+    EXPECT_EQ(fi.onRead(0x4000, false), FaultOutcome::kDetected);
+    fi.scrub(0x4000);
+    EXPECT_EQ(fi.storedFaultBits(0x4000), 0u);
+    EXPECT_EQ(fi.onRead(0x4000, false), FaultOutcome::kClean);
+    EXPECT_EQ(fi.pendingFaultyBlocks(), 0u);
+}
+
+TEST(FaultInjector, SubBlockAddressesShareOneBlock)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x5004, 1, false); // not 64 B aligned
+    EXPECT_EQ(fi.storedFaultBits(0x5000), 1u);
+    EXPECT_EQ(fi.storedFaultBits(0x503f), 1u);
+    EXPECT_EQ(fi.storedFaultBits(0x5040), 0u);
+}
+
+TEST(FaultInjector, ChunkFaultHitsEveryBlock)
+{
+    FaultInjector fi(quietConfig());
+    fi.injectChunkFault(0x8000);
+    EXPECT_EQ(fi.report().chunk_faults, 1u);
+    for (unsigned b = 0; b < kChunkBytes / kLineBytes; ++b) {
+        EXPECT_GE(fi.storedFaultBits(0x8000 + b * kLineBytes), 3u)
+            << "block " << b;
+    }
+    EXPECT_EQ(fi.pendingFaultyBlocks(), kChunkBytes / kLineBytes);
+}
+
+TEST(FaultInjector, EccOffMakesDetectedSilent)
+{
+    FaultConfig cfg = quietConfig();
+    cfg.ecc = false;
+    FaultInjector fi(cfg);
+    fi.inject(0x6000, 2, false);
+    EXPECT_EQ(fi.onRead(0x6000, false), FaultOutcome::kSilent);
+    EXPECT_EQ(fi.report().detected_uncorrectable, 0u);
+    EXPECT_EQ(fi.report().silent_corruptions, 1u);
+}
+
+TEST(FaultInjector, RatedCampaignIsDeterministic)
+{
+    FaultConfig cfg;
+    cfg.seed = 0xfeed;
+    cfg.data_bit_rate = 1e-5;
+    cfg.meta_bit_rate = 1e-5;
+    cfg.chunk_fault_rate = 1e-4;
+    cfg.double_bit_frac = 0.2;
+
+    auto campaign = [&cfg]() {
+        FaultInjector fi(cfg);
+        for (unsigned i = 0; i < 20000; ++i) {
+            Addr a = Addr(i % 512) * kLineBytes;
+            fi.onRead(a, /*metadata=*/(i % 7) == 0);
+            if (i % 5 == 0)
+                fi.scrub(a);
+        }
+        return fi.report();
+    };
+
+    ReliabilityReport a = campaign();
+    ReliabilityReport b = campaign();
+    EXPECT_TRUE(a == b);
+    EXPECT_GT(a.injected(), 0u);
+    EXPECT_GT(a.corrected + a.detected_uncorrectable +
+                  a.silent_corruptions,
+              0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultConfig cfg;
+    cfg.data_bit_rate = 1e-5;
+    cfg.seed = 1;
+    FaultInjector a(cfg);
+    cfg.seed = 2;
+    FaultInjector b(cfg);
+    for (unsigned i = 0; i < 50000; ++i) {
+        a.onRead(Addr(i) * kLineBytes, false);
+        b.onRead(Addr(i) * kLineBytes, false);
+    }
+    EXPECT_FALSE(a.report() == b.report());
+}
+
+TEST(FaultInjector, RatesEnabledGate)
+{
+    FaultConfig cfg;
+    EXPECT_FALSE(cfg.rates_enabled());
+    cfg.chunk_fault_rate = 1e-9;
+    EXPECT_TRUE(cfg.rates_enabled());
+}
+
+TEST(ReliabilityReport, MergeIntoStatGroup)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x1000, 1, false);
+    fi.onRead(0x1000, false);
+    StatGroup sg{"fault"};
+    fi.report().mergeInto(sg);
+    EXPECT_EQ(sg.get("corrected"), 1u);
+    EXPECT_EQ(sg.get("single_bit_faults"), 1u);
+}
+
+TEST(ReliabilityReport, SummaryMentionsKeyCounters)
+{
+    FaultInjector fi(quietConfig());
+    fi.inject(0x1000, 2, false);
+    fi.onRead(0x1000, false);
+    std::string s = fi.report().summary();
+    EXPECT_NE(s.find("detected"), std::string::npos);
+}
+
+TEST(FaultHooks, LatchesWorstOutcome)
+{
+    FaultInjector fi(quietConfig());
+    FaultHooks hooks;
+    hooks.attach(&fi);
+    fi.inject(0x1000, 1, false);
+    fi.inject(0x1040, 2, false);
+    hooks.onCriticalRead(0x1000);
+    hooks.onCriticalRead(0x1040);
+    EXPECT_EQ(hooks.takePending(), FaultOutcome::kDetected);
+    // take resets the latch
+    EXPECT_EQ(hooks.takePending(), FaultOutcome::kClean);
+}
+
+TEST(FaultHooks, SuppressScopeMasksExposure)
+{
+    FaultInjector fi(quietConfig());
+    FaultHooks hooks;
+    hooks.attach(&fi);
+    fi.inject(0x1000, 2, false);
+    {
+        FaultHooks::SuppressScope guard(hooks);
+        hooks.onCriticalRead(0x1000);
+        EXPECT_EQ(hooks.takePending(), FaultOutcome::kClean);
+    }
+    hooks.onCriticalRead(0x1000);
+    EXPECT_EQ(hooks.takePending(), FaultOutcome::kDetected);
+}
+
+TEST(FaultHooks, PoisonRegistry)
+{
+    FaultHooks hooks;
+    Addr line = Addr(7) * kPageBytes + 3 * kLineBytes;
+    EXPECT_FALSE(hooks.linePoisoned(line));
+    hooks.poisonLine(line);
+    EXPECT_TRUE(hooks.linePoisoned(line));
+    hooks.clearLinePoison(line);
+    EXPECT_FALSE(hooks.linePoisoned(line));
+
+    hooks.poisonPage(7);
+    hooks.poisonLine(line);
+    EXPECT_TRUE(hooks.pagePoisoned(7));
+    hooks.clearPagePoison(7);
+    EXPECT_FALSE(hooks.pagePoisoned(7));
+    EXPECT_FALSE(hooks.linePoisoned(line)); // cleared with the page
+}
