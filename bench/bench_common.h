@@ -16,7 +16,20 @@
 #include <string>
 #include <vector>
 
+#include "sim/run_export.h"
+
 namespace compresso::bench {
+
+/** Process-wide RunSink: every bench main() calls
+ *  `sink().init(argc, argv, "<tool>")` first and `return
+ *  sink().finish();` last, and routes simulations through
+ *  `sink().run(spec)` so `--json` captures every row. */
+inline RunSink &
+sink()
+{
+    static RunSink s;
+    return s;
+}
 
 inline bool
 quickMode()

@@ -83,8 +83,9 @@ measure(const WorkloadProfile &prof, unsigned sample_pages)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig02_compression_ratio");
     header("Fig. 2: compression ratio, {BPC,BDI} x {LinePack,LCP}");
     unsigned samples = quickMode() ? 24 : 96;
 
@@ -109,5 +110,5 @@ main()
                 "%.1f%% with BDI (paper: 2.3%%)\n",
                 100.0 * (1.0 - a1 / a0), 100.0 * (1.0 - a3 / a2));
     std::printf("BPC+LinePack average %.2fx (paper: 1.85x)\n", a0);
-    return 0;
+    return sink().finish();
 }

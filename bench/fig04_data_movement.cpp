@@ -35,14 +35,20 @@ run(const std::string &bench, PageSizing sizing)
     spec.compresso.repack_on_evict = false;
     spec.compresso.mdcache.half_entry_opt = false;
     spec.compresso.page_sizing = sizing;
-    return runSystem(spec);
+    sink().apply(spec);
+    RunResult r = runSystem(spec);
+    r.label = bench + "/" +
+              (sizing == PageSizing::kChunked512 ? "fixed" : "variable");
+    sink().add(r);
+    return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig04_data_movement");
     header("Fig. 4: extra accesses of the unoptimized compressed system");
     std::printf("%-12s | %28s | %28s\n", "",
                 "fixed 512B chunks", "4 variable page sizes");
@@ -66,5 +72,5 @@ main()
                 100 * mean(totals_fixed), 100 * mean(totals_var));
     std::printf("\nPaper: ~63%% average extra accesses for the "
                 "variable-size competitive baseline, max ~180%%.\n");
-    return 0;
+    return sink().finish();
 }

@@ -43,8 +43,9 @@ stageConfig(unsigned stage)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig06_optimizations");
     header("Fig. 6: extra accesses as optimizations stack (fixed chunks)");
     std::printf("%-12s", "benchmark");
     for (const char *s : kStageNames)
@@ -61,7 +62,10 @@ main()
             spec.refs_per_core = budget(120000);
             spec.warmup_refs = budget(12000);
             spec.compresso = stageConfig(stage);
+            sink().apply(spec);
             RunResult r = runSystem(spec);
+            r.label = prof.name + "/" + kStageNames[stage];
+            sink().add(r);
             std::printf(" %8.2f", r.extra_total);
             totals[stage].push_back(r.extra_total);
             std::fflush(stdout);
@@ -73,5 +77,5 @@ main()
         std::printf(" %7.1f%%", 100 * mean(totals[stage]));
     std::printf("\n\nPaper averages: 63%% -> 36%% -> 26%% -> 19%% -> "
                 "(+repack overhead) -> 15%%\n");
-    return 0;
+    return sink().finish();
 }

@@ -82,8 +82,9 @@ lifecycleRatio(const WorkloadProfile &prof, bool repack, unsigned pages)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig07_repacking");
     header("Fig. 7: compression ratio without vs with dynamic repacking");
     std::printf("%-12s %12s %12s %10s\n", "benchmark", "no-repack",
                 "dyn-repack", "relative");
@@ -104,5 +105,5 @@ main()
                 "~0.76 of the dynamic-repacking ratio on average\n"
                 "(24%% of storage benefits squandered; 2.6%% residual "
                 "with repacking).\n");
-    return 0;
+    return sink().finish();
 }

@@ -20,8 +20,9 @@ using namespace compresso;
 using namespace compresso::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig09_compresspoints");
     header("Fig. 9: SimPoint vs CompressPoint compressibility");
 
     for (const char *bench : {"GemsFDTD", "astar"}) {
@@ -66,5 +67,5 @@ main()
     std::printf("\nPaper: GemsFDTD's SimPoint interval misrepresents its "
                 "compressibility by several x;\nCompressPoints track the "
                 "run-average ratio.\n");
-    return 0;
+    return sink().finish();
 }

@@ -30,7 +30,11 @@ cyclePerf(McKind kind, const std::string &bench)
     spec.workloads = {bench};
     spec.refs_per_core = budget(150000);
     spec.warmup_refs = budget(15000);
-    return runSystem(spec).perf;
+    sink().apply(spec);
+    RunResult r = runSystem(spec);
+    r.label = bench + "/" + r.label;
+    sink().add(r);
+    return r.perf;
 }
 
 double
@@ -48,8 +52,9 @@ capPerf(McKind kind, bool unconstrained, const std::string &bench)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig10_singlecore");
     header("Fig. 10a/10b: single-core performance (70% memory)");
     std::printf("%-12s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s %6s\n",
                 "", "cycle", "cycle", "cycle", "cap", "cap", "cap",
@@ -115,5 +120,5 @@ main()
                 geomean(ov_u));
     std::printf("Compresso over LCP: %.1f%%   (paper 24.2%%)\n",
                 100 * (geomean(ov_c) / geomean(ov_l) - 1.0));
-    return 0;
+    return sink().finish();
 }

@@ -34,7 +34,11 @@ cyclePerf(McKind kind, const WorkloadMix &mix)
     spec.workloads = benchList(mix);
     spec.refs_per_core = budget(60000);
     spec.warmup_refs = budget(8000);
-    return runSystem(spec).perf;
+    sink().apply(spec);
+    RunResult r = runSystem(spec);
+    r.label = mix.name + "/" + r.label;
+    sink().add(r);
+    return r.perf;
 }
 
 double
@@ -52,8 +56,9 @@ capPerf(McKind kind, bool unconstrained, const WorkloadMix &mix)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig11_multicore");
     header("Fig. 11a/11b: 4-core mixes (70% memory)");
     std::printf("%-7s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s %6s\n",
                 "", "cycle", "cycle", "cycle", "cap", "cap", "cap",
@@ -110,5 +115,5 @@ main()
                 geomean(ov_u));
     std::printf("Compresso over LCP: %.1f%%   (paper 27.5%%)\n",
                 100 * (geomean(ov_c) / geomean(ov_l) - 1.0));
-    return 0;
+    return sink().finish();
 }

@@ -33,7 +33,10 @@ run(McKind kind, const std::string &bench)
     spec.workloads = {bench};
     spec.refs_per_core = budget(100000);
     spec.warmup_refs = budget(10000);
+    sink().apply(spec);
     RunResult r = runSystem(spec);
+    r.label = bench + "/" + r.label;
+    sink().add(r);
 
     uint64_t compressions = 0;
     uint64_t md_accesses = 0;
@@ -54,8 +57,9 @@ run(McKind kind, const std::string &bench)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "fig12_energy");
     header("Fig. 12: energy relative to the uncompressed system");
     std::printf("%-12s %10s %10s %10s %10s\n", "benchmark", "dram(lcp)",
                 "dram(l+a)", "dram(cmp)", "core(cmp)");
@@ -86,5 +90,5 @@ main()
     std::printf("\nPaper: Compresso DRAM energy ~0.89x of uncompressed "
                 "(11%% saving), better than LCP and LCP+Align;\n"
                 "core energy ~1.0x.\n");
-    return 0;
+    return sink().finish();
 }

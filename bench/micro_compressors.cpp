@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "compress/factory.h"
 #include "core/offset_circuit.h"
 #include "meta/metadata_entry.h"
@@ -86,6 +87,13 @@ BM_MetadataCodec(benchmark::State &state)
 int
 main(int argc, char **argv)
 {
+    // Our shared flags come out first; google-benchmark gets the rest.
+    bench::sink().init(argc, argv, "micro_compressors");
+    std::vector<char *> bm_argv = {argv[0]};
+    for (const std::string &a : bench::sink().extraArgs())
+        bm_argv.push_back(const_cast<char *>(a.c_str()));
+    int bm_argc = int(bm_argv.size());
+
     const std::pair<const char *, DataClass> kCases[] = {
         {"delta-int", DataClass::kDeltaInt},
         {"float", DataClass::kFloat},
@@ -108,7 +116,7 @@ main(int argc, char **argv)
     benchmark::RegisterBenchmark("offset_circuit", BM_OffsetCircuit);
     benchmark::RegisterBenchmark("metadata_codec", BM_MetadataCodec);
 
-    benchmark::Initialize(&argc, argv);
+    benchmark::Initialize(&bm_argc, bm_argv.data());
     benchmark::RunSpecifiedBenchmarks();
 
     // Hardware-model numbers from Sec. VII-D/E for reference.
@@ -119,5 +127,5 @@ main(int argc, char **argv)
                 (unsigned long long)oc.extraCycles());
     std::printf("Paper: <1.5K NAND gates, 32-38 gate delays, 1 cycle; "
                 "BPC unit 43Kum^2 / ~61K NAND2 @ 40nm.\n");
-    return 0;
+    return bench::sink().finish();
 }

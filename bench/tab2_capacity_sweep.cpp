@@ -59,8 +59,9 @@ sweepMulti(McKind kind, bool unconstrained, double frac)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "tab2_capacity_sweep");
     header("Tab. II: capacity-impact speedup vs constrained baseline");
     std::printf("%-6s | %-13s | %-13s | %-13s\n", "", "LCP",
                 "Compresso", "Unconstrained");
@@ -81,5 +82,5 @@ main()
     std::printf("\nPaper rows: 80%%: 1.04/1.54 | 1.15/1.78 | 1.24/2.1\n"
                 "            70%%: 1.11/1.97 | 1.29/2.33 | 1.39/2.51\n"
                 "            60%%: 1.28/2.45 | 1.56/2.81 | 1.72/3.23\n");
-    return 0;
+    return sink().finish();
 }

@@ -45,7 +45,10 @@ run(const std::string &bench, const SizeBins *bins, PageSizing sizing)
     // Measure the raw trade-off without the mitigation machinery.
     spec.compresso.overflow_prediction = false;
     spec.compresso.dynamic_ir_expansion = false;
+    sink().apply(spec);
     RunResult r = runSystem(spec);
+    r.label = bench + "/" + r.label;
+    sink().add(r);
 
     Numbers n;
     n.ratio = r.comp_ratio;
@@ -83,8 +86,9 @@ row(const char *label, const Numbers &n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    sink().init(argc, argv, "tab_ablation_bins");
     header("Sec. IV-A1/IV-B1: size-bin trade-off ablations");
     std::printf("%-26s %8s %12s %12s %10s\n", "configuration", "ratio",
                 "lineovf/1k", "pageresz/1k", "splits");
@@ -116,5 +120,5 @@ main()
                 "(paper 0.25%%)\n",
                 100 * legacy.split_frac, 100 * four.split_frac,
                 100 * (1 - four.ratio / legacy.ratio));
-    return 0;
+    return sink().finish();
 }

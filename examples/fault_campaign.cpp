@@ -27,6 +27,7 @@
 
 #include <cstdio>
 
+#include "sim/run_export.h"
 #include "sim/runner.h"
 
 using namespace compresso;
@@ -34,6 +35,18 @@ using namespace compresso;
 namespace {
 
 int g_failures = 0;
+RunSink g_sink;
+
+/** runSystem via the --json sink, with a campaign-specific label. */
+RunResult
+runLogged(RunSpec spec, const std::string &label)
+{
+    g_sink.apply(spec);
+    RunResult r = runSystem(spec);
+    r.label = label;
+    g_sink.add(r);
+    return r;
+}
 
 void
 check(bool ok, const char *what)
@@ -70,14 +83,16 @@ degraded(const ReliabilityReport &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    g_sink.init(argc, argv, "fault_campaign");
+
     // -----------------------------------------------------------------
     // Part 1: acceptance campaign at 1e-6/bit.
     // -----------------------------------------------------------------
     std::printf("=== Compresso, 1e-6 upsets/bit, SECDED + recovery ===\n");
     RunSpec spec = campaignSpec(McKind::kCompresso, 1e-6, true);
-    RunResult on = runSystem(spec);
+    RunResult on = runLogged(spec, "recovery-on");
     std::printf("%s", on.reliability.summary().c_str());
 
     check(on.reliability.injected() > 0, "faults were injected");
@@ -90,13 +105,14 @@ main()
     check(degraded(on.reliability) > 0,
           "the degradation ladder was exercised");
 
-    RunResult again = runSystem(spec);
+    RunResult again = runLogged(spec, "recovery-on/repeat");
     check(again.reliability == on.reliability,
           "identical seed reproduces the identical ReliabilityReport");
 
     std::printf("\n=== same seed, recovery disabled ===\n");
-    RunResult off = runSystem(campaignSpec(McKind::kCompresso, 1e-6,
-                                           /*recover=*/false));
+    RunResult off = runLogged(campaignSpec(McKind::kCompresso, 1e-6,
+                                           /*recover=*/false),
+                              "recovery-off");
     std::printf("%s", off.reliability.summary().c_str());
     check(off.reliability.lines_poisoned +
                   off.reliability.pages_poisoned > 0,
@@ -116,14 +132,19 @@ main()
     for (double rate : rates) {
         for (McKind kind :
              {McKind::kUncompressed, McKind::kCompresso}) {
-            RunResult r = runSystem(campaignSpec(kind, rate, true));
+            const char *sys_name = kind == McKind::kCompresso
+                                       ? "compresso"
+                                       : "uncompressed";
+            char label[64];
+            std::snprintf(label, sizeof label, "sweep/%.0e/%s", rate,
+                          sys_name);
+            RunResult r =
+                runLogged(campaignSpec(kind, rate, true), label);
             double mrefs =
                 double(spec.refs_per_core + spec.warmup_refs) / 1e6;
             std::printf("%-14.0e %-14s %10llu %10llu %8llu %10llu "
                         "%9.2f\n",
-                        rate,
-                        kind == McKind::kCompresso ? "compresso"
-                                                   : "uncompressed",
+                        rate, sys_name,
                         (unsigned long long)r.reliability.corrected,
                         (unsigned long long)
                             r.reliability.detected_uncorrectable,
@@ -142,5 +163,6 @@ main()
     std::printf("\n%s\n", g_failures == 0
                               ? "All fault-campaign checks passed."
                               : "FAULT CAMPAIGN CHECKS FAILED");
-    return g_failures == 0 ? 0 : 1;
+    int json_rc = g_sink.finish();
+    return g_failures == 0 ? json_rc : 1;
 }

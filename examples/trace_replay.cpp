@@ -5,10 +5,12 @@
  * instead of our synthetic profiles.
  *
  * Usage:
- *   ./build/examples/trace_replay <trace-file> [backend]
- *   ./build/examples/trace_replay --demo [backend]
+ *   ./build/examples/trace_replay <trace-file> [backend] [--json out]
+ *   ./build/examples/trace_replay --demo [backend] [--json out]
  *
  * backend: uncompressed | lcp | lcp+align | compresso (default)
+ * --json writes the replay metrics as a compresso-run-v1 document
+ * (tools/obs_report.py reads it).
  *
  * Trace format (text, '#' comments):
  *   R <hex-addr> [inst-gap]
@@ -22,6 +24,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "sim/run_export.h"
 #include "sim/trace.h"
 
 using namespace compresso;
@@ -79,32 +82,36 @@ parseBackend(const std::string &name)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    RunSink sink;
+    sink.init(argc, argv, "trace_replay");
+    const std::vector<std::string> &args = sink.extraArgs();
+    if (args.empty()) {
         std::fprintf(stderr,
-                     "usage: %s <trace-file>|--demo [backend]\n",
+                     "usage: %s <trace-file>|--demo [backend] "
+                     "[--json out]\n",
                      argv[0]);
         return 1;
     }
     McKind kind =
-        parseBackend(argc > 2 ? argv[2] : "compresso");
+        parseBackend(args.size() > 1 ? args[1] : "compresso");
 
     TraceReplayReport rep;
-    if (std::string(argv[1]) == "--demo") {
+    if (args[0] == "--demo") {
         std::istringstream in(demoTrace());
         TraceReader reader(in);
         rep = replayTrace(kind, reader);
         std::printf("replayed built-in demo trace (%llu records)\n",
                     (unsigned long long)reader.parsed());
     } else {
-        std::ifstream in(argv[1]);
+        std::ifstream in(args[0]);
         if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", argv[1]);
+            std::fprintf(stderr, "cannot open %s\n", args[0].c_str());
             return 1;
         }
         TraceReader reader(in);
         rep = replayTrace(kind, reader);
         std::printf("replayed %s (%llu records, %llu skipped)\n",
-                    argv[1], (unsigned long long)reader.parsed(),
+                    args[0].c_str(), (unsigned long long)reader.parsed(),
                     (unsigned long long)reader.skipped());
     }
 
@@ -122,5 +129,17 @@ main(int argc, char **argv)
     std::printf("DRAM accesses:      %llu reads, %llu writes\n",
                 (unsigned long long)rep.dram_stats.get("reads"),
                 (unsigned long long)rep.dram_stats.get("writes"));
-    return 0;
+
+    // Fold the replay report into the shared run-JSON shape so the
+    // same tooling reads profile-driven and trace-driven results.
+    RunResult r;
+    r.label = mcKindName(kind);
+    r.cycles = double(rep.cycles);
+    r.insts = rep.references;
+    r.perf = rep.ipc;
+    r.comp_ratio = rep.comp_ratio;
+    r.mc_stats = rep.mc_stats;
+    r.dram_stats = rep.dram_stats;
+    sink.add(r);
+    return sink.finish();
 }

@@ -1,0 +1,163 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace compresso {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::push(Ctx c)
+{
+    stack_.push_back(c);
+    has_elem_.push_back(false);
+}
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // the key already emitted its comma
+    }
+    if (!stack_.empty()) {
+        if (has_elem_.back())
+            os_ << ",";
+        has_elem_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    push(Ctx::kObject);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    os_ << "}";
+    stack_.pop_back();
+    has_elem_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    push(Ctx::kArray);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    os_ << "]";
+    stack_.pop_back();
+    has_elem_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    os_ << "\"" << escape(k) << "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    // %.17g round-trips every double; trim to the shortest form that
+    // still round-trips so files stay diffable.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    os_ << "\"" << escape(s) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    os_ << "null";
+    return *this;
+}
+
+} // namespace compresso

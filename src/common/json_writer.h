@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by every machine-readable export
+ * (RunResult JSON, Chrome trace events, StatGroup dumps).
+ *
+ * Design goals, in order: deterministic output (stable key order is
+ * the *caller's* job; the writer never reorders), correct escaping of
+ * arbitrary keys/strings, and zero dependencies beyond <ostream>. The
+ * writer tracks nesting in a small stack and inserts commas itself, so
+ * call sites read like the document they produce.
+ */
+
+#ifndef COMPRESSO_COMMON_JSON_WRITER_H
+#define COMPRESSO_COMMON_JSON_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace compresso {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    /** Escape @p s for use inside a JSON string literal (quotes not
+     *  included). Control characters become \\u00XX. */
+    static std::string escape(const std::string &s);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or begin*. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(int64_t(v)); }
+    JsonWriter &value(unsigned v) { return value(uint64_t(v)); }
+    /** Doubles print shortest round-trip form; NaN/Inf become null. */
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s) { return value(std::string(s)); }
+    JsonWriter &null();
+
+    // Convenience: key + value in one call.
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** True once every begin* has been matched by its end*. */
+    bool closed() const { return stack_.empty(); }
+
+  private:
+    enum class Ctx : uint8_t { kObject, kArray };
+
+    void separate(); ///< comma/newline before a value or key
+    void push(Ctx c);
+
+    std::ostream &os_;
+    std::vector<Ctx> stack_;
+    /** Whether the current nesting level already holds an element. */
+    std::vector<bool> has_elem_;
+    bool pending_key_ = false;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMMON_JSON_WRITER_H

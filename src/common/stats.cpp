@@ -2,6 +2,8 @@
 
 #include <iomanip>
 
+#include "common/json_writer.h"
+
 namespace compresso {
 
 void
@@ -12,6 +14,16 @@ StatGroup::dump(std::ostream &os) const
            << (name_.empty() ? key : name_ + "." + key)
            << value << "\n";
     }
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    for (const auto &[key, value] : counters_)
+        w.field(key, value);
+    w.endObject();
 }
 
 void

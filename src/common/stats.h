@@ -3,7 +3,7 @@
  * Lightweight named-counter statistics, in the spirit of gem5's stats
  * package but reduced to what the reproduction needs: scalar counters
  * and simple derived ratios, grouped per component and dumpable as
- * aligned text.
+ * aligned text or JSON.
  */
 
 #ifndef COMPRESSO_COMMON_STATS_H
@@ -18,7 +18,8 @@ namespace compresso {
 
 /**
  * A group of named uint64 counters. Components own a StatGroup and
- * bump counters through operator[]; harnesses read them by name.
+ * bump counters through operator[] or — on hot paths — through a
+ * cached handle from stat(); harnesses read them by name.
  */
 class StatGroup
 {
@@ -27,6 +28,15 @@ class StatGroup
 
     /** Access (creating if absent) the counter called @p key. */
     uint64_t &operator[](const std::string &key) { return counters_[key]; }
+
+    /**
+     * Hot-path handle: a reference to the counter called @p key that
+     * stays valid for the StatGroup's lifetime. std::map nodes are
+     * stable under insertion and reset() zeroes in place rather than
+     * erasing, so components capture the reference once at
+     * construction and bump it without any per-event lookup.
+     */
+    uint64_t &stat(const char *key) { return counters_[key]; }
 
     /** Read a counter; returns 0 for names never bumped. */
     uint64_t
@@ -44,13 +54,27 @@ class StatGroup
         return d == 0 ? 0.0 : double(get(num)) / double(d);
     }
 
-    void reset() { counters_.clear(); }
+    /** Zero every counter in place. Keys (and therefore the handles
+     *  returned by stat()) survive; only the values reset. */
+    void
+    reset()
+    {
+        for (auto &[key, value] : counters_)
+            value = 0;
+    }
 
     const std::string &name() const { return name_; }
     const std::map<std::string, uint64_t> &counters() const { return counters_; }
 
-    /** Dump "group.key value" lines. */
+    /** Dump "group.key value" lines (keys in sorted order). */
     void dump(std::ostream &os) const;
+
+    /**
+     * Dump the counters as one JSON object, keys in sorted order and
+     * escaped, e.g. {"fills":12,"writebacks":7}. Golden-file safe:
+     * identical counter values always produce identical bytes.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Fold another group's counters into this one (summing). */
     void merge(const StatGroup &other);

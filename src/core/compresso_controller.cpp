@@ -40,6 +40,36 @@ CompressoController::CompressoController(const CompressoConfig &cfg)
         [this](PageNum page, bool dirty) { onMetaEvict(page, dirty); });
 }
 
+void
+CompressoController::attachObserver(Observer *obs)
+{
+    obs_ = obs;
+    mdcache_.attachObserver(obs);
+    h_line_bytes_ =
+        obs ? obs->histogram("mc.compressed_line_bytes") : nullptr;
+    h_page_alloc_ = obs ? obs->histogram("mc.page_alloc_bytes") : nullptr;
+    h_page_free_ = obs ? obs->histogram("mc.page_free_bytes") : nullptr;
+    h_repack_cost_ = obs ? obs->histogram("mc.repack_cost_ops") : nullptr;
+}
+
+void
+CompressoController::predictorPageOverflow(PageNum page)
+{
+    bool was = predictor_.armed();
+    predictor_.onPageOverflow();
+    if (predictor_.armed() != was)
+        CPR_OBS_EVENT(obs_, ObsEvent::kPredictorFlip, page, 1);
+}
+
+void
+CompressoController::predictorPageShrink(PageNum page)
+{
+    bool was = predictor_.armed();
+    predictor_.onPageShrink();
+    if (predictor_.armed() != was)
+        CPR_OBS_EVENT(obs_, ObsEvent::kPredictorFlip, page, 0);
+}
+
 // ---------------------------------------------------------------------
 // Metadata helpers
 // ---------------------------------------------------------------------
@@ -78,7 +108,7 @@ CompressoController::mdAccess(PageNum page, bool dirty, McTrace &trace)
     if (!hit) {
         // Fetch the entry from the metadata region (critical).
         trace.add(metadataAddr(page), false, true);
-        ++stats_["md_read_ops"];
+        ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(page)) ==
                 FaultOutcome::kDetected) {
@@ -92,7 +122,7 @@ CompressoController::onMetaEvict(PageNum page, bool dirty)
 {
     if (dirty && cur_trace_) {
         cur_trace_->add(metadataAddr(page), true, false);
-        ++stats_["md_write_ops"];
+        ++st_md_write_ops_;
         fault_.onWrite(metadataAddr(page));
     }
     if (!cfg_.repack_on_evict || !cur_trace_)
@@ -206,16 +236,16 @@ CompressoController::deviceOps(const MetadataEntry &m, uint32_t off,
         if (write) {
             streamBufferInvalidate(block);
             trace.add(block, true, critical);
-            ++stats_["data_write_ops"];
+            ++st_data_write_ops_;
             fault_.onWrite(block);
             ++issued;
         } else {
             if (critical && cfg_.stream_buffer && streamBufferHit(block)) {
-                ++stats_["prefetch_hits"];
+                ++st_prefetch_hits_;
                 continue;
             }
             trace.add(block, false, critical);
-            ++stats_["data_read_ops"];
+            ++st_data_read_ops_;
             // Only demand-critical reads are architecturally exposed
             // to stored faults; background traffic rewrites blocks.
             if (critical)
@@ -310,8 +340,9 @@ CompressoController::materializeZeroPage(MetadataEntry &m, PageShadow &sh)
 }
 
 void
-CompressoController::writeToSlot(MetadataEntry &m, LineIdx idx,
-                                 const Encoded &enc, McTrace &trace)
+CompressoController::writeToSlot(PageNum page, MetadataEntry &m,
+                                 LineIdx idx, const Encoded &enc,
+                                 McTrace &trace)
 {
     // Caller guarantees enc fits the slot (enc.bin <= code). A raw
     // slot stores the 64 raw bytes, not the encoding — an
@@ -324,8 +355,9 @@ CompressoController::writeToSlot(MetadataEntry &m, LineIdx idx,
                      : std::max<size_t>(enc.bytes.size(), 1);
     unsigned blocks = deviceOps(m, off, len, true, false, trace);
     if (blocks > 1) {
-        ++stats_["split_wb_lines"];
-        stats_["split_extra_ops"] += blocks - 1;
+        ++st_split_wb_lines_;
+        st_split_extra_ops_ += blocks - 1;
+        CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, page, blocks);
     }
     if (bins_->binSize(code) == kLineBytes) {
         // Raw-slot convention: reconstruct raw bytes from the encoding.
@@ -387,11 +419,12 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
                 deviceOps(m, 0, moved, true, false, trace);
             }
         }
-        writeToSlot(m, idx, enc, trace);
+        writeToSlot(page, m, idx, enc, trace);
         return;
     }
 
     ++stats_["line_overflows"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, page, idx);
     uint8_t *counter = mdcache_.predictorCounter(page);
     predictor_.onLineOverflow(counter);
 
@@ -418,6 +451,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
     // inflate straight to uncompressed 4 KB.
     if (cfg_.overflow_prediction && predictor_.predictInflate(counter)) {
         ++stats_["predictor_inflations"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kInflation, page, 1);
         inflateToUncompressed(page, m, trace);
         shadow(page).predictor_inflated = true;
         uint32_t off = idx * uint32_t(kLineBytes);
@@ -436,7 +470,8 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
         // The page did outgrow its allocation; the expansion just made
         // the overflow cheap (1 write, no moves).
         ++stats_["page_overflows"];
-        predictor_.onPageOverflow();
+        CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, page, 1);
+        predictorPageOverflow(page);
         uint32_t base = irBase(m);
         uint32_t off =
             base + uint32_t(m.inflate_count) * uint32_t(kLineBytes);
@@ -498,7 +533,8 @@ CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
     bool page_grew = new_alloc > allocBytes(m);
     if (page_grew) {
         ++stats_["page_overflows"];
-        predictor_.onPageOverflow();
+        CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, page, 0);
+        predictorPageOverflow(page);
     }
 
     // Movement cost: everything from the grown slot onward is
@@ -635,8 +671,10 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
     }
 
     ++stats_["repacks"];
-    stats_["repack_read_ops"] += (old_used + kLineBytes - 1) / kLineBytes;
+    unsigned read_blocks = unsigned((old_used + kLineBytes - 1) / kLineBytes);
+    stats_["repack_read_ops"] += read_blocks;
     deviceOps(m, 0, old_used, false, false, trace);
+    CPR_OBS_HIST(h_page_free_, m.free_space);
 
     if (all_zero) {
         resizeAlloc(m, 0);
@@ -645,7 +683,10 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         m.inflate_count = 0;
         m.free_space = 0;
         m.line_code.fill(0);
-        predictor_.onPageShrink();
+        predictorPageShrink(page);
+        CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page, read_blocks);
+        CPR_OBS_HIST(h_repack_cost_, read_blocks);
+        CPR_OBS_HIST(h_page_alloc_, 0);
         CPR_CHECKED_AUDIT(page, "repack (to zero page)");
         return;
     }
@@ -669,6 +710,10 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         stats_["repack_write_ops"] += kLinesPerPage;
         deviceOps(m, 0, kPageBytes, true, false, trace);
         mdcache_.reshape(page, m.halfCacheable());
+        CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page,
+                      read_blocks + unsigned(kLinesPerPage));
+        CPR_OBS_HIST(h_repack_cost_, read_blocks + kLinesPerPage);
+        CPR_OBS_HIST(h_page_alloc_, kPageBytes);
         CPR_CHECKED_AUDIT(page, "repack (to raw page)");
         return;
     }
@@ -693,9 +738,14 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
             storeBytes(m, off, w.bytes().data(), w.bytes().size());
         }
     }
-    stats_["repack_write_ops"] += (new_used + kLineBytes - 1) / kLineBytes;
+    unsigned write_blocks = unsigned((new_used + kLineBytes - 1) / kLineBytes);
+    stats_["repack_write_ops"] += write_blocks;
     deviceOps(m, 0, new_used, true, false, trace);
-    predictor_.onPageShrink();
+    predictorPageShrink(page);
+    CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page,
+                  read_blocks + write_blocks);
+    CPR_OBS_HIST(h_repack_cost_, read_blocks + write_blocks);
+    CPR_OBS_HIST(h_page_alloc_, new_alloc);
     CPR_CHECKED_AUDIT(page, "repack");
 }
 
@@ -742,6 +792,8 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
         if (m.valid && !fault_.pagePoisoned(page)) {
             fault_.poisonPage(page);
             ++stats_["fault_pages_poisoned"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
+                          uint32_t(FaultRung::kPagePoison));
         }
         fi->scrub(metadataAddr(page));
         return;
@@ -751,6 +803,8 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
     // recomputing the layout fields, then rewrite the entry. Repair
     // traffic is suppressed so it cannot fault recursively.
     ++stats_["fault_meta_rebuilds"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
+                  uint32_t(FaultRung::kMetaRebuild));
     fi->noteMetaRebuild();
     size_t before = trace.ops.size();
     {
@@ -774,6 +828,8 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
         // layout fields by escalating to the paper's safe state: an
         // uncompressed 4 KB page with the identity layout.
         ++stats_["fault_pages_inflated"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
+                      uint32_t(FaultRung::kInflateSafety));
         fi->notePageInflatedSafety();
         FaultHooks::SuppressScope guard(fault_);
         inflateToUncompressed(page, m, trace);
@@ -797,6 +853,8 @@ CompressoController::poisonDataFault(Addr ospa_line, const MetadataEntry &m,
     // rewrite scrubs the accumulated fault bits (deviceOps write hook).
     fault_.poisonLine(ospa_line);
     ++stats_["fault_lines_poisoned"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
+                  uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
     deviceOps(m, off, len, false, false, trace); // retry read
     deviceOps(m, off, len, true, false, trace);  // poison rewrite
@@ -839,8 +897,11 @@ CompressoController::recoverCorruptPage(PageNum page)
         codes_ok &= c < bins_->count();
     if (codes_ok && m.valid && !m.zero) {
         updateFreeSpace(m, shadow(page));
-        if (auditPage(page).clean())
+        if (auditPage(page).clean()) {
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
+                          uint32_t(FaultRung::kAuditRecovery));
             return true;
+        }
     }
 
     // Step 2: the layout itself is untrustworthy. Every mapped chunk
@@ -855,6 +916,8 @@ CompressoController::recoverCorruptPage(PageNum page)
     if (!fault_.pagePoisoned(page)) {
         fault_.poisonPage(page);
         ++stats_["fault_pages_poisoned"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
+                      uint32_t(FaultRung::kPagePoison));
     }
     return auditPage(page).clean();
 }
@@ -896,7 +959,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum page = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["fills"];
+    ++st_fills_;
 
     MetadataEntry &m = meta(page);
     mdAccess(page, false, trace);
@@ -912,7 +975,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     if (!m.valid || m.zero) {
         data.fill(0);
-        ++stats_["zero_fills"];
+        ++st_zero_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -949,7 +1012,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
     unsigned code = m.line_code[idx];
     if (code == 0) {
         data.fill(0);
-        ++stats_["zero_fills"];
+        ++st_zero_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -959,8 +1022,9 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
     uint16_t sz = bins_->binSize(code);
     unsigned blocks = deviceOps(m, off, sz, false, true, trace);
     if (blocks > 1) {
-        ++stats_["split_fill_lines"];
-        stats_["split_extra_ops"] += blocks - 1;
+        ++st_split_fill_lines_;
+        st_split_extra_ops_ += blocks - 1;
+        CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, page, blocks);
     }
     if (fault_.takePending() == FaultOutcome::kDetected) {
         poisonDataFault(lineAddr(addr), m, off, sz, trace);
@@ -989,7 +1053,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
                                        Addr(i) * kLineBytes);
         }
     }
-    stats_["co_fetched_lines"] += trace.co_fetched.size();
+    st_co_fetched_lines_ += trace.co_fetched.size();
     cur_trace_ = nullptr;
 }
 
@@ -1000,7 +1064,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
     PageNum page = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["writebacks"];
+    ++st_writebacks_;
 
     MetadataEntry &m = meta(page);
     mdAccess(page, true, trace);
@@ -1018,6 +1082,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
     }
 
     Encoded enc = encodeLine(data);
+    CPR_OBS_HIST(h_line_bytes_, enc.zero ? 0 : enc.bytes.size());
     PageShadow &sh = shadow(page);
 
     if (!m.valid)
@@ -1025,7 +1090,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
 
     if (m.zero) {
         if (enc.zero) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -1046,7 +1111,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         deviceOps(m, off, kLineBytes, true, false, trace);
         storeBytes(m, off, data.data(), kLineBytes);
         if (enc.bin < sh.actual_bin[idx]) {
-            ++stats_["line_underflows"];
+            ++st_line_underflows_;
             predictor_.onLineUnderflow(mdcache_.predictorCounter(page));
         }
         sh.actual_bin[idx] = uint8_t(enc.bin);
@@ -1062,7 +1127,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         deviceOps(m, off, kLineBytes, true, false, trace);
         storeBytes(m, off, data.data(), kLineBytes);
         if (enc.bin < sh.actual_bin[idx]) {
-            ++stats_["line_underflows"];
+            ++st_line_underflows_;
             predictor_.onLineUnderflow(mdcache_.predictorCounter(page));
         }
         sh.actual_bin[idx] = uint8_t(enc.bin);
@@ -1075,12 +1140,12 @@ CompressoController::writebackLine(Addr addr, const Line &data,
     unsigned code = m.line_code[idx];
     if (enc.bin <= code) {
         if (enc.zero && code == 0) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
         } else {
-            writeToSlot(m, idx, enc, trace);
+            writeToSlot(page, m, idx, enc, trace);
         }
         if (enc.bin < sh.actual_bin[idx]) {
-            ++stats_["line_underflows"];
+            ++st_line_underflows_;
             predictor_.onLineUnderflow(mdcache_.predictorCounter(page));
         }
         sh.actual_bin[idx] = uint8_t(enc.bin);

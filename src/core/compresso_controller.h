@@ -34,6 +34,7 @@
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 #include "meta/metadata_entry.h"
+#include "obs/observer.h"
 #include "packing/linepack.h"
 
 namespace compresso {
@@ -93,6 +94,11 @@ class CompressoController : public MemoryController
     {
         fault_.attach(fi);
     }
+
+    /** Wire the observability layer through the controller and its
+     *  metadata cache; caches histogram handles so the hot paths
+     *  never do name lookups. */
+    void attachObserver(Observer *obs) override;
 
     StatGroup &stats() override { return stats_; }
     const StatGroup &stats() const override { return stats_; }
@@ -219,8 +225,8 @@ class CompressoController : public MemoryController
     // --- page lifecycle ---
     void firstTouch(PageNum page, MetadataEntry &m);
     void materializeZeroPage(MetadataEntry &m, PageShadow &sh);
-    void writeToSlot(MetadataEntry &m, LineIdx idx, const Encoded &enc,
-                     McTrace &trace);
+    void writeToSlot(PageNum page, MetadataEntry &m, LineIdx idx,
+                     const Encoded &enc, McTrace &trace);
     void handleLineOverflow(PageNum page, MetadataEntry &m, LineIdx idx,
                             const Line &raw, const Encoded &enc,
                             McTrace &trace);
@@ -235,6 +241,10 @@ class CompressoController : public MemoryController
     bool streamBufferHit(Addr block) const;
     void streamBufferInsert(Addr block);
     void streamBufferInvalidate(Addr block);
+
+    // --- predictor wrappers (flip detection for the event trace) ---
+    void predictorPageOverflow(PageNum page);
+    void predictorPageShrink(PageNum page);
 
     CompressoConfig cfg_;
     const SizeBins *bins_;
@@ -254,6 +264,28 @@ class CompressoController : public MemoryController
     std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
+    // Cached hot-path counter handles (stable across reset()).
+    uint64_t &st_fills_ = stats_.stat("fills");
+    uint64_t &st_writebacks_ = stats_.stat("writebacks");
+    uint64_t &st_zero_fills_ = stats_.stat("zero_fills");
+    uint64_t &st_zero_wbs_ = stats_.stat("zero_wbs");
+    uint64_t &st_data_read_ops_ = stats_.stat("data_read_ops");
+    uint64_t &st_data_write_ops_ = stats_.stat("data_write_ops");
+    uint64_t &st_prefetch_hits_ = stats_.stat("prefetch_hits");
+    uint64_t &st_md_read_ops_ = stats_.stat("md_read_ops");
+    uint64_t &st_md_write_ops_ = stats_.stat("md_write_ops");
+    uint64_t &st_split_extra_ops_ = stats_.stat("split_extra_ops");
+    uint64_t &st_split_fill_lines_ = stats_.stat("split_fill_lines");
+    uint64_t &st_split_wb_lines_ = stats_.stat("split_wb_lines");
+    uint64_t &st_line_underflows_ = stats_.stat("line_underflows");
+    uint64_t &st_co_fetched_lines_ = stats_.stat("co_fetched_lines");
+
+    // Observability (src/obs): null when disabled.
+    Observer *obs_ = nullptr;
+    Histogram *h_line_bytes_ = nullptr;   ///< compressed writeback size
+    Histogram *h_page_alloc_ = nullptr;   ///< page allocation (occupancy)
+    Histogram *h_page_free_ = nullptr;    ///< page free space
+    Histogram *h_repack_cost_ = nullptr;  ///< 64 B ops per repack
 };
 
 } // namespace compresso

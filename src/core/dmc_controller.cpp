@@ -31,6 +31,16 @@ DmcController::DmcController(const DmcConfig &cfg)
     });
 }
 
+void
+DmcController::attachObserver(Observer *obs)
+{
+    obs_ = obs;
+    mdcache_.attachObserver(obs);
+    h_line_bytes_ =
+        obs != nullptr ? obs->histogram("mc.compressed_line_bytes")
+                       : nullptr;
+}
+
 Addr
 DmcController::metadataAddr(PageNum pn) const
 {
@@ -45,7 +55,7 @@ DmcController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
     trace.fixed_latency += cfg_.mdcache_hit_latency;
     if (!hit) {
         trace.add(metadataAddr(pn), false, true);
-        ++stats_["md_read_ops"];
+        ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(pn)) ==
                 FaultOutcome::kDetected) {
@@ -127,7 +137,7 @@ DmcController::deviceOps(const Page &p, uint32_t off, size_t len,
     for (unsigned b = first; b <= last; ++b) {
         Addr block = mpaOf(p, b * uint32_t(kLineBytes));
         trace.add(block, write, critical);
-        ++stats_[write ? "data_write_ops" : "data_read_ops"];
+        ++(write ? st_data_write_ops_ : st_data_read_ops_);
         if (write)
             fault_.onWrite(block);
         else if (critical)
@@ -262,7 +272,6 @@ DmcController::layoutHot(Page &p,
 void
 DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
 {
-    (void)pn;
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     stats_["migration_ops"] += trace.ops.size();
@@ -297,17 +306,18 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
     }
     deviceOps(p, 0, total, true, false, trace);
     ++stats_["demotions"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 0);
 }
 
 void
 DmcController::promoteToHot(PageNum pn, Page &p, McTrace &trace)
 {
-    (void)pn;
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     layoutHot(p, buf, trace);
     stats_["migration_ops"] += trace.ops.size();
     ++stats_["promotions"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 1);
 }
 
 void
@@ -341,6 +351,8 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
         if (p.valid && !fault_.pagePoisoned(pn)) {
             fault_.poisonPage(pn);
             ++stats_["fault_pages_poisoned"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                          uint32_t(FaultRung::kPagePoison));
         }
         fi->scrub(metadataAddr(pn));
         return;
@@ -350,6 +362,8 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
     // the page's stored image in hardware to reconstruct the entry —
     // no OS involvement, only the re-walk traffic.
     ++stats_["fault_meta_rebuilds"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                  uint32_t(FaultRung::kMetaRebuild));
     fi->noteMetaRebuild();
     size_t before = trace.ops.size();
     {
@@ -377,6 +391,8 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
             // Escalate: re-lay the page out raw/hot so slot lookups no
             // longer depend on the per-line codes or cold block sizes.
             ++stats_["fault_pages_inflated"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                          uint32_t(FaultRung::kInflateSafety));
             fi->notePageInflatedSafety();
             std::array<Line, kLinesPerPage> buf;
             gather(p, buf, &trace);
@@ -404,6 +420,8 @@ DmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
 {
     fault_.poisonLine(ospa_line);
     ++stats_["fault_lines_poisoned"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
+                  uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
     deviceOps(p, off, len, false, false, trace); // retry read
     deviceOps(p, off, len, true, false, trace);  // poison rewrite
@@ -418,7 +436,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["fills"];
+    ++st_fills_;
 
     Page &p = page(pn);
     mdAccess(pn, false, trace);
@@ -434,7 +452,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     if (!p.valid || p.zero) {
         data.fill(0);
-        ++stats_["zero_fills"];
+        ++st_zero_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -472,7 +490,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     if (p.code[idx] == 0) {
         data.fill(0);
-        ++stats_["zero_fills"];
+        ++st_zero_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -481,8 +499,9 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     trace.fixed_latency += 1;
     unsigned blocks = deviceOps(p, off, sz, false, true, trace);
     if (blocks > 1) {
-        ++stats_["split_fill_lines"];
-        stats_["split_extra_ops"] += blocks - 1;
+        ++st_split_fill_lines_;
+        st_split_extra_ops_ += blocks - 1;
+        CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, pn, blocks);
     }
     if (fault_.takePending() == FaultOutcome::kDetected) {
         poisonDataFault(lineAddr(addr), p, off, sz, trace);
@@ -502,7 +521,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["writebacks"];
+    ++st_writebacks_;
 
     Page &p = page(pn);
     mdAccess(pn, true, trace);
@@ -525,7 +544,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     }
     if (p.zero) {
         if (zero) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -543,10 +562,11 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     BitWriter w;
     hot_codec_->compress(data, w);
     unsigned bin = compressoBins().binFor(w.bytes().size(), zero);
+    CPR_OBS_HIST(h_line_bytes_, zero ? 0 : w.bytes().size());
 
     if (bin <= p.code[idx]) {
         if (zero && p.code[idx] == 0) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
         } else {
             uint32_t off = hotOffset(p, idx);
             // A raw slot stores the 64 raw bytes; an incompressible
@@ -565,6 +585,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         // No inflation room in DMC: every overflow re-lays the page
         // out (the data-movement cost the paper points at).
         ++stats_["line_overflows"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
         std::array<Line, kLinesPerPage> buf;
         gather(p, buf, &trace);
         buf[idx] = data;

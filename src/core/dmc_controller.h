@@ -34,6 +34,7 @@
 #include "core/memory_controller.h"
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
+#include "obs/observer.h"
 
 namespace compresso {
 
@@ -76,6 +77,11 @@ class DmcController : public MemoryController
     {
         fault_.attach(fi);
     }
+
+    /** Observability: events (split access, line overflow, page
+     *  overflow = migration, fault-recovery rungs) and the
+     *  compressed-line-size histogram (null detaches). */
+    void attachObserver(Observer *obs) override;
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -165,6 +171,19 @@ class DmcController : public MemoryController
     std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
+    // Cached hot-path counter handles (stable across reset()).
+    uint64_t &st_fills_ = stats_.stat("fills");
+    uint64_t &st_writebacks_ = stats_.stat("writebacks");
+    uint64_t &st_zero_fills_ = stats_.stat("zero_fills");
+    uint64_t &st_zero_wbs_ = stats_.stat("zero_wbs");
+    uint64_t &st_data_read_ops_ = stats_.stat("data_read_ops");
+    uint64_t &st_data_write_ops_ = stats_.stat("data_write_ops");
+    uint64_t &st_md_read_ops_ = stats_.stat("md_read_ops");
+    uint64_t &st_split_fill_lines_ = stats_.stat("split_fill_lines");
+    uint64_t &st_split_extra_ops_ = stats_.stat("split_extra_ops");
+
+    Observer *obs_ = nullptr;
+    Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer
 };
 
 } // namespace compresso

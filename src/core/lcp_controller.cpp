@@ -33,6 +33,16 @@ LcpController::LcpController(const LcpConfig &cfg)
     });
 }
 
+void
+LcpController::attachObserver(Observer *obs)
+{
+    obs_ = obs;
+    mdcache_.attachObserver(obs);
+    h_line_bytes_ =
+        obs != nullptr ? obs->histogram("mc.compressed_line_bytes")
+                       : nullptr;
+}
+
 Addr
 LcpController::metadataAddr(PageNum pn) const
 {
@@ -47,7 +57,7 @@ LcpController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
     trace.fixed_latency += cfg_.mdcache_hit_latency;
     if (!hit) {
         trace.add(metadataAddr(pn), false, true);
-        ++stats_["md_read_ops"];
+        ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(pn)) ==
                 FaultOutcome::kDetected) {
@@ -126,15 +136,15 @@ LcpController::deviceOps(const Page &p, uint32_t off, size_t len,
         if (write) {
             streamBufferInvalidate(block);
             trace.add(block, true, critical);
-            ++stats_["data_write_ops"];
+            ++st_data_write_ops_;
             fault_.onWrite(block);
         } else {
             if (critical && cfg_.stream_buffer && streamBufferHit(block)) {
-                ++stats_["prefetch_hits"];
+                ++st_prefetch_hits_;
                 continue;
             }
             trace.add(block, false, critical);
-            ++stats_["data_read_ops"];
+            ++st_data_read_ops_;
             // Demand-critical reads are the architecturally exposed
             // ones; background traffic rewrites and scrubs.
             if (critical)
@@ -225,8 +235,9 @@ LcpController::initialAllocate(Page &p, const Encoded &enc)
 }
 
 void
-LcpController::writeStored(Page &p, LineIdx idx, const Line &raw,
-                           const Encoded &enc, McTrace &trace)
+LcpController::writeStored(PageNum pn, Page &p, LineIdx idx,
+                           const Line &raw, const Encoded &enc,
+                           McTrace &trace)
 {
     // Caller guarantees the line fits its slot.
     uint32_t off = slotOffset(p, idx);
@@ -238,8 +249,9 @@ LcpController::writeStored(Page &p, LineIdx idx, const Line &raw,
     size_t len = std::max<size_t>(enc.bytes.size(), 1);
     unsigned blocks = deviceOps(p, off, len, true, false, trace);
     if (blocks > 1) {
-        ++stats_["split_wb_lines"];
-        stats_["split_extra_ops"] += blocks - 1;
+        ++st_split_wb_lines_;
+        st_split_extra_ops_ += blocks - 1;
+        CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, pn, blocks);
     }
     storeBytes(p, off, enc.bytes.data(), enc.bytes.size());
 }
@@ -249,9 +261,11 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
                             const Line &raw, const Encoded &enc,
                             McTrace &trace)
 {
-    (void)pn;
     ++stats_["page_overflows"];
     ++stats_["page_faults"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, pn, 0);
+    CPR_OBS_EVENT(obs_, ObsEvent::kPageFault, pn,
+                  uint32_t(cfg_.page_fault_cycles));
     // OS-aware: the overflow raises a page fault; the core stalls.
     stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
@@ -333,6 +347,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
         if (p.valid && !fault_.pagePoisoned(pn)) {
             fault_.poisonPage(pn);
             ++stats_["fault_pages_poisoned"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                          uint32_t(FaultRung::kPagePoison));
         }
         fi->scrub(metadataAddr(pn));
         return;
@@ -342,6 +358,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
     // the entry from its own page tables and rewrites it (a page
     // fault's worth of stall, unlike Compresso's hardware re-walk).
     ++stats_["fault_meta_rebuilds"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                  uint32_t(FaultRung::kMetaRebuild));
     fi->noteMetaRebuild();
     ++stats_["page_faults"];
     stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
@@ -357,6 +375,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
             // Escalate: the OS re-lays the page out uncompressed, so
             // later slot lookups no longer depend on the entry.
             ++stats_["fault_pages_inflated"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                          uint32_t(FaultRung::kInflateSafety));
             fi->notePageInflatedSafety();
             std::array<Line, kLinesPerPage> buf;
             for (LineIdx i = 0; i < kLinesPerPage; ++i)
@@ -387,6 +407,8 @@ LcpController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
 {
     fault_.poisonLine(ospa_line);
     ++stats_["fault_lines_poisoned"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
+                  uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
     deviceOps(p, off, len, false, false, trace); // retry read
     deviceOps(p, off, len, true, false, trace);  // poison rewrite
@@ -401,7 +423,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["fills"];
+    ++st_fills_;
 
     Page &p = page(pn);
     mdAccess(pn, false, trace);
@@ -416,7 +438,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     if (!p.valid || p.zero || p.zero_line[idx]) {
         data.fill(0);
-        ++stats_["zero_fills"];
+        ++st_zero_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -427,8 +449,9 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
     uint32_t off = slotOffset(p, idx);
     unsigned blocks = deviceOps(p, off, p.target, false, true, trace);
     if (blocks > 1) {
-        ++stats_["split_fill_lines"];
-        stats_["split_extra_ops"] += blocks - 1;
+        ++st_split_fill_lines_;
+        st_split_extra_ops_ += blocks - 1;
+        CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, pn, blocks);
     }
 
     if (p.exc_slot[idx] != 0xff) {
@@ -478,7 +501,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
                                            Addr(j) * kLineBytes);
             }
         }
-        stats_["co_fetched_lines"] += trace.co_fetched.size();
+        st_co_fetched_lines_ += trace.co_fetched.size();
     }
     cur_trace_ = nullptr;
 }
@@ -489,7 +512,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["writebacks"];
+    ++st_writebacks_;
 
     Page &p = page(pn);
     mdAccess(pn, true, trace);
@@ -504,6 +527,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     }
 
     Encoded enc = encodeLine(data);
+    CPR_OBS_HIST(h_line_bytes_, enc.zero ? 0 : enc.bytes.size());
 
     if (!p.valid) {
         p.valid = true;
@@ -513,7 +537,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     if (p.zero) {
         if (enc.zero) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -530,7 +554,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
             p.exc_slot[idx] = 0xff;
         }
         p.zero_line[idx] = true;
-        ++stats_["zero_wbs"];
+        ++st_zero_wbs_;
         cur_trace_ = nullptr;
         return;
     }
@@ -542,12 +566,13 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
             p.exc_map.reset(p.exc_slot[idx]);
             p.exc_slot[idx] = 0xff; // back into its slot
         }
-        writeStored(p, idx, data, enc, trace);
+        writeStored(pn, p, idx, data, enc, trace);
         cur_trace_ = nullptr;
         return;
     }
 
     ++stats_["line_overflows"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
     if (p.exc_slot[idx] != 0xff) {
         // Already an exception: overwrite in place.
         uint32_t off = excOffset(p, p.exc_slot[idx]);

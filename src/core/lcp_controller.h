@@ -35,6 +35,7 @@
 #include "core/memory_controller.h"
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
+#include "obs/observer.h"
 #include "packing/lcp.h"
 
 namespace compresso {
@@ -85,6 +86,11 @@ class LcpController : public MemoryController
     {
         fault_.attach(fi);
     }
+
+    /** Observability: events (split access, line/page overflow, page
+     *  fault, fault-recovery rungs) and the compressed-line-size
+     *  histogram (null detaches). */
+    void attachObserver(Observer *obs) override;
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -157,7 +163,7 @@ class LcpController : public MemoryController
     };
     Encoded encodeLine(const Line &data) const;
     void readStored(const Page &p, LineIdx idx, Line &out) const;
-    void writeStored(Page &p, LineIdx idx, const Line &raw,
+    void writeStored(PageNum pn, Page &p, LineIdx idx, const Line &raw,
                      const Encoded &enc, McTrace &trace);
 
     /** OS-visible page overflow: re-layout with a new target (page
@@ -195,6 +201,22 @@ class LcpController : public MemoryController
     std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
+    // Cached hot-path counter handles (stable across reset()).
+    uint64_t &st_fills_ = stats_.stat("fills");
+    uint64_t &st_writebacks_ = stats_.stat("writebacks");
+    uint64_t &st_zero_fills_ = stats_.stat("zero_fills");
+    uint64_t &st_zero_wbs_ = stats_.stat("zero_wbs");
+    uint64_t &st_data_read_ops_ = stats_.stat("data_read_ops");
+    uint64_t &st_data_write_ops_ = stats_.stat("data_write_ops");
+    uint64_t &st_md_read_ops_ = stats_.stat("md_read_ops");
+    uint64_t &st_prefetch_hits_ = stats_.stat("prefetch_hits");
+    uint64_t &st_split_fill_lines_ = stats_.stat("split_fill_lines");
+    uint64_t &st_split_wb_lines_ = stats_.stat("split_wb_lines");
+    uint64_t &st_split_extra_ops_ = stats_.stat("split_extra_ops");
+    uint64_t &st_co_fetched_lines_ = stats_.stat("co_fetched_lines");
+
+    Observer *obs_ = nullptr;
+    Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer
 };
 
 } // namespace compresso

@@ -23,6 +23,7 @@
 namespace compresso {
 
 class FaultInjector;
+class Observer;
 
 /** Timing-relevant outcome of one controller operation. */
 struct McTrace
@@ -110,6 +111,14 @@ class MemoryController
      * Controllers without fault support ignore the call.
      */
     virtual void attachFaultInjector(FaultInjector *fi) { (void)fi; }
+
+    /**
+     * Attach the observability layer (src/obs): controllers emit
+     * structured events (overflow, repack, fault-ladder steps...) and
+     * feed histograms through it. Pass nullptr to detach; controllers
+     * without instrumentation ignore the call.
+     */
+    virtual void attachObserver(Observer *obs) { (void)obs; }
 
     /** Release an OSPA page (balloon driver path, Sec. V-B). */
     virtual void freePage(PageNum page) { (void)page; }

@@ -71,6 +71,11 @@ class PageOverflowPredictor
 
     uint8_t global() const { return global_; }
 
+    /** Global half of the speculation condition (high bit set). A
+     *  change in armed() is the "predictor flip" the event trace
+     *  records: the system entering/leaving overflow pressure. */
+    bool armed() const { return (global_ & 0b100) != 0; }
+
   private:
     uint8_t global_ = 0; ///< 3-bit saturating
 };

@@ -31,6 +31,16 @@ RmcController::RmcController(const RmcConfig &cfg)
     });
 }
 
+void
+RmcController::attachObserver(Observer *obs)
+{
+    obs_ = obs;
+    bst_.attachObserver(obs);
+    h_line_bytes_ =
+        obs != nullptr ? obs->histogram("mc.compressed_line_bytes")
+                       : nullptr;
+}
+
 Addr
 RmcController::metadataAddr(PageNum pn) const
 {
@@ -45,7 +55,7 @@ RmcController::bstAccess(PageNum pn, bool dirty, McTrace &trace)
     trace.fixed_latency += cfg_.bst_hit_latency;
     if (!hit) {
         trace.add(metadataAddr(pn), false, true);
-        ++stats_["md_read_ops"];
+        ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(pn)) ==
                 FaultOutcome::kDetected) {
@@ -139,7 +149,7 @@ RmcController::deviceOps(const Page &p, uint32_t off, size_t len,
     for (unsigned b = first; b <= last; ++b) {
         Addr block = mpaOf(p, b * uint32_t(kLineBytes));
         trace.add(block, write, critical);
-        ++stats_[write ? "data_write_ops" : "data_read_ops"];
+        ++(write ? st_data_write_ops_ : st_data_read_ops_);
         if (write)
             fault_.onWrite(block);
         else if (critical)
@@ -190,7 +200,7 @@ RmcController::readStored(const Page &p, LineIdx idx, Line &out) const
 }
 
 void
-RmcController::relayout(Page &p,
+RmcController::relayout(PageNum pn, Page &p,
                         const std::array<uint8_t, kLinesPerPage> &codes,
                         LineIdx idx, const Line &raw, bool os_fault,
                         McTrace &trace)
@@ -231,6 +241,9 @@ RmcController::relayout(Page &p,
     if (os_fault) {
         ++stats_["page_overflows"];
         ++stats_["page_faults"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, pn, 0);
+        CPR_OBS_EVENT(obs_, ObsEvent::kPageFault, pn,
+                      uint32_t(cfg_.page_fault_cycles));
         stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
         trace.stall_cycles += cfg_.page_fault_cycles;
     } else {
@@ -267,6 +280,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
         if (p.valid && !fault_.pagePoisoned(pn)) {
             fault_.poisonPage(pn);
             ++stats_["fault_pages_poisoned"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                          uint32_t(FaultRung::kPagePoison));
         }
         fi->scrub(metadataAddr(pn));
         return;
@@ -276,6 +291,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
     // the BST entry from its own page tables and rewrites it (a page
     // fault's worth of stall, like LCP's recovery path).
     ++stats_["fault_meta_rebuilds"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                  uint32_t(FaultRung::kMetaRebuild));
     fi->noteMetaRebuild();
     ++stats_["page_faults"];
     stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
@@ -295,6 +312,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
             // full-page fallback), so later slot lookups no longer
             // depend on the per-line codes.
             ++stats_["fault_pages_inflated"];
+            CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                          uint32_t(FaultRung::kInflateSafety));
             fi->notePageInflatedSafety();
             std::array<Line, kLinesPerPage> buf;
             for (LineIdx l = 0; l < kLinesPerPage; ++l)
@@ -327,6 +346,8 @@ RmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
 {
     fault_.poisonLine(ospa_line);
     ++stats_["fault_lines_poisoned"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
+                  uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
     deviceOps(p, off, len, false, false, trace); // retry read
     deviceOps(p, off, len, true, false, trace);  // poison rewrite
@@ -341,7 +362,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["fills"];
+    ++st_fills_;
 
     Page &p = page(pn);
     bstAccess(pn, false, trace);
@@ -356,7 +377,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     if (!p.valid || p.zero || p.code[idx] == 0) {
         data.fill(0);
-        ++stats_["zero_fills"];
+        ++st_zero_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -366,8 +387,9 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     trace.fixed_latency += 1; // BST-side offset adder
     unsigned blocks = deviceOps(p, off, sz, false, true, trace);
     if (blocks > 1) {
-        ++stats_["split_fill_lines"];
-        stats_["split_extra_ops"] += blocks - 1;
+        ++st_split_fill_lines_;
+        st_split_extra_ops_ += blocks - 1;
+        CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, pn, blocks);
     }
     if (fault_.takePending() == FaultOutcome::kDetected) {
         poisonDataFault(lineAddr(addr), p, off, sz, trace);
@@ -387,7 +409,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
-    ++stats_["writebacks"];
+    ++st_writebacks_;
 
     Page &p = page(pn);
     bstAccess(pn, true, trace);
@@ -405,6 +427,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     BitWriter w;
     codec_->compress(data, w);
     unsigned bin = bins_->binFor(w.bytes().size(), zero);
+    CPR_OBS_HIST(h_line_bytes_, zero ? 0 : w.bytes().size());
 
     if (!p.valid) {
         p.valid = true;
@@ -413,7 +436,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     }
     if (p.zero) {
         if (zero) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -424,7 +447,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         codes[idx] = uint8_t(bin);
         // relayout() reads old content; page has no chunks yet.
         trace.fixed_latency += cfg_.compression_latency;
-        relayout(p, codes, idx, data, false, trace);
+        relayout(pn, p, codes, idx, data, false, trace);
         stats_["subpage_shifts"] -= 1; // initial layout is not a shift
         cur_trace_ = nullptr;
         return;
@@ -436,7 +459,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     if (bin <= code) {
         // Fits its slot.
         if (zero && code == 0) {
-            ++stats_["zero_wbs"];
+            ++st_zero_wbs_;
         } else {
             uint32_t off = lineOffset(p, idx);
             uint16_t sz = bins_->binSize(code);
@@ -447,8 +470,9 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
                              : std::max<size_t>(w.bytes().size(), 1);
             unsigned blocks = deviceOps(p, off, len, true, false, trace);
             if (blocks > 1) {
-                ++stats_["split_wb_lines"];
-                stats_["split_extra_ops"] += blocks - 1;
+                ++st_split_wb_lines_;
+                st_split_extra_ops_ += blocks - 1;
+                CPR_OBS_EVENT(obs_, ObsEvent::kSplitAccess, pn, blocks);
             }
             if (sz == kLineBytes)
                 storeBytes(p, off, data.data(), kLineBytes);
@@ -461,6 +485,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     // Line overflow: try to absorb it in the subpage's hysteresis.
     ++stats_["line_overflows"];
+    CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
     unsigned sp = subpageOf(idx);
     std::array<uint8_t, kLinesPerPage> codes = p.code;
     codes[idx] = uint8_t(bin);
@@ -526,7 +551,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     bool os_fault = pageBinBytes(std::min<uint32_t>(total, kPageBytes),
                                  PageSizing::kVariable4) >
                     allocBytes(p);
-    relayout(p, codes, idx, data, os_fault, trace);
+    relayout(pn, p, codes, idx, data, os_fault, trace);
     cur_trace_ = nullptr;
 }
 

@@ -30,6 +30,7 @@
 #include "core/memory_controller.h"
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
+#include "obs/observer.h"
 
 namespace compresso {
 
@@ -73,6 +74,11 @@ class RmcController : public MemoryController
     {
         fault_.attach(fi);
     }
+
+    /** Observability: events (split access, line/page overflow, page
+     *  fault, fault-recovery rungs) and the compressed-line-size
+     *  histogram (null detaches). */
+    void attachObserver(Observer *obs) override;
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -129,7 +135,8 @@ class RmcController : public MemoryController
     void readStored(const Page &p, LineIdx idx, Line &out) const;
     /** Re-lay out the whole page for new codes (subpage shift or OS
      *  page overflow), preserving data. */
-    void relayout(Page &p, const std::array<uint8_t, kLinesPerPage> &codes,
+    void relayout(PageNum pn, Page &p,
+                  const std::array<uint8_t, kLinesPerPage> &codes,
                   LineIdx idx, const Line &raw, bool os_fault,
                   McTrace &trace);
 
@@ -156,6 +163,20 @@ class RmcController : public MemoryController
     std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
     StatGroup stats_{"mc"};
+    // Cached hot-path counter handles (stable across reset()).
+    uint64_t &st_fills_ = stats_.stat("fills");
+    uint64_t &st_writebacks_ = stats_.stat("writebacks");
+    uint64_t &st_zero_fills_ = stats_.stat("zero_fills");
+    uint64_t &st_zero_wbs_ = stats_.stat("zero_wbs");
+    uint64_t &st_data_read_ops_ = stats_.stat("data_read_ops");
+    uint64_t &st_data_write_ops_ = stats_.stat("data_write_ops");
+    uint64_t &st_md_read_ops_ = stats_.stat("md_read_ops");
+    uint64_t &st_split_fill_lines_ = stats_.stat("split_fill_lines");
+    uint64_t &st_split_wb_lines_ = stats_.stat("split_wb_lines");
+    uint64_t &st_split_extra_ops_ = stats_.stat("split_extra_ops");
+
+    Observer *obs_ = nullptr;
+    Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer
 };
 
 } // namespace compresso

@@ -12,6 +12,14 @@ DramModel::DramModel(const DramConfig &cfg) : cfg_(cfg)
     bus_free_at_.assign(cfg_.channels, 0);
 }
 
+void
+DramModel::attachObserver(Observer *obs)
+{
+    h_read_latency_ =
+        obs != nullptr ? obs->histogram("dram.read_latency_cycles")
+                       : nullptr;
+}
+
 unsigned
 DramModel::channelOf(Addr addr) const
 {
@@ -58,16 +66,16 @@ DramModel::access(Addr addr, bool write, Cycle now)
 
     unsigned dclks = 0;
     if (bank.open_row == row) {
-        ++stats_["row_hits"];
+        ++st_row_hits_;
         dclks = cfg_.tCL;
     } else if (bank.open_row == UINT64_MAX) {
-        ++stats_["row_misses"];
-        ++stats_["activates"];
+        ++st_row_misses_;
+        ++st_activates_;
         dclks = cfg_.tRCD + cfg_.tCL;
     } else {
-        ++stats_["row_conflicts"];
-        ++stats_["activates"];
-        ++stats_["precharges"];
+        ++st_row_conflicts_;
+        ++st_activates_;
+        ++st_precharges_;
         dclks = cfg_.tRP + cfg_.tRCD + cfg_.tCL;
     }
     bank.open_row = row;
@@ -98,7 +106,12 @@ DramModel::access(Addr addr, bool write, Cycle now)
     else
         bank.ready_at = start + toCpu(dclks) + toCpu(cfg_.tBURST);
 
-    ++stats_[write ? "writes" : "reads"];
+    if (write) {
+        ++st_writes_;
+    } else {
+        ++st_reads_;
+        CPR_OBS_HIST(h_read_latency_, done - now);
+    }
     return done;
 }
 

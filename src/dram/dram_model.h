@@ -22,6 +22,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/observer.h"
 
 namespace compresso {
 
@@ -73,6 +74,10 @@ class DramModel
      */
     void attachFaultInjector(const FaultInjector *fi) { fault_ = fi; }
 
+    /** Attach the observability layer: read service latency feeds the
+     *  "dram.read_latency_cycles" histogram (null detaches). */
+    void attachObserver(Observer *obs);
+
     /**
      * Issue one 64 B access at CPU-cycle @p now.
      * @return the CPU cycle at which the data burst completes.
@@ -104,7 +109,16 @@ class DramModel
     std::vector<Bank> banks_; ///< channels * banks
     std::vector<Cycle> bus_free_at_;
     const FaultInjector *fault_ = nullptr;
+    Histogram *h_read_latency_ = nullptr; ///< owned by the Observer
     StatGroup stats_{"dram"};
+    // Cached hot-path counter handles (stable across reset()).
+    uint64_t &st_reads_ = stats_.stat("reads");
+    uint64_t &st_writes_ = stats_.stat("writes");
+    uint64_t &st_row_hits_ = stats_.stat("row_hits");
+    uint64_t &st_row_misses_ = stats_.stat("row_misses");
+    uint64_t &st_row_conflicts_ = stats_.stat("row_conflicts");
+    uint64_t &st_activates_ = stats_.stat("activates");
+    uint64_t &st_precharges_ = stats_.stat("precharges");
 };
 
 } // namespace compresso

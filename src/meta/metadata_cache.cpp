@@ -39,11 +39,11 @@ MetadataCache::access(PageNum page, bool half, bool dirty)
     if (!cfg_.half_entry_opt)
         half = false;
     Set &set = setFor(page);
-    ++stats_["accesses"];
+    ++st_accesses_;
 
     for (auto it = set.entries.begin(); it != set.entries.end(); ++it) {
         if (it->page == page) {
-            ++stats_["hits"];
+            ++st_hits_;
             // Move to MRU; keep the larger shape if it grew.
             Entry e = *it;
             if (!half)
@@ -55,12 +55,15 @@ MetadataCache::access(PageNum page, bool half, bool dirty)
         }
     }
 
-    ++stats_["misses"];
+    ++st_misses_;
+    CPR_OBS_EVENT(obs_, ObsEvent::kMdMiss, page, 0);
     set.entries.push_front(Entry{page, half, dirty, 0});
     while (setWeight(set) > double(cfg_.ways)) {
         Entry victim = set.entries.back();
         set.entries.pop_back();
-        ++stats_["evictions"];
+        ++st_evictions_;
+        CPR_OBS_EVENT(obs_, ObsEvent::kMdEviction, victim.page,
+                      victim.dirty ? 1 : 0);
         if (evict_hook_)
             evict_hook_(victim.page, victim.dirty);
     }
@@ -109,7 +112,9 @@ MetadataCache::reshape(PageNum page, bool half)
     while (setWeight(set) > double(cfg_.ways)) {
         Entry victim = set.entries.back();
         set.entries.pop_back();
-        ++stats_["evictions"];
+        ++st_evictions_;
+        CPR_OBS_EVENT(obs_, ObsEvent::kMdEviction, victim.page,
+                      victim.dirty ? 1 : 0);
         if (evict_hook_)
             evict_hook_(victim.page, victim.dirty);
     }

@@ -25,6 +25,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/observer.h"
 
 namespace compresso {
 
@@ -71,6 +72,10 @@ class MetadataCache
 
     void setEvictHook(EvictHook hook) { evict_hook_ = std::move(hook); }
 
+    /** Attach the observability layer: misses and evictions become
+     *  structured events (null detaches). */
+    void attachObserver(Observer *obs) { obs_ = obs; }
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
@@ -99,7 +104,13 @@ class MetadataCache
     MetadataCacheConfig cfg_;
     std::vector<Set> sets_;
     EvictHook evict_hook_;
+    Observer *obs_ = nullptr;
     StatGroup stats_{"mdcache"};
+    // Cached hot-path counter handles (stable across reset()).
+    uint64_t &st_accesses_ = stats_.stat("accesses");
+    uint64_t &st_hits_ = stats_.stat("hits");
+    uint64_t &st_misses_ = stats_.stat("misses");
+    uint64_t &st_evictions_ = stats_.stat("evictions");
 };
 
 } // namespace compresso

@@ -1,0 +1,76 @@
+#include "obs/epoch_sampler.h"
+
+#include <set>
+
+namespace compresso {
+
+void
+EpochSampler::registerGroup(const StatGroup *group)
+{
+    if (group != nullptr)
+        groups_.push_back(group);
+}
+
+void
+EpochSampler::snapshot()
+{
+    if (refs_in_epoch_ == 0 && !snaps_.empty())
+        return; // nothing new since the last boundary
+    Snap s;
+    refs_total_ += refs_in_epoch_;
+    refs_in_epoch_ = 0;
+    s.refs = refs_total_;
+    s.cycles = now_;
+    for (const StatGroup *g : groups_) {
+        const std::string prefix =
+            g->name().empty() ? std::string() : g->name() + ".";
+        for (const auto &[key, value] : g->counters())
+            s.values[prefix + key] = value;
+    }
+    snaps_.push_back(std::move(s));
+}
+
+void
+EpochSampler::restart()
+{
+    snaps_.clear();
+    refs_in_epoch_ = 0;
+    refs_total_ = 0;
+}
+
+void
+EpochSampler::writeCsv(std::ostream &os) const
+{
+    // Sorted union of counter names across all snapshots.
+    std::set<std::string> cols;
+    for (const Snap &s : snaps_)
+        for (const auto &[key, value] : s.values)
+            cols.insert(key);
+
+    os << "epoch,refs,cycles";
+    for (const std::string &c : cols)
+        os << "," << c;
+    os << "\n";
+
+    const Snap *prev = nullptr;
+    size_t epoch = 0;
+    for (const Snap &s : snaps_) {
+        os << epoch++ << "," << s.refs << "," << s.cycles;
+        for (const std::string &c : cols) {
+            auto it = s.values.find(c);
+            uint64_t cur = it == s.values.end() ? 0 : it->second;
+            uint64_t base = 0;
+            if (prev != nullptr) {
+                auto pit = prev->values.find(c);
+                base = pit == prev->values.end() ? 0 : pit->second;
+            }
+            // Counters only grow between snapshots; a smaller value
+            // means the group was reset mid-run, so restart the delta.
+            os << "," << (cur >= base ? cur - base : cur);
+        }
+        os << "\n";
+        prev = &s;
+    }
+}
+
+} // namespace compresso

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Epoch sampler: periodic snapshots of registered StatGroups.
+ *
+ * The runner advances the sampler once per issued reference; every
+ * `epoch_refs` references it snapshots the cumulative value of every
+ * counter in every registered group. The CSV export then emits
+ * *per-epoch deltas* — the quantity that answers "when did the
+ * controller thrash", which end-of-run totals cannot.
+ *
+ * Columns are the sorted union of `<group>.<key>` names across all
+ * snapshots (counters created mid-run backfill zeros), so two runs of
+ * the same binary produce byte-comparable headers.
+ */
+
+#ifndef COMPRESSO_OBS_EPOCH_SAMPLER_H
+#define COMPRESSO_OBS_EPOCH_SAMPLER_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace compresso {
+
+class EpochSampler
+{
+  public:
+    explicit EpochSampler(uint64_t epoch_refs) : epoch_refs_(epoch_refs) {}
+
+    /** Track @p group (non-owning; must outlive the sampler). */
+    void registerGroup(const StatGroup *group);
+
+    /**
+     * Account one issued reference (and the simulation clock, for the
+     * epoch's timestamp column). Snapshots fire on epoch boundaries.
+     */
+    void
+    onRef(uint64_t now_cycles)
+    {
+        now_ = now_cycles;
+        if (epoch_refs_ == 0)
+            return;
+        if (++refs_in_epoch_ >= epoch_refs_)
+            snapshot();
+    }
+
+    /** Force a snapshot of the current (possibly partial) epoch. */
+    void snapshot();
+
+    /** Drop accumulated epochs and restart the ref count (stat reset
+     *  between warmup and measurement). */
+    void restart();
+
+    size_t epochs() const { return snaps_.size(); }
+    uint64_t epochRefs() const { return epoch_refs_; }
+
+    /** Write per-epoch delta rows as CSV (header + one row/epoch). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    struct Snap
+    {
+        uint64_t refs = 0;   ///< cumulative refs at snapshot time
+        uint64_t cycles = 0; ///< simulation clock at snapshot time
+        std::map<std::string, uint64_t> values; ///< cumulative counters
+    };
+
+    uint64_t epoch_refs_;
+    uint64_t refs_in_epoch_ = 0;
+    uint64_t refs_total_ = 0;
+    uint64_t now_ = 0;
+    std::vector<const StatGroup *> groups_;
+    std::vector<Snap> snaps_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OBS_EPOCH_SAMPLER_H

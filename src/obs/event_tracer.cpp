@@ -1,0 +1,84 @@
+#include "obs/event_tracer.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+
+namespace compresso {
+
+const char *
+obsEventName(ObsEvent e)
+{
+    switch (e) {
+      case ObsEvent::kSplitAccess: return "split_access";
+      case ObsEvent::kLineOverflow: return "line_overflow";
+      case ObsEvent::kPageOverflow: return "page_overflow";
+      case ObsEvent::kInflation: return "inflation";
+      case ObsEvent::kRepack: return "repack";
+      case ObsEvent::kMdMiss: return "md_miss";
+      case ObsEvent::kMdEviction: return "md_eviction";
+      case ObsEvent::kPredictorFlip: return "predictor_flip";
+      case ObsEvent::kFaultRecovery: return "fault_recovery";
+      case ObsEvent::kPageFault: return "page_fault";
+      case ObsEvent::kCount: break;
+    }
+    return "?";
+}
+
+EventTracer::EventTracer(size_t capacity)
+    : ring_(std::max<size_t>(capacity, 1))
+{
+}
+
+void
+EventTracer::writeChromeTrace(std::ostream &os, uint64_t cycles_per_us) const
+{
+    if (cycles_per_us == 0)
+        cycles_per_us = 1;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    // Metadata events name one track per event kind so Perfetto shows
+    // a labeled row for each cause.
+    for (size_t k = 0; k < size_t(ObsEvent::kCount); ++k) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", uint64_t(0));
+        w.field("tid", uint64_t(k));
+        w.key("args").beginObject();
+        w.field("name", obsEventName(ObsEvent(k)));
+        w.endObject();
+        w.endObject();
+    }
+
+    forEach([&](const TraceEvent &e) {
+        w.beginObject();
+        w.field("name", obsEventName(e.kind));
+        w.field("ph", "i");
+        // Sub-microsecond events land on the same integer timestamp;
+        // that is fine for instant markers.
+        w.field("ts", e.tick / cycles_per_us);
+        w.field("pid", uint64_t(0));
+        w.field("tid", uint64_t(e.kind));
+        w.field("s", "t"); // thread-scoped instant
+        w.key("args").beginObject();
+        w.field("page", e.page);
+        w.field("detail", uint64_t(e.detail));
+        w.field("cycle", e.tick);
+        w.endObject();
+        w.endObject();
+    });
+
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.key("otherData").beginObject();
+    w.field("dropped_events", dropped());
+    w.field("total_events", total());
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace compresso

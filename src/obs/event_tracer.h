@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Low-overhead structured event tracer.
+ *
+ * A fixed-capacity ring of typed events: recording is an array store
+ * plus a few increments, never an allocation, so it is safe to call
+ * from the controllers' hottest paths. When the ring wraps, the oldest
+ * events are overwritten and counted as dropped — a bounded-memory
+ * flight recorder, like ftrace's per-CPU rings.
+ *
+ * The exporter writes Chrome trace-event JSON (the "traceEvents"
+ * array form) loadable directly in Perfetto / chrome://tracing: one
+ * instant event per record, one named track (tid) per event kind, with
+ * the page number and detail payload in args.
+ */
+
+#ifndef COMPRESSO_OBS_EVENT_TRACER_H
+#define COMPRESSO_OBS_EVENT_TRACER_H
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace compresso {
+
+/** Event taxonomy (DESIGN.md §10). Keep obsEventName() in sync. */
+enum class ObsEvent : uint8_t
+{
+    kSplitAccess,    ///< compressed line straddled a 64 B block boundary
+    kLineOverflow,   ///< writeback outgrew its slot
+    kPageOverflow,   ///< page outgrew its MPA allocation
+    kInflation,      ///< page speculatively/forcibly inflated to 4 KB
+    kRepack,         ///< page recompressed to its actual footprint
+    kMdMiss,         ///< metadata-cache miss (entry fetched from MPA)
+    kMdEviction,     ///< metadata-cache eviction (repack trigger)
+    kPredictorFlip,  ///< global overflow predictor armed/disarmed
+    kFaultRecovery,  ///< degradation-ladder step (detail = rung)
+    kPageFault,      ///< OS-aware baseline page fault (LCP/RMC)
+    kCount
+};
+
+const char *obsEventName(ObsEvent e);
+
+/** Degradation-ladder rungs carried in kFaultRecovery's detail. */
+enum class FaultRung : uint32_t
+{
+    kMetaRebuild = 0,
+    kInflateSafety = 1,
+    kLinePoison = 2,
+    kAuditRecovery = 3,
+    kPagePoison = 4,
+};
+
+struct TraceEvent
+{
+    uint64_t tick = 0;   ///< simulation time (CPU cycles)
+    uint64_t page = 0;   ///< OSPA page (or other primary id)
+    uint32_t detail = 0; ///< event-specific payload
+    ObsEvent kind = ObsEvent::kSplitAccess;
+};
+
+class EventTracer
+{
+  public:
+    explicit EventTracer(size_t capacity);
+
+    void
+    record(uint64_t tick, ObsEvent kind, uint64_t page, uint32_t detail)
+    {
+        TraceEvent &e = ring_[head_];
+        e.tick = tick;
+        e.page = page;
+        e.detail = detail;
+        e.kind = kind;
+        if (++head_ == ring_.size())
+            head_ = 0;
+        ++total_;
+        ++per_kind_[size_t(kind)];
+    }
+
+    /** Events ever recorded (including overwritten ones). */
+    uint64_t total() const { return total_; }
+    /** Events lost to ring wraparound. */
+    uint64_t dropped() const
+    {
+        return total_ > ring_.size() ? total_ - ring_.size() : 0;
+    }
+    /** Events currently held (<= capacity). */
+    size_t size() const
+    {
+        return total_ < ring_.size() ? size_t(total_) : ring_.size();
+    }
+    size_t capacity() const { return ring_.size(); }
+    uint64_t countOf(ObsEvent e) const { return per_kind_[size_t(e)]; }
+
+    /** Visit surviving events oldest-first. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        size_t n = size();
+        size_t start = total_ < ring_.size() ? 0 : head_;
+        for (size_t i = 0; i < n; ++i)
+            fn(ring_[(start + i) % ring_.size()]);
+    }
+
+    /**
+     * Write the ring as Chrome trace-event JSON. @p cycles_per_us
+     * converts simulation cycles to the format's microsecond
+     * timestamps (3000 for the 3 GHz core clock).
+     */
+    void writeChromeTrace(std::ostream &os,
+                          uint64_t cycles_per_us = 3000) const;
+
+  private:
+    std::vector<TraceEvent> ring_;
+    size_t head_ = 0;
+    uint64_t total_ = 0;
+    uint64_t per_kind_[size_t(ObsEvent::kCount)] = {};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OBS_EVENT_TRACER_H

@@ -1,0 +1,38 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the sample we are after (1-based, ceil so p=1 -> count).
+    uint64_t rank = uint64_t(p * double(count_));
+    if (rank == 0)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        if (seen + buckets_[b] >= rank) {
+            // Interpolate within [lo, hi) by the rank's position in
+            // this bucket, then clamp to the observed extremes.
+            uint64_t lo = bucketLo(b);
+            uint64_t hi = b == 0 ? 0 : (bucketLo(b) << 1) - 1;
+            double frac = double(rank - seen) / double(buckets_[b]);
+            uint64_t est = lo + uint64_t(double(hi - lo) * frac);
+            return std::clamp(est, min_, max_);
+        }
+        seen += buckets_[b];
+    }
+    return max_;
+}
+
+} // namespace compresso

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Log2-bucketed histograms with percentile readout.
+ *
+ * Bucket 0 holds the value 0; bucket b >= 1 holds values in
+ * [2^(b-1), 2^b). 65 buckets cover the whole uint64 range, so add()
+ * never clamps. Percentiles interpolate linearly inside the winning
+ * bucket and are clamped to the observed min/max, which keeps p100 ==
+ * max exact and small-sample estimates sane.
+ *
+ * Histograms are deliberately tiny (fixed array, no allocation after
+ * construction) so a hot path can feed one per event at the cost of a
+ * few arithmetic ops.
+ */
+
+#ifndef COMPRESSO_OBS_HISTOGRAM_H
+#define COMPRESSO_OBS_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace compresso {
+
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index for @p v: 0 for 0, else floor(log2(v)) + 1. */
+    static unsigned
+    bucketOf(uint64_t v)
+    {
+        if (v == 0)
+            return 0;
+        return 64 - unsigned(__builtin_clzll(v));
+    }
+
+    /** Inclusive lower bound of bucket @p b. */
+    static uint64_t
+    bucketLo(unsigned b)
+    {
+        return b == 0 ? 0 : uint64_t(1) << (b - 1);
+    }
+
+    void
+    add(uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+    uint64_t bucketCount(unsigned b) const { return buckets_[b]; }
+
+    /**
+     * Value below which fraction @p p of samples fall (p in [0,1]).
+     * Returns 0 for an empty histogram.
+     */
+    uint64_t percentile(double p) const;
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = sum_ = max_ = 0;
+        min_ = 0;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * Named histograms with stable addresses: get() hands back a pointer
+ * that components cache at attach time, exactly like StatGroup::stat().
+ */
+class HistogramSet
+{
+  public:
+    /** Find or create the histogram called @p name. The returned
+     *  pointer stays valid for the set's lifetime. */
+    Histogram *get(const std::string &name) { return &hists_[name]; }
+
+    const std::map<std::string, Histogram> &all() const { return hists_; }
+    bool empty() const { return hists_.empty(); }
+
+  private:
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OBS_HISTOGRAM_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Configuration for the observability layer (src/obs).
+ *
+ * Two gates keep the disabled path near-zero cost:
+ *  - compile time: building with COMPRESSO_OBS_DISABLED turns every
+ *    CPR_OBS_* emission macro into ((void)0), so instrumented code
+ *    carries no branches at all;
+ *  - runtime: components hold a non-owning Observer pointer that is
+ *    null unless ObsConfig::enabled was set, so the default cost of an
+ *    instrumentation site is one well-predicted null test.
+ */
+
+#ifndef COMPRESSO_OBS_OBS_CONFIG_H
+#define COMPRESSO_OBS_OBS_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace compresso {
+
+struct ObsConfig
+{
+    /** Master runtime switch. When false no Observer is constructed
+     *  and every instrumentation site reduces to a null check. */
+    bool enabled = false;
+
+    /** Ring-buffer capacity in events. Wraparound overwrites the
+     *  oldest events and counts them as dropped; exports always emit
+     *  the surviving window in chronological order. */
+    size_t trace_capacity = 1 << 16;
+
+    /** Structured event tracing (the Chrome-trace ring). */
+    bool trace_events = true;
+
+    /** Log2-bucketed histograms (line size, occupancy, latency...). */
+    bool histograms = true;
+
+    /** Epoch sampler period in references; 0 disables sampling. Each
+     *  epoch snapshots every registered StatGroup. */
+    uint64_t epoch_refs = 0;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OBS_OBS_CONFIG_H

@@ -1,0 +1,57 @@
+#include "obs/observer.h"
+
+#include <fstream>
+
+namespace compresso {
+
+ObsSnapshot
+Observer::snapshot()
+{
+    sampler_.snapshot();
+
+    ObsSnapshot snap;
+    snap.enabled = true;
+    snap.events_total = tracer_.total();
+    snap.events_dropped = tracer_.dropped();
+    for (size_t k = 0; k < size_t(ObsEvent::kCount); ++k) {
+        uint64_t n = tracer_.countOf(ObsEvent(k));
+        if (n > 0)
+            snap.event_counts[obsEventName(ObsEvent(k))] = n;
+    }
+    for (const auto &[name, h] : hists_.all()) {
+        ObsSnapshot::HistSummary s;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.min = h.min();
+        s.max = h.max();
+        s.mean = h.mean();
+        s.p50 = h.percentile(0.50);
+        s.p90 = h.percentile(0.90);
+        s.p99 = h.percentile(0.99);
+        snap.histograms[name] = s;
+    }
+    return snap;
+}
+
+bool
+Observer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    tracer_.writeChromeTrace(os);
+    return bool(os);
+}
+
+bool
+Observer::writeEpochCsv(const std::string &path)
+{
+    sampler_.snapshot();
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    sampler_.writeCsv(os);
+    return bool(os);
+}
+
+} // namespace compresso

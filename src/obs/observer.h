@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Observer: the one object the instrumented components talk to.
+ *
+ * Owns the event tracer, the histogram set, and the epoch sampler;
+ * components receive a non-owning `Observer *` through their
+ * attachObserver() hook (null = disabled) and cache Histogram*
+ * handles at attach time, so a disabled run pays one null test per
+ * instrumentation site and an enabled run pays no name lookups.
+ *
+ * Building with -DCOMPRESSO_OBS_DISABLED compiles the CPR_OBS_* macros
+ * away entirely (the compile-time half of the ObsConfig gate).
+ */
+
+#ifndef COMPRESSO_OBS_OBSERVER_H
+#define COMPRESSO_OBS_OBSERVER_H
+
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "obs/epoch_sampler.h"
+#include "obs/event_tracer.h"
+#include "obs/histogram.h"
+#include "obs/obs_config.h"
+
+namespace compresso {
+
+/** Value-type digest of an Observer, carried in RunResult so exports
+ *  survive the System's destruction. */
+struct ObsSnapshot
+{
+    struct HistSummary
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+        double mean = 0;
+        uint64_t p50 = 0;
+        uint64_t p90 = 0;
+        uint64_t p99 = 0;
+    };
+
+    bool enabled = false;
+    uint64_t events_total = 0;
+    uint64_t events_dropped = 0;
+    std::map<std::string, uint64_t> event_counts;   ///< by kind name
+    std::map<std::string, HistSummary> histograms;  ///< by histogram name
+};
+
+class Observer
+{
+  public:
+    explicit Observer(const ObsConfig &cfg)
+        : cfg_(cfg), tracer_(cfg.trace_capacity), sampler_(cfg.epoch_refs)
+    {
+    }
+
+    const ObsConfig &config() const { return cfg_; }
+
+    // --- simulation clock (monotonic; set by the system each step) ---
+    void
+    setNow(uint64_t cycles)
+    {
+        if (cycles > now_)
+            now_ = cycles;
+    }
+    uint64_t now() const { return now_; }
+
+    // --- event tracing ---
+    void
+    record(ObsEvent kind, uint64_t page, uint32_t detail = 0)
+    {
+        if (cfg_.trace_events)
+            tracer_.record(now_, kind, page, detail);
+    }
+
+    const EventTracer &tracer() const { return tracer_; }
+
+    // --- histograms ---
+    /** Cacheable handle; returns null when histograms are disabled so
+     *  CPR_OBS_HIST's null test covers both gates. */
+    Histogram *
+    histogram(const std::string &name)
+    {
+        return cfg_.histograms ? hists_.get(name) : nullptr;
+    }
+    const HistogramSet &histograms() const { return hists_; }
+
+    // --- epoch sampling ---
+    EpochSampler &sampler() { return sampler_; }
+    void
+    onRef()
+    {
+        sampler_.onRef(now_);
+    }
+
+    /** Digest for RunResult (closes the final partial epoch). */
+    ObsSnapshot snapshot();
+
+    // --- exports; return false (and report nothing else) on I/O error ---
+    bool writeChromeTrace(const std::string &path) const;
+    bool writeEpochCsv(const std::string &path);
+
+  private:
+    ObsConfig cfg_;
+    uint64_t now_ = 0;
+    EventTracer tracer_;
+    HistogramSet hists_;
+    EpochSampler sampler_;
+};
+
+} // namespace compresso
+
+/**
+ * Emission macros: the compile-time gate. `obs` is an `Observer *`
+ * (null when disabled at runtime); `hist` is a cached `Histogram *`.
+ */
+#ifndef COMPRESSO_OBS_DISABLED
+#define CPR_OBS_EVENT(obs, kind, page, detail)                          \
+    do {                                                                \
+        if ((obs) != nullptr)                                           \
+            (obs)->record((kind), (page), (detail));                    \
+    } while (0)
+#define CPR_OBS_HIST(hist, value)                                       \
+    do {                                                                \
+        if ((hist) != nullptr)                                          \
+            (hist)->add((value));                                       \
+    } while (0)
+#else
+// Unevaluated: keeps the operands "used" (no -Wunused-variable at the
+// call sites) while generating no code at all.
+#define CPR_OBS_EVENT(obs, kind, page, detail)                          \
+    ((void)sizeof(((obs), (kind), (page), (detail)), 0))
+#define CPR_OBS_HIST(hist, value) ((void)sizeof(((hist), (value)), 0))
+#endif
+
+#endif // COMPRESSO_OBS_OBSERVER_H

@@ -1,0 +1,175 @@
+#include "sim/run_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/json_writer.h"
+
+namespace compresso {
+
+namespace {
+
+void
+writeStatGroup(JsonWriter &w, const StatGroup &g)
+{
+    w.beginObject();
+    for (const auto &[name, val] : g.counters())
+        w.field(name, val);
+    w.endObject();
+}
+
+void
+writeObs(JsonWriter &w, const ObsSnapshot &obs)
+{
+    w.beginObject();
+    w.field("enabled", obs.enabled);
+    w.field("events_total", obs.events_total);
+    w.field("events_dropped", obs.events_dropped);
+    w.key("event_counts").beginObject();
+    for (const auto &[name, n] : obs.event_counts)
+        w.field(name, n);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : obs.histograms) {
+        w.key(name).beginObject();
+        w.field("count", h.count);
+        w.field("sum", h.sum);
+        w.field("min", h.min);
+        w.field("max", h.max);
+        w.field("mean", h.mean);
+        w.field("p50", h.p50);
+        w.field("p90", h.p90);
+        w.field("p99", h.p99);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeResult(JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    w.field("label", r.label);
+    w.field("cycles", r.cycles);
+    w.field("insts", r.insts);
+    w.field("perf", r.perf);
+    w.field("comp_ratio", r.comp_ratio);
+    w.field("effective_ratio", r.effective_ratio);
+    w.field("extra_split", r.extra_split);
+    w.field("extra_overflow", r.extra_overflow);
+    w.field("extra_repack", r.extra_repack);
+    w.field("extra_metadata", r.extra_metadata);
+    w.field("extra_total", r.extra_total);
+    w.field("md_hit_rate", r.md_hit_rate);
+    w.field("zero_access_frac", r.zero_access_frac);
+    w.field("audit_violations", r.audit_violations);
+    w.key("mc_stats");
+    writeStatGroup(w, r.mc_stats);
+    w.key("dram_stats");
+    writeStatGroup(w, r.dram_stats);
+    w.key("obs");
+    writeObs(w, r.obs);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeRunsJson(std::ostream &os, const std::string &tool,
+              const std::vector<RunResult> &results)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kRunJsonSchema);
+    w.field("tool", tool);
+    w.key("results").beginArray();
+    for (const RunResult &r : results)
+        writeResult(w, r);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+bool
+writeRunsJson(const std::string &path, const std::string &tool,
+              const std::vector<RunResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeRunsJson(os, tool, results);
+    return bool(os);
+}
+
+void
+RunSink::init(int argc, char **argv, const std::string &tool)
+{
+    tool_ = tool;
+    auto take = [&](int &i) -> const char * {
+        return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json") {
+            if (const char *v = take(i))
+                json_path_ = v;
+        } else if (a == "--obs") {
+            obs_ = true;
+        } else if (a == "--obs-trace") {
+            if (const char *v = take(i)) {
+                trace_path_ = v;
+                obs_ = true;
+            }
+        } else if (a == "--obs-csv") {
+            if (const char *v = take(i)) {
+                csv_path_ = v;
+                obs_ = true;
+            }
+        } else {
+            extra_.push_back(a);
+        }
+    }
+}
+
+void
+RunSink::apply(RunSpec &spec)
+{
+    if (!obs_)
+        return;
+    spec.obs.enabled = true;
+    // A requested time series needs a sampling period; default to 32
+    // epochs over the run when the spec didn't choose one.
+    if (!csv_path_.empty() && spec.obs.epoch_refs == 0)
+        spec.obs.epoch_refs = std::max<uint64_t>(spec.refs_per_core / 32, 1);
+    if (!exports_taken_) {
+        spec.obs_trace_path = trace_path_;
+        spec.obs_epoch_csv_path = csv_path_;
+        exports_taken_ = true;
+    }
+}
+
+RunResult
+RunSink::run(RunSpec spec)
+{
+    apply(spec);
+    RunResult r = runSystem(spec);
+    add(r);
+    return r;
+}
+
+int
+RunSink::finish()
+{
+    if (json_path_.empty())
+        return 0;
+    if (!writeRunsJson(json_path_, tool_, results_)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     json_path_.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace compresso

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machine-readable experiment export: serializes RunResults into a
+ * versioned JSON document ("compresso-run-v1") so figures can be
+ * regenerated and runs diffed without re-simulating. tools/obs_report.py
+ * consumes this format.
+ *
+ * Also provides RunSink, the tiny CLI shim every bench/example binary
+ * uses to gain `--json <path>` (plus the observability opt-in flags)
+ * without each main() growing its own argv parser.
+ */
+
+#ifndef COMPRESSO_SIM_RUN_EXPORT_H
+#define COMPRESSO_SIM_RUN_EXPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace compresso {
+
+/** Schema identifier stamped into every run JSON document. Bump only
+ *  with a reader-side update in tools/obs_report.py. */
+inline constexpr const char *kRunJsonSchema = "compresso-run-v1";
+
+/** Write {schema, tool, results: [...]} to @p os. Key order is fixed
+ *  and StatGroup counters iterate sorted, so output is deterministic
+ *  for identical inputs (golden-file friendly). */
+void writeRunsJson(std::ostream &os, const std::string &tool,
+                   const std::vector<RunResult> &results);
+
+/** Path-taking overload; returns false on I/O failure. */
+bool writeRunsJson(const std::string &path, const std::string &tool,
+                   const std::vector<RunResult> &results);
+
+/**
+ * Per-binary collector behind the shared CLI flags:
+ *
+ *   --json <path>       write every recorded RunResult as run JSON
+ *   --obs               attach the Observer to each run (digest lands
+ *                       in the JSON `obs` object)
+ *   --obs-trace <path>  Chrome trace-event export (implies --obs;
+ *                       first recorded run only, so repeated runs do
+ *                       not clobber the file)
+ *   --obs-csv <path>    epoch time-series CSV (implies --obs; first
+ *                       recorded run only)
+ *
+ * Usage in a main(): init(argc, argv, tool), route each simulation
+ * through run() (or apply() + add() when the call site owns the
+ * runSystem call), and `return finish();`.
+ */
+class RunSink
+{
+  public:
+    /** Parse the flags above out of argv; unknown arguments are left
+     *  for the binary's own parsing and reported via extraArgs(). */
+    void init(int argc, char **argv, const std::string &tool);
+
+    /** Stamp the CLI-selected observability onto a spec about to run. */
+    void apply(RunSpec &spec);
+
+    /** Record a finished result for the final JSON document. */
+    void add(const RunResult &r) { results_.push_back(r); }
+
+    /** apply() + runSystem() + add(), the common path. */
+    RunResult run(RunSpec spec);
+
+    /** Write the JSON document if --json was given. Returns the
+     *  process exit code (1 on export I/O failure). */
+    int finish();
+
+    const std::vector<RunResult> &results() const { return results_; }
+    /** argv entries init() did not consume (argv[0] excluded). */
+    const std::vector<std::string> &extraArgs() const { return extra_; }
+    bool obsRequested() const { return obs_; }
+
+  private:
+    std::string tool_;
+    std::string json_path_;
+    std::string trace_path_;
+    std::string csv_path_;
+    bool obs_ = false;
+    /** Export paths are handed to exactly one run. */
+    bool exports_taken_ = false;
+    std::vector<RunResult> results_;
+    std::vector<std::string> extra_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_SIM_RUN_EXPORT_H

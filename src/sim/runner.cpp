@@ -13,6 +13,7 @@ makeSystemConfig(McKind kind, unsigned cores, const RunSpec &spec)
     cfg.dram = spec.dram;
     cfg.core = spec.core;
     cfg.fault = spec.fault;
+    cfg.obs = spec.obs;
     cfg.hierarchy.l3_bytes = cores > 1 ? size_t(8) << 20 : size_t(2) << 20;
     // 4-core systems run dual-channel memory, as on real boards.
     if (cores > 1 && cfg.dram.channels == 1)
@@ -69,6 +70,13 @@ runSystem(const RunSpec &spec)
     }
     if (MetadataCache *mdc = sys.metadataCache())
         r.md_hit_rate = mdc->stats().ratio("hits", "accesses");
+    if (Observer *obs = sys.observer()) {
+        r.obs = obs->snapshot();
+        if (!spec.obs_trace_path.empty())
+            obs->writeChromeTrace(spec.obs_trace_path);
+        if (!spec.obs_epoch_csv_path.empty())
+            obs->writeEpochCsv(spec.obs_epoch_csv_path);
+    }
     return r;
 }
 

@@ -32,6 +32,13 @@ struct RunSpec
     /** Fault-campaign mode: nonzero rates attach a deterministic
      *  FaultInjector (src/fault) for the whole run. */
     FaultConfig fault;
+    /** Observability: obs.enabled attaches an Observer (src/obs) for
+     *  the whole run; the snapshot lands in RunResult::obs. */
+    ObsConfig obs;
+    /** Chrome trace-event JSON export path (empty = no export). */
+    std::string obs_trace_path;
+    /** Epoch time-series CSV export path (empty = no export). */
+    std::string obs_epoch_csv_path;
 };
 
 struct RunResult
@@ -64,6 +71,9 @@ struct RunResult
 
     StatGroup mc_stats;
     StatGroup dram_stats;
+
+    /** Observability digest (enabled == false when obs was off). */
+    ObsSnapshot obs;
 };
 
 /** Build and run one configuration. */

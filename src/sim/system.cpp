@@ -69,6 +69,17 @@ System::System(const SystemConfig &cfg,
         dram_.attachFaultInjector(fault_.get());
     }
 
+    if (cfg.obs.enabled) {
+        obs_ = std::make_unique<Observer>(cfg.obs);
+        mc_->attachObserver(obs_.get());
+        dram_.attachObserver(obs_.get());
+        obs_->sampler().registerGroup(&mc_->stats());
+        obs_->sampler().registerGroup(&dram_.stats());
+        obs_->sampler().registerGroup(&hier_.l3().stats());
+        if (MetadataCache *mdc = metadataCache())
+            obs_->sampler().registerGroup(&mdc->stats());
+    }
+
     cores_.assign(cfg.cores, CoreModel(cfg.core));
     miss_table_.assign(cfg.cores, {});
     for (auto &t : miss_table_)
@@ -131,6 +142,8 @@ System::resetStats()
     }
     if (MetadataCache *mdc = metadataCache())
         mdc->stats().reset();
+    if (obs_)
+        obs_->sampler().restart();
 }
 
 Cycle
@@ -229,6 +242,13 @@ System::step(unsigned core)
 }
 
 void
+System::observeRef(unsigned core)
+{
+    obs_->setNow(cores_[core].now());
+    obs_->onRef();
+}
+
+void
 System::prefetchLine(unsigned core, Addr addr)
 {
     if (hier_.l3().contains(addr) || !streamOwning(addr))
@@ -268,6 +288,8 @@ System::run(uint64_t refs_per_core)
             break;
         step(pick);
         ++issued[pick];
+        if (obs_)
+            observeRef(pick);
     }
     for (auto &cm : cores_)
         cm.drainAll();

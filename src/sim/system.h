@@ -18,6 +18,7 @@
 #include "core/uncompressed_controller.h"
 #include "dram/dram_model.h"
 #include "fault/fault_injector.h"
+#include "obs/observer.h"
 #include "sim/core_model.h"
 #include "workloads/access_stream.h"
 
@@ -51,6 +52,10 @@ struct SystemConfig
      *  owns a seed-deterministic FaultInjector attached to both the
      *  controller and the DRAM timing model. */
     FaultConfig fault;
+    /** Observability (src/obs): when enabled the system owns an
+     *  Observer attached to the controller, metadata cache, and DRAM
+     *  model; disabled runs never construct it (null pointer gate). */
+    ObsConfig obs;
 };
 
 class System
@@ -83,11 +88,15 @@ class System
     MetadataCache *metadataCache();
     /** Non-null only when the config enabled fault injection. */
     FaultInjector *faultInjector() { return fault_.get(); }
+    /** Non-null only when the config enabled observability. */
+    Observer *observer() { return obs_.get(); }
 
     void resetStats();
 
   private:
     void step(unsigned core);
+    /** Advance the observer clock and epoch sampler (obs_ non-null). */
+    void observeRef(unsigned core);
     Cycle serviceFill(unsigned core, Addr addr, Cycle now);
     void prefetchLine(unsigned core, Addr addr);
     void serviceWriteback(unsigned core, Addr addr);
@@ -95,6 +104,7 @@ class System
 
     SystemConfig cfg_;
     std::unique_ptr<FaultInjector> fault_;
+    std::unique_ptr<Observer> obs_;
     std::unique_ptr<MemoryController> mc_;
     CompressoController *compresso_ = nullptr; ///< non-owning view
     LcpController *lcp_ = nullptr;

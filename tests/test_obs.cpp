@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Observability layer: event-tracer ring semantics, histogram
+ * bucketing/percentiles, epoch-sampler boundaries, export formats
+ * (Chrome trace JSON, epoch CSV, run JSON), and the guard that an
+ * instrumented run reports bit-identical metrics to a disabled one.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/json_writer.h"
+#include "obs/observer.h"
+#include "sim/run_export.h"
+#include "sim/runner.h"
+
+using namespace compresso;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+bool
+balancedBraces(const std::string &s)
+{
+    long depth = 0;
+    for (char c : s) {
+        if (c == '{')
+            ++depth;
+        else if (c == '}')
+            --depth;
+        if (depth < 0)
+            return false;
+    }
+    return depth == 0;
+}
+
+// ---------------------------------------------------------------------
+// Event tracer
+// ---------------------------------------------------------------------
+
+TEST(EventTracer, RingWraparoundKeepsNewestAndCountsDropped)
+{
+    EventTracer t(4);
+    for (uint64_t i = 0; i < 6; ++i)
+        t.record(i, ObsEvent::kRepack, /*page=*/100 + i, /*detail=*/0);
+
+    EXPECT_EQ(t.total(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.countOf(ObsEvent::kRepack), 6u);
+
+    std::vector<uint64_t> ticks;
+    t.forEach([&](const TraceEvent &e) { ticks.push_back(e.tick); });
+    ASSERT_EQ(ticks.size(), 4u);
+    // Oldest-first window of the newest 4 events.
+    EXPECT_EQ(ticks, (std::vector<uint64_t>{2, 3, 4, 5}));
+}
+
+TEST(EventTracer, NoWraparoundBeforeCapacity)
+{
+    EventTracer t(8);
+    t.record(1, ObsEvent::kMdMiss, 7, 0);
+    t.record(2, ObsEvent::kLineOverflow, 8, 3);
+    EXPECT_EQ(t.total(), 2u);
+    EXPECT_EQ(t.dropped(), 0u);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.countOf(ObsEvent::kMdMiss), 1u);
+    EXPECT_EQ(t.countOf(ObsEvent::kLineOverflow), 1u);
+}
+
+TEST(EventTracer, ChromeTraceExportShape)
+{
+    EventTracer t(16);
+    t.record(3000, ObsEvent::kPageOverflow, 42, 1);
+    t.record(6000, ObsEvent::kFaultRecovery, 43,
+             uint32_t(FaultRung::kMetaRebuild));
+
+    std::ostringstream os;
+    t.writeChromeTrace(os);
+    std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("thread_name"), std::string::npos);
+    EXPECT_NE(doc.find(obsEventName(ObsEvent::kPageOverflow)),
+              std::string::npos);
+    EXPECT_NE(doc.find(obsEventName(ObsEvent::kFaultRecovery)),
+              std::string::npos);
+    EXPECT_TRUE(balancedBraces(doc));
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(uint64_t(1) << 20), 21u);
+    EXPECT_EQ(Histogram::bucketOf(~uint64_t(0)), 64u);
+
+    for (unsigned b = 1; b < Histogram::kBuckets; ++b) {
+        // Each bucket's lower bound maps back into that bucket.
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(b)), b);
+    }
+}
+
+TEST(Histogram, CountSumMinMaxMean)
+{
+    Histogram h;
+    for (uint64_t v : {4u, 0u, 9u, 1u})
+        h.add(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 14u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 9u);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+    EXPECT_EQ(h.bucketCount(0), 1u); // the zero
+    EXPECT_EQ(h.bucketCount(1), 1u); // the one
+}
+
+TEST(Histogram, PercentilesMonotonicAndClamped)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    uint64_t p50 = h.percentile(0.50);
+    uint64_t p90 = h.percentile(0.90);
+    uint64_t p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, h.min());
+    EXPECT_LE(p99, h.max());
+    EXPECT_EQ(h.percentile(1.0), h.max());
+    EXPECT_EQ(h.percentile(0.0), h.min());
+}
+
+TEST(Histogram, SingleValueAndEmpty)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    for (int i = 0; i < 5; ++i)
+        h.add(7);
+    EXPECT_EQ(h.percentile(0.5), 7u);
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), 7u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.9), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Epoch sampler
+// ---------------------------------------------------------------------
+
+TEST(EpochSampler, BoundariesAndCsvDeltas)
+{
+    StatGroup g{"g"};
+    uint64_t &x = g.stat("x");
+
+    EpochSampler sampler(/*epoch_refs=*/2);
+    sampler.registerGroup(&g);
+    for (uint64_t i = 1; i <= 5; ++i) {
+        x += i; // cumulative 1, 3, 6, 10, 15
+        sampler.onRef(/*now_cycles=*/i * 10);
+    }
+    sampler.snapshot(); // close the partial final epoch
+    EXPECT_EQ(sampler.epochs(), 3u);
+
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    EXPECT_EQ(os.str(), "epoch,refs,cycles,g.x\n"
+                        "0,2,20,3\n"
+                        "1,4,40,7\n"
+                        "2,5,50,5\n");
+}
+
+TEST(EpochSampler, RepeatSnapshotAtBoundaryIsNoOp)
+{
+    StatGroup g{"g"};
+    g.stat("x") = 1;
+    EpochSampler sampler(1);
+    sampler.registerGroup(&g);
+    sampler.onRef(10);
+    EXPECT_EQ(sampler.epochs(), 1u);
+    sampler.snapshot(); // nothing new since the boundary
+    EXPECT_EQ(sampler.epochs(), 1u);
+}
+
+TEST(EpochSampler, RestartDropsHistory)
+{
+    StatGroup g{"g"};
+    EpochSampler sampler(1);
+    sampler.registerGroup(&g);
+    g.stat("x") = 5;
+    sampler.onRef(10);
+    ASSERT_EQ(sampler.epochs(), 1u);
+    sampler.restart();
+    EXPECT_EQ(sampler.epochs(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Observer gating
+// ---------------------------------------------------------------------
+
+TEST(Observer, RuntimeGatesAndMonotonicClock)
+{
+    ObsConfig cfg;
+    cfg.enabled = true;
+    cfg.trace_events = false;
+    cfg.histograms = false;
+    Observer obs(cfg);
+
+    obs.record(ObsEvent::kRepack, 1, 0);
+    EXPECT_EQ(obs.tracer().total(), 0u);
+    EXPECT_EQ(obs.histogram("mc.compressed_line_bytes"), nullptr);
+
+    obs.setNow(10);
+    obs.setNow(5); // ignored: the clock never goes backwards
+    EXPECT_EQ(obs.now(), 10u);
+}
+
+TEST(Observer, SnapshotDigest)
+{
+    ObsConfig cfg;
+    cfg.enabled = true;
+    Observer obs(cfg);
+    obs.setNow(100);
+    obs.record(ObsEvent::kSplitAccess, 3, 2);
+    obs.record(ObsEvent::kSplitAccess, 4, 2);
+    obs.histogram("h")->add(16);
+
+    ObsSnapshot snap = obs.snapshot();
+    EXPECT_TRUE(snap.enabled);
+    EXPECT_EQ(snap.events_total, 2u);
+    EXPECT_EQ(snap.events_dropped, 0u);
+    EXPECT_EQ(snap.event_counts.at(obsEventName(ObsEvent::kSplitAccess)),
+              2u);
+    EXPECT_EQ(snap.histograms.at("h").count, 1u);
+    EXPECT_EQ(snap.histograms.at("h").p50, 16u);
+}
+
+// ---------------------------------------------------------------------
+// JSON writer + run export
+// ---------------------------------------------------------------------
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+    std::string nl = JsonWriter::escape("x\ny");
+    EXPECT_EQ(nl.find('\n'), std::string::npos);
+}
+
+TEST(RunExport, SchemaAndEscapedLabels)
+{
+    RunResult r;
+    r.label = "odd\"label\\1";
+    r.cycles = 1000;
+    r.insts = 500;
+    r.perf = 0.5;
+    r.mc_stats.stat("fills") = 7;
+    r.dram_stats.stat("reads") = 9;
+
+    std::ostringstream os;
+    writeRunsJson(os, "test_tool", {r});
+    std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"compresso-run-v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"test_tool\""), std::string::npos);
+    EXPECT_NE(doc.find("odd\\\"label\\\\1"), std::string::npos);
+    EXPECT_NE(doc.find("\"fills\""), std::string::npos);
+    EXPECT_TRUE(balancedBraces(doc));
+
+    // Deterministic: the same inputs produce the same bytes.
+    std::ostringstream os2;
+    writeRunsJson(os2, "test_tool", {r});
+    EXPECT_EQ(doc, os2.str());
+}
+
+TEST(RunExport, SinkParsesFlagsAndWritesDocument)
+{
+    std::string path = testing::TempDir() + "obs_sink_test.json";
+    std::string trace = testing::TempDir() + "obs_sink_test.trace";
+    const char *argv[] = {"prog",        "--json", path.c_str(),
+                          "--obs-trace", trace.c_str(), "positional"};
+    RunSink sink;
+    sink.init(6, const_cast<char **>(argv), "sink_test");
+
+    EXPECT_TRUE(sink.obsRequested()); // --obs-trace implies --obs
+    ASSERT_EQ(sink.extraArgs().size(), 1u);
+    EXPECT_EQ(sink.extraArgs()[0], "positional");
+
+    RunSpec spec;
+    sink.apply(spec);
+    EXPECT_TRUE(spec.obs.enabled);
+    EXPECT_EQ(spec.obs_trace_path, trace);
+    RunSpec second;
+    sink.apply(second); // export paths go to exactly one run
+    EXPECT_TRUE(second.obs.enabled);
+    EXPECT_TRUE(second.obs_trace_path.empty());
+
+    RunResult r;
+    r.label = "only";
+    sink.add(r);
+    EXPECT_EQ(sink.finish(), 0);
+
+    std::string doc = slurp(path);
+    EXPECT_NE(doc.find("\"compresso-run-v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"only\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: instrumented runs
+// ---------------------------------------------------------------------
+
+RunSpec
+smallSpec()
+{
+    RunSpec spec;
+    spec.kind = McKind::kCompresso;
+    spec.workloads = {"gcc"};
+    spec.refs_per_core = 6000;
+    spec.warmup_refs = 600;
+    return spec;
+}
+
+TEST(ObsIntegration, InstrumentedRunExportsAllFormats)
+{
+#ifdef COMPRESSO_OBS_DISABLED
+    GTEST_SKIP() << "emission macros compiled out";
+#endif
+    std::string trace = testing::TempDir() + "obs_run.trace.json";
+    std::string csv = testing::TempDir() + "obs_run.epochs.csv";
+
+    RunSpec spec = smallSpec();
+    spec.obs.enabled = true;
+    spec.obs.epoch_refs = 1000;
+    spec.obs_trace_path = trace;
+    spec.obs_epoch_csv_path = csv;
+    RunResult r = runSystem(spec);
+
+    EXPECT_TRUE(r.obs.enabled);
+    EXPECT_GT(r.obs.events_total, 0u);
+    ASSERT_TRUE(r.obs.histograms.count("mc.compressed_line_bytes"));
+    const auto &h = r.obs.histograms.at("mc.compressed_line_bytes");
+    EXPECT_GT(h.count, 0u);
+    EXPECT_LE(h.p50, h.p99);
+    // Encoder output, not stored size: an incompressible line can
+    // expand slightly before the store-raw fallback kicks in.
+    EXPECT_LT(h.max, uint64_t(2 * kLineBytes));
+
+    std::string trace_doc = slurp(trace);
+    ASSERT_FALSE(trace_doc.empty());
+    EXPECT_EQ(trace_doc[0], '{');
+    EXPECT_NE(trace_doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_TRUE(balancedBraces(trace_doc));
+
+    std::string csv_doc = slurp(csv);
+    ASSERT_FALSE(csv_doc.empty());
+    EXPECT_EQ(csv_doc.rfind("epoch,refs,cycles", 0), 0u);
+    // 6000 refs / 1000 per epoch -> at least 6 data rows.
+    long rows = long(std::count(csv_doc.begin(), csv_doc.end(), '\n'));
+    EXPECT_GE(rows, 7);
+
+    std::remove(trace.c_str());
+    std::remove(csv.c_str());
+}
+
+TEST(ObsIntegration, DisabledObservabilityIsBitIdentical)
+{
+    RunResult off = runSystem(smallSpec());
+
+    RunSpec spec = smallSpec();
+    spec.obs.enabled = true;
+    spec.obs.epoch_refs = 500;
+    RunResult on = runSystem(spec);
+
+    EXPECT_FALSE(off.obs.enabled);
+    EXPECT_TRUE(on.obs.enabled);
+
+    // Observability must never perturb the simulation.
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.insts, on.insts);
+    EXPECT_DOUBLE_EQ(off.comp_ratio, on.comp_ratio);
+    EXPECT_DOUBLE_EQ(off.effective_ratio, on.effective_ratio);
+    EXPECT_EQ(off.mc_stats.counters(), on.mc_stats.counters());
+    EXPECT_EQ(off.dram_stats.counters(), on.dram_stats.counters());
+}
+
+TEST(ObsIntegration, BaselineControllersEmitEventsToo)
+{
+#ifdef COMPRESSO_OBS_DISABLED
+    GTEST_SKIP() << "emission macros compiled out";
+#endif
+    for (McKind kind : {McKind::kLcp, McKind::kRmc}) {
+        RunSpec spec = smallSpec();
+        spec.kind = kind;
+        spec.obs.enabled = true;
+        RunResult r = runSystem(spec);
+        EXPECT_TRUE(r.obs.enabled) << mcKindName(kind);
+        EXPECT_GT(r.obs.histograms.count("mc.compressed_line_bytes"), 0u)
+            << mcKindName(kind);
+    }
+}
+
+} // namespace

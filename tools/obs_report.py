@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Summarize, diff, and validate compresso-run-v1 JSON documents.
+
+Every bench/example binary writes this format via `--json <path>`
+(see src/sim/run_export.h). Stdlib-only, so CI and users need nothing
+beyond python3.
+
+Subcommands:
+  summary <run.json>            per-result metric table + obs digest
+  diff <a.json> <b.json>        metric deltas between matching labels
+  check <run.json>              schema validation; exit 1 on problems
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "compresso-run-v1"
+
+RESULT_NUMBERS = [
+    "cycles",
+    "insts",
+    "perf",
+    "comp_ratio",
+    "effective_ratio",
+    "extra_split",
+    "extra_overflow",
+    "extra_repack",
+    "extra_metadata",
+    "extra_total",
+    "md_hit_rate",
+    "zero_access_frac",
+    "audit_violations",
+]
+
+HIST_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def check_doc(doc, path):
+    """Return a list of schema problems (empty = valid)."""
+    problems = []
+
+    def need(cond, msg):
+        if not cond:
+            problems.append(f"{path}: {msg}")
+
+    need(isinstance(doc, dict), "top level is not an object")
+    if not isinstance(doc, dict):
+        return problems
+    need(doc.get("schema") == SCHEMA,
+         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
+    results = doc.get("results")
+    need(isinstance(results, list), "missing array field 'results'")
+    if not isinstance(results, list):
+        return problems
+
+    for i, r in enumerate(results):
+        where = f"results[{i}]"
+        need(isinstance(r, dict), f"{where} is not an object")
+        if not isinstance(r, dict):
+            continue
+        need(isinstance(r.get("label"), str), f"{where}: missing label")
+        for k in RESULT_NUMBERS:
+            need(isinstance(r.get(k), (int, float)),
+                 f"{where}: missing numeric field {k!r}")
+        for grp in ("mc_stats", "dram_stats"):
+            stats = r.get(grp)
+            need(isinstance(stats, dict), f"{where}: missing {grp}")
+            if isinstance(stats, dict):
+                bad = [k for k, v in stats.items()
+                       if not isinstance(v, int)]
+                need(not bad, f"{where}: non-integer counters "
+                     f"in {grp}: {bad[:3]}")
+        obs = r.get("obs")
+        need(isinstance(obs, dict), f"{where}: missing obs")
+        if isinstance(obs, dict):
+            need(isinstance(obs.get("enabled"), bool),
+                 f"{where}: obs.enabled must be a bool")
+            for k in ("events_total", "events_dropped"):
+                need(isinstance(obs.get(k), int),
+                     f"{where}: obs.{k} must be an integer")
+            for name, h in (obs.get("histograms") or {}).items():
+                for f in HIST_FIELDS:
+                    need(isinstance(h.get(f), (int, float)),
+                         f"{where}: obs.histograms[{name!r}] "
+                         f"missing {f!r}")
+    return problems
+
+
+def cmd_check(args):
+    doc = load(args.file)
+    problems = check_doc(doc, args.file)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        return 1
+    n = len(doc["results"])
+    print(f"{args.file}: valid {SCHEMA} ({doc['tool']}, {n} results)")
+    return 0
+
+
+def cmd_summary(args):
+    doc = load(args.file)
+    problems = check_doc(doc, args.file)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+
+    print(f"tool: {doc['tool']}  results: {len(doc['results'])}")
+    hdr = (f"{'label':32} {'cycles':>12} {'IPC':>7} {'ratio':>7} "
+           f"{'extra':>7} {'md-hit':>7} {'events':>9}")
+    print(hdr)
+    print("-" * len(hdr))
+    for r in doc["results"]:
+        obs = r["obs"]
+        events = str(obs["events_total"]) if obs["enabled"] else "-"
+        print(f"{r['label'][:32]:32} {r['cycles']:12.0f} "
+              f"{r['perf']:7.3f} {r['comp_ratio']:7.2f} "
+              f"{r['extra_total']:7.3f} {r['md_hit_rate']:7.3f} "
+              f"{events:>9}")
+
+    hists = {}
+    for r in doc["results"]:
+        for name, h in r["obs"].get("histograms", {}).items():
+            agg = hists.setdefault(name, {"count": 0, "max": 0})
+            agg["count"] += h["count"]
+            agg["max"] = max(agg["max"], h["max"])
+    if hists:
+        print("\nhistograms (aggregated over results):")
+        for name, agg in sorted(hists.items()):
+            print(f"  {name:32} count={agg['count']:<12} "
+                  f"max={agg['max']}")
+    return 0
+
+
+def cmd_diff(args):
+    a, b = load(args.a), load(args.b)
+    problems = check_doc(a, args.a) + check_doc(b, args.b)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+
+    by_label_a = {r["label"]: r for r in a["results"]}
+    by_label_b = {r["label"]: r for r in b["results"]}
+    shared = [l for l in by_label_a if l in by_label_b]
+    only_a = [l for l in by_label_a if l not in by_label_b]
+    only_b = [l for l in by_label_b if l not in by_label_a]
+    if only_a:
+        print(f"only in {args.a}: {', '.join(only_a[:8])}")
+    if only_b:
+        print(f"only in {args.b}: {', '.join(only_b[:8])}")
+    if not shared:
+        print("no shared labels to compare", file=sys.stderr)
+        return 1
+
+    changed = 0
+    for label in shared:
+        ra, rb = by_label_a[label], by_label_b[label]
+        lines = []
+        for k in RESULT_NUMBERS:
+            va, vb = ra[k], rb[k]
+            if va == vb:
+                continue
+            rel = f" ({100 * (vb - va) / va:+.1f}%)" if va else ""
+            lines.append(f"    {k:18} {va:g} -> {vb:g}{rel}")
+        if lines:
+            changed += 1
+            print(f"  {label}:")
+            print("\n".join(lines))
+    if changed == 0:
+        print(f"{len(shared)} shared results, all metrics identical")
+    else:
+        print(f"{changed}/{len(shared)} shared results differ")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("summary", help="per-result metric table")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("diff", help="compare two run documents")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("check", help="validate the schema")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    args = parser.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()
