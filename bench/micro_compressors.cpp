@@ -12,6 +12,7 @@
 #include "compress/factory.h"
 #include "core/offset_circuit.h"
 #include "meta/metadata_entry.h"
+#include "prof/profiler.h"
 #include "workloads/datagen.h"
 
 using namespace compresso;
@@ -82,6 +83,54 @@ BM_MetadataCodec(benchmark::State &state)
     }
 }
 
+#ifndef COMPRESSO_PROF_DISABLED
+/** Cross-check google-benchmark with the in-simulator profiler: drive
+ *  every distinct kernel through its own CPR_PROF_SCOPE and print
+ *  ns/line + MB/s from the snapshot. These are the same counters a
+ *  `--prof` simulation reports, so the table calibrates how much of a
+ *  run's host time the kernels themselves explain. */
+void
+profiledKernelTable()
+{
+    Profiler prof;
+    {
+        ProfScope scope(&prof);
+        constexpr int kReps = 2000;
+        const DataClass kClasses[] = {DataClass::kDeltaInt,
+                                      DataClass::kFloat,
+                                      DataClass::kRandom};
+        // "bpc-xform" shares BpcCompressor (and so the bpc.* phases);
+        // profiling the five distinct kernels covers every phase once.
+        for (const char *algo : {"bdi", "fpc", "bpc", "cpack", "lz"}) {
+            auto codec = makeCompressor(algo);
+            Line out;
+            for (DataClass cls : kClasses) {
+                Line line = lineFor(cls);
+                for (int i = 0; i < kReps; ++i) {
+                    BitWriter w;
+                    codec->compress(line, w);
+                    BitReader r(w.bytes().data(), w.bitSize());
+                    codec->decompress(r, out);
+                }
+            }
+        }
+    }
+    ProfSnapshot snap = prof.snapshot();
+    std::printf("\nProfiler-sourced kernel costs (src/prof, mixed "
+                "delta-int/float/random lines):\n");
+    std::printf("%-18s %10s %10s %10s\n", "phase", "calls", "ns/line",
+                "MB/s");
+    for (const auto &[name, p] : snap.phases) {
+        double ns_per_line = p.calls ? double(p.incl_ns) / p.calls : 0;
+        double mbps = p.incl_ns
+                          ? double(p.calls) * kLineBytes * 1e3 / p.incl_ns
+                          : 0;
+        std::printf("%-18s %10llu %10.1f %10.1f\n", name.c_str(),
+                    (unsigned long long)p.calls, ns_per_line, mbps);
+    }
+}
+#endif // !COMPRESSO_PROF_DISABLED
+
 } // namespace
 
 int
@@ -118,6 +167,13 @@ main(int argc, char **argv)
 
     benchmark::Initialize(&bm_argc, bm_argv.data());
     benchmark::RunSpecifiedBenchmarks();
+
+#ifndef COMPRESSO_PROF_DISABLED
+    profiledKernelTable();
+#else
+    std::printf("\n(profiler-sourced kernel table skipped: "
+                "COMPRESSO_PROF_DISABLED build)\n");
+#endif
 
     // Hardware-model numbers from Sec. VII-D/E for reference.
     OffsetCircuit oc(compressoBins());

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 namespace {
@@ -105,6 +107,7 @@ tryShape(const Line &line, const Shape &sh, uint64_t &base_out,
 size_t
 BdiCompressor::compress(const Line &line, BitWriter &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kBdiCompress);
     size_t start = out.bitSize();
 
     if (isZeroLine(line)) {
@@ -179,6 +182,7 @@ BdiCompressor::compress(const Line &line, BitWriter &out) const
 bool
 BdiCompressor::decompress(BitReader &in, Line &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kBdiDecompress);
     unsigned sel = unsigned(in.get(4));
     if (in.overrun())
         return false;

@@ -1,5 +1,7 @@
 #include "compress/bpc.h"
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 namespace {
@@ -290,6 +292,7 @@ BpcCompressor::directBits(const Line &line) const
 size_t
 BpcCompressor::compress(const Line &line, BitWriter &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kBpcCompress);
     size_t start = out.bitSize();
 
     Planes xf;
@@ -325,6 +328,7 @@ BpcCompressor::compress(const Line &line, BitWriter &out) const
 bool
 BpcCompressor::decompress(BitReader &in, Line &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kBpcDecompress);
     bool direct = in.get(1) != 0;
     Planes p;
     if (direct) {

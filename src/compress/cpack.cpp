@@ -1,5 +1,7 @@
 #include "compress/cpack.h"
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 namespace {
@@ -26,6 +28,7 @@ struct Dict
 size_t
 CpackCompressor::compress(const Line &line, BitWriter &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kCpackCompress);
     size_t start = out.bitSize();
     Dict dict;
     for (size_t i = 0; i < 16; ++i) {
@@ -84,6 +87,7 @@ CpackCompressor::compress(const Line &line, BitWriter &out) const
 bool
 CpackCompressor::decompress(BitReader &in, Line &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kCpackDecompress);
     Dict dict;
     for (size_t i = 0; i < 16; ++i) {
         unsigned c2 = unsigned(in.get(2));

@@ -1,5 +1,7 @@
 #include "compress/fpc.h"
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 namespace {
@@ -17,6 +19,7 @@ fitsSigned32(int32_t v, unsigned bits)
 size_t
 FpcCompressor::compress(const Line &line, BitWriter &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kFpcCompress);
     size_t start = out.bitSize();
     size_t i = 0;
     while (i < 16) {
@@ -67,6 +70,7 @@ FpcCompressor::compress(const Line &line, BitWriter &out) const
 bool
 FpcCompressor::decompress(BitReader &in, Line &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kFpcDecompress);
     size_t i = 0;
     while (i < 16) {
         unsigned prefix = unsigned(in.get(3));

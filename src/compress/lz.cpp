@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 namespace {
@@ -42,6 +44,7 @@ longestMatch(const Line &line, size_t pos, unsigned &dist, size_t *ops)
 size_t
 LzCompressor::compress(const Line &line, BitWriter &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kLzCompress);
     size_t start_bits = out.bitSize();
     size_t pos = 0;
     size_t lit_start = 0;
@@ -78,6 +81,7 @@ LzCompressor::compress(const Line &line, BitWriter &out) const
 bool
 LzCompressor::decompress(BitReader &in, Line &out) const
 {
+    CPR_PROF_SCOPE(ProfPhase::kLzDecompress);
     size_t pos = 0;
     while (pos < kLineBytes) {
         if (in.get(1)) {

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "check/invariant_auditor.h"
+#include "prof/profiler.h"
 
 namespace compresso {
 
@@ -379,6 +380,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
                                         LineIdx idx, const Line &raw,
                                         const Encoded &enc, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
     // Free growth: if nothing is stored after this slot (typical for
     // in-order first writes filling a fresh page), growing the slot
     // moves no data — only the metadata code changes and the page may
@@ -632,6 +634,7 @@ CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
 void
 CompressoController::repackPage(PageNum page, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcRepack);
     auto mit = meta_.find(page);
     if (mit == meta_.end())
         return;
@@ -956,6 +959,7 @@ CompressoController::streamBufferInvalidate(Addr block)
 void
 CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcFill);
     PageNum page = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
@@ -1061,6 +1065,7 @@ void
 CompressoController::writebackLine(Addr addr, const Line &data,
                                    McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcWriteback);
     PageNum page = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/invariant_auditor.h"
+#include "prof/profiler.h"
 #include "packing/linepack.h"
 
 namespace compresso {
@@ -272,6 +273,7 @@ DmcController::layoutHot(Page &p,
 void
 DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcRepack);
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     stats_["migration_ops"] += trace.ops.size();
@@ -312,6 +314,7 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
 void
 DmcController::promoteToHot(PageNum pn, Page &p, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcRepack);
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     layoutHot(p, buf, trace);
@@ -433,6 +436,7 @@ DmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
 void
 DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcFill);
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
@@ -518,6 +522,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 void
 DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcWriteback);
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
@@ -584,6 +589,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     } else {
         // No inflation room in DMC: every overflow re-lays the page
         // out (the data-movement cost the paper points at).
+        CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
         ++stats_["line_overflows"];
         CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
         std::array<Line, kLinesPerPage> buf;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/invariant_auditor.h"
+#include "prof/profiler.h"
 
 namespace compresso {
 
@@ -261,6 +262,7 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
                             const Line &raw, const Encoded &enc,
                             McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
     ++stats_["page_overflows"];
     ++stats_["page_faults"];
     CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, pn, 0);
@@ -420,6 +422,7 @@ LcpController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
 void
 LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcFill);
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
@@ -509,6 +512,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
 void
 LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcWriteback);
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "check/invariant_auditor.h"
+#include "prof/profiler.h"
 #include "packing/linepack.h"
 
 namespace compresso {
@@ -205,6 +206,7 @@ RmcController::relayout(PageNum pn, Page &p,
                         LineIdx idx, const Line &raw, bool os_fault,
                         McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
     // Gather current data.
     std::array<Line, kLinesPerPage> buf;
     for (LineIdx l = 0; l < kLinesPerPage; ++l)
@@ -359,6 +361,7 @@ RmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
 void
 RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcFill);
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
@@ -406,6 +409,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 void
 RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcWriteback);
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;

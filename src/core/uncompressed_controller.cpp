@@ -1,10 +1,13 @@
 #include "core/uncompressed_controller.h"
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 void
 UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcFill);
     Addr la = lineAddr(addr);
     touched_pages_.insert(pageOf(addr));
     ++stats_["fills"];
@@ -42,6 +45,7 @@ void
 UncompressedController::writebackLine(Addr addr, const Line &data,
                                       McTrace &trace)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMcWriteback);
     Addr la = lineAddr(addr);
     touched_pages_.insert(pageOf(addr));
     ++stats_["writebacks"];

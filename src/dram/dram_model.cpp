@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault_injector.h"
+#include "prof/profiler.h"
 
 namespace compresso {
 
@@ -59,6 +60,7 @@ DramModel::bankReadyAt(Addr addr) const
 Cycle
 DramModel::access(Addr addr, bool write, Cycle now)
 {
+    CPR_PROF_SCOPE(ProfPhase::kDramAccess);
     Bank &bank = banks_[bankOf(addr)];
     uint64_t row = rowOf(addr);
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 MetadataCache::MetadataCache(const MetadataCacheConfig &cfg) : cfg_(cfg)
@@ -36,6 +38,7 @@ MetadataCache::setFor(PageNum page) const
 bool
 MetadataCache::access(PageNum page, bool half, bool dirty)
 {
+    CPR_PROF_SCOPE(ProfPhase::kMdCacheAccess);
     if (!cfg_.half_entry_opt)
         half = false;
     Set &set = setFor(page);

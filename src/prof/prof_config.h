@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Configuration for the host-side profiler (src/prof).
+ *
+ * Mirrors the obs two-level gate (DESIGN.md §10/§11):
+ *  - compile time: building with COMPRESSO_PROF_DISABLED turns the
+ *    CPR_PROF_SCOPE emission macro into ((void)0), so the hot paths
+ *    carry no instrumentation code at all;
+ *  - runtime: a run only pays for profiling when ProfConfig::enabled
+ *    constructed a Profiler and activated it on the running thread;
+ *    otherwise each site is one thread-local null test.
+ */
+
+#ifndef COMPRESSO_PROF_PROF_CONFIG_H
+#define COMPRESSO_PROF_PROF_CONFIG_H
+
+namespace compresso {
+
+struct ProfConfig
+{
+    /** Master runtime switch. When false no Profiler is constructed
+     *  and every CPR_PROF_SCOPE site reduces to a null check. */
+    bool enabled = false;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_PROF_PROF_CONFIG_H

@@ -1,0 +1,81 @@
+#include "prof/profiler.h"
+
+namespace compresso {
+
+const char *
+profPhaseName(ProfPhase phase)
+{
+    switch (phase) {
+#define CPR_PROF_X(id, name)                                            \
+      case ProfPhase::id:                                               \
+        return name;
+        CPR_PROF_PHASE_LIST(CPR_PROF_X)
+#undef CPR_PROF_X
+      case ProfPhase::kCount:
+        break;
+    }
+    return "?";
+}
+
+ProfThreadState *
+Profiler::threadState()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        by_thread_.try_emplace(std::this_thread::get_id(), nullptr);
+    if (inserted) {
+        states_.push_back(std::make_unique<ProfThreadState>());
+        it->second = states_.back().get();
+    }
+    return it->second;
+}
+
+ProfSnapshot
+Profiler::snapshot() const
+{
+    ProfSnapshot snap;
+    snap.enabled = true;
+    snap.wall_ns = wall_ns_.load(std::memory_order_relaxed);
+    snap.sim_refs = sim_refs_.load(std::memory_order_relaxed);
+    if (snap.wall_ns > 0 && snap.sim_refs > 0) {
+        snap.refs_per_host_sec =
+            double(snap.sim_refs) * 1e9 / double(snap.wall_ns);
+        snap.host_ns_per_ref =
+            double(snap.wall_ns) / double(snap.sim_refs);
+    }
+
+    std::array<ProfPhaseTotals, kProfPhaseCount> merged{};
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snap.threads = states_.size();
+        for (const auto &st : states_) {
+            for (size_t p = 0; p < kProfPhaseCount; ++p) {
+                merged[p].calls += st->totals[p].calls;
+                merged[p].incl_ns += st->totals[p].incl_ns;
+                merged[p].excl_ns += st->totals[p].excl_ns;
+            }
+        }
+    }
+    for (size_t p = 0; p < kProfPhaseCount; ++p) {
+        if (merged[p].calls == 0)
+            continue;
+        ProfSnapshot::Phase &out =
+            snap.phases[profPhaseName(ProfPhase(p))];
+        out.calls = merged[p].calls;
+        out.incl_ns = merged[p].incl_ns;
+        out.excl_ns = merged[p].excl_ns;
+    }
+    return snap;
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &st : states_)
+        st->totals.fill(ProfPhaseTotals{});
+    wall_ns_.store(0, std::memory_order_relaxed);
+    sim_refs_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace compresso

@@ -48,6 +48,28 @@ writeObs(JsonWriter &w, const ObsSnapshot &obs)
 }
 
 void
+writeHostProfile(JsonWriter &w, const ProfSnapshot &prof)
+{
+    w.beginObject();
+    w.field("enabled", prof.enabled);
+    w.field("threads", prof.threads);
+    w.field("wall_ns", prof.wall_ns);
+    w.field("sim_refs", prof.sim_refs);
+    w.field("refs_per_host_sec", prof.refs_per_host_sec);
+    w.field("host_ns_per_ref", prof.host_ns_per_ref);
+    w.key("phases").beginObject();
+    for (const auto &[name, p] : prof.phases) {
+        w.key(name).beginObject();
+        w.field("calls", p.calls);
+        w.field("incl_ns", p.incl_ns);
+        w.field("excl_ns", p.excl_ns);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
 writeResult(JsonWriter &w, const RunResult &r)
 {
     w.beginObject();
@@ -71,6 +93,8 @@ writeResult(JsonWriter &w, const RunResult &r)
     writeStatGroup(w, r.dram_stats);
     w.key("obs");
     writeObs(w, r.obs);
+    w.key("host_profile");
+    writeHostProfile(w, r.prof);
     w.endObject();
 }
 
@@ -117,6 +141,8 @@ RunSink::init(int argc, char **argv, const std::string &tool)
                 json_path_ = v;
         } else if (a == "--obs") {
             obs_ = true;
+        } else if (a == "--prof") {
+            prof_ = true;
         } else if (a == "--obs-trace") {
             if (const char *v = take(i)) {
                 trace_path_ = v;
@@ -136,6 +162,8 @@ RunSink::init(int argc, char **argv, const std::string &tool)
 void
 RunSink::apply(RunSpec &spec)
 {
+    if (prof_)
+        spec.prof.enabled = true;
     if (!obs_)
         return;
     spec.obs.enabled = true;

@@ -1,9 +1,11 @@
 /**
  * @file
  * Machine-readable experiment export: serializes RunResults into a
- * versioned JSON document ("compresso-run-v1") so figures can be
+ * versioned JSON document ("compresso-run-v2") so figures can be
  * regenerated and runs diffed without re-simulating. tools/obs_report.py
- * consumes this format.
+ * consumes this format (and still reads v1 documents). v2 adds the
+ * per-result `host_profile` object: the src/prof digest (per-phase
+ * host nanoseconds plus throughput gauges).
  *
  * Also provides RunSink, the tiny CLI shim every bench/example binary
  * uses to gain `--json <path>` (plus the observability opt-in flags)
@@ -23,7 +25,7 @@ namespace compresso {
 
 /** Schema identifier stamped into every run JSON document. Bump only
  *  with a reader-side update in tools/obs_report.py. */
-inline constexpr const char *kRunJsonSchema = "compresso-run-v1";
+inline constexpr const char *kRunJsonSchema = "compresso-run-v2";
 
 /** Write {schema, tool, results: [...]} to @p os. Key order is fixed
  *  and StatGroup counters iterate sorted, so output is deterministic
@@ -41,6 +43,9 @@ bool writeRunsJson(const std::string &path, const std::string &tool,
  *   --json <path>       write every recorded RunResult as run JSON
  *   --obs               attach the Observer to each run (digest lands
  *                       in the JSON `obs` object)
+ *   --prof              activate the host profiler (src/prof) for
+ *                       each run; the digest lands in the JSON
+ *                       `host_profile` object
  *   --obs-trace <path>  Chrome trace-event export (implies --obs;
  *                       first recorded run only, so repeated runs do
  *                       not clobber the file)
@@ -75,6 +80,7 @@ class RunSink
     /** argv entries init() did not consume (argv[0] excluded). */
     const std::vector<std::string> &extraArgs() const { return extra_; }
     bool obsRequested() const { return obs_; }
+    bool profRequested() const { return prof_; }
 
   private:
     std::string tool_;
@@ -82,6 +88,7 @@ class RunSink
     std::string trace_path_;
     std::string csv_path_;
     bool obs_ = false;
+    bool prof_ = false;
     /** Export paths are handed to exactly one run. */
     bool exports_taken_ = false;
     std::vector<RunResult> results_;

@@ -26,6 +26,15 @@ runSystem(const RunSpec &spec)
 {
     unsigned cores = unsigned(spec.workloads.size());
     SystemConfig cfg = makeSystemConfig(spec.kind, cores, spec);
+
+    // Host profiling (src/prof): activate for the whole build+run so
+    // every CPR_PROF_SCOPE site on this thread collects; the
+    // throughput gauges cover only the measured (post-warmup) section.
+    std::unique_ptr<Profiler> prof;
+    if (spec.prof.enabled)
+        prof = std::make_unique<Profiler>();
+    ProfScope prof_scope(prof.get());
+
     System sys(cfg, spec.workloads, spec.seed);
 
     sys.populate();
@@ -33,7 +42,12 @@ runSystem(const RunSpec &spec)
         sys.run(spec.warmup_refs);
         sys.resetStats();
     }
+    uint64_t host_t0 = prof ? profNowNs() : 0;
     sys.run(spec.refs_per_core);
+    if (prof) {
+        prof->addWallNs(profNowNs() - host_t0);
+        prof->addWork(spec.refs_per_core * cores);
+    }
 
     RunResult r;
     r.label = mcKindName(spec.kind);
@@ -70,6 +84,8 @@ runSystem(const RunSpec &spec)
     }
     if (MetadataCache *mdc = sys.metadataCache())
         r.md_hit_rate = mdc->stats().ratio("hits", "accesses");
+    if (prof)
+        r.prof = prof->snapshot();
     if (Observer *obs = sys.observer()) {
         r.obs = obs->snapshot();
         if (!spec.obs_trace_path.empty())

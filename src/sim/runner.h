@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fault/reliability_report.h"
+#include "prof/profiler.h"
 #include "sim/system.h"
 
 namespace compresso {
@@ -35,6 +36,10 @@ struct RunSpec
     /** Observability: obs.enabled attaches an Observer (src/obs) for
      *  the whole run; the snapshot lands in RunResult::obs. */
     ObsConfig obs;
+    /** Host-side profiling (src/prof): prof.enabled activates a
+     *  Profiler for the whole run; the digest (per-phase host ns +
+     *  throughput gauges) lands in RunResult::prof. */
+    ProfConfig prof;
     /** Chrome trace-event JSON export path (empty = no export). */
     std::string obs_trace_path;
     /** Epoch time-series CSV export path (empty = no export). */
@@ -74,6 +79,10 @@ struct RunResult
 
     /** Observability digest (enabled == false when obs was off). */
     ObsSnapshot obs;
+
+    /** Host-profile digest (enabled == false when prof was off).
+     *  wall_ns/sim_refs cover the measured section (post-warmup). */
+    ProfSnapshot prof;
 };
 
 /** Build and run one configuration. */

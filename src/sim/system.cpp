@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "prof/profiler.h"
+
 namespace compresso {
 
 namespace {
@@ -119,6 +121,7 @@ System::streamOwning(Addr addr)
 void
 System::populate()
 {
+    CPR_PROF_SCOPE(ProfPhase::kSimPopulate);
     for (auto &s : streams_) {
         Line data;
         for (Addr a = s->baseAddr(); a < s->endAddr(); a += kLineBytes) {
@@ -267,6 +270,7 @@ System::prefetchLine(unsigned core, Addr addr)
 void
 System::run(uint64_t refs_per_core)
 {
+    CPR_PROF_SCOPE(ProfPhase::kSimRun);
     std::vector<uint64_t> issued(cfg_.cores, 0);
     bool remaining = true;
     while (remaining) {

@@ -281,7 +281,7 @@ TEST(RunExport, SchemaAndEscapedLabels)
     writeRunsJson(os, "test_tool", {r});
     std::string doc = os.str();
 
-    EXPECT_NE(doc.find("\"compresso-run-v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"compresso-run-v2\""), std::string::npos);
     EXPECT_NE(doc.find("\"test_tool\""), std::string::npos);
     EXPECT_NE(doc.find("odd\\\"label\\\\1"), std::string::npos);
     EXPECT_NE(doc.find("\"fills\""), std::string::npos);
@@ -321,7 +321,7 @@ TEST(RunExport, SinkParsesFlagsAndWritesDocument)
     EXPECT_EQ(sink.finish(), 0);
 
     std::string doc = slurp(path);
-    EXPECT_NE(doc.find("\"compresso-run-v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"compresso-run-v2\""), std::string::npos);
     EXPECT_NE(doc.find("\"only\""), std::string::npos);
     std::remove(path.c_str());
 }
@@ -402,6 +402,18 @@ TEST(ObsIntegration, DisabledObservabilityIsBitIdentical)
     EXPECT_DOUBLE_EQ(off.effective_ratio, on.effective_ratio);
     EXPECT_EQ(off.mc_stats.counters(), on.mc_stats.counters());
     EXPECT_EQ(off.dram_stats.counters(), on.dram_stats.counters());
+
+    // Same bar for the host profiler (src/prof): it measures host
+    // time, never simulated behaviour.
+    RunSpec pspec = smallSpec();
+    pspec.prof.enabled = true;
+    RunResult prof_on = runSystem(pspec);
+    EXPECT_FALSE(off.prof.enabled);
+    EXPECT_EQ(off.cycles, prof_on.cycles);
+    EXPECT_EQ(off.insts, prof_on.insts);
+    EXPECT_DOUBLE_EQ(off.comp_ratio, prof_on.comp_ratio);
+    EXPECT_EQ(off.mc_stats.counters(), prof_on.mc_stats.counters());
+    EXPECT_EQ(off.dram_stats.counters(), prof_on.dram_stats.counters());
 }
 
 TEST(ObsIntegration, BaselineControllersEmitEventsToo)

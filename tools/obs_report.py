@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Summarize, diff, and validate compresso-run-v1 JSON documents.
+"""Summarize, diff, and validate compresso-run JSON documents.
 
 Every bench/example binary writes this format via `--json <path>`
 (see src/sim/run_export.h). Stdlib-only, so CI and users need nothing
 beyond python3.
+
+Understands compresso-run-v2 (current: adds the per-result
+`host_profile` object written when a run used `--prof`) and still
+reads v1 documents, which simply lack host profiles.
 
 Subcommands:
   summary <run.json>            per-result metric table + obs digest
@@ -15,7 +19,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "compresso-run-v1"
+SCHEMAS = ("compresso-run-v1", "compresso-run-v2")
 
 RESULT_NUMBERS = [
     "cycles",
@@ -55,8 +59,9 @@ def check_doc(doc, path):
     need(isinstance(doc, dict), "top level is not an object")
     if not isinstance(doc, dict):
         return problems
-    need(doc.get("schema") == SCHEMA,
-         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    need(doc.get("schema") in SCHEMAS,
+         f"schema is {doc.get('schema')!r}, expected one of {SCHEMAS}")
+    v2 = doc.get("schema") == "compresso-run-v2"
     need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
     results = doc.get("results")
     need(isinstance(results, list), "missing array field 'results'")
@@ -93,6 +98,26 @@ def check_doc(doc, path):
                     need(isinstance(h.get(f), (int, float)),
                          f"{where}: obs.histograms[{name!r}] "
                          f"missing {f!r}")
+        if v2:
+            prof = r.get("host_profile")
+            need(isinstance(prof, dict), f"{where}: missing host_profile")
+            if isinstance(prof, dict):
+                need(isinstance(prof.get("enabled"), bool),
+                     f"{where}: host_profile.enabled must be a bool")
+                for k in ("threads", "wall_ns", "sim_refs"):
+                    need(isinstance(prof.get(k), int),
+                         f"{where}: host_profile.{k} must be an integer")
+                for k in ("refs_per_host_sec", "host_ns_per_ref"):
+                    need(isinstance(prof.get(k), (int, float)),
+                         f"{where}: host_profile.{k} must be numeric")
+                phases = prof.get("phases")
+                need(isinstance(phases, dict),
+                     f"{where}: host_profile.phases must be an object")
+                for name, p in (phases or {}).items():
+                    for f in ("calls", "incl_ns", "excl_ns"):
+                        need(isinstance(p.get(f), int),
+                             f"{where}: host_profile.phases[{name!r}] "
+                             f"missing integer {f!r}")
     return problems
 
 
@@ -104,7 +129,8 @@ def cmd_check(args):
     if problems:
         return 1
     n = len(doc["results"])
-    print(f"{args.file}: valid {SCHEMA} ({doc['tool']}, {n} results)")
+    print(f"{args.file}: valid {doc['schema']} "
+          f"({doc['tool']}, {n} results)")
     return 0
 
 
@@ -140,6 +166,22 @@ def cmd_summary(args):
         for name, agg in sorted(hists.items()):
             print(f"  {name:32} count={agg['count']:<12} "
                   f"max={agg['max']}")
+
+    profiled = [r for r in doc["results"]
+                if r.get("host_profile", {}).get("enabled")]
+    if profiled:
+        print("\nhost profile (top phases by exclusive time):")
+        for r in profiled:
+            hp = r["host_profile"]
+            print(f"  {r['label'][:32]:32} "
+                  f"{hp['host_ns_per_ref']:.0f} ns/ref  "
+                  f"{hp['refs_per_host_sec'] / 1e6:.2f} Mref/s")
+            top = sorted(hp.get("phases", {}).items(),
+                         key=lambda kv: -kv[1]["excl_ns"])[:5]
+            for name, p in top:
+                print(f"      {name:20} excl "
+                      f"{p['excl_ns'] / 1e6:9.1f} ms  "
+                      f"calls {p['calls']}")
     return 0
 
 

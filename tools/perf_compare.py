@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two compresso-bench-v1 documents and gate on regressions.
+
+bench_runner writes the format (BENCH_<suite>.json); CI compares a
+fresh run of the quick suite against the committed baseline under
+bench/baselines/. Stdlib-only.
+
+The gate watches host_ns_per_ref (median): a relative increase above
+--fail-threshold exits 1; above --warn-threshold it only warns. A bench
+whose per-document spread exceeds the observed delta is reported as
+noise, never failed. Simulated metrics (IPC, compression ratio, ...)
+are diffed informationally: a change there means the *code behaviour*
+changed, which is outside this tool's gate (obs_report.py diff and the
+test suite own that).
+
+Exit codes: 0 ok/warnings, 1 regression past --fail-threshold,
+2 usage or schema problem.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "compresso-bench-v1"
+
+SIM_FIELDS = ["perf", "comp_ratio", "effective_ratio", "extra_total",
+              "md_hit_rate"]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+
+def check_doc(doc, path):
+    """Return a list of schema problems (empty = valid)."""
+    problems = []
+
+    def need(cond, msg):
+        if not cond:
+            problems.append(f"{path}: {msg}")
+
+    need(isinstance(doc, dict), "top level is not an object")
+    if not isinstance(doc, dict):
+        return problems
+    need(doc.get("schema") == SCHEMA,
+         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    need(isinstance(doc.get("suite"), str), "missing string field 'suite'")
+    benches = doc.get("benches")
+    need(isinstance(benches, dict), "missing object field 'benches'")
+    if not isinstance(benches, dict):
+        return problems
+    for name, b in benches.items():
+        where = f"benches[{name!r}]"
+        need(isinstance(b, dict), f"{where} is not an object")
+        if not isinstance(b, dict):
+            continue
+        host = b.get("host")
+        need(isinstance(host, dict), f"{where}: missing host")
+        if isinstance(host, dict):
+            for metric in ("wall_ns", "host_ns_per_ref",
+                           "refs_per_host_sec"):
+                m = host.get(metric)
+                need(isinstance(m, dict) and
+                     isinstance(m.get("median"), (int, float)) and
+                     isinstance(m.get("spread"), (int, float)),
+                     f"{where}: host.{metric} needs median/spread")
+        sim = b.get("simulated")
+        need(isinstance(sim, dict), f"{where}: missing simulated")
+        if isinstance(sim, dict):
+            for k in SIM_FIELDS:
+                need(isinstance(sim.get(k), (int, float)),
+                     f"{where}: simulated.{k} missing")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="reference BENCH_*.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_*.json")
+    parser.add_argument("--fail-threshold", type=float, default=0.50,
+                        help="relative host_ns_per_ref increase that "
+                             "fails the gate (default 0.50 = +50%%)")
+    parser.add_argument("--warn-threshold", type=float, default=0.15,
+                        help="relative increase that only warns "
+                             "(default 0.15)")
+    args = parser.parse_args()
+    if args.warn_threshold > args.fail_threshold:
+        sys.exit("error: --warn-threshold exceeds --fail-threshold")
+
+    base, cand = load(args.baseline), load(args.candidate)
+    problems = (check_doc(base, args.baseline) +
+                check_doc(cand, args.candidate))
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 2
+
+    bb, cb = base["benches"], cand["benches"]
+    shared = [n for n in bb if n in cb]
+    for n in bb:
+        if n not in cb:
+            print(f"warning: bench {n!r} only in baseline")
+    for n in cb:
+        if n not in bb:
+            print(f"warning: bench {n!r} only in candidate")
+    if not shared:
+        print("no shared benches to compare", file=sys.stderr)
+        return 2
+
+    hdr = (f"{'bench':24} {'base ns/ref':>12} {'cand ns/ref':>12} "
+           f"{'delta':>8}  verdict")
+    print(hdr)
+    print("-" * len(hdr))
+    failures = warnings = 0
+    for name in shared:
+        hb = bb[name]["host"]["host_ns_per_ref"]
+        hc = cb[name]["host"]["host_ns_per_ref"]
+        vb, vc = hb["median"], hc["median"]
+        if vb <= 0:
+            print(f"{name:24} {vb:12.1f} {vc:12.1f} {'-':>8}  "
+                  "no baseline signal")
+            continue
+        delta = (vc - vb) / vb
+        noise = max(hb.get("spread", 0), hc.get("spread", 0))
+        if delta > args.fail_threshold and delta <= noise:
+            verdict = f"NOISY (spread {100 * noise:.0f}%)"
+            warnings += 1
+        elif delta > args.fail_threshold:
+            verdict = "FAIL"
+            failures += 1
+        elif delta > args.warn_threshold:
+            verdict = "warn"
+            warnings += 1
+        else:
+            verdict = "ok"
+        print(f"{name:24} {vb:12.1f} {vc:12.1f} {100 * delta:+7.1f}%  "
+              f"{verdict}")
+
+        sim_b, sim_c = bb[name]["simulated"], cb[name]["simulated"]
+        moved = [k for k in SIM_FIELDS if sim_b[k] != sim_c[k]]
+        if moved:
+            print(f"{'':24} note: simulated metrics moved: "
+                  f"{', '.join(moved)} (behaviour change, not gated)")
+
+    print(f"\n{len(shared)} benches compared: {failures} failed, "
+          f"{warnings} warned (fail > +{100 * args.fail_threshold:.0f}%, "
+          f"warn > +{100 * args.warn_threshold:.0f}%)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
