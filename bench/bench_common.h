@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "exec/campaign.h"
+#include "exec/campaign_sink.h"
 #include "sim/run_export.h"
 
 namespace compresso::bench {
@@ -29,6 +31,26 @@ sink()
 {
     static RunSink s;
     return s;
+}
+
+/** Queue a simulation on @p campaign with the sink's CLI-selected
+ *  observability stamped on (what the serial benches did via
+ *  sink().apply() right before each runSystem call). Returns the
+ *  job's submission index for looking its record up after the run. */
+inline uint32_t
+addRun(Campaign &campaign, std::string label, RunSpec spec)
+{
+    sink().apply(spec);
+    return campaign.add(std::move(label), std::move(spec));
+}
+
+/** Execute @p campaign with --jobs workers, record every successful
+ *  run into the sink (submission order, so --json output matches the
+ *  old serial loop) and honor --campaign-json. */
+inline CampaignResult
+runCampaign(const Campaign &campaign)
+{
+    return runCampaignWithSink(campaign, sink());
 }
 
 inline bool

@@ -10,10 +10,14 @@
  *
  * Usage:
  *   bench_runner [--suite quick|full] [--repeat N] [--out PATH] [--list]
+ *                [shared RunSink flags: --jobs N, --campaign-json, ...]
  *
  * --repeat N runs every bench N times and reports the median host
  * metrics plus a spread ((max-min)/median) so noisy machines are
- * visible in the document itself.
+ * visible in the document itself. Every (bench, repeat) pair is one
+ * campaign job; pass `--jobs 1` when the host-side numbers will be
+ * compared against a baseline — parallel workers contend for cache
+ * and memory bandwidth and inflate the spread.
  */
 
 #include "bench_common.h"
@@ -109,32 +113,6 @@ struct BenchOutcome
     Summary refs_per_host_sec;
 };
 
-BenchOutcome
-runBench(const BenchDef &def, unsigned repeat)
-{
-    BenchOutcome out;
-    out.def = def;
-    std::vector<double> wall, ns_per_ref, refs_per_sec;
-    for (unsigned i = 0; i < repeat; ++i) {
-        RunSpec spec;
-        spec.kind = def.kind;
-        spec.workloads = def.workloads;
-        spec.refs_per_core = def.refs_per_core;
-        spec.warmup_refs = def.warmup_refs;
-        spec.prof.enabled = true;
-        RunResult r = runSystem(spec);
-        if (i == 0)
-            out.first = r;
-        wall.push_back(double(r.prof.wall_ns));
-        ns_per_ref.push_back(r.prof.host_ns_per_ref);
-        refs_per_sec.push_back(r.prof.refs_per_host_sec);
-    }
-    out.wall_ns = summarize(wall);
-    out.host_ns_per_ref = summarize(ns_per_ref);
-    out.refs_per_host_sec = summarize(refs_per_sec);
-    return out;
-}
-
 void
 writeSummary(JsonWriter &w, const char *key, const Summary &s)
 {
@@ -146,7 +124,7 @@ writeSummary(JsonWriter &w, const char *key, const Summary &s)
 
 void
 writeBenchDoc(std::ostream &os, const std::string &suite, unsigned repeat,
-              const std::vector<BenchOutcome> &outcomes)
+              unsigned pool_jobs, const std::vector<BenchOutcome> &outcomes)
 {
     JsonWriter w(os);
     w.beginObject();
@@ -154,27 +132,9 @@ writeBenchDoc(std::ostream &os, const std::string &suite, unsigned repeat,
     w.field("tool", "bench_runner");
     w.field("suite", suite);
     w.field("repeat", uint64_t(repeat));
-    // Environment stamp: enough to tell two documents measured on
-    // different builds apart before comparing their numbers.
-    w.key("environment").beginObject();
-    w.field("compiler", __VERSION__);
-#ifdef NDEBUG
-    w.field("build_type", "release");
-#else
-    w.field("build_type", "debug");
-#endif
-#ifdef COMPRESSO_OBS_DISABLED
-    w.field("obs_disabled", true);
-#else
-    w.field("obs_disabled", false);
-#endif
-#ifdef COMPRESSO_PROF_DISABLED
-    w.field("prof_disabled", true);
-#else
-    w.field("prof_disabled", false);
-#endif
-    w.field("pointer_bytes", uint64_t(sizeof(void *)));
-    w.endObject();
+    w.field("pool_jobs", uint64_t(pool_jobs));
+    w.key("environment");
+    writeEnvironmentJson(w);
     w.key("benches").beginObject();
     for (const BenchOutcome &o : outcomes) {
         w.key(o.def.name).beginObject();
@@ -203,12 +163,20 @@ writeBenchDoc(std::ostream &os, const std::string &suite, unsigned repeat,
     os << "\n";
 }
 
+constexpr const char *kOwnUsage =
+    "bench_runner options:\n"
+    "  --suite quick|full     which regression suite to run\n"
+    "  --repeat N             repeats per bench (median + spread)\n"
+    "  --out PATH             bench document path (BENCH_<suite>.json)\n"
+    "  --list                 print the suite's bench names and exit\n";
+
 int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--suite quick|full] [--repeat N] "
-                 "[--out PATH] [--list]\n",
+                 "[--out PATH] [--list] [--jobs N] [--json PATH] "
+                 "[--campaign-json PATH]\n",
                  argv0);
     return 2;
 }
@@ -218,21 +186,24 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    sink().init(argc, argv, "bench_runner", kOwnUsage);
+
     std::string suite = "quick";
     std::string out_path;
     unsigned repeat = 1;
     bool list_only = false;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a == "--suite" && i + 1 < argc) {
-            suite = argv[++i];
-        } else if (a == "--repeat" && i + 1 < argc) {
-            long n = std::atol(argv[++i]);
+    const std::vector<std::string> &extra = sink().extraArgs();
+    for (size_t i = 0; i < extra.size(); ++i) {
+        const std::string &a = extra[i];
+        if (a == "--suite" && i + 1 < extra.size()) {
+            suite = extra[++i];
+        } else if (a == "--repeat" && i + 1 < extra.size()) {
+            long n = std::atol(extra[++i].c_str());
             if (n < 1)
                 return usage(argv[0]);
             repeat = unsigned(n);
-        } else if (a == "--out" && i + 1 < argc) {
-            out_path = argv[++i];
+        } else if (a == "--out" && i + 1 < extra.size()) {
+            out_path = extra[++i];
         } else if (a == "--list") {
             list_only = true;
         } else {
@@ -253,15 +224,51 @@ main(int argc, char **argv)
     if (out_path.empty())
         out_path = "BENCH_" + suite + ".json";
 
+    // Each (bench, repeat) pair is one campaign job. Repeats of the
+    // same bench carry a "#rN" suffix; the reducer below groups them
+    // back into one outcome per bench.
+    Campaign campaign("bench_" + suite);
+    for (const BenchDef &d : defs) {
+        for (unsigned r = 0; r < repeat; ++r) {
+            RunSpec spec;
+            spec.kind = d.kind;
+            spec.workloads = d.workloads;
+            spec.refs_per_core = d.refs_per_core;
+            spec.warmup_refs = d.warmup_refs;
+            spec.prof.enabled = true;
+            std::string label = d.name;
+            if (repeat > 1)
+                label += "#r" + std::to_string(r);
+            addRun(campaign, std::move(label), std::move(spec));
+        }
+    }
+    CampaignResult res = runCampaign(campaign);
+    if (!res.allOk())
+        return 1;
+
     header(("perf suite '" + suite + "'").c_str());
     std::printf("%-22s | %7s %6s | %10s %10s %7s\n", "bench", "IPC",
                 "ratio", "ns/ref", "Mref/s", "spread");
 
     std::vector<BenchOutcome> outcomes;
-    for (const BenchDef &d : defs) {
-        BenchOutcome o = runBench(d, repeat);
+    for (size_t d = 0; d < defs.size(); ++d) {
+        BenchOutcome o;
+        o.def = defs[d];
+        std::vector<double> wall, ns_per_ref, refs_per_sec;
+        for (unsigned r = 0; r < repeat; ++r) {
+            const RunResult &run =
+                res.records[uint32_t(d) * repeat + r].run();
+            if (r == 0)
+                o.first = run;
+            wall.push_back(double(run.prof.wall_ns));
+            ns_per_ref.push_back(run.prof.host_ns_per_ref);
+            refs_per_sec.push_back(run.prof.refs_per_host_sec);
+        }
+        o.wall_ns = summarize(wall);
+        o.host_ns_per_ref = summarize(ns_per_ref);
+        o.refs_per_host_sec = summarize(refs_per_sec);
         std::printf("%-22s | %7.3f %6.2f | %10.1f %10.2f %6.1f%%\n",
-                    d.name, o.first.perf, o.first.comp_ratio,
+                    o.def.name, o.first.perf, o.first.comp_ratio,
                     o.host_ns_per_ref.median,
                     o.refs_per_host_sec.median / 1e6,
                     100 * o.host_ns_per_ref.spread);
@@ -273,8 +280,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
         return 1;
     }
-    writeBenchDoc(os, suite, repeat, outcomes);
-    std::printf("\nwrote %s (%u repeat%s per bench)\n", out_path.c_str(),
-                repeat, repeat == 1 ? "" : "s");
-    return 0;
+    writeBenchDoc(os, suite, repeat, res.pool_jobs, outcomes);
+    std::printf("\nwrote %s (%u repeat%s per bench, %u worker%s)\n",
+                out_path.c_str(), repeat, repeat == 1 ? "" : "s",
+                res.pool_jobs, res.pool_jobs == 1 ? "" : "s");
+    int json_rc = sink().finish();
+    return json_rc;
 }

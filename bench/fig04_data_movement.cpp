@@ -20,27 +20,22 @@ using namespace compresso::bench;
 
 namespace {
 
-RunResult
-run(const std::string &bench, PageSizing sizing)
+RunSpec
+spec(const std::string &bench, PageSizing sizing)
 {
-    RunSpec spec;
-    spec.kind = McKind::kCompresso;
-    spec.workloads = {bench};
-    spec.refs_per_core = budget(150000);
-    spec.warmup_refs = budget(15000);
+    RunSpec s;
+    s.kind = McKind::kCompresso;
+    s.workloads = {bench};
+    s.refs_per_core = budget(150000);
+    s.warmup_refs = budget(15000);
     // Unoptimized baseline: legacy size bins, no Sec. IV optimizations.
-    spec.compresso.alignment_friendly = false;
-    spec.compresso.overflow_prediction = false;
-    spec.compresso.dynamic_ir_expansion = false;
-    spec.compresso.repack_on_evict = false;
-    spec.compresso.mdcache.half_entry_opt = false;
-    spec.compresso.page_sizing = sizing;
-    sink().apply(spec);
-    RunResult r = runSystem(spec);
-    r.label = bench + "/" +
-              (sizing == PageSizing::kChunked512 ? "fixed" : "variable");
-    sink().add(r);
-    return r;
+    s.compresso.alignment_friendly = false;
+    s.compresso.overflow_prediction = false;
+    s.compresso.dynamic_ir_expansion = false;
+    s.compresso.repack_on_evict = false;
+    s.compresso.mdcache.half_entry_opt = false;
+    s.compresso.page_sizing = sizing;
+    return s;
 }
 
 } // namespace
@@ -49,6 +44,28 @@ int
 main(int argc, char **argv)
 {
     sink().init(argc, argv, "fig04_data_movement");
+
+    // Queue every (benchmark, sizing) cell, then shard across --jobs.
+    Campaign campaign("fig04_data_movement");
+    struct Row
+    {
+        std::string bench;
+        uint32_t fixed, variable;
+    };
+    std::vector<Row> rows;
+    for (const auto &prof : allProfiles()) {
+        Row row;
+        row.bench = prof.name;
+        row.fixed = addRun(campaign, prof.name + "/fixed",
+                           spec(prof.name, PageSizing::kChunked512));
+        row.variable = addRun(campaign, prof.name + "/variable",
+                              spec(prof.name, PageSizing::kVariable4));
+        rows.push_back(std::move(row));
+    }
+    CampaignResult res = runCampaign(campaign);
+    if (!res.allOk())
+        return 1;
+
     header("Fig. 4: extra accesses of the unoptimized compressed system");
     std::printf("%-12s | %28s | %28s\n", "",
                 "fixed 512B chunks", "4 variable page sizes");
@@ -57,12 +74,12 @@ main(int argc, char **argv)
                 "ovflw", "meta", "total");
 
     std::vector<double> totals_fixed, totals_var;
-    for (const auto &prof : allProfiles()) {
-        RunResult fixed = run(prof.name, PageSizing::kChunked512);
-        RunResult var = run(prof.name, PageSizing::kVariable4);
+    for (const Row &row : rows) {
+        const RunResult &fixed = res.records[row.fixed].run();
+        const RunResult &var = res.records[row.variable].run();
         std::printf(
             "%-12s | %6.2f %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f %6.2f\n",
-            prof.name.c_str(), fixed.extra_split, fixed.extra_overflow,
+            row.bench.c_str(), fixed.extra_split, fixed.extra_overflow,
             fixed.extra_metadata, fixed.extra_total, var.extra_split,
             var.extra_overflow, var.extra_metadata, var.extra_total);
         totals_fixed.push_back(fixed.extra_total);

@@ -46,15 +46,14 @@ int
 main(int argc, char **argv)
 {
     sink().init(argc, argv, "fig06_optimizations");
-    header("Fig. 6: extra accesses as optimizations stack (fixed chunks)");
-    std::printf("%-12s", "benchmark");
-    for (const char *s : kStageNames)
-        std::printf(" %8s", s);
-    std::printf("\n");
 
-    std::vector<std::vector<double>> totals(kStages);
+    // benchmark x stage cells are independent simulations: queue the
+    // whole cross product and shard it across --jobs.
+    Campaign campaign("fig06_optimizations");
+    std::vector<std::string> benches;
+    std::vector<uint32_t> first_idx; // per bench: its stage-0 job
     for (const auto &prof : allProfiles()) {
-        std::printf("%-12s", prof.name.c_str());
+        benches.push_back(prof.name);
         for (unsigned stage = 0; stage < kStages; ++stage) {
             RunSpec spec;
             spec.kind = McKind::kCompresso;
@@ -62,13 +61,31 @@ main(int argc, char **argv)
             spec.refs_per_core = budget(120000);
             spec.warmup_refs = budget(12000);
             spec.compresso = stageConfig(stage);
-            sink().apply(spec);
-            RunResult r = runSystem(spec);
-            r.label = prof.name + "/" + kStageNames[stage];
-            sink().add(r);
+            uint32_t idx = addRun(
+                campaign, prof.name + "/" + kStageNames[stage],
+                std::move(spec));
+            if (stage == 0)
+                first_idx.push_back(idx);
+        }
+    }
+    CampaignResult res = runCampaign(campaign);
+    if (!res.allOk())
+        return 1;
+
+    header("Fig. 6: extra accesses as optimizations stack (fixed chunks)");
+    std::printf("%-12s", "benchmark");
+    for (const char *s : kStageNames)
+        std::printf(" %8s", s);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> totals(kStages);
+    for (size_t b = 0; b < benches.size(); ++b) {
+        std::printf("%-12s", benches[b].c_str());
+        for (unsigned stage = 0; stage < kStages; ++stage) {
+            const RunResult &r =
+                res.records[first_idx[b] + stage].run();
             std::printf(" %8.2f", r.extra_total);
             totals[stage].push_back(r.extra_total);
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

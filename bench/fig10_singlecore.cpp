@@ -22,31 +22,42 @@ using namespace compresso::bench;
 
 namespace {
 
-double
-cyclePerf(McKind kind, const std::string &bench)
+uint32_t
+addCycleJob(Campaign &campaign, McKind kind, const std::string &bench)
 {
     RunSpec spec;
     spec.kind = kind;
     spec.workloads = {bench};
     spec.refs_per_core = budget(150000);
     spec.warmup_refs = budget(15000);
-    sink().apply(spec);
-    RunResult r = runSystem(spec);
-    r.label = bench + "/" + r.label;
-    sink().add(r);
-    return r.perf;
+    return addRun(campaign, bench + "/" + mcKindName(kind),
+                  std::move(spec));
+}
+
+uint32_t
+addCapJob(Campaign &campaign, McKind kind, bool unconstrained,
+          const std::string &bench)
+{
+    std::string label = bench + "/cap/" +
+                        (unconstrained ? "unconstrained"
+                                       : mcKindName(kind));
+    return campaign.add(label, [=](const JobContext &) {
+        CapacitySpec spec;
+        spec.workloads = {bench};
+        spec.kind = kind;
+        spec.unconstrained = unconstrained;
+        spec.mem_frac = 0.7;
+        spec.touches_per_core = budget(120000);
+        JobPayload payload;
+        payload.values["speedup"] = capacitySpeedup(spec);
+        return payload;
+    });
 }
 
 double
-capPerf(McKind kind, bool unconstrained, const std::string &bench)
+speedup(const CampaignResult &res, uint32_t idx)
 {
-    CapacitySpec spec;
-    spec.workloads = {bench};
-    spec.kind = kind;
-    spec.unconstrained = unconstrained;
-    spec.mem_frac = 0.7;
-    spec.touches_per_core = budget(120000);
-    return capacitySpeedup(spec);
+    return res.records[idx].payload.values.at("speedup");
 }
 
 } // namespace
@@ -55,6 +66,40 @@ int
 main(int argc, char **argv)
 {
     sink().init(argc, argv, "fig10_singlecore");
+
+    // Queue the per-benchmark cycle runs and capacity evaluations as
+    // one campaign (7 independent jobs per benchmark) and shard it
+    // across --jobs.
+    struct Row
+    {
+        std::string bench;
+        bool excluded;
+        uint32_t base, lcp, lcpa, cmp;       // cycle runs
+        uint32_t cap_lcp, cap_cmp, cap_un;   // capacity evals
+    };
+    Campaign campaign("fig10_singlecore");
+    std::vector<Row> rows;
+    for (const auto &prof : allProfiles()) {
+        if (prof.name == "zeusmp")
+            continue; // the paper's Fig. 10a also omits zeusmp
+        Row row;
+        row.bench = prof.name;
+        row.excluded = prof.stalls_when_constrained;
+        row.base = addCycleJob(campaign, McKind::kUncompressed, prof.name);
+        row.lcp = addCycleJob(campaign, McKind::kLcp, prof.name);
+        row.lcpa = addCycleJob(campaign, McKind::kLcpAlign, prof.name);
+        row.cmp = addCycleJob(campaign, McKind::kCompresso, prof.name);
+        row.cap_lcp = addCapJob(campaign, McKind::kLcp, false, prof.name);
+        row.cap_cmp =
+            addCapJob(campaign, McKind::kCompresso, false, prof.name);
+        row.cap_un =
+            addCapJob(campaign, McKind::kUncompressed, true, prof.name);
+        rows.push_back(std::move(row));
+    }
+    CampaignResult res = runCampaign(campaign);
+    if (!res.allOk())
+        return 1;
+
     header("Fig. 10a/10b: single-core performance (70% memory)");
     std::printf("%-12s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s %6s\n",
                 "", "cycle", "cycle", "cycle", "cap", "cap", "cap",
@@ -67,20 +112,16 @@ main(int argc, char **argv)
     std::vector<double> cp_l, cp_c, cp_u;
     std::vector<double> ov_l, ov_a, ov_c, ov_u;
 
-    for (const auto &prof : allProfiles()) {
-        if (prof.name == "zeusmp")
-            continue; // the paper's Fig. 10a also omits zeusmp
-        double base = cyclePerf(McKind::kUncompressed, prof.name);
-        double lcp = cyclePerf(McKind::kLcp, prof.name) / base;
-        double lcpa = cyclePerf(McKind::kLcpAlign, prof.name) / base;
-        double cmp = cyclePerf(McKind::kCompresso, prof.name) / base;
+    for (const Row &row : rows) {
+        double base = res.records[row.base].run().perf;
+        double lcp = res.records[row.lcp].run().perf / base;
+        double lcpa = res.records[row.lcpa].run().perf / base;
+        double cmp = res.records[row.cmp].run().perf / base;
 
-        double cap_lcp = capPerf(McKind::kLcp, false, prof.name);
-        double cap_cmp = capPerf(McKind::kCompresso, false, prof.name);
-        double cap_un =
-            capPerf(McKind::kUncompressed, true, prof.name);
+        double cap_lcp = speedup(res, row.cap_lcp);
+        double cap_cmp = speedup(res, row.cap_cmp);
+        double cap_un = speedup(res, row.cap_un);
 
-        bool excluded = prof.stalls_when_constrained;
         double o_l = lcp * cap_lcp;
         double o_a = lcpa * cap_lcp;
         double o_c = cmp * cap_cmp;
@@ -88,15 +129,14 @@ main(int argc, char **argv)
 
         std::printf("%-12s | %6.3f %6.3f %6.3f | %6.2f %6.2f %6.2f | "
                     "%6.2f %6.2f %6.2f %6.2f%s\n",
-                    prof.name.c_str(), lcp, lcpa, cmp, cap_lcp, cap_cmp,
+                    row.bench.c_str(), lcp, lcpa, cmp, cap_lcp, cap_cmp,
                     cap_un, o_l, o_a, o_c, o_u,
-                    excluded ? "  (excluded from 10b)" : "");
-        std::fflush(stdout);
+                    row.excluded ? "  (excluded from 10b)" : "");
 
         cy_l.push_back(lcp);
         cy_a.push_back(lcpa);
         cy_c.push_back(cmp);
-        if (!excluded) {
+        if (!row.excluded) {
             cp_l.push_back(cap_lcp);
             cp_c.push_back(cap_cmp);
             cp_u.push_back(cap_un);

@@ -26,31 +26,43 @@ benchList(const WorkloadMix &mix)
     return {mix.benchmarks.begin(), mix.benchmarks.end()};
 }
 
-double
-cyclePerf(McKind kind, const WorkloadMix &mix)
+uint32_t
+addCycleJob(Campaign &campaign, McKind kind, const WorkloadMix &mix)
 {
     RunSpec spec;
     spec.kind = kind;
     spec.workloads = benchList(mix);
     spec.refs_per_core = budget(60000);
     spec.warmup_refs = budget(8000);
-    sink().apply(spec);
-    RunResult r = runSystem(spec);
-    r.label = mix.name + "/" + r.label;
-    sink().add(r);
-    return r.perf;
+    return addRun(campaign, mix.name + "/" + mcKindName(kind),
+                  std::move(spec));
+}
+
+uint32_t
+addCapJob(Campaign &campaign, McKind kind, bool unconstrained,
+          const WorkloadMix &mix)
+{
+    std::vector<std::string> workloads = benchList(mix);
+    std::string label = mix.name + "/cap/" +
+                        (unconstrained ? "unconstrained"
+                                       : mcKindName(kind));
+    return campaign.add(label, [=](const JobContext &) {
+        CapacitySpec spec;
+        spec.workloads = workloads;
+        spec.kind = kind;
+        spec.unconstrained = unconstrained;
+        spec.mem_frac = 0.7;
+        spec.touches_per_core = budget(60000);
+        JobPayload payload;
+        payload.values["speedup"] = capacitySpeedup(spec);
+        return payload;
+    });
 }
 
 double
-capPerf(McKind kind, bool unconstrained, const WorkloadMix &mix)
+speedup(const CampaignResult &res, uint32_t idx)
 {
-    CapacitySpec spec;
-    spec.workloads = benchList(mix);
-    spec.kind = kind;
-    spec.unconstrained = unconstrained;
-    spec.mem_frac = 0.7;
-    spec.touches_per_core = budget(60000);
-    return capacitySpeedup(spec);
+    return res.records[idx].payload.values.at("speedup");
 }
 
 } // namespace
@@ -59,6 +71,34 @@ int
 main(int argc, char **argv)
 {
     sink().init(argc, argv, "fig11_multicore");
+
+    // 7 independent jobs per mix (4 cycle runs + 3 capacity evals),
+    // sharded across --jobs.
+    struct Row
+    {
+        std::string mix;
+        uint32_t base, lcp, lcpa, cmp;
+        uint32_t cap_lcp, cap_cmp, cap_un;
+    };
+    Campaign campaign("fig11_multicore");
+    std::vector<Row> rows;
+    for (const auto &mix : allMixes()) {
+        Row row;
+        row.mix = mix.name;
+        row.base = addCycleJob(campaign, McKind::kUncompressed, mix);
+        row.lcp = addCycleJob(campaign, McKind::kLcp, mix);
+        row.lcpa = addCycleJob(campaign, McKind::kLcpAlign, mix);
+        row.cmp = addCycleJob(campaign, McKind::kCompresso, mix);
+        row.cap_lcp = addCapJob(campaign, McKind::kLcp, false, mix);
+        row.cap_cmp = addCapJob(campaign, McKind::kCompresso, false, mix);
+        row.cap_un =
+            addCapJob(campaign, McKind::kUncompressed, true, mix);
+        rows.push_back(std::move(row));
+    }
+    CampaignResult res = runCampaign(campaign);
+    if (!res.allOk())
+        return 1;
+
     header("Fig. 11a/11b: 4-core mixes (70% memory)");
     std::printf("%-7s | %6s %6s %6s | %6s %6s %6s | %6s %6s %6s %6s\n",
                 "", "cycle", "cycle", "cycle", "cap", "cap", "cap",
@@ -71,24 +111,23 @@ main(int argc, char **argv)
     std::vector<double> cp_l, cp_c, cp_u;
     std::vector<double> ov_l, ov_a, ov_c, ov_u;
 
-    for (const auto &mix : allMixes()) {
-        double base = cyclePerf(McKind::kUncompressed, mix);
-        double lcp = cyclePerf(McKind::kLcp, mix) / base;
-        double lcpa = cyclePerf(McKind::kLcpAlign, mix) / base;
-        double cmp = cyclePerf(McKind::kCompresso, mix) / base;
+    for (const Row &row : rows) {
+        double base = res.records[row.base].run().perf;
+        double lcp = res.records[row.lcp].run().perf / base;
+        double lcpa = res.records[row.lcpa].run().perf / base;
+        double cmp = res.records[row.cmp].run().perf / base;
 
-        double cap_lcp = capPerf(McKind::kLcp, false, mix);
-        double cap_cmp = capPerf(McKind::kCompresso, false, mix);
-        double cap_un = capPerf(McKind::kUncompressed, true, mix);
+        double cap_lcp = speedup(res, row.cap_lcp);
+        double cap_cmp = speedup(res, row.cap_cmp);
+        double cap_un = speedup(res, row.cap_un);
 
         double o_l = lcp * cap_lcp, o_a = lcpa * cap_lcp;
         double o_c = cmp * cap_cmp, o_u = cap_un;
 
         std::printf("%-7s | %6.3f %6.3f %6.3f | %6.2f %6.2f %6.2f | "
                     "%6.2f %6.2f %6.2f %6.2f\n",
-                    mix.name.c_str(), lcp, lcpa, cmp, cap_lcp, cap_cmp,
+                    row.mix.c_str(), lcp, lcpa, cmp, cap_lcp, cap_cmp,
                     cap_un, o_l, o_a, o_c, o_u);
-        std::fflush(stdout);
 
         cy_l.push_back(lcp);
         cy_a.push_back(lcpa);

@@ -22,11 +22,17 @@
  * surface differs — the sweep prints corrected/DUE/silent counts and
  * the pages the ladder had to degrade.
  *
+ * All eleven configurations are independent simulations: they are
+ * queued as one campaign and sharded across `--jobs` workers (the
+ * determinism checks hold regardless of worker count — that is the
+ * point of the engine).
+ *
  * Build & run:  ./build/examples/fault_campaign
  */
 
 #include <cstdio>
 
+#include "exec/campaign_sink.h"
 #include "sim/run_export.h"
 #include "sim/runner.h"
 
@@ -36,17 +42,6 @@ namespace {
 
 int g_failures = 0;
 RunSink g_sink;
-
-/** runSystem via the --json sink, with a campaign-specific label. */
-RunResult
-runLogged(RunSpec spec, const std::string &label)
-{
-    g_sink.apply(spec);
-    RunResult r = runSystem(spec);
-    r.label = label;
-    g_sink.add(r);
-    return r;
-}
 
 void
 check(bool ok, const char *what)
@@ -73,6 +68,14 @@ campaignSpec(McKind kind, double bit_rate, bool recover)
     return spec;
 }
 
+/** Queue a run with the CLI-selected observability stamped on. */
+uint32_t
+add(Campaign &campaign, const std::string &label, RunSpec spec)
+{
+    g_sink.apply(spec);
+    return campaign.add(label, std::move(spec));
+}
+
 uint64_t
 degraded(const ReliabilityReport &r)
 {
@@ -87,12 +90,53 @@ main(int argc, char **argv)
 {
     g_sink.init(argc, argv, "fault_campaign");
 
+    // Queue everything up front; the checks below read the finished
+    // records.
+    Campaign campaign("fault_campaign");
+    uint32_t j_on = add(campaign, "recovery-on",
+                        campaignSpec(McKind::kCompresso, 1e-6, true));
+    uint32_t j_again = add(campaign, "recovery-on/repeat",
+                           campaignSpec(McKind::kCompresso, 1e-6, true));
+    uint32_t j_off =
+        add(campaign, "recovery-off",
+            campaignSpec(McKind::kCompresso, 1e-6, /*recover=*/false));
+
+    const double rates[] = {1e-7, 1e-6, 1e-5};
+    struct SweepJob
+    {
+        double rate;
+        McKind kind;
+        uint32_t idx;
+    };
+    std::vector<SweepJob> sweep;
+    for (double rate : rates) {
+        for (McKind kind :
+             {McKind::kUncompressed, McKind::kCompresso}) {
+            const char *sys_name = kind == McKind::kCompresso
+                                       ? "compresso"
+                                       : "uncompressed";
+            char label[64];
+            std::snprintf(label, sizeof label, "sweep/%.0e/%s", rate,
+                          sys_name);
+            sweep.push_back(
+                {rate, kind,
+                 add(campaign, label, campaignSpec(kind, rate, true))});
+        }
+    }
+
+    CampaignPolicy policy;
+    policy.jobs = g_sink.jobs();
+    CampaignResult res = runCampaignWithSink(campaign, g_sink, policy);
+    if (!res.allOk()) {
+        std::printf("FAULT CAMPAIGN CHECKS FAILED (jobs failed)\n");
+        return 1;
+    }
+
     // -----------------------------------------------------------------
     // Part 1: acceptance campaign at 1e-6/bit.
     // -----------------------------------------------------------------
     std::printf("=== Compresso, 1e-6 upsets/bit, SECDED + recovery ===\n");
-    RunSpec spec = campaignSpec(McKind::kCompresso, 1e-6, true);
-    RunResult on = runLogged(spec, "recovery-on");
+    const RunResult &on = res.records[j_on].run();
     std::printf("%s", on.reliability.summary().c_str());
 
     check(on.reliability.injected() > 0, "faults were injected");
@@ -105,14 +149,12 @@ main(int argc, char **argv)
     check(degraded(on.reliability) > 0,
           "the degradation ladder was exercised");
 
-    RunResult again = runLogged(spec, "recovery-on/repeat");
+    const RunResult &again = res.records[j_again].run();
     check(again.reliability == on.reliability,
           "identical seed reproduces the identical ReliabilityReport");
 
     std::printf("\n=== same seed, recovery disabled ===\n");
-    RunResult off = runLogged(campaignSpec(McKind::kCompresso, 1e-6,
-                                           /*recover=*/false),
-                              "recovery-off");
+    const RunResult &off = res.records[j_off].run();
     std::printf("%s", off.reliability.summary().c_str());
     check(off.reliability.lines_poisoned +
                   off.reliability.pages_poisoned > 0,
@@ -128,35 +170,25 @@ main(int argc, char **argv)
     std::printf("%-14s %-14s %10s %10s %8s %10s %9s\n", "rate",
                 "system", "corrected", "DUE", "silent", "degraded",
                 "SDC/Mref");
-    const double rates[] = {1e-7, 1e-6, 1e-5};
-    for (double rate : rates) {
-        for (McKind kind :
-             {McKind::kUncompressed, McKind::kCompresso}) {
-            const char *sys_name = kind == McKind::kCompresso
-                                       ? "compresso"
-                                       : "uncompressed";
-            char label[64];
-            std::snprintf(label, sizeof label, "sweep/%.0e/%s", rate,
-                          sys_name);
-            RunResult r =
-                runLogged(campaignSpec(kind, rate, true), label);
-            double mrefs =
-                double(spec.refs_per_core + spec.warmup_refs) / 1e6;
-            std::printf("%-14.0e %-14s %10llu %10llu %8llu %10llu "
-                        "%9.2f\n",
-                        rate, sys_name,
-                        (unsigned long long)r.reliability.corrected,
-                        (unsigned long long)
-                            r.reliability.detected_uncorrectable,
-                        (unsigned long long)
-                            r.reliability.silent_corruptions,
-                        (unsigned long long)degraded(r.reliability),
-                        double(r.reliability.silent_corruptions) /
-                            mrefs);
-            if (kind == McKind::kCompresso) {
-                check(r.audit_violations == 0,
-                      "compresso audit stays clean at this rate");
-            }
+    const double mrefs = double(80000 + 8000) / 1e6;
+    for (const SweepJob &job : sweep) {
+        const char *sys_name = job.kind == McKind::kCompresso
+                                   ? "compresso"
+                                   : "uncompressed";
+        const RunResult &r = res.records[job.idx].run();
+        std::printf("%-14.0e %-14s %10llu %10llu %8llu %10llu "
+                    "%9.2f\n",
+                    job.rate, sys_name,
+                    (unsigned long long)r.reliability.corrected,
+                    (unsigned long long)
+                        r.reliability.detected_uncorrectable,
+                    (unsigned long long)
+                        r.reliability.silent_corruptions,
+                    (unsigned long long)degraded(r.reliability),
+                    double(r.reliability.silent_corruptions) / mrefs);
+        if (job.kind == McKind::kCompresso) {
+            check(r.audit_violations == 0,
+                  "compresso audit stays clean at this rate");
         }
     }
 

@@ -55,6 +55,23 @@ class Rng
         return h;
     }
 
+    /**
+     * Derive stream @p stream of the root seed @p seed: the campaign
+     * engine's per-job seeding scheme (DESIGN.md §12). Unlike mix(),
+     * the two operands have fixed roles, so the derived seed depends
+     * only on (campaign seed, job index) — never on scheduling order
+     * or thread assignment — and neighbouring indices land in
+     * unrelated parts of the seed space.
+     */
+    static uint64_t
+    combine(uint64_t seed, uint64_t stream)
+    {
+        uint64_t s = seed;
+        uint64_t a = splitmix64(s); // advances s
+        s ^= (stream + 0x9e3779b97f4a7c15ULL) * 0xbf58476d1ce4e5b9ULL;
+        return splitmix64(s) ^ a;
+    }
+
     uint64_t
     next()
     {

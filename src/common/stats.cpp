@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <iomanip>
 
 #include "common/json_writer.h"
@@ -31,6 +32,37 @@ StatGroup::merge(const StatGroup &other)
 {
     for (const auto &[key, value] : other.counters_)
         counters_[key] += value;
+}
+
+bool
+StatGroup::mergeChecked(const StatGroup &other, std::string *bad_key)
+{
+    if (counters_.empty()) {
+        counters_ = other.counters_;
+        return true;
+    }
+    // Validate both directions before touching any counter, so a
+    // failed merge leaves the accumulator untouched. Both maps are
+    // sorted, so one linear walk finds the first divergent key.
+    auto it = counters_.begin();
+    auto jt = other.counters_.begin();
+    while (it != counters_.end() && jt != other.counters_.end()) {
+        if (it->first != jt->first) {
+            if (bad_key != nullptr)
+                *bad_key = std::min(it->first, jt->first);
+            return false;
+        }
+        ++it;
+        ++jt;
+    }
+    if (it != counters_.end() || jt != other.counters_.end()) {
+        if (bad_key != nullptr)
+            *bad_key = it != counters_.end() ? it->first : jt->first;
+        return false;
+    }
+    for (const auto &[key, value] : other.counters_)
+        counters_[key] += value;
+    return true;
 }
 
 } // namespace compresso

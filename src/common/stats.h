@@ -76,8 +76,23 @@ class StatGroup
      */
     void dumpJson(std::ostream &os) const;
 
-    /** Fold another group's counters into this one (summing). */
+    /** Fold another group's counters into this one (summing). Keys
+     *  absent on either side are adopted silently — use mergeChecked()
+     *  when the two groups must describe the same counter set. */
     void merge(const StatGroup &other);
+
+    /**
+     * Checked fold: same-key counters sum; a key-set mismatch is an
+     * error. An empty group adopts @p other wholesale (the
+     * accumulator-seeding case); otherwise both groups must have
+     * exactly the same keys. On mismatch nothing is merged, the first
+     * offending key is reported via @p bad_key (when non-null), and
+     * the method returns false. The campaign engine (src/exec) builds
+     * its cross-job aggregates through this so a job that silently
+     * diverged in what it counted is surfaced instead of averaged in.
+     */
+    bool mergeChecked(const StatGroup &other,
+                      std::string *bad_key = nullptr);
 
   private:
     std::string name_;

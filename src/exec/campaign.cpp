@@ -1,0 +1,301 @@
+#include "exec/campaign.h"
+
+#include <chrono>
+#include <exception>
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+
+namespace compresso {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+/** Per-job shared state between the worker and the watchdog. */
+struct JobSlot
+{
+    std::atomic<uint64_t> start_ns{0}; ///< nonzero while running
+    std::atomic<bool> cancel{false};
+    std::atomic<bool> timed_out{false};
+};
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::kOk:
+        return "ok";
+    case JobStatus::kFailed:
+        return "failed";
+    case JobStatus::kTimeout:
+        return "timeout";
+    case JobStatus::kSkipped:
+        return "skipped";
+    }
+    return "?";
+}
+
+uint32_t
+Campaign::add(std::string label, RunSpec spec)
+{
+    Job job;
+    job.label = std::move(label);
+    job.is_run = true;
+    job.spec = std::move(spec);
+    jobs_.push_back(std::move(job));
+    return uint32_t(jobs_.size() - 1);
+}
+
+uint32_t
+Campaign::add(std::string label, JobFn fn)
+{
+    Job job;
+    job.label = std::move(label);
+    job.is_run = false;
+    job.fn = std::move(fn);
+    jobs_.push_back(std::move(job));
+    return uint32_t(jobs_.size() - 1);
+}
+
+CampaignResult
+Campaign::run(const CampaignPolicy &policy) const
+{
+    CampaignResult res;
+    res.name = name_;
+    res.campaign_seed = seed_;
+    unsigned pool_jobs =
+        policy.jobs == 0 ? ThreadPool::hardwareJobs() : policy.jobs;
+    res.pool_jobs = pool_jobs;
+    const size_t total = jobs_.size();
+    res.records.resize(total);
+
+    const unsigned max_attempts =
+        policy.max_attempts == 0 ? 1 : policy.max_attempts;
+    auto slots = std::make_unique<JobSlot[]>(total);
+    std::atomic<bool> abort{false};
+    std::atomic<uint64_t> retries{0};
+
+    // The reporter thread doubles as the soft-timeout watchdog: once
+    // per period it sweeps the running slots and flags any job past
+    // its deadline (the flag also feeds JobContext::cancelled() so
+    // cooperative custom jobs can bail out early).
+    std::function<void()> watchdog;
+    if (policy.timeout_ms > 0) {
+        uint64_t limit_ns = policy.timeout_ms * 1000000ULL;
+        JobSlot *raw = slots.get();
+        watchdog = [raw, total, limit_ns] {
+            uint64_t now = nowNs();
+            for (size_t i = 0; i < total; ++i) {
+                uint64_t t0 =
+                    raw[i].start_ns.load(std::memory_order_acquire);
+                if (t0 != 0 && now - t0 > limit_ns) {
+                    raw[i].timed_out.store(true,
+                                           std::memory_order_release);
+                    raw[i].cancel.store(true,
+                                        std::memory_order_release);
+                }
+            }
+        };
+    }
+
+    uint64_t t0 = nowNs();
+    {
+        ProgressReporter reporter(name_, total, policy.progress,
+                                  std::move(watchdog));
+
+        auto runJob = [&](uint32_t i) {
+            const Job &job = jobs_[i];
+            JobRecord &rec = res.records[i];
+            JobSlot &slot = slots[i];
+            rec.label = job.label;
+            rec.index = i;
+            rec.seed = Rng::combine(seed_, i);
+            if (abort.load(std::memory_order_relaxed)) {
+                rec.status = JobStatus::kSkipped;
+                rec.error = "skipped: fail-fast tripped";
+                reporter.jobSkipped();
+                return;
+            }
+            reporter.jobStarted();
+            slot.start_ns.store(nowNs(), std::memory_order_release);
+
+            JobStatus status = JobStatus::kFailed;
+            for (unsigned attempt = 0; attempt < max_attempts;
+                 ++attempt) {
+                rec.attempts = attempt + 1;
+                if (attempt > 0)
+                    retries.fetch_add(1, std::memory_order_relaxed);
+                uint64_t a0 = nowNs();
+                try {
+                    JobContext ctx;
+                    ctx.index = i;
+                    ctx.seed = rec.seed;
+                    ctx.attempt = attempt;
+                    ctx.cancel = &slot.cancel;
+                    JobPayload payload;
+                    if (job.is_run) {
+                        RunSpec spec = job.spec;
+                        if (derive_run_seeds_)
+                            spec.seed = rec.seed;
+                        payload.run = runSystem(spec);
+                        payload.run.label = job.label;
+                        payload.has_run = true;
+                    } else {
+                        payload = job.fn(ctx);
+                    }
+                    rec.host_ns = nowNs() - a0;
+                    if (slot.timed_out.load(
+                            std::memory_order_acquire)) {
+                        // The result is late: discard it so a timed-out
+                        // job never contributes half-trusted telemetry.
+                        status = JobStatus::kTimeout;
+                        rec.error = "soft timeout exceeded";
+                    } else {
+                        rec.payload = std::move(payload);
+                        status = JobStatus::kOk;
+                    }
+                    break;
+                } catch (const std::exception &e) {
+                    rec.host_ns = nowNs() - a0;
+                    rec.error = e.what();
+                } catch (...) {
+                    rec.host_ns = nowNs() - a0;
+                    rec.error = "non-standard exception";
+                }
+                if (slot.timed_out.load(std::memory_order_acquire)) {
+                    status = JobStatus::kTimeout;
+                    break; // a deterministic overrun will not improve
+                }
+            }
+            rec.status = status;
+            slot.start_ns.store(0, std::memory_order_release);
+            reporter.jobFinished(status == JobStatus::kOk, rec.host_ns);
+            if (status != JobStatus::kOk && policy.fail_fast)
+                abort.store(true, std::memory_order_relaxed);
+        };
+
+        if (pool_jobs == 1) {
+            // Serial path: submission order on the calling thread —
+            // bit-identical to running the specs by hand.
+            for (uint32_t i = 0; i < uint32_t(total); ++i)
+                runJob(i);
+        } else {
+            ThreadPool pool(pool_jobs);
+            for (uint32_t i = 0; i < uint32_t(total); ++i)
+                pool.submit([&runJob, i] { runJob(i); });
+            pool.wait();
+            res.steals = pool.steals();
+        }
+    } // reporter prints its final line here
+    res.wall_ns = nowNs() - t0;
+    res.retries = retries.load(std::memory_order_relaxed);
+
+    for (const JobRecord &rec : res.records) {
+        switch (rec.status) {
+        case JobStatus::kOk:
+            ++res.ok;
+            break;
+        case JobStatus::kFailed:
+            ++res.failed;
+            break;
+        case JobStatus::kTimeout:
+            ++res.timeout;
+            break;
+        case JobStatus::kSkipped:
+            ++res.skipped;
+            break;
+        }
+    }
+
+    // Cross-job aggregates: per controller kind, checked merge with a
+    // union fallback (a rare-path counter firing in only one job must
+    // be visible, not fatal).
+    for (size_t i = 0; i < total; ++i) {
+        const JobRecord &rec = res.records[i];
+        if (!rec.ok() || !rec.payload.has_run)
+            continue;
+        auto &agg = res.aggregates[mcKindName(jobs_[i].spec.kind)];
+        ++agg.jobs;
+        agg.host_ns += rec.host_ns;
+        std::string bad;
+        if (!agg.mc_stats.mergeChecked(rec.payload.run.mc_stats, &bad)) {
+            agg.mc_stats.merge(rec.payload.run.mc_stats);
+            ++agg.key_mismatches;
+        }
+        if (!agg.dram_stats.mergeChecked(rec.payload.run.dram_stats,
+                                         &bad)) {
+            agg.dram_stats.merge(rec.payload.run.dram_stats);
+            ++agg.key_mismatches;
+        }
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// CampaignGrid
+// ---------------------------------------------------------------------
+
+void
+CampaignGrid::value(const std::string &axis_name, std::string value_name,
+                    std::function<void(RunSpec &)> apply)
+{
+    for (GridAxis &a : axes_) {
+        if (a.name == axis_name) {
+            a.values.push_back({std::move(value_name), std::move(apply)});
+            return;
+        }
+    }
+    axes_.push_back(
+        {axis_name, {{std::move(value_name), std::move(apply)}}});
+}
+
+size_t
+CampaignGrid::points() const
+{
+    size_t n = 1;
+    for (const GridAxis &a : axes_)
+        n *= a.values.size();
+    return n;
+}
+
+uint32_t
+CampaignGrid::addTo(Campaign &campaign) const
+{
+    uint32_t first = uint32_t(campaign.size());
+    size_t n = points();
+    for (size_t point = 0; point < n; ++point) {
+        RunSpec spec = base_;
+        std::string label;
+        // Row-major: the first axis varies slowest.
+        size_t stride = n;
+        for (const GridAxis &axis : axes_) {
+            stride /= axis.values.size();
+            const GridValue &v =
+                axis.values[(point / stride) % axis.values.size()];
+            if (v.apply)
+                v.apply(spec);
+            if (!v.name.empty()) {
+                if (!label.empty())
+                    label += '/';
+                label += v.name;
+            }
+        }
+        if (label.empty())
+            label = "base";
+        campaign.add(std::move(label), std::move(spec));
+    }
+    return first;
+}
+
+} // namespace compresso

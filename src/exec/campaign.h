@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Parallel campaign engine: shard a declarative sweep of independent
+ * simulations across a work-stealing thread pool and merge the
+ * telemetry (DESIGN.md §12).
+ *
+ * A Campaign is an ordered list of jobs. A job is either
+ *  - a RunSpec, executed through runSystem() in its own isolated
+ *    System instance, or
+ *  - a custom function (capacity evaluations, compresspoint sweeps —
+ *    anything shaped "pure inputs -> scalar outputs").
+ *
+ * Determinism: every job's simulated metrics depend only on its spec
+ * and seed, never on scheduling, so `--jobs 1` and `--jobs N` produce
+ * bit-identical per-job results (host-timing fields excepted). The
+ * engine derives a per-job RNG stream seed via
+ * Rng::combine(campaign_seed, job_index); custom jobs receive it in
+ * their JobContext, and RunSpec jobs have their spec.seed overwritten
+ * with it only when deriveRunSeeds(true) was requested — the figure
+ * benches keep their historical per-spec seeds so the reproduced
+ * tables do not move.
+ *
+ * Failure policy: a job that throws is retried up to
+ * CampaignPolicy::max_attempts times; exhausted retries (or a soft
+ * timeout) mark the job failed in the CampaignResult — the campaign
+ * itself always completes unless fail_fast is set, which skips all
+ * jobs not yet started. Timeouts are soft: simulation jobs cannot be
+ * interrupted mid-run, so an overdue job is flagged by the watchdog,
+ * its eventual result is discarded, and its worker frees up when the
+ * job returns. Custom jobs may poll JobContext::cancelled() to bail
+ * out early.
+ */
+
+#ifndef COMPRESSO_EXEC_CAMPAIGN_H
+#define COMPRESSO_EXEC_CAMPAIGN_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/progress.h"
+#include "sim/runner.h"
+
+namespace compresso {
+
+enum class JobStatus
+{
+    kOk,
+    kFailed,  ///< every attempt threw
+    kTimeout, ///< exceeded CampaignPolicy::timeout_ms (soft)
+    kSkipped, ///< never started: fail_fast tripped first
+};
+
+const char *jobStatusName(JobStatus status);
+
+/** What a running job learns about itself. */
+struct JobContext
+{
+    uint32_t index = 0;  ///< submission index within the campaign
+    uint64_t seed = 0;   ///< Rng::combine(campaign_seed, index)
+    unsigned attempt = 0; ///< 0-based retry counter
+    /** Set when the job should stop early (fail-fast or timeout);
+     *  long custom jobs should poll this between phases. */
+    const std::atomic<bool> *cancel = nullptr;
+
+    bool
+    cancelled() const
+    {
+        return cancel != nullptr &&
+               cancel->load(std::memory_order_relaxed);
+    }
+};
+
+/** What a job produces. Run jobs fill `run`; custom jobs fill
+ *  `values` (named scalars that land in the campaign document). */
+struct JobPayload
+{
+    bool has_run = false;
+    RunResult run;
+    std::map<std::string, double> values;
+};
+
+using JobFn = std::function<JobPayload(const JobContext &)>;
+
+/** One finished (or skipped) job, in submission order. */
+struct JobRecord
+{
+    std::string label;
+    uint32_t index = 0;
+    JobStatus status = JobStatus::kSkipped;
+    unsigned attempts = 0;
+    uint64_t seed = 0;    ///< the derived per-job stream seed
+    uint64_t host_ns = 0; ///< wall time of the final attempt
+    std::string error;    ///< what() of the last failure, if any
+    JobPayload payload;
+
+    bool ok() const { return status == JobStatus::kOk; }
+    const RunResult &run() const { return payload.run; }
+};
+
+struct CampaignPolicy
+{
+    /** Worker threads; 0 = ThreadPool::hardwareJobs(). `jobs == 1`
+     *  runs inline on the calling thread — today's serial path. */
+    unsigned jobs = 0;
+    /** Total tries per job (1 = no retry). */
+    unsigned max_attempts = 2;
+    /** Soft per-job timeout; 0 = unlimited. */
+    uint64_t timeout_ms = 0;
+    /** First failure skips every job not yet started. */
+    bool fail_fast = false;
+    ProgressMode progress = ProgressMode::kAuto;
+};
+
+struct CampaignResult
+{
+    std::string name;
+    uint64_t campaign_seed = 0;
+    unsigned pool_jobs = 0; ///< resolved worker count
+    uint64_t wall_ns = 0;   ///< whole-campaign host wall time
+    uint64_t retries = 0;   ///< extra attempts across all jobs
+    uint64_t steals = 0;    ///< thread-pool steal count (0 when serial)
+    std::vector<JobRecord> records; ///< submission order, always full
+
+    /** Cross-job telemetry, merged per memory-controller kind over
+     *  the ok run-jobs (custom jobs have no StatGroups to merge). */
+    struct Aggregate
+    {
+        uint64_t jobs = 0;
+        uint64_t host_ns = 0;
+        /** Same-kind jobs that still disagreed on counter keys (a
+         *  rare-path counter fired in one job only); such groups fall
+         *  back to a plain union merge and are counted here. */
+        uint64_t key_mismatches = 0;
+        StatGroup mc_stats;
+        StatGroup dram_stats;
+    };
+    std::map<std::string, Aggregate> aggregates;
+
+    size_t ok = 0, failed = 0, timeout = 0, skipped = 0;
+
+    bool
+    allOk() const
+    {
+        return ok == records.size();
+    }
+};
+
+class Campaign
+{
+  public:
+    explicit Campaign(std::string name, uint64_t campaign_seed = 1)
+        : name_(std::move(name)), seed_(campaign_seed)
+    {
+    }
+
+    /** Queue a simulation job; returns its submission index. */
+    uint32_t add(std::string label, RunSpec spec);
+    /** Queue a custom job; returns its submission index. */
+    uint32_t add(std::string label, JobFn fn);
+
+    /** Overwrite each RunSpec job's seed with its derived per-job
+     *  stream (off by default: converted benches keep their
+     *  historical seeds so reproduced figures do not move). */
+    void deriveRunSeeds(bool on) { derive_run_seeds_ = on; }
+
+    size_t size() const { return jobs_.size(); }
+    const std::string &name() const { return name_; }
+    uint64_t seed() const { return seed_; }
+
+    /** Execute every queued job and merge the telemetry. */
+    CampaignResult run(const CampaignPolicy &policy = {}) const;
+
+  private:
+    struct Job
+    {
+        std::string label;
+        bool is_run = false;
+        RunSpec spec;
+        JobFn fn;
+    };
+
+    std::string name_;
+    uint64_t seed_;
+    bool derive_run_seeds_ = false;
+    std::vector<Job> jobs_;
+};
+
+// ---------------------------------------------------------------------
+// Declarative grids: base RunSpec x per-axis overrides.
+// ---------------------------------------------------------------------
+
+/** One point on an axis: a display name plus the override it applies
+ *  on top of the base spec (and any earlier axes'). */
+struct GridValue
+{
+    std::string name;
+    std::function<void(RunSpec &)> apply;
+};
+
+struct GridAxis
+{
+    std::string name;
+    std::vector<GridValue> values;
+};
+
+/**
+ * Cross-product sweep builder. Axes expand row-major (the first axis
+ * varies slowest), and each job is labelled with the value names
+ * joined by '/' — e.g. axes (workload, sizing) yield "mcf/fixed",
+ * "mcf/variable", "omnetpp/fixed", ...
+ */
+class CampaignGrid
+{
+  public:
+    explicit CampaignGrid(RunSpec base) : base_(std::move(base)) {}
+
+    /** Append an axis; fill its .values (in order). */
+    GridAxis &
+    axis(std::string name)
+    {
+        axes_.push_back({std::move(name), {}});
+        return axes_.back();
+    }
+
+    /** Convenience: append one value to the named (existing) axis. */
+    void value(const std::string &axis_name, std::string value_name,
+               std::function<void(RunSpec &)> apply);
+
+    /** Number of jobs the grid expands to. */
+    size_t points() const;
+
+    /** Expand the cross product into @p campaign; returns the index
+     *  of the first added job (points() are contiguous from there). */
+    uint32_t addTo(Campaign &campaign) const;
+
+  private:
+    RunSpec base_;
+    std::vector<GridAxis> axes_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_EXEC_CAMPAIGN_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Campaign document export: serializes a CampaignResult into the
+ * versioned "compresso-campaign-v1" JSON document. One document holds
+ * the whole sweep — per-job results (run jobs embed the same object
+ * shape as compresso-run-v2 `results[]`; custom jobs embed their named
+ * scalars), cross-job aggregates per controller kind, the scheduling
+ * summary (ok/failed/timeout/skipped, retries, steals), and the
+ * environment stamp. tools/perf_compare.py and tools/obs_report.py
+ * consume this format alongside the run/bench documents.
+ */
+
+#ifndef COMPRESSO_EXEC_CAMPAIGN_EXPORT_H
+#define COMPRESSO_EXEC_CAMPAIGN_EXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "exec/campaign.h"
+
+namespace compresso {
+
+/** Schema identifier stamped into every campaign document. Bump only
+ *  with a reader-side update in tools/perf_compare.py and
+ *  tools/obs_report.py. */
+inline constexpr const char *kCampaignJsonSchema =
+    "compresso-campaign-v1";
+
+/** Write the full campaign document to @p os. Key order is fixed and
+ *  all maps iterate sorted, so output is deterministic for identical
+ *  inputs (host-timing fields excepted). */
+void writeCampaignJson(std::ostream &os, const std::string &tool,
+                       const CampaignResult &res);
+
+/** Path-taking overload; returns false on I/O failure. */
+bool writeCampaignJson(const std::string &path, const std::string &tool,
+                       const CampaignResult &res);
+
+} // namespace compresso
+
+#endif // COMPRESSO_EXEC_CAMPAIGN_EXPORT_H

@@ -1,0 +1,37 @@
+#include "exec/campaign_sink.h"
+
+#include <cstdio>
+
+#include "exec/campaign_export.h"
+
+namespace compresso {
+
+CampaignResult
+runCampaignWithSink(const Campaign &campaign, RunSink &sink,
+                    CampaignPolicy policy)
+{
+    if (policy.jobs == 0)
+        policy.jobs = sink.jobs();
+    CampaignResult res = campaign.run(policy);
+
+    // Feed the sink in submission order, exactly what the serial loop
+    // used to add() one by one.
+    for (const JobRecord &rec : res.records) {
+        if (rec.ok() && rec.payload.has_run)
+            sink.add(rec.payload.run);
+        else if (!rec.ok())
+            std::fprintf(stderr, "[%s] job %u '%s': %s%s%s\n",
+                         res.name.c_str(), rec.index, rec.label.c_str(),
+                         jobStatusName(rec.status),
+                         rec.error.empty() ? "" : ": ",
+                         rec.error.c_str());
+    }
+
+    if (!sink.campaignJsonPath().empty() &&
+        !writeCampaignJson(sink.campaignJsonPath(), sink.tool(), res))
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     sink.campaignJsonPath().c_str());
+    return res;
+}
+
+} // namespace compresso

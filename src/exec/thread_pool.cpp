@@ -1,0 +1,116 @@
+#include "exec/thread_pool.h"
+
+namespace compresso {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = threads == 0 ? 1 : threads;
+    lanes_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        lanes_.push_back(std::make_unique<Lane>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait(); // drain: destruction never drops submitted tasks
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    // pending_ rises before the task is visible so a task that finishes
+    // instantly can never drive the counter below its true value.
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    Lane &lane = *lanes_[next_lane_];
+    next_lane_ = (next_lane_ + 1) % unsigned(lanes_.size());
+    {
+        std::lock_guard<std::mutex> lk(lane.mu);
+        lane.tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++epoch_; // sleeping workers re-scan on epoch change
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+std::function<void()>
+ThreadPool::grab(unsigned self)
+{
+    // Own lane first, newest-first: the task most likely still warm.
+    {
+        Lane &mine = *lanes_[self];
+        std::lock_guard<std::mutex> lk(mine.mu);
+        if (!mine.tasks.empty()) {
+            std::function<void()> t = std::move(mine.tasks.back());
+            mine.tasks.pop_back();
+            return t;
+        }
+    }
+    // Then sweep the other lanes, oldest-first (classic steal order).
+    unsigned n = unsigned(lanes_.size());
+    for (unsigned d = 1; d < n; ++d) {
+        Lane &victim = *lanes_[(self + d) % n];
+        std::lock_guard<std::mutex> lk(victim.mu);
+        if (!victim.tasks.empty()) {
+            std::function<void()> t = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return t;
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        uint64_t seen_epoch;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            seen_epoch = epoch_;
+        }
+        if (std::function<void()> task = grab(self)) {
+            task();
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                // Last task out: wake wait()ers. Taking mu_ orders the
+                // notify after any concurrent wait() entered its wait.
+                std::lock_guard<std::mutex> lk(mu_);
+                idle_cv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stop_)
+            return;
+        // A submit between our scan and this lock bumped the epoch;
+        // re-scan instead of sleeping through the notify we missed.
+        work_cv_.wait(lk, [this, seen_epoch] {
+            return stop_ || epoch_ != seen_epoch;
+        });
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace compresso

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "common/json_writer.h"
 
@@ -69,8 +71,10 @@ writeHostProfile(JsonWriter &w, const ProfSnapshot &prof)
     w.endObject();
 }
 
+} // namespace
+
 void
-writeResult(JsonWriter &w, const RunResult &r)
+writeRunResultJson(JsonWriter &w, const RunResult &r)
 {
     w.beginObject();
     w.field("label", r.label);
@@ -98,7 +102,31 @@ writeResult(JsonWriter &w, const RunResult &r)
     w.endObject();
 }
 
-} // namespace
+void
+writeEnvironmentJson(JsonWriter &w)
+{
+    w.beginObject();
+    w.field("compiler", __VERSION__);
+#ifdef NDEBUG
+    w.field("build_type", "release");
+#else
+    w.field("build_type", "debug");
+#endif
+#ifdef COMPRESSO_OBS_DISABLED
+    w.field("obs_disabled", true);
+#else
+    w.field("obs_disabled", false);
+#endif
+#ifdef COMPRESSO_PROF_DISABLED
+    w.field("prof_disabled", true);
+#else
+    w.field("prof_disabled", false);
+#endif
+    w.field("pointer_bytes", uint64_t(sizeof(void *)));
+    w.field("hardware_concurrency",
+            uint64_t(std::thread::hardware_concurrency()));
+    w.endObject();
+}
 
 void
 writeRunsJson(std::ostream &os, const std::string &tool,
@@ -110,7 +138,7 @@ writeRunsJson(std::ostream &os, const std::string &tool,
     w.field("tool", tool);
     w.key("results").beginArray();
     for (const RunResult &r : results)
-        writeResult(w, r);
+        writeRunResultJson(w, r);
     w.endArray();
     w.endObject();
     os << "\n";
@@ -127,8 +155,35 @@ writeRunsJson(const std::string &path, const std::string &tool,
     return bool(os);
 }
 
+namespace {
+
 void
-RunSink::init(int argc, char **argv, const std::string &tool)
+printSharedUsage(const char *argv0, const char *extra_usage)
+{
+    std::fprintf(stderr, "usage: %s [options]\n", argv0);
+    if (extra_usage != nullptr)
+        std::fprintf(stderr, "%s", extra_usage);
+    std::fprintf(
+        stderr,
+        "shared options:\n"
+        "  --json <path>          write run results as %s JSON\n"
+        "  --jobs <N>             campaign worker threads (default:\n"
+        "                         hardware concurrency; 1 = serial;\n"
+        "                         env: COMPRESSO_JOBS)\n"
+        "  --campaign-json <path> write the merged campaign document\n"
+        "  --obs                  attach the observability layer\n"
+        "  --prof                 activate the host profiler\n"
+        "  --obs-trace <path>     Chrome trace export (implies --obs)\n"
+        "  --obs-csv <path>       epoch time-series CSV (implies --obs)\n"
+        "  --help                 print this and exit\n",
+        kRunJsonSchema);
+}
+
+} // namespace
+
+void
+RunSink::init(int argc, char **argv, const std::string &tool,
+              const char *extra_usage)
 {
     tool_ = tool;
     auto take = [&](int &i) -> const char * {
@@ -139,6 +194,14 @@ RunSink::init(int argc, char **argv, const std::string &tool)
         if (a == "--json") {
             if (const char *v = take(i))
                 json_path_ = v;
+        } else if (a == "--jobs") {
+            if (const char *v = take(i)) {
+                long n = std::strtol(v, nullptr, 10);
+                jobs_flag_ = n > 0 ? unsigned(n) : 1;
+            }
+        } else if (a == "--campaign-json") {
+            if (const char *v = take(i))
+                campaign_path_ = v;
         } else if (a == "--obs") {
             obs_ = true;
         } else if (a == "--prof") {
@@ -153,10 +216,27 @@ RunSink::init(int argc, char **argv, const std::string &tool)
                 csv_path_ = v;
                 obs_ = true;
             }
+        } else if (a == "--help" || a == "-h") {
+            printSharedUsage(argc > 0 ? argv[0] : "?", extra_usage);
+            std::exit(0);
         } else {
             extra_.push_back(a);
         }
     }
+}
+
+unsigned
+RunSink::jobs() const
+{
+    if (jobs_flag_ > 0)
+        return jobs_flag_;
+    if (const char *env = std::getenv("COMPRESSO_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return unsigned(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 void

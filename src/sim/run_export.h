@@ -23,6 +23,8 @@
 
 namespace compresso {
 
+class JsonWriter;
+
 /** Schema identifier stamped into every run JSON document. Bump only
  *  with a reader-side update in tools/obs_report.py. */
 inline constexpr const char *kRunJsonSchema = "compresso-run-v2";
@@ -37,10 +39,27 @@ void writeRunsJson(std::ostream &os, const std::string &tool,
 bool writeRunsJson(const std::string &path, const std::string &tool,
                    const std::vector<RunResult> &results);
 
+/** Write one RunResult as the run-v2 `results[]` object (shared with
+ *  the campaign exporter, which embeds the same shape per job). */
+void writeRunResultJson(JsonWriter &w, const RunResult &r);
+
+/** Write the environment stamp object (compiler, build type, gate
+ *  macros, pointer width, hardware concurrency): enough to tell two
+ *  documents measured on different builds apart before comparing
+ *  numbers. Shared by bench_runner and the campaign exporter. */
+void writeEnvironmentJson(JsonWriter &w);
+
 /**
  * Per-binary collector behind the shared CLI flags:
  *
  *   --json <path>       write every recorded RunResult as run JSON
+ *   --jobs <N>          worker threads for campaign-engine binaries
+ *                       (default: hardware concurrency; 1 = today's
+ *                       serial path). COMPRESSO_JOBS=<N> is the env
+ *                       equivalent; the flag wins when both are set.
+ *   --campaign-json <path>
+ *                       write the merged compresso-campaign-v1
+ *                       document (campaign-engine binaries only)
  *   --obs               attach the Observer to each run (digest lands
  *                       in the JSON `obs` object)
  *   --prof              activate the host profiler (src/prof) for
@@ -51,6 +70,8 @@ bool writeRunsJson(const std::string &path, const std::string &tool,
  *                       not clobber the file)
  *   --obs-csv <path>    epoch time-series CSV (implies --obs; first
  *                       recorded run only)
+ *   --help              print the shared flags (plus the binary's own
+ *                       usage line, when it registered one) and exit
  *
  * Usage in a main(): init(argc, argv, tool), route each simulation
  * through run() (or apply() + add() when the call site owns the
@@ -60,8 +81,12 @@ class RunSink
 {
   public:
     /** Parse the flags above out of argv; unknown arguments are left
-     *  for the binary's own parsing and reported via extraArgs(). */
-    void init(int argc, char **argv, const std::string &tool);
+     *  for the binary's own parsing and reported via extraArgs().
+     *  @p extra_usage, when non-null, is the binary's own usage block,
+     *  printed ahead of the shared flags on --help. Seeing --help
+     *  prints the usage and exits 0. */
+    void init(int argc, char **argv, const std::string &tool,
+              const char *extra_usage = nullptr);
 
     /** Stamp the CLI-selected observability onto a spec about to run. */
     void apply(RunSpec &spec);
@@ -81,12 +106,22 @@ class RunSink
     const std::vector<std::string> &extraArgs() const { return extra_; }
     bool obsRequested() const { return obs_; }
     bool profRequested() const { return prof_; }
+    const std::string &tool() const { return tool_; }
+
+    /** Resolved worker count for campaign runs: the --jobs flag, else
+     *  COMPRESSO_JOBS, else hardware concurrency; never 0. */
+    unsigned jobs() const;
+
+    /** Destination for the merged campaign document ("" = none). */
+    const std::string &campaignJsonPath() const { return campaign_path_; }
 
   private:
     std::string tool_;
     std::string json_path_;
+    std::string campaign_path_;
     std::string trace_path_;
     std::string csv_path_;
+    unsigned jobs_flag_ = 0; ///< 0 = not given on the command line
     bool obs_ = false;
     bool prof_ = false;
     /** Export paths are handed to exactly one run. */

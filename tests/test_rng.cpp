@@ -76,6 +76,38 @@ TEST(Rng, MixIsOrderSensitive)
     EXPECT_EQ(Rng::mix(5, 6, 7), Rng::mix(5, 6, 7));
 }
 
+TEST(Rng, CombineIsDeterministic)
+{
+    EXPECT_EQ(Rng::combine(42, 7), Rng::combine(42, 7));
+}
+
+TEST(Rng, CombineSeparatesStreams)
+{
+    // Per-job seeds of one campaign must not collide for any plausible
+    // job count, and the derived stream must differ from the root.
+    std::set<uint64_t> seen;
+    for (uint64_t job = 0; job < 4096; ++job) {
+        uint64_t s = Rng::combine(1, job);
+        EXPECT_NE(s, 1u);
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(Rng, CombineSeparatesCampaigns)
+{
+    // The same job index under different campaign seeds diverges too.
+    std::set<uint64_t> seen;
+    for (uint64_t seed = 0; seed < 1024; ++seed)
+        seen.insert(Rng::combine(seed, 3));
+    EXPECT_EQ(seen.size(), 1024u);
+}
+
+TEST(Rng, CombineOperandsHaveFixedRoles)
+{
+    EXPECT_NE(Rng::combine(2, 9), Rng::combine(9, 2));
+}
+
 TEST(Rng, ReseedResets)
 {
     Rng rng(17);

@@ -45,6 +45,74 @@ TEST(StatGroup, MergeSums)
     EXPECT_EQ(a.get("y"), 3u);
 }
 
+TEST(StatGroup, MergeCheckedSumsIdenticalKeySets)
+{
+    StatGroup a("a"), b("b");
+    a["x"] = 1;
+    a["y"] = 10;
+    b["x"] = 2;
+    b["y"] = 20;
+    EXPECT_TRUE(a.mergeChecked(b));
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 30u);
+}
+
+TEST(StatGroup, MergeCheckedAdoptsIntoEmptyGroup)
+{
+    StatGroup acc("acc"), b("b");
+    b["x"] = 5;
+    b["y"] = 7;
+    EXPECT_TRUE(acc.mergeChecked(b));
+    EXPECT_EQ(acc.get("x"), 5u);
+    EXPECT_EQ(acc.get("y"), 7u);
+}
+
+TEST(StatGroup, MergeCheckedRejectsMissingKey)
+{
+    StatGroup a("a"), b("b");
+    a["x"] = 1;
+    b["x"] = 2;
+    b["y"] = 3;
+    std::string bad;
+    EXPECT_FALSE(a.mergeChecked(b, &bad));
+    EXPECT_EQ(bad, "y");
+    // A failed merge leaves the accumulator untouched.
+    EXPECT_EQ(a.get("x"), 1u);
+    EXPECT_EQ(a.get("y"), 0u);
+}
+
+TEST(StatGroup, MergeCheckedRejectsExtraKey)
+{
+    StatGroup a("a"), b("b");
+    a["x"] = 1;
+    a["y"] = 2;
+    b["x"] = 4;
+    std::string bad;
+    EXPECT_FALSE(a.mergeChecked(b, &bad));
+    EXPECT_EQ(bad, "y");
+    EXPECT_EQ(a.get("x"), 1u);
+    EXPECT_EQ(a.get("y"), 2u);
+}
+
+TEST(StatGroup, MergeCheckedReportsFirstDivergentKey)
+{
+    StatGroup a("a"), b("b");
+    a["alpha"] = 1;
+    a["mid"] = 2;
+    b["beta"] = 1;
+    b["mid"] = 2;
+    std::string bad;
+    EXPECT_FALSE(a.mergeChecked(b, &bad));
+    EXPECT_EQ(bad, "alpha"); // lexicographically first divergence
+}
+
+TEST(StatGroup, MergeCheckedBothEmptyIsFine)
+{
+    StatGroup a("a"), b("b");
+    EXPECT_TRUE(a.mergeChecked(b));
+    EXPECT_TRUE(a.counters().empty());
+}
+
 TEST(StatGroup, ResetClears)
 {
     StatGroup g("g");

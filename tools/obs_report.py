@@ -7,7 +7,13 @@ beyond python3.
 
 Understands compresso-run-v2 (current: adds the per-result
 `host_profile` object written when a run used `--prof`) and still
-reads v1 documents, which simply lack host profiles.
+reads v1 documents, which simply lack host profiles. Also reads
+compresso-campaign-v1 documents (`--campaign-json`, see
+src/exec/campaign_export.h): every subcommand treats the campaign's
+successful run-jobs as the result list, `check` additionally validates
+the campaign envelope (summary counts vs job statuses, per-job status
+vocabulary, aggregates), and `summary` prints the scheduling digest
+(workers, failures, retries, steals) and custom-job values.
 
 Subcommands:
   summary <run.json>            per-result metric table + obs digest
@@ -20,6 +26,8 @@ import json
 import sys
 
 SCHEMAS = ("compresso-run-v1", "compresso-run-v2")
+CAMPAIGN_SCHEMA = "compresso-campaign-v1"
+JOB_STATUSES = ("ok", "failed", "timeout", "skipped")
 
 RESULT_NUMBERS = [
     "cycles",
@@ -48,6 +56,55 @@ def load(path):
         sys.exit(f"error: cannot read {path}: {e}")
 
 
+def check_result(r, where, need, v2):
+    """Validate one run-result object (shared by run and campaign docs)."""
+    need(isinstance(r.get("label"), str), f"{where}: missing label")
+    for k in RESULT_NUMBERS:
+        need(isinstance(r.get(k), (int, float)),
+             f"{where}: missing numeric field {k!r}")
+    for grp in ("mc_stats", "dram_stats"):
+        stats = r.get(grp)
+        need(isinstance(stats, dict), f"{where}: missing {grp}")
+        if isinstance(stats, dict):
+            bad = [k for k, v in stats.items()
+                   if not isinstance(v, int)]
+            need(not bad, f"{where}: non-integer counters "
+                 f"in {grp}: {bad[:3]}")
+    obs = r.get("obs")
+    need(isinstance(obs, dict), f"{where}: missing obs")
+    if isinstance(obs, dict):
+        need(isinstance(obs.get("enabled"), bool),
+             f"{where}: obs.enabled must be a bool")
+        for k in ("events_total", "events_dropped"):
+            need(isinstance(obs.get(k), int),
+                 f"{where}: obs.{k} must be an integer")
+        for name, h in (obs.get("histograms") or {}).items():
+            for f in HIST_FIELDS:
+                need(isinstance(h.get(f), (int, float)),
+                     f"{where}: obs.histograms[{name!r}] "
+                     f"missing {f!r}")
+    if v2:
+        prof = r.get("host_profile")
+        need(isinstance(prof, dict), f"{where}: missing host_profile")
+        if isinstance(prof, dict):
+            need(isinstance(prof.get("enabled"), bool),
+                 f"{where}: host_profile.enabled must be a bool")
+            for k in ("threads", "wall_ns", "sim_refs"):
+                need(isinstance(prof.get(k), int),
+                     f"{where}: host_profile.{k} must be an integer")
+            for k in ("refs_per_host_sec", "host_ns_per_ref"):
+                need(isinstance(prof.get(k), (int, float)),
+                     f"{where}: host_profile.{k} must be numeric")
+            phases = prof.get("phases")
+            need(isinstance(phases, dict),
+                 f"{where}: host_profile.phases must be an object")
+            for name, p in (phases or {}).items():
+                for f in ("calls", "incl_ns", "excl_ns"):
+                    need(isinstance(p.get(f), int),
+                         f"{where}: host_profile.phases[{name!r}] "
+                         f"missing integer {f!r}")
+
+
 def check_doc(doc, path):
     """Return a list of schema problems (empty = valid)."""
     problems = []
@@ -59,8 +116,12 @@ def check_doc(doc, path):
     need(isinstance(doc, dict), "top level is not an object")
     if not isinstance(doc, dict):
         return problems
+    if doc.get("schema") == CAMPAIGN_SCHEMA:
+        check_campaign_doc(doc, need)
+        return problems
     need(doc.get("schema") in SCHEMAS,
-         f"schema is {doc.get('schema')!r}, expected one of {SCHEMAS}")
+         f"schema is {doc.get('schema')!r}, expected one of "
+         f"{SCHEMAS + (CAMPAIGN_SCHEMA,)}")
     v2 = doc.get("schema") == "compresso-run-v2"
     need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
     results = doc.get("results")
@@ -73,52 +134,99 @@ def check_doc(doc, path):
         need(isinstance(r, dict), f"{where} is not an object")
         if not isinstance(r, dict):
             continue
-        need(isinstance(r.get("label"), str), f"{where}: missing label")
-        for k in RESULT_NUMBERS:
-            need(isinstance(r.get(k), (int, float)),
-                 f"{where}: missing numeric field {k!r}")
-        for grp in ("mc_stats", "dram_stats"):
-            stats = r.get(grp)
-            need(isinstance(stats, dict), f"{where}: missing {grp}")
-            if isinstance(stats, dict):
-                bad = [k for k, v in stats.items()
-                       if not isinstance(v, int)]
-                need(not bad, f"{where}: non-integer counters "
-                     f"in {grp}: {bad[:3]}")
-        obs = r.get("obs")
-        need(isinstance(obs, dict), f"{where}: missing obs")
-        if isinstance(obs, dict):
-            need(isinstance(obs.get("enabled"), bool),
-                 f"{where}: obs.enabled must be a bool")
-            for k in ("events_total", "events_dropped"):
-                need(isinstance(obs.get(k), int),
-                     f"{where}: obs.{k} must be an integer")
-            for name, h in (obs.get("histograms") or {}).items():
-                for f in HIST_FIELDS:
-                    need(isinstance(h.get(f), (int, float)),
-                         f"{where}: obs.histograms[{name!r}] "
-                         f"missing {f!r}")
-        if v2:
-            prof = r.get("host_profile")
-            need(isinstance(prof, dict), f"{where}: missing host_profile")
-            if isinstance(prof, dict):
-                need(isinstance(prof.get("enabled"), bool),
-                     f"{where}: host_profile.enabled must be a bool")
-                for k in ("threads", "wall_ns", "sim_refs"):
-                    need(isinstance(prof.get(k), int),
-                         f"{where}: host_profile.{k} must be an integer")
-                for k in ("refs_per_host_sec", "host_ns_per_ref"):
-                    need(isinstance(prof.get(k), (int, float)),
-                         f"{where}: host_profile.{k} must be numeric")
-                phases = prof.get("phases")
-                need(isinstance(phases, dict),
-                     f"{where}: host_profile.phases must be an object")
-                for name, p in (phases or {}).items():
-                    for f in ("calls", "incl_ns", "excl_ns"):
-                        need(isinstance(p.get(f), int),
-                             f"{where}: host_profile.phases[{name!r}] "
-                             f"missing integer {f!r}")
+        check_result(r, where, need, v2)
     return problems
+
+
+def check_campaign_doc(doc, need):
+    """Validate the campaign envelope plus each embedded run result."""
+    need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
+    need(isinstance(doc.get("campaign"), str),
+         "missing string field 'campaign'")
+    need(isinstance(doc.get("campaign_seed"), int),
+         "missing integer field 'campaign_seed'")
+    need(isinstance(doc.get("pool_jobs"), int) and
+         doc.get("pool_jobs", 0) >= 1,
+         "pool_jobs must be an integer >= 1")
+    need(isinstance(doc.get("environment"), dict),
+         "missing object field 'environment'")
+
+    summary = doc.get("summary")
+    need(isinstance(summary, dict), "missing object field 'summary'")
+    jobs = doc.get("jobs")
+    need(isinstance(jobs, list), "missing array field 'jobs'")
+    if not isinstance(jobs, list):
+        return
+
+    counts = dict.fromkeys(JOB_STATUSES, 0)
+    for i, job in enumerate(jobs):
+        where = f"jobs[{i}]"
+        need(isinstance(job, dict), f"{where} is not an object")
+        if not isinstance(job, dict):
+            continue
+        need(isinstance(job.get("label"), str), f"{where}: missing label")
+        need(job.get("index") == i,
+             f"{where}: index {job.get('index')!r} out of order")
+        status = job.get("status")
+        need(status in JOB_STATUSES,
+             f"{where}: status {status!r} not in {JOB_STATUSES}")
+        if status in counts:
+            counts[status] += 1
+        for k in ("attempts", "seed", "host_ns"):
+            need(isinstance(job.get(k), int),
+                 f"{where}: missing integer field {k!r}")
+        if status == "ok":
+            result = job.get("result")
+            values = job.get("values")
+            need(isinstance(result, dict) != isinstance(values, dict),
+                 f"{where}: an ok job carries exactly one of "
+                 "result/values")
+            if isinstance(result, dict):
+                check_result(result, f"{where}.result", need, v2=True)
+            if isinstance(values, dict):
+                bad = [k for k, v in values.items()
+                       if not isinstance(v, (int, float))]
+                need(not bad,
+                     f"{where}: non-numeric values: {bad[:3]}")
+        else:
+            need("result" not in job,
+                 f"{where}: a {status} job must not carry a result")
+
+    if isinstance(summary, dict):
+        need(summary.get("total") == len(jobs),
+             f"summary.total {summary.get('total')!r} != "
+             f"{len(jobs)} jobs")
+        for status in JOB_STATUSES:
+            need(summary.get(status) == counts[status],
+                 f"summary.{status} {summary.get(status)!r} != "
+                 f"{counts[status]} counted from jobs[]")
+        for k in ("retries", "steals"):
+            need(isinstance(summary.get(k), int),
+                 f"summary.{k} must be an integer")
+
+    aggregates = doc.get("aggregates")
+    need(isinstance(aggregates, dict),
+         "missing object field 'aggregates'")
+    for kind, agg in (aggregates or {}).items():
+        where = f"aggregates[{kind!r}]"
+        for k in ("jobs", "host_ns", "key_mismatches"):
+            need(isinstance(agg.get(k), int),
+                 f"{where}: missing integer field {k!r}")
+        for grp in ("mc_stats", "dram_stats"):
+            stats = agg.get(grp)
+            need(isinstance(stats, dict), f"{where}: missing {grp}")
+
+
+def run_view(doc):
+    """Project a document onto run-v2 shape: campaign documents expose
+    their successful run-jobs as the result list."""
+    if doc.get("schema") != CAMPAIGN_SCHEMA:
+        return doc
+    results = [j["result"] for j in doc.get("jobs", [])
+               if j.get("status") == "ok" and isinstance(j.get("result"),
+                                                         dict)]
+    return {"schema": "compresso-run-v2", "tool": doc.get("tool", "?"),
+            "results": results}
 
 
 def cmd_check(args):
@@ -128,19 +236,55 @@ def cmd_check(args):
         print(p, file=sys.stderr)
     if problems:
         return 1
+    if doc["schema"] == CAMPAIGN_SCHEMA:
+        s = doc["summary"]
+        print(f"{args.file}: valid {doc['schema']} "
+              f"({doc['tool']}, campaign {doc['campaign']!r}, "
+              f"{s['total']} jobs: {s['ok']} ok, {s['failed']} failed, "
+              f"{s['timeout']} timeout, {s['skipped']} skipped)")
+        return 0
     n = len(doc["results"])
     print(f"{args.file}: valid {doc['schema']} "
           f"({doc['tool']}, {n} results)")
     return 0
 
 
+def campaign_digest(doc):
+    """Print the scheduling digest + custom-job values of a campaign."""
+    s = doc["summary"]
+    print(f"campaign: {doc['campaign']}  workers: {doc['pool_jobs']}  "
+          f"wall: {doc.get('wall_ns', 0) / 1e9:.1f}s  "
+          f"jobs: {s['ok']}/{s['total']} ok "
+          f"({s['failed']} failed, {s['timeout']} timeout, "
+          f"{s['skipped']} skipped)  retries: {s['retries']}  "
+          f"steals: {s['steals']}")
+    bad = [j for j in doc["jobs"] if j["status"] != "ok"]
+    for j in bad[:8]:
+        print(f"  {j['status']:8} {j['label']}: "
+              f"{j.get('error', '?')}")
+    if len(bad) > 8:
+        print(f"  ... and {len(bad) - 8} more")
+    custom = [j for j in doc["jobs"]
+              if j["status"] == "ok" and "values" in j]
+    if custom:
+        print("custom-job values:")
+        for j in custom:
+            vals = "  ".join(f"{k}={v:g}"
+                             for k, v in sorted(j["values"].items()))
+            print(f"  {j['label'][:40]:40} {vals}")
+    print()
+
+
 def cmd_summary(args):
-    doc = load(args.file)
-    problems = check_doc(doc, args.file)
+    full = load(args.file)
+    problems = check_doc(full, args.file)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)
         return 1
+    if full.get("schema") == CAMPAIGN_SCHEMA:
+        campaign_digest(full)
+    doc = run_view(full)
 
     print(f"tool: {doc['tool']}  results: {len(doc['results'])}")
     hdr = (f"{'label':32} {'cycles':>12} {'IPC':>7} {'ratio':>7} "
@@ -192,6 +336,7 @@ def cmd_diff(args):
         for p in problems:
             print(p, file=sys.stderr)
         return 1
+    a, b = run_view(a), run_view(b)
 
     by_label_a = {r["label"]: r for r in a["results"]}
     by_label_b = {r["label"]: r for r in b["results"]}

@@ -5,6 +5,13 @@ bench_runner writes the format (BENCH_<suite>.json); CI compares a
 fresh run of the quick suite against the committed baseline under
 bench/baselines/. Stdlib-only.
 
+Either side may instead be a compresso-campaign-v1 document
+(bench_runner --campaign-json): its per-job host profiles are grouped
+by bench name (repeat jobs carry a "#rN" label suffix) and reduced to
+the same median/spread summaries, so the per-job host_ns_per_ref gate
+is unchanged. Campaign documents measured with --jobs > 1 share the
+machine between workers — gate against a --jobs 1 run.
+
 The gate watches host_ns_per_ref (median): a relative increase above
 --fail-threshold exits 1; above --warn-threshold it only warns. A bench
 whose per-document spread exceeds the observed delta is reported as
@@ -22,6 +29,7 @@ import json
 import sys
 
 SCHEMA = "compresso-bench-v1"
+CAMPAIGN_SCHEMA = "compresso-campaign-v1"
 
 SIM_FIELDS = ["perf", "comp_ratio", "effective_ratio", "extra_total",
               "md_hit_rate"]
@@ -35,6 +43,83 @@ def load(path):
         sys.exit(f"error: cannot read {path}: {e}")
 
 
+def summarize(xs):
+    """median + (max-min)/median over repeats, like bench_runner."""
+    xs = sorted(xs)
+    n = len(xs)
+    median = xs[n // 2] if n % 2 else 0.5 * (xs[n // 2 - 1] + xs[n // 2])
+    spread = (xs[-1] - xs[0]) / median if median > 0 else 0.0
+    return {"median": median, "spread": spread}
+
+
+def check_campaign_doc(doc, path):
+    """Return schema problems for the parts benches_view() relies on."""
+    problems = []
+
+    def need(cond, msg):
+        if not cond:
+            problems.append(f"{path}: {msg}")
+
+    need(doc.get("schema") == CAMPAIGN_SCHEMA, "not a campaign document")
+    jobs = doc.get("jobs")
+    need(isinstance(jobs, list) and jobs, "missing/empty 'jobs' array")
+    if not isinstance(jobs, list):
+        return problems
+    for i, job in enumerate(jobs):
+        where = f"jobs[{i}]"
+        need(isinstance(job, dict) and
+             isinstance(job.get("label"), str) and
+             job.get("status") in ("ok", "failed", "timeout", "skipped"),
+             f"{where}: needs label + status")
+        if not isinstance(job, dict) or job.get("status") != "ok":
+            continue
+        result = job.get("result")
+        if result is None:
+            continue  # custom jobs carry no host profile to gate
+        prof = result.get("host_profile") if isinstance(result, dict) \
+            else None
+        need(isinstance(prof, dict) and prof.get("enabled") and
+             isinstance(prof.get("host_ns_per_ref"), (int, float)),
+             f"{where}: run jobs need an enabled host_profile "
+             "(bench_runner runs with --prof semantics)")
+        sim_ok = isinstance(result, dict) and all(
+            isinstance(result.get(k), (int, float)) for k in SIM_FIELDS)
+        need(sim_ok, f"{where}: result missing simulated metrics")
+    return problems
+
+
+def benches_view(doc, path):
+    """Project a document onto the benches dict the comparison walks.
+
+    bench-v1 documents pass through; campaign-v1 documents group their
+    ok run-jobs by bench name (label minus any '#rN' repeat suffix)
+    and reduce each group's host profiles to median/spread.
+    """
+    if doc.get("schema") != CAMPAIGN_SCHEMA:
+        return doc.get("benches")
+    groups = {}
+    for job in doc["jobs"]:
+        if job.get("status") != "ok" or "result" not in job:
+            continue
+        name = job["label"].rsplit("#r", 1)[0]
+        groups.setdefault(name, []).append(job["result"])
+    benches = {}
+    for name, results in groups.items():
+        prof = [r["host_profile"] for r in results]
+        first = results[0]
+        benches[name] = {
+            "simulated": {k: first[k] for k in SIM_FIELDS},
+            "host": {
+                "wall_ns": summarize([p["wall_ns"] for p in prof]),
+                "host_ns_per_ref":
+                    summarize([p["host_ns_per_ref"] for p in prof]),
+                "refs_per_host_sec":
+                    summarize([p["refs_per_host_sec"] for p in prof]),
+            },
+        }
+    return benches
+
+
 def check_doc(doc, path):
     """Return a list of schema problems (empty = valid)."""
     problems = []
@@ -46,8 +131,11 @@ def check_doc(doc, path):
     need(isinstance(doc, dict), "top level is not an object")
     if not isinstance(doc, dict):
         return problems
+    if doc.get("schema") == CAMPAIGN_SCHEMA:
+        return check_campaign_doc(doc, path)
     need(doc.get("schema") == SCHEMA,
-         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r} "
+         f"or {CAMPAIGN_SCHEMA!r}")
     need(isinstance(doc.get("suite"), str), "missing string field 'suite'")
     benches = doc.get("benches")
     need(isinstance(benches, dict), "missing object field 'benches'")
@@ -99,7 +187,8 @@ def main():
             print(p, file=sys.stderr)
         return 2
 
-    bb, cb = base["benches"], cand["benches"]
+    bb = benches_view(base, args.baseline)
+    cb = benches_view(cand, args.candidate)
     shared = [n for n in bb if n in cb]
     for n in bb:
         if n not in cb:
