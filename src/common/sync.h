@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Annotated synchronization primitives (DESIGN.md §13).
+ *
+ * Thin wrappers over the std primitives that carry the Clang
+ * thread-safety capabilities from "common/thread_annotations.h", so a
+ * Clang build statically verifies every GUARDED_BY / REQUIRES
+ * contract written against them. This header is the only place in
+ * src/ allowed to name std::mutex / std::lock_guard /
+ * std::condition_variable — the compresso_lint raw-sync-primitive
+ * rule enforces that, because a raw std::mutex is invisible to the
+ * analysis and silently punches a hole in the proofs.
+ *
+ * Lock with the RAII MutexLock; CondVar waits take the Mutex itself
+ * (condition_variable_any unlocks/relocks it around the sleep) and
+ * must be wrapped in the usual `while (!predicate)` loop — the
+ * analysis can then see the guarded predicate being read under the
+ * lock, which the std::unique_lock + lambda-predicate idiom hides.
+ */
+
+#ifndef COMPRESSO_COMMON_SYNC_H
+#define COMPRESSO_COMMON_SYNC_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace compresso {
+
+/** std::mutex carrying a thread-safety capability. */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/** RAII scope lock over Mutex (the project's lock_guard). */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : mu_(mu) { mu.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Condition variable waiting directly on Mutex. The waits REQUIRE the
+ * mutex and keep it held (conceptually) across the call; internally
+ * condition_variable_any drops and reacquires it, which is opaque to
+ * the analysis — hence the NO_THREAD_SAFETY_ANALYSIS on the bodies,
+ * the one sanctioned use of that escape hatch.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Sleep until notified (spurious wakeups possible; loop on the
+     *  guarded predicate). */
+    void
+    wait(Mutex &mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS
+    {
+        cv_.wait(mu);
+    }
+
+    /** Sleep until notified or @p dur elapsed. */
+    template <class Rep, class Period>
+    std::cv_status
+    wait_for(Mutex &mu, const std::chrono::duration<Rep, Period> &dur)
+        REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS
+    {
+        return cv_.wait_for(mu, dur);
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_COMMON_SYNC_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros (DESIGN.md §13).
+ *
+ * These wrap the `__attribute__((...))` spellings understood by
+ * Clang's `-Wthread-safety` static analysis, which proves at compile
+ * time that every field marked GUARDED_BY is only touched while its
+ * lock is held and that every REQUIRES contract is met at every call
+ * site — the static counterpart of the tsan preset, covering *all*
+ * interleavings instead of the ones a test happened to schedule.
+ *
+ * On non-Clang compilers (the GCC tier-1 build) every macro expands
+ * to nothing, so annotated code is plain C++ everywhere and verified
+ * wherever Clang builds it (the CI static-analysis job does, with
+ * -Werror=thread-safety).
+ *
+ * Use the annotated Mutex / MutexLock / CondVar wrappers from
+ * "common/sync.h" rather than raw std primitives — std::mutex cannot
+ * carry a capability, so the analysis (and the compresso_lint
+ * raw-sync-primitive rule) only accepts the wrappers.
+ *
+ * Annotation cheat-sheet:
+ *   CAPABILITY("mutex")      class is a lockable capability
+ *   SCOPED_CAPABILITY        RAII object that acquires/releases one
+ *   GUARDED_BY(mu)           field may only be read/written under mu
+ *   PT_GUARDED_BY(mu)        pointee (not the pointer) guarded by mu
+ *   REQUIRES(mu)             caller must hold mu across the call
+ *   ACQUIRE(mu) / RELEASE(mu)  function takes / drops mu
+ *   TRY_ACQUIRE(ok, mu)      returns `ok` when mu was taken
+ *   EXCLUDES(mu)             caller must NOT hold mu (deadlock guard)
+ *   ACQUIRED_BEFORE/AFTER    document lock ordering
+ *   NO_THREAD_SAFETY_ANALYSIS  opt a definition out (justify why!)
+ */
+
+#ifndef COMPRESSO_COMMON_THREAD_ANNOTATIONS_H
+#define COMPRESSO_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && !defined(SWIG)
+#define CPR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CPR_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) CPR_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY CPR_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) CPR_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) CPR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) CPR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CPR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) CPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...)                                             \
+    CPR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) CPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...)                                              \
+    CPR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) CPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...)                                              \
+    CPR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...)                                             \
+    CPR_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) CPR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...)                                          \
+    CPR_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) CPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) CPR_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x)                                      \
+    CPR_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) CPR_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS                                        \
+    CPR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // COMPRESSO_COMMON_THREAD_ANNOTATIONS_H

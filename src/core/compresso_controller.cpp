@@ -392,7 +392,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             tail_empty = m.line_code[i] == 0;
     }
     if (tail_empty) {
-        ++stats_["free_slot_growths"];
+        ++st_free_slot_growths_;
         uint32_t old_alloc = allocBytes(m);
         m.line_code[idx] = uint8_t(enc.bin);
         uint32_t new_used = uint32_t(roundUp(packBytes(m), kLineBytes));
@@ -401,14 +401,14 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             // Growing to admit a first write is not overflow pressure:
             // nothing moved (chunked) and no data shrank. Keep it out
             // of the predictor's page-overflow signal.
-            ++stats_["free_page_grows"];
+            ++st_free_page_grows_;
             if (cfg_.page_sizing == PageSizing::kVariable4 &&
                 old_alloc > 0) {
                 // Variable-size chunks: growth relocates the page.
                 uint32_t moved = offsets_.offset(m.line_code, idx);
                 unsigned blocks =
                     unsigned((moved + kLineBytes - 1) / kLineBytes);
-                stats_["overflow_move_ops"] += 2ull * blocks;
+                st_overflow_move_ops_ += 2ull * blocks;
                 deviceOps(m, 0, moved, false, false, trace);
             }
             if (!resizeAlloc(m, unsigned((new_alloc + kChunkBytes - 1) /
@@ -425,7 +425,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
         return;
     }
 
-    ++stats_["line_overflows"];
+    ++st_line_overflows_;
     CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, page, idx);
     uint8_t *counter = mdcache_.predictorCounter(page);
     predictor_.onLineOverflow(counter);
@@ -442,7 +442,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             m.inflate_line[m.inflate_count++] = uint8_t(idx);
             deviceOps(m, off, kLineBytes, true, false, trace);
             storeBytes(m, off, raw.data(), kLineBytes);
-            ++stats_["ir_placements"];
+            ++st_ir_placements_;
             return;
         }
     }
@@ -452,7 +452,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
     // page overflows, skip the incremental size bins and speculatively
     // inflate straight to uncompressed 4 KB.
     if (cfg_.overflow_prediction && predictor_.predictInflate(counter)) {
-        ++stats_["predictor_inflations"];
+        ++st_predictor_inflations_;
         CPR_OBS_EVENT(obs_, ObsEvent::kInflation, page, 1);
         inflateToUncompressed(page, m, trace);
         shadow(page).predictor_inflated = true;
@@ -468,10 +468,10 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
         cfg_.page_sizing == PageSizing::kChunked512 &&
         m.inflate_count < kMaxInflatedLines &&
         m.chunks < kChunksPerPage && resizeAlloc(m, m.chunks + 1)) {
-        ++stats_["dyn_ir_expansions"];
+        ++st_dyn_ir_expansions_;
         // The page did outgrow its allocation; the expansion just made
         // the overflow cheap (1 write, no moves).
-        ++stats_["page_overflows"];
+        ++st_page_overflows_;
         CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, page, 1);
         predictorPageOverflow(page);
         uint32_t base = irBase(m);
@@ -480,7 +480,7 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
         m.inflate_line[m.inflate_count++] = uint8_t(idx);
         deviceOps(m, off, kLineBytes, true, false, trace);
         storeBytes(m, off, raw.data(), kLineBytes);
-        ++stats_["ir_placements"];
+        ++st_ir_placements_;
         return;
     }
 
@@ -534,7 +534,7 @@ CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
 
     bool page_grew = new_alloc > allocBytes(m);
     if (page_grew) {
-        ++stats_["page_overflows"];
+        ++st_page_overflows_;
         CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, page, 0);
         predictorPageOverflow(page);
     }
@@ -550,7 +550,7 @@ CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
     }
     uint32_t moved = old_used > move_from ? old_used - move_from : 0;
     unsigned move_blocks = unsigned((moved + kLineBytes - 1) / kLineBytes);
-    stats_["overflow_move_ops"] += 2ull * move_blocks;
+    st_overflow_move_ops_ += 2ull * move_blocks;
     // Enqueue bandwidth for the move (reads then writes, background).
     if (m.chunks > 0) {
         deviceOps(m, move_from, moved, false, false, trace);
@@ -617,7 +617,7 @@ CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
         : uint32_t(kPageBytes);
     if (m.chunks > 0)
         deviceOps(m, 0, old_used, false, false, trace);
-    stats_["overflow_move_ops"] +=
+    st_overflow_move_ops_ +=
         (old_used + kLineBytes - 1) / kLineBytes + kLinesPerPage;
 
     if (!resizeAlloc(m, unsigned(kChunksPerPage)))
@@ -673,9 +673,9 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         all_zero &= sh.actual_bin[i] == 0;
     }
 
-    ++stats_["repacks"];
+    ++st_repacks_;
     unsigned read_blocks = unsigned((old_used + kLineBytes - 1) / kLineBytes);
-    stats_["repack_read_ops"] += read_blocks;
+    st_repack_read_ops_ += read_blocks;
     deviceOps(m, 0, old_used, false, false, trace);
     CPR_OBS_HIST(h_page_free_, m.free_space);
 
@@ -710,7 +710,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         for (LineIdx i = 0; i < kLinesPerPage; ++i)
             storeBytes(m, i * uint32_t(kLineBytes), buf[i].data(),
                        kLineBytes);
-        stats_["repack_write_ops"] += kLinesPerPage;
+        st_repack_write_ops_ += kLinesPerPage;
         deviceOps(m, 0, kPageBytes, true, false, trace);
         mdcache_.reshape(page, m.halfCacheable());
         CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page,
@@ -742,7 +742,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         }
     }
     unsigned write_blocks = unsigned((new_used + kLineBytes - 1) / kLineBytes);
-    stats_["repack_write_ops"] += write_blocks;
+    st_repack_write_ops_ += write_blocks;
     deviceOps(m, 0, new_used, true, false, trace);
     predictorPageShrink(page);
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page,
@@ -972,7 +972,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
                             fault_.linePoisoned(lineAddr(addr)))) {
         // Retired by the degradation ladder: serve the poison value.
         data.fill(0);
-        ++stats_["fault_poison_fills"];
+        ++st_fault_poison_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -1078,7 +1078,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         if (fault_.pagePoisoned(page)) {
             // The page was retired; the OS must remap it (freePage)
             // before it can hold data again.
-            ++stats_["fault_dropped_wbs"];
+            ++st_fault_dropped_wbs_;
             cur_trace_ = nullptr;
             return;
         }

@@ -279,6 +279,19 @@ class CompressoController : public MemoryController
     uint64_t &st_split_wb_lines_ = stats_.stat("split_wb_lines");
     uint64_t &st_line_underflows_ = stats_.stat("line_underflows");
     uint64_t &st_co_fetched_lines_ = stats_.stat("co_fetched_lines");
+    uint64_t &st_free_slot_growths_ = stats_.stat("free_slot_growths");
+    uint64_t &st_free_page_grows_ = stats_.stat("free_page_grows");
+    uint64_t &st_overflow_move_ops_ = stats_.stat("overflow_move_ops");
+    uint64_t &st_line_overflows_ = stats_.stat("line_overflows");
+    uint64_t &st_ir_placements_ = stats_.stat("ir_placements");
+    uint64_t &st_predictor_inflations_ = stats_.stat("predictor_inflations");
+    uint64_t &st_dyn_ir_expansions_ = stats_.stat("dyn_ir_expansions");
+    uint64_t &st_page_overflows_ = stats_.stat("page_overflows");
+    uint64_t &st_repacks_ = stats_.stat("repacks");
+    uint64_t &st_repack_read_ops_ = stats_.stat("repack_read_ops");
+    uint64_t &st_repack_write_ops_ = stats_.stat("repack_write_ops");
+    uint64_t &st_fault_poison_fills_ = stats_.stat("fault_poison_fills");
+    uint64_t &st_fault_dropped_wbs_ = stats_.stat("fault_dropped_wbs");
 
     // Observability (src/obs): null when disabled.
     Observer *obs_ = nullptr;

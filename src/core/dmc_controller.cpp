@@ -276,7 +276,7 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
     CPR_PROF_SCOPE(ProfPhase::kMcRepack);
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
-    stats_["migration_ops"] += trace.ops.size();
+    st_migration_ops_ += trace.ops.size();
 
     // Compress each 1 KB block as one unit (line streams concatenated).
     std::array<std::vector<uint8_t>, kColdBlocks> blocks;
@@ -307,7 +307,7 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
         off += p.cold_bytes[b];
     }
     deviceOps(p, 0, total, true, false, trace);
-    ++stats_["demotions"];
+    ++st_demotions_;
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 0);
 }
 
@@ -318,8 +318,8 @@ DmcController::promoteToHot(PageNum pn, Page &p, McTrace &trace)
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     layoutHot(p, buf, trace);
-    stats_["migration_ops"] += trace.ops.size();
-    ++stats_["promotions"];
+    st_migration_ops_ += trace.ops.size();
+    ++st_promotions_;
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 1);
 }
 
@@ -449,7 +449,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     if (fault_.active() && (fault_.pagePoisoned(pn) ||
                             fault_.linePoisoned(lineAddr(addr)))) {
         data.fill(0);
-        ++stats_["fault_poison_fills"];
+        ++st_fault_poison_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -469,7 +469,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
             off += p.cold_bytes[i];
         deviceOps(p, off, p.cold_bytes[b], false, true, trace);
         trace.fixed_latency += cfg_.cold_latency;
-        ++stats_["cold_block_reads"];
+        ++st_cold_block_reads_;
         if (fault_.takePending() == FaultOutcome::kDetected) {
             poisonDataFault(lineAddr(addr), p, off, p.cold_bytes[b],
                             trace);
@@ -534,7 +534,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     if (fault_.active()) {
         if (fault_.pagePoisoned(pn)) {
-            ++stats_["fault_dropped_wbs"];
+            ++st_fault_dropped_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -545,7 +545,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     if (!p.valid) {
         p.valid = true;
         p.zero = true;
-        ++stats_["pages_touched"];
+        ++st_pages_touched_;
     }
     if (p.zero) {
         if (zero) {
@@ -590,13 +590,13 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         // No inflation room in DMC: every overflow re-lays the page
         // out (the data-movement cost the paper points at).
         CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
-        ++stats_["line_overflows"];
+        ++st_line_overflows_;
         CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
         std::array<Line, kLinesPerPage> buf;
         gather(p, buf, &trace);
         buf[idx] = data;
         layoutHot(p, buf, trace);
-        stats_["migration_ops"] += 2;
+        st_migration_ops_ += 2;
     }
 
     if (++epoch_wbs_ >= cfg_.epoch_writebacks) {

@@ -181,6 +181,14 @@ class DmcController : public MemoryController
     uint64_t &st_md_read_ops_ = stats_.stat("md_read_ops");
     uint64_t &st_split_fill_lines_ = stats_.stat("split_fill_lines");
     uint64_t &st_split_extra_ops_ = stats_.stat("split_extra_ops");
+    uint64_t &st_migration_ops_ = stats_.stat("migration_ops");
+    uint64_t &st_demotions_ = stats_.stat("demotions");
+    uint64_t &st_promotions_ = stats_.stat("promotions");
+    uint64_t &st_fault_poison_fills_ = stats_.stat("fault_poison_fills");
+    uint64_t &st_cold_block_reads_ = stats_.stat("cold_block_reads");
+    uint64_t &st_fault_dropped_wbs_ = stats_.stat("fault_dropped_wbs");
+    uint64_t &st_pages_touched_ = stats_.stat("pages_touched");
+    uint64_t &st_line_overflows_ = stats_.stat("line_overflows");
 
     Observer *obs_ = nullptr;
     Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer

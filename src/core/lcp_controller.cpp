@@ -263,13 +263,13 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
                             McTrace &trace)
 {
     CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
-    ++stats_["page_overflows"];
-    ++stats_["page_faults"];
+    ++st_page_overflows_;
+    ++st_page_faults_;
     CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, pn, 0);
     CPR_OBS_EVENT(obs_, ObsEvent::kPageFault, pn,
                   uint32_t(cfg_.page_fault_cycles));
     // OS-aware: the overflow raises a page fault; the core stalls.
-    stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+    st_page_fault_cycles_ += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
 
     // Gather all current data. The triggering line is taken from the
@@ -286,7 +286,7 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
     p.actual_bytes[idx] = uint16_t(enc.bytes.size());
 
     uint32_t old_used = allocBytes(p);
-    stats_["overflow_move_ops"] += old_used / kLineBytes;
+    st_overflow_move_ops_ += old_used / kLineBytes;
     deviceOps(p, 0, old_used, false, false, trace);
 
     // Re-layout with the best target for the actual sizes.
@@ -335,7 +335,7 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
     }
     uint32_t new_used = uint32_t(kLinesPerPage) * p.target +
                         uint32_t(next_exc) * uint32_t(kLineBytes);
-    stats_["overflow_move_ops"] += (new_used + kLineBytes - 1) / kLineBytes;
+    st_overflow_move_ops_ += (new_used + kLineBytes - 1) / kLineBytes;
     deviceOps(p, 0, new_used, true, false, trace);
 }
 
@@ -363,8 +363,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
     CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
                   uint32_t(FaultRung::kMetaRebuild));
     fi->noteMetaRebuild();
-    ++stats_["page_faults"];
-    stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+    ++st_page_faults_;
+    st_page_fault_cycles_ += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
     size_t before = trace.ops.size();
     {
@@ -434,7 +434,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
     if (fault_.active() && (fault_.pagePoisoned(pn) ||
                             fault_.linePoisoned(lineAddr(addr)))) {
         data.fill(0);
-        ++stats_["fault_poison_fills"];
+        ++st_fault_poison_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -459,8 +459,8 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     if (p.exc_slot[idx] != 0xff) {
         // Speculation failed: serialized exception access.
-        ++stats_["exception_accesses"];
-        stats_["exception_extra_ops"] += blocks; // the wasted slot read
+        ++st_exception_accesses_;
+        st_exception_extra_ops_ += blocks; // the wasted slot read
         deviceOps(p, excOffset(p, p.exc_slot[idx]), kLineBytes, false,
                   true, trace);
         if (fault_.takePending() == FaultOutcome::kDetected) {
@@ -523,7 +523,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     if (fault_.active()) {
         if (fault_.pagePoisoned(pn)) {
-            ++stats_["fault_dropped_wbs"];
+            ++st_fault_dropped_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -536,7 +536,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     if (!p.valid) {
         p.valid = true;
         p.zero = true;
-        ++stats_["pages_touched"];
+        ++st_pages_touched_;
     }
 
     if (p.zero) {
@@ -575,7 +575,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         return;
     }
 
-    ++stats_["line_overflows"];
+    ++st_line_overflows_;
     CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
     if (p.exc_slot[idx] != 0xff) {
         // Already an exception: overwrite in place.
@@ -599,7 +599,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         uint32_t off = excOffset(p, p.exc_slot[idx]);
         deviceOps(p, off, kLineBytes, true, false, trace);
         storeBytes(p, off, data.data(), kLineBytes);
-        ++stats_["ir_placements"];
+        ++st_ir_placements_;
         cur_trace_ = nullptr;
         return;
     }

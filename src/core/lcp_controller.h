@@ -214,6 +214,17 @@ class LcpController : public MemoryController
     uint64_t &st_split_wb_lines_ = stats_.stat("split_wb_lines");
     uint64_t &st_split_extra_ops_ = stats_.stat("split_extra_ops");
     uint64_t &st_co_fetched_lines_ = stats_.stat("co_fetched_lines");
+    uint64_t &st_page_overflows_ = stats_.stat("page_overflows");
+    uint64_t &st_page_faults_ = stats_.stat("page_faults");
+    uint64_t &st_page_fault_cycles_ = stats_.stat("page_fault_cycles");
+    uint64_t &st_overflow_move_ops_ = stats_.stat("overflow_move_ops");
+    uint64_t &st_fault_poison_fills_ = stats_.stat("fault_poison_fills");
+    uint64_t &st_exception_accesses_ = stats_.stat("exception_accesses");
+    uint64_t &st_exception_extra_ops_ = stats_.stat("exception_extra_ops");
+    uint64_t &st_fault_dropped_wbs_ = stats_.stat("fault_dropped_wbs");
+    uint64_t &st_pages_touched_ = stats_.stat("pages_touched");
+    uint64_t &st_line_overflows_ = stats_.stat("line_overflows");
+    uint64_t &st_ir_placements_ = stats_.stat("ir_placements");
 
     Observer *obs_ = nullptr;
     Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer

@@ -218,7 +218,7 @@ RmcController::relayout(PageNum pn, Page &p,
         old_used += p.sub_alloc[sp];
     if (p.chunks > 0)
         deviceOps(p, 0, old_used, false, false, trace);
-    stats_["overflow_move_ops"] += (old_used + kLineBytes - 1) /
+    st_overflow_move_ops_ += (old_used + kLineBytes - 1) /
                                    kLineBytes;
 
     p.code = codes;
@@ -241,15 +241,15 @@ RmcController::relayout(PageNum pn, Page &p,
                        uint32_t(kChunkBytes));
 
     if (os_fault) {
-        ++stats_["page_overflows"];
-        ++stats_["page_faults"];
+        ++st_page_overflows_;
+        ++st_page_faults_;
         CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, pn, 0);
         CPR_OBS_EVENT(obs_, ObsEvent::kPageFault, pn,
                       uint32_t(cfg_.page_fault_cycles));
-        stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+        st_page_fault_cycles_ += cfg_.page_fault_cycles;
         trace.stall_cycles += cfg_.page_fault_cycles;
     } else {
-        ++stats_["subpage_shifts"];
+        ++st_subpage_shifts_;
     }
 
     uint32_t new_used = 0;
@@ -268,7 +268,7 @@ RmcController::relayout(PageNum pn, Page &p,
         }
     }
     deviceOps(p, 0, new_used, true, false, trace);
-    stats_["overflow_move_ops"] += (new_used + kLineBytes - 1) /
+    st_overflow_move_ops_ += (new_used + kLineBytes - 1) /
                                    kLineBytes;
 }
 
@@ -296,8 +296,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
     CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
                   uint32_t(FaultRung::kMetaRebuild));
     fi->noteMetaRebuild();
-    ++stats_["page_faults"];
-    stats_["page_fault_cycles"] += cfg_.page_fault_cycles;
+    ++st_page_faults_;
+    st_page_fault_cycles_ += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
     size_t before = trace.ops.size();
     {
@@ -373,7 +373,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     if (fault_.active() && (fault_.pagePoisoned(pn) ||
                             fault_.linePoisoned(lineAddr(addr)))) {
         data.fill(0);
-        ++stats_["fault_poison_fills"];
+        ++st_fault_poison_fills_;
         cur_trace_ = nullptr;
         return;
     }
@@ -420,7 +420,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
 
     if (fault_.active()) {
         if (fault_.pagePoisoned(pn)) {
-            ++stats_["fault_dropped_wbs"];
+            ++st_fault_dropped_wbs_;
             cur_trace_ = nullptr;
             return;
         }
@@ -436,7 +436,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     if (!p.valid) {
         p.valid = true;
         p.zero = true;
-        ++stats_["pages_touched"];
+        ++st_pages_touched_;
     }
     if (p.zero) {
         if (zero) {
@@ -452,7 +452,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         // relayout() reads old content; page has no chunks yet.
         trace.fixed_latency += cfg_.compression_latency;
         relayout(pn, p, codes, idx, data, false, trace);
-        stats_["subpage_shifts"] -= 1; // initial layout is not a shift
+        st_subpage_shifts_ -= 1; // initial layout is not a shift
         cur_trace_ = nullptr;
         return;
     }
@@ -488,7 +488,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     }
 
     // Line overflow: try to absorb it in the subpage's hysteresis.
-    ++stats_["line_overflows"];
+    ++st_line_overflows_;
     CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
     unsigned sp = subpageOf(idx);
     std::array<uint8_t, kLinesPerPage> codes = p.code;
@@ -532,10 +532,10 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         }
         deviceOps(p, moved_from, sub_end - moved_from, true, false,
                   trace);
-        stats_["overflow_move_ops"] +=
+        st_overflow_move_ops_ +=
             2ull * ((sub_end - moved_from + kLineBytes - 1) /
                     kLineBytes);
-        ++stats_["hysteresis_absorbs"];
+        ++st_hysteresis_absorbs_;
         cur_trace_ = nullptr;
         return;
     }

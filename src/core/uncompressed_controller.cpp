@@ -10,10 +10,10 @@ UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
     CPR_PROF_SCOPE(ProfPhase::kMcFill);
     Addr la = lineAddr(addr);
     touched_pages_.insert(pageOf(addr));
-    ++stats_["fills"];
+    ++st_fills_;
     if (fault_.active() && fault_.linePoisoned(la)) {
         data.fill(0);
-        ++stats_["fault_poison_fills"];
+        ++st_fault_poison_fills_;
         return;
     }
     auto it = store_.find(la);
@@ -22,7 +22,7 @@ UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
     else
         data.fill(0);
     trace.add(la, false, true);
-    ++stats_["data_reads"];
+    ++st_data_reads_;
     if (fault_.active()) {
         fault_.onCriticalRead(la);
         if (fault_.takePending() == FaultOutcome::kDetected) {
@@ -30,12 +30,12 @@ UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
             // trace (retry read + poison-pattern rewrite, scrubbing
             // the block).
             fault_.poisonLine(la);
-            ++stats_["fault_lines_poisoned"];
+            ++st_fault_lines_poisoned_;
             trace.add(la, false, false);
             trace.add(la, true, false);
             fault_.onWrite(la);
             fault_.injector()->noteRecoveryOps(2);
-            stats_["fault_recovery_ops"] += 2;
+            st_fault_recovery_ops_ += 2;
             data.fill(0);
         }
     }
@@ -48,10 +48,10 @@ UncompressedController::writebackLine(Addr addr, const Line &data,
     CPR_PROF_SCOPE(ProfPhase::kMcWriteback);
     Addr la = lineAddr(addr);
     touched_pages_.insert(pageOf(addr));
-    ++stats_["writebacks"];
+    ++st_writebacks_;
     store_[la] = data;
     trace.add(la, true, false);
-    ++stats_["data_writes"];
+    ++st_data_writes_;
     if (fault_.active()) {
         fault_.clearLinePoison(la);
         fault_.onWrite(la);

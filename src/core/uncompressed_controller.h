@@ -48,6 +48,13 @@ class UncompressedController : public MemoryController
     std::unordered_set<PageNum> touched_pages_;
     FaultHooks fault_;
     StatGroup stats_{"mc"};
+    uint64_t &st_fills_ = stats_.stat("fills");
+    uint64_t &st_fault_poison_fills_ = stats_.stat("fault_poison_fills");
+    uint64_t &st_data_reads_ = stats_.stat("data_reads");
+    uint64_t &st_fault_lines_poisoned_ = stats_.stat("fault_lines_poisoned");
+    uint64_t &st_fault_recovery_ops_ = stats_.stat("fault_recovery_ops");
+    uint64_t &st_writebacks_ = stats_.stat("writebacks");
+    uint64_t &st_data_writes_ = stats_.stat("data_writes");
 };
 
 } // namespace compresso

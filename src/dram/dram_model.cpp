@@ -86,10 +86,10 @@ DramModel::access(Addr addr, bool write, Cycle now)
     if (fault_ != nullptr && !write) {
         unsigned bits = fault_->storedFaultBits(addr);
         if (bits == 1) {
-            ++stats_["ecc_corrections"];
+            ++st_ecc_corrections_;
             dclks += cfg_.ecc_correct_dclks;
         } else if (bits >= 2) {
-            ++stats_["ecc_detections"];
+            ++st_ecc_detections_;
             dclks += cfg_.ecc_detect_dclks;
         }
     }

@@ -119,6 +119,8 @@ class DramModel
     uint64_t &st_row_conflicts_ = stats_.stat("row_conflicts");
     uint64_t &st_activates_ = stats_.stat("activates");
     uint64_t &st_precharges_ = stats_.stat("precharges");
+    uint64_t &st_ecc_corrections_ = stats_.stat("ecc_corrections");
+    uint64_t &st_ecc_detections_ = stats_.stat("ecc_detections");
 };
 
 } // namespace compresso

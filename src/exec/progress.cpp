@@ -36,6 +36,9 @@ ProgressReporter::ProgressReporter(std::string name, uint64_t total,
     : name_(std::move(name)), total_(total), tick_(std::move(tick))
 {
     tty_ = CPR_ISATTY(CPR_FILENO(stderr)) != 0;
+    // Read once at construction, before the reporter thread exists, so
+    // the getenv cannot race a concurrent setenv in this process.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("COMPRESSO_PROGRESS");
     bool env_on = env != nullptr && env[0] == '1';
     bool env_off = env != nullptr && env[0] == '0';
@@ -59,7 +62,7 @@ ProgressReporter::~ProgressReporter()
 {
     if (thread_.joinable()) {
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             stop_ = true;
         }
         cv_.notify_all();
@@ -72,17 +75,23 @@ ProgressReporter::~ProgressReporter()
 void
 ProgressReporter::loop()
 {
-    std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
-        cv_.wait_for(lk, kPeriod, [this] { return stop_; });
-        if (stop_)
-            return;
-        lk.unlock();
+        {
+            MutexLock lk(mu_);
+            // One repaint period per pass; a spurious wakeup only
+            // repaints early, which is harmless.
+            if (!stop_)
+                cv_.wait_for(mu_, kPeriod);
+            if (stop_)
+                return;
+        }
+        // Tick and render outside mu_: they touch only atomics and
+        // constructor-set fields, and must not delay the destructor's
+        // stop handshake.
         if (tick_)
             tick_();
         if (display_)
             render(/*final_line=*/false);
-        lk.lock();
     }
 }
 

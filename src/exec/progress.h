@@ -13,13 +13,14 @@
 #define COMPRESSO_EXEC_PROGRESS_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace compresso {
 
@@ -80,9 +81,9 @@ class ProgressReporter
 
     uint64_t t0_ns_ = 0;
     bool tty_ = false;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mu_;
+    CondVar cv_;
+    bool stop_ GUARDED_BY(mu_) = false;
     std::thread thread_;
 };
 

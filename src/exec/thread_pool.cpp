@@ -17,7 +17,7 @@ ThreadPool::~ThreadPool()
 {
     wait(); // drain: destruction never drops submitted tasks
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -31,14 +31,21 @@ ThreadPool::submit(std::function<void()> task)
     // pending_ rises before the task is visible so a task that finishes
     // instantly can never drive the counter below its true value.
     pending_.fetch_add(1, std::memory_order_relaxed);
-    Lane &lane = *lanes_[next_lane_];
-    next_lane_ = (next_lane_ + 1) % unsigned(lanes_.size());
+    unsigned lane_idx;
     {
-        std::lock_guard<std::mutex> lk(lane.mu);
+        MutexLock lk(mu_);
+        lane_idx = next_lane_;
+        next_lane_ = (next_lane_ + 1) % unsigned(lanes_.size());
+    }
+    Lane &lane = *lanes_[lane_idx];
+    {
+        MutexLock lk(lane.mu);
         lane.tasks.push_back(std::move(task));
     }
+    // The task must be in its lane before the epoch bump: a worker
+    // woken by the new epoch re-scans the lanes and must find it.
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         ++epoch_; // sleeping workers re-scan on epoch change
     }
     work_cv_.notify_one();
@@ -47,10 +54,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lk(mu_);
-    idle_cv_.wait(lk, [this] {
-        return pending_.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lk(mu_);
+    while (pending_.load(std::memory_order_acquire) != 0)
+        idle_cv_.wait(mu_);
 }
 
 std::function<void()>
@@ -59,7 +65,7 @@ ThreadPool::grab(unsigned self)
     // Own lane first, newest-first: the task most likely still warm.
     {
         Lane &mine = *lanes_[self];
-        std::lock_guard<std::mutex> lk(mine.mu);
+        MutexLock lk(mine.mu);
         if (!mine.tasks.empty()) {
             std::function<void()> t = std::move(mine.tasks.back());
             mine.tasks.pop_back();
@@ -70,7 +76,7 @@ ThreadPool::grab(unsigned self)
     unsigned n = unsigned(lanes_.size());
     for (unsigned d = 1; d < n; ++d) {
         Lane &victim = *lanes_[(self + d) % n];
-        std::lock_guard<std::mutex> lk(victim.mu);
+        MutexLock lk(victim.mu);
         if (!victim.tasks.empty()) {
             std::function<void()> t = std::move(victim.tasks.front());
             victim.tasks.pop_front();
@@ -87,7 +93,7 @@ ThreadPool::workerLoop(unsigned self)
     for (;;) {
         uint64_t seen_epoch;
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            MutexLock lk(mu_);
             seen_epoch = epoch_;
         }
         if (std::function<void()> task = grab(self)) {
@@ -95,19 +101,16 @@ ThreadPool::workerLoop(unsigned self)
             if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
                 // Last task out: wake wait()ers. Taking mu_ orders the
                 // notify after any concurrent wait() entered its wait.
-                std::lock_guard<std::mutex> lk(mu_);
+                MutexLock lk(mu_);
                 idle_cv_.notify_all();
             }
             continue;
         }
-        std::unique_lock<std::mutex> lk(mu_);
-        if (stop_)
-            return;
         // A submit between our scan and this lock bumped the epoch;
         // re-scan instead of sleeping through the notify we missed.
-        work_cv_.wait(lk, [this, seen_epoch] {
-            return stop_ || epoch_ != seen_epoch;
-        });
+        MutexLock lk(mu_);
+        while (!stop_ && epoch_ == seen_epoch)
+            work_cv_.wait(mu_);
         if (stop_)
             return;
     }

@@ -14,24 +14,30 @@
  * (not lock-free deques) are entirely sufficient: the steal path runs
  * at most once per idle transition, never per task.
  *
+ * Every shared field is GUARDED_BY its mutex and the class builds
+ * clean under Clang's -Werror=thread-safety (DESIGN.md §13); the lane
+ * cursor lives under mu_, so submit() is safe from any thread, not
+ * just the owner.
+ *
  * Contract: tasks must not throw (the campaign engine catches inside
- * the task body); submit() and wait() are called from the owner
- * thread — wait() is not a barrier for concurrently-submitting
- * threads.
+ * the task body); wait() returns once the pending count has drained —
+ * callers racing wait() against concurrent submitters must provide
+ * their own cutoff.
  */
 
 #ifndef COMPRESSO_EXEC_THREAD_POOL_H
 #define COMPRESSO_EXEC_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace compresso {
 
@@ -45,7 +51,7 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue one task (round-robin lane assignment). */
+    /** Enqueue one task (round-robin lane assignment); thread-safe. */
     void submit(std::function<void()> task);
 
     /** Block until every task submitted so far has completed. */
@@ -71,8 +77,8 @@ class ThreadPool
   private:
     struct Lane
     {
-        std::mutex mu;
-        std::deque<std::function<void()>> tasks;
+        Mutex mu;
+        std::deque<std::function<void()>> tasks GUARDED_BY(mu);
     };
 
     /** Pop (own lane) or steal (any other) one task; empty when dry. */
@@ -82,16 +88,21 @@ class ThreadPool
     std::vector<std::unique_ptr<Lane>> lanes_;
     std::vector<std::thread> workers_;
 
-    /** Guards epoch_/stop_ and backs both condition variables. */
-    std::mutex mu_;
-    std::condition_variable work_cv_; ///< new work may be available
-    std::condition_variable idle_cv_; ///< pending_ reached zero
-    uint64_t epoch_ = 0;              ///< bumped on every submit
-    bool stop_ = false;
+    /** Guards epoch_/stop_/next_lane_; backs both condition variables.
+     *  Never held together with a Lane::mu. */
+    Mutex mu_;
+    CondVar work_cv_; ///< new work may be available
+    CondVar idle_cv_; ///< pending_ reached zero
+    uint64_t epoch_ GUARDED_BY(mu_) = 0; ///< bumped on every submit
+    bool stop_ GUARDED_BY(mu_) = false;
+    /** Round-robin lane cursor. Was owner-thread-only before the
+     *  thread-safety migration; annotating it exposed the unlocked
+     *  read-modify-write, so it now lives under mu_ and submit() is
+     *  safe from concurrent callers. */
+    unsigned next_lane_ GUARDED_BY(mu_) = 0;
 
     std::atomic<uint64_t> pending_{0}; ///< submitted, not yet finished
     std::atomic<uint64_t> steals_{0};
-    unsigned next_lane_ = 0; ///< owner-thread only (see submit contract)
 };
 
 } // namespace compresso

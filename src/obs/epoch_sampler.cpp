@@ -7,12 +7,20 @@ namespace compresso {
 void
 EpochSampler::registerGroup(const StatGroup *group)
 {
+    MutexLock lk(mu_);
     if (group != nullptr)
         groups_.push_back(group);
 }
 
 void
 EpochSampler::snapshot()
+{
+    MutexLock lk(mu_);
+    snapshotLocked();
+}
+
+void
+EpochSampler::snapshotLocked()
 {
     if (refs_in_epoch_ == 0 && !snaps_.empty())
         return; // nothing new since the last boundary
@@ -33,6 +41,7 @@ EpochSampler::snapshot()
 void
 EpochSampler::restart()
 {
+    MutexLock lk(mu_);
     snaps_.clear();
     refs_in_epoch_ = 0;
     refs_total_ = 0;
@@ -41,6 +50,7 @@ EpochSampler::restart()
 void
 EpochSampler::writeCsv(std::ostream &os) const
 {
+    MutexLock lk(mu_);
     // Sorted union of counter names across all snapshots.
     std::set<std::string> cols;
     for (const Snap &s : snaps_)

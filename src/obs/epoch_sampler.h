@@ -23,6 +23,17 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+/*
+ * Thread safety: the sampler's own state is internally synchronized
+ * (every mutable field GUARDED_BY mu_, DESIGN.md §13). The registered
+ * StatGroups stay owned by their components and are read without
+ * locks at snapshot time — register only groups mutated on the thread
+ * that drives onRef()/snapshot(), which the per-System ownership
+ * model guarantees today.
+ */
 
 namespace compresso {
 
@@ -41,11 +52,12 @@ class EpochSampler
     void
     onRef(uint64_t now_cycles)
     {
+        MutexLock lk(mu_);
         now_ = now_cycles;
         if (epoch_refs_ == 0)
             return;
         if (++refs_in_epoch_ >= epoch_refs_)
-            snapshot();
+            snapshotLocked();
     }
 
     /** Force a snapshot of the current (possibly partial) epoch. */
@@ -55,7 +67,12 @@ class EpochSampler
      *  between warmup and measurement). */
     void restart();
 
-    size_t epochs() const { return snaps_.size(); }
+    size_t
+    epochs() const
+    {
+        MutexLock lk(mu_);
+        return snaps_.size();
+    }
     uint64_t epochRefs() const { return epoch_refs_; }
 
     /** Write per-epoch delta rows as CSV (header + one row/epoch). */
@@ -69,12 +86,15 @@ class EpochSampler
         std::map<std::string, uint64_t> values; ///< cumulative counters
     };
 
-    uint64_t epoch_refs_;
-    uint64_t refs_in_epoch_ = 0;
-    uint64_t refs_total_ = 0;
-    uint64_t now_ = 0;
-    std::vector<const StatGroup *> groups_;
-    std::vector<Snap> snaps_;
+    void snapshotLocked() REQUIRES(mu_);
+
+    const uint64_t epoch_refs_; ///< immutable after construction
+    mutable Mutex mu_;
+    uint64_t refs_in_epoch_ GUARDED_BY(mu_) = 0;
+    uint64_t refs_total_ GUARDED_BY(mu_) = 0;
+    uint64_t now_ GUARDED_BY(mu_) = 0;
+    std::vector<const StatGroup *> groups_ GUARDED_BY(mu_);
+    std::vector<Snap> snaps_ GUARDED_BY(mu_);
 };
 
 } // namespace compresso

@@ -35,6 +35,8 @@ EventTracer::writeChromeTrace(std::ostream &os, uint64_t cycles_per_us) const
 {
     if (cycles_per_us == 0)
         cycles_per_us = 1;
+    // One consistent view of the ring across events and totals.
+    MutexLock lk(mu_);
     JsonWriter w(os);
     w.beginObject();
     w.key("traceEvents").beginArray();
@@ -53,7 +55,7 @@ EventTracer::writeChromeTrace(std::ostream &os, uint64_t cycles_per_us) const
         w.endObject();
     }
 
-    forEach([&](const TraceEvent &e) {
+    forEachLocked([&](const TraceEvent &e) {
         w.beginObject();
         w.field("name", obsEventName(e.kind));
         w.field("ph", "i");
@@ -74,8 +76,8 @@ EventTracer::writeChromeTrace(std::ostream &os, uint64_t cycles_per_us) const
     w.endArray();
     w.field("displayTimeUnit", "ms");
     w.key("otherData").beginObject();
-    w.field("dropped_events", dropped());
-    w.field("total_events", total());
+    w.field("dropped_events", droppedLocked());
+    w.field("total_events", total_);
     w.endObject();
     w.endObject();
     os << "\n";

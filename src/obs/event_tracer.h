@@ -3,10 +3,18 @@
  * Low-overhead structured event tracer.
  *
  * A fixed-capacity ring of typed events: recording is an array store
- * plus a few increments, never an allocation, so it is safe to call
- * from the controllers' hottest paths. When the ring wraps, the oldest
- * events are overwritten and counted as dropped — a bounded-memory
- * flight recorder, like ftrace's per-CPU rings.
+ * plus a few increments under a short critical section, never an
+ * allocation, so it is safe to call from the controllers' hottest
+ * paths. When the ring wraps, the oldest events are overwritten and
+ * counted as dropped — a bounded-memory flight recorder, like
+ * ftrace's per-CPU rings.
+ *
+ * Thread safety: the ring is internally synchronized (every field
+ * GUARDED_BY mu_, verified by Clang's -Werror=thread-safety,
+ * DESIGN.md §13), so concurrent recorders — the multi-tenant daemon
+ * the ROADMAP plans — interleave correctly. Readers see a consistent
+ * snapshot; for totals that correspond to a finished run, quiesce the
+ * recording threads first.
  *
  * The exporter writes Chrome trace-event JSON (the "traceEvents"
  * array form) loadable directly in Perfetto / chrome://tracing: one
@@ -20,6 +28,9 @@
 #include <cstdint>
 #include <ostream>
 #include <vector>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace compresso {
 
@@ -67,6 +78,7 @@ class EventTracer
     void
     record(uint64_t tick, ObsEvent kind, uint64_t page, uint32_t detail)
     {
+        MutexLock lk(mu_);
         TraceEvent &e = ring_[head_];
         e.tick = tick;
         e.page = page;
@@ -79,29 +91,47 @@ class EventTracer
     }
 
     /** Events ever recorded (including overwritten ones). */
-    uint64_t total() const { return total_; }
-    /** Events lost to ring wraparound. */
-    uint64_t dropped() const
+    uint64_t
+    total() const
     {
-        return total_ > ring_.size() ? total_ - ring_.size() : 0;
+        MutexLock lk(mu_);
+        return total_;
+    }
+    /** Events lost to ring wraparound. */
+    uint64_t
+    dropped() const
+    {
+        MutexLock lk(mu_);
+        return droppedLocked();
     }
     /** Events currently held (<= capacity). */
-    size_t size() const
+    size_t
+    size() const
     {
-        return total_ < ring_.size() ? size_t(total_) : ring_.size();
+        MutexLock lk(mu_);
+        return sizeLocked();
     }
-    size_t capacity() const { return ring_.size(); }
-    uint64_t countOf(ObsEvent e) const { return per_kind_[size_t(e)]; }
+    size_t
+    capacity() const
+    {
+        MutexLock lk(mu_);
+        return ring_.size();
+    }
+    uint64_t
+    countOf(ObsEvent e) const
+    {
+        MutexLock lk(mu_);
+        return per_kind_[size_t(e)];
+    }
 
-    /** Visit surviving events oldest-first. */
+    /** Visit surviving events oldest-first. @p fn runs under the
+     *  tracer's lock: keep it short and do not call back in. */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        size_t n = size();
-        size_t start = total_ < ring_.size() ? 0 : head_;
-        for (size_t i = 0; i < n; ++i)
-            fn(ring_[(start + i) % ring_.size()]);
+        MutexLock lk(mu_);
+        forEachLocked(fn);
     }
 
     /**
@@ -113,10 +143,31 @@ class EventTracer
                           uint64_t cycles_per_us = 3000) const;
 
   private:
-    std::vector<TraceEvent> ring_;
-    size_t head_ = 0;
-    uint64_t total_ = 0;
-    uint64_t per_kind_[size_t(ObsEvent::kCount)] = {};
+    uint64_t
+    droppedLocked() const REQUIRES(mu_)
+    {
+        return total_ > ring_.size() ? total_ - ring_.size() : 0;
+    }
+    size_t
+    sizeLocked() const REQUIRES(mu_)
+    {
+        return total_ < ring_.size() ? size_t(total_) : ring_.size();
+    }
+    template <typename Fn>
+    void
+    forEachLocked(Fn &&fn) const REQUIRES(mu_)
+    {
+        size_t n = sizeLocked();
+        size_t start = total_ < ring_.size() ? 0 : head_;
+        for (size_t i = 0; i < n; ++i)
+            fn(ring_[(start + i) % ring_.size()]);
+    }
+
+    mutable Mutex mu_;
+    std::vector<TraceEvent> ring_ GUARDED_BY(mu_);
+    size_t head_ GUARDED_BY(mu_) = 0;
+    uint64_t total_ GUARDED_BY(mu_) = 0;
+    uint64_t per_kind_[size_t(ObsEvent::kCount)] GUARDED_BY(mu_) = {};
 };
 
 } // namespace compresso

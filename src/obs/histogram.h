@@ -11,6 +11,13 @@
  * Histograms are deliberately tiny (fixed array, no allocation after
  * construction) so a hot path can feed one per event at the cost of a
  * few arithmetic ops.
+ *
+ * Thread safety: a Histogram is a single-writer object — the
+ * component that cached its handle adds to it lock-free from that
+ * component's thread; lock-free because the add is the hottest
+ * instrumented operation. The HistogramSet registry itself IS
+ * internally synchronized (GUARDED_BY, DESIGN.md §13) so concurrent
+ * components can attach safely.
  */
 
 #ifndef COMPRESSO_OBS_HISTOGRAM_H
@@ -20,6 +27,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 
 namespace compresso {
 
@@ -93,14 +103,34 @@ class HistogramSet
 {
   public:
     /** Find or create the histogram called @p name. The returned
-     *  pointer stays valid for the set's lifetime. */
-    Histogram *get(const std::string &name) { return &hists_[name]; }
+     *  pointer stays valid for the set's lifetime (map nodes are
+     *  stable), so components cache it at attach time. */
+    Histogram *
+    get(const std::string &name)
+    {
+        MutexLock lk(mu_);
+        return &hists_[name];
+    }
 
-    const std::map<std::string, Histogram> &all() const { return hists_; }
-    bool empty() const { return hists_.empty(); }
+    /** Reader view for reports. The reference outlives the registry
+     *  lock — only call once the attaching/recording threads are
+     *  quiesced (the snapshot()/export contract). */
+    const std::map<std::string, Histogram> &
+    all() const
+    {
+        MutexLock lk(mu_);
+        return hists_;
+    }
+    bool
+    empty() const
+    {
+        MutexLock lk(mu_);
+        return hists_.empty();
+    }
 
   private:
-    std::map<std::string, Histogram> hists_;
+    mutable Mutex mu_;
+    std::map<std::string, Histogram> hists_ GUARDED_BY(mu_);
 };
 
 } // namespace compresso

@@ -8,6 +8,15 @@
  * handles at attach time, so a disabled run pays one null test per
  * instrumentation site and an enabled run pays no name lookups.
  *
+ * Thread safety (DESIGN.md §13): the tracer, sampler, and histogram
+ * registry are internally synchronized and the simulation clock is a
+ * monotonic atomic, so concurrent recorders interleave correctly.
+ * The exception is Histogram itself: a cached Histogram* handle is a
+ * single-writer object owned by the component that cached it — do
+ * not share one handle across recording threads. snapshot() and the
+ * exports expect recording threads to be quiesced so the digest
+ * describes a finished run.
+ *
  * Building with -DCOMPRESSO_OBS_DISABLED compiles the CPR_OBS_* macros
  * away entirely (the compile-time half of the ObsConfig gate).
  */
@@ -15,6 +24,7 @@
 #ifndef COMPRESSO_OBS_OBSERVER_H
 #define COMPRESSO_OBS_OBSERVER_H
 
+#include <atomic>
 #include <map>
 #include <string>
 
@@ -63,17 +73,24 @@ class Observer
     void
     setNow(uint64_t cycles)
     {
-        if (cycles > now_)
-            now_ = cycles;
+        // Atomic monotonic max: the old unguarded compare-then-store
+        // lost updates under concurrent setters (caught by the §13
+        // annotation pass); the CAS loop keeps the clock monotonic
+        // from any number of threads.
+        uint64_t cur = now_.load(std::memory_order_relaxed);
+        while (cycles > cur &&
+               !now_.compare_exchange_weak(cur, cycles,
+                                           std::memory_order_relaxed)) {
+        }
     }
-    uint64_t now() const { return now_; }
+    uint64_t now() const { return now_.load(std::memory_order_relaxed); }
 
     // --- event tracing ---
     void
     record(ObsEvent kind, uint64_t page, uint32_t detail = 0)
     {
         if (cfg_.trace_events)
-            tracer_.record(now_, kind, page, detail);
+            tracer_.record(now(), kind, page, detail);
     }
 
     const EventTracer &tracer() const { return tracer_; }
@@ -93,7 +110,7 @@ class Observer
     void
     onRef()
     {
-        sampler_.onRef(now_);
+        sampler_.onRef(now());
     }
 
     /** Digest for RunResult (closes the final partial epoch). */
@@ -104,8 +121,8 @@ class Observer
     bool writeEpochCsv(const std::string &path);
 
   private:
-    ObsConfig cfg_;
-    uint64_t now_ = 0;
+    ObsConfig cfg_; ///< immutable after construction
+    std::atomic<uint64_t> now_{0};
     EventTracer tracer_;
     HistogramSet hists_;
     EpochSampler sampler_;

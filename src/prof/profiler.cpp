@@ -20,7 +20,7 @@ profPhaseName(ProfPhase phase)
 ProfThreadState *
 Profiler::threadState()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto [it, inserted] =
         by_thread_.try_emplace(std::this_thread::get_id(), nullptr);
     if (inserted) {
@@ -46,7 +46,7 @@ Profiler::snapshot() const
 
     std::array<ProfPhaseTotals, kProfPhaseCount> merged{};
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         snap.threads = states_.size();
         for (const auto &st : states_) {
             for (size_t p = 0; p < kProfPhaseCount; ++p) {
@@ -71,7 +71,7 @@ Profiler::snapshot() const
 void
 Profiler::reset()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto &st : states_)
         st->totals.fill(ProfPhaseTotals{});
     wall_ns_.store(0, std::memory_order_relaxed);

@@ -32,11 +32,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
+#include "common/thread_annotations.h"
 #include "prof/prof_config.h"
 
 namespace compresso {
@@ -166,10 +167,14 @@ class Profiler
     void reset();
 
   private:
-    mutable std::mutex mu_;
+    /** Guards the thread-state registry. The states' totals are NOT
+     *  guarded: each ProfThreadState is written lock-free by exactly
+     *  one thread; snapshot() reads them under the quiesce contract
+     *  above (merge-on-report, DESIGN.md §11/§13). */
+    mutable Mutex mu_;
     /** Insertion-ordered so merge order is deterministic. */
-    std::vector<std::unique_ptr<ProfThreadState>> states_;
-    std::map<std::thread::id, ProfThreadState *> by_thread_;
+    std::vector<std::unique_ptr<ProfThreadState>> states_ GUARDED_BY(mu_);
+    std::map<std::thread::id, ProfThreadState *> by_thread_ GUARDED_BY(mu_);
     std::atomic<uint64_t> wall_ns_{0};
     std::atomic<uint64_t> sim_refs_{0};
 };

@@ -230,6 +230,9 @@ RunSink::jobs() const
 {
     if (jobs_flag_ > 0)
         return jobs_flag_;
+    // Read on the driver thread before any workers launch, so the
+    // getenv cannot race a concurrent setenv in this process.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("COMPRESSO_JOBS")) {
         long n = std::strtol(env, nullptr, 10);
         if (n > 0)

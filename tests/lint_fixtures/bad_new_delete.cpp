@@ -1,0 +1,31 @@
+// Fixture: raw new/delete outside the chunk allocator.
+// Never compiled; scanned by run_lint_fixtures.py.
+#include <memory>
+
+struct Widget
+{
+    int x = 0;
+};
+
+void
+badLifetimes()
+{
+    Widget *w = new Widget;      // LINT: raw-new-delete
+    int *arr = new int[64];      // LINT: raw-new-delete
+    delete w;                    // LINT: raw-new-delete
+    delete[] arr;                // LINT: raw-new-delete
+}
+
+void
+okLifetimes()
+{
+    auto w = std::make_unique<Widget>();
+    (void)w;
+}
+
+struct NotCopyable
+{
+    // `= delete` declarations are not delete-expressions:
+    NotCopyable(const NotCopyable &) = delete;
+    NotCopyable &operator=(const NotCopyable &) = delete;
+};

@@ -1,0 +1,49 @@
+// Fixture: wall-clock / libc randomness and hash-order exports.
+// Never compiled; scanned by run_lint_fixtures.py.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <ostream>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+uint64_t
+badSeed()
+{
+    unsigned a = rand();                      // LINT: nondeterminism
+    srand(42);                                // LINT: nondeterminism
+    std::random_device rd;                    // LINT: nondeterminism
+    long t = time(nullptr);                   // LINT: nondeterminism
+    long c = clock();                         // LINT: nondeterminism
+    auto now = std::chrono::system_clock::now(); // LINT: nondeterminism
+    (void)now;
+    return a + t + c + rd();
+}
+
+void
+badExport(std::ostream &os,
+          const std::unordered_map<std::string, int> &counters)
+{
+    for (const auto &kv : counters) {         // LINT: nondeterminism
+        os << kv.first << "," << kv.second << "\n";
+    }
+}
+
+void
+okUses(std::ostream &os)
+{
+    // steady_clock is allowed (host-side timing, never exported as data).
+    auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    // Iterating an unordered container WITHOUT exporting is fine:
+    std::unordered_map<std::string, int> local;
+    int sum = 0;
+    for (const auto &kv : local) {
+        sum += kv.second;
+    }
+    os << sum;
+    // Identifiers that merely contain the bad names are fine:
+    int sim_time(int);
+    int grand(int);
+}

@@ -1,0 +1,33 @@
+// Fixture: raw std sync primitives outside common/sync.h.
+// Never compiled; scanned by run_lint_fixtures.py.
+#include <mutex>
+
+struct BadRawSync
+{
+    void
+    touch()
+    {
+        std::lock_guard<std::mutex> lk(mu_); // LINT: raw-sync-primitive
+        ++count_;
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lk(mu_); // LINT: raw-sync-primitive
+        cv_.wait(lk);
+    }
+
+    std::mutex mu_;                // LINT: raw-sync-primitive
+    std::recursive_mutex rmu_;     // LINT: raw-sync-primitive
+    std::shared_mutex smu_;        // LINT: raw-sync-primitive
+    std::condition_variable cv_;   // LINT: raw-sync-primitive
+    std::once_flag once_;          // LINT: raw-sync-primitive
+    pthread_mutex_t pmu_;          // LINT: raw-sync-primitive
+    int pthread_init = pthread_mutex_init(&pmu_, nullptr); // LINT: raw-sync-primitive
+    int count_ = 0;
+};
+
+// The string/comment classifier must not fire on these:
+// std::mutex in a comment is fine.
+const char *kDoc = "uses std::mutex internally";

@@ -1,0 +1,28 @@
+// Fixture: name-based StatGroup lookups inside a profiled hot block.
+// Never compiled; scanned by run_lint_fixtures.py.
+#include <cstdint>
+
+struct BadStatGroup
+{
+    void
+    hotPath()
+    {
+        CPR_PROF_SCOPE(ProfPhase::kMcFill);
+        ++stats_["fills"];                  // LINT: statgroup-hot-path
+        stats_["data_read_ops"] += 2;       // LINT: statgroup-hot-path
+        ++stats_.stat("line_overflows");    // LINT: statgroup-hot-path
+        ++st_fills_; // cached handle: the blessed idiom, no finding
+    }
+
+    void
+    coldPath()
+    {
+        // No CPR_PROF_SCOPE here: name-based lookups are allowed on
+        // cold paths (report assembly, one-shot setup).
+        ++stats_["report_rows"];
+        stats_.stat("summary_lines") += 1;
+    }
+
+    StatGroup stats_{"mc"};
+    uint64_t &st_fills_ = stats_.stat("fills");
+};

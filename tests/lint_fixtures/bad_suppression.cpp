@@ -1,0 +1,16 @@
+// Fixture: malformed suppressions do not suppress and are themselves
+// reported. Never compiled; scanned by run_lint_fixtures.py.
+#include <cstdlib>
+
+void
+notActuallySuppressed()
+{
+    // Missing `-- reason`: the suppression is rejected AND the
+    // underlying finding stays live.
+    // compresso-lint: allow(nondeterminism) // LINT: bad-suppression
+    int r = rand(); // LINT: nondeterminism
+    (void)r;
+
+    // Unknown rule id: rejected.
+    // compresso-lint: allow(made-up-rule) -- nice try // LINT: bad-suppression
+}

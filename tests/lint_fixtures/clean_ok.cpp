@@ -1,0 +1,47 @@
+// Fixture: idiomatic code — the linter must report nothing here.
+// Never compiled; scanned by run_lint_fixtures.py.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+struct CleanComponent
+{
+    void
+    hotPath()
+    {
+        CPR_PROF_SCOPE(ProfPhase::kMcFill);
+        ++st_fills_;               // cached handle: allowed
+        hist_add(latency_hist_, 3); // no name lookup
+    }
+
+    void
+    report()
+    {
+        // Cold path: name-based lookup is fine outside PROF blocks.
+        ++stats_["report_rows"];
+    }
+
+    void
+    timing()
+    {
+        // steady_clock is the blessed host-timing source.
+        auto t0 = std::chrono::steady_clock::now();
+        (void)t0;
+    }
+
+    void
+    lifetimes()
+    {
+        auto owned = std::make_unique<int>(7);
+        std::vector<int> pool(64);
+        (void)owned;
+        (void)pool;
+    }
+
+    void hist_add(void *h, uint64_t v);
+
+    StatGroup stats_{"mc"};
+    uint64_t &st_fills_ = stats_.stat("fills");
+    void *latency_hist_ = nullptr;
+};

@@ -1,0 +1,26 @@
+// Fixture: valid suppressions — findings fire but are marked
+// suppressed, and the file contributes no *unsuppressed* findings.
+// Never compiled; scanned by run_lint_fixtures.py.
+#include <cstdlib>
+#include <mutex>
+
+// End-of-line form covers its own line:
+std::mutex g_legacy_mu; // compresso-lint: allow(raw-sync-primitive) -- fixture demo of eol suppression // LINT-SUPPRESSED: raw-sync-primitive
+
+void
+seeded()
+{
+    // Standalone form covers the next line:
+    // compresso-lint: allow(nondeterminism) -- fixture demo of next-line suppression
+    srand(1234); // LINT-SUPPRESSED: nondeterminism
+}
+
+// File-wide form (rule must still fire, as suppressed, on every hit):
+// compresso-lint: allow-file(raw-new-delete) -- fixture demo of file-wide suppression
+
+void
+leaky()
+{
+    int *p = new int; // LINT-SUPPRESSED: raw-new-delete
+    delete p;         // LINT-SUPPRESSED: raw-new-delete
+}

@@ -115,3 +115,37 @@ TEST(ThreadPool, HardwareJobsNeverZero)
 {
     EXPECT_GE(ThreadPool::hardwareJobs(), 1u);
 }
+
+TEST(ThreadPool, ConcurrentSubmittersEveryTaskRunsExactlyOnce)
+{
+    // Regression for the lane-cursor lock-discipline fix (DESIGN.md
+    // §13): next_lane_ used to be an unsynchronized read-modify-write,
+    // so racing submitters could tear the round-robin cursor. With the
+    // cursor under mu_, submit() is safe from any thread; this is the
+    // test the tsan preset points at to prove it dynamically.
+    ThreadPool pool(4);
+    constexpr int kSubmitters = 8;
+    constexpr int kPerSubmitter = 250;
+    std::vector<std::atomic<int>> ran(kSubmitters * kPerSubmitter);
+    for (auto &r : ran)
+        r.store(0);
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&pool, &ran, s] {
+            for (int i = 0; i < kPerSubmitter; ++i) {
+                int idx = s * kPerSubmitter + i;
+                pool.submit([&ran, idx] { ran[idx].fetch_add(1); });
+            }
+        });
+    }
+    // Join the submitters before wait(): the pool's contract says
+    // wait() only covers tasks submitted before it is called.
+    for (auto &th : submitters)
+        th.join();
+    pool.wait();
+
+    for (size_t i = 0; i < ran.size(); ++i)
+        EXPECT_EQ(ran[i].load(), 1) << "task " << i;
+}

@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -433,3 +435,37 @@ TEST(ObsIntegration, BaselineControllersEmitEventsToo)
 }
 
 } // namespace
+
+TEST(Observer, ConcurrentRecordingKeepsExactTotals)
+{
+    // Regression for the §13 concurrency pass: the tracer ring is
+    // internally synchronized and setNow() is an atomic CAS-max (the
+    // old compare-then-store lost updates under concurrent setters).
+    // N threads record concurrently; every event must be accounted
+    // for and the clock must equal the maximum of all setNow values.
+    ObsConfig cfg;
+    cfg.enabled = true;
+    cfg.trace_capacity = 1 << 12;
+    Observer obs(cfg);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> recorders;
+    recorders.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        recorders.emplace_back([&obs, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                obs.setNow(uint64_t(t) * kPerThread + i);
+                obs.record(ObsEvent::kRepack, uint64_t(i), uint32_t(t));
+            }
+        });
+    }
+    for (auto &th : recorders)
+        th.join();
+
+    EXPECT_EQ(obs.tracer().total(), uint64_t(kThreads) * kPerThread);
+    // Ring keeps the newest capacity entries; drops = total - size.
+    EXPECT_EQ(obs.tracer().dropped(),
+              uint64_t(kThreads) * kPerThread - obs.tracer().size());
+    EXPECT_EQ(obs.now(), uint64_t(kThreads) * kPerThread - 1);
+}

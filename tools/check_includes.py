@@ -17,6 +17,12 @@ exits non-zero listing every violation. Rules:
     chunk allocator (the one module allowed to own storage): lifetime
     must flow through ChunkAllocator or standard containers /
     smart pointers. Comments and string literals are ignored.
+ 6. Any file using the Clang thread-safety annotation macros
+    (GUARDED_BY, REQUIRES, CAPABILITY, ...) must include
+    "common/thread_annotations.h" directly — relying on a transitive
+    include (e.g. via common/sync.h) breaks the moment the middleman
+    drops it, and on non-Clang builds that surfaces as a baffling
+    parse error instead of a clean miss.
 """
 
 from __future__ import annotations
@@ -41,6 +47,19 @@ ANY_DELETE_RE = re.compile(r"\bdelete\b(?!\s*;)")
 
 # `= delete;` (deleted special members) is legitimate everywhere.
 DELETED_FN_RE = re.compile(r"=\s*delete\s*[;,)]")
+
+# Thread-safety annotation macros (common/thread_annotations.h). Any
+# use requires a direct include of that header. The defining header
+# itself is exempt.
+THREAD_ANNOTATIONS_HEADER = "common/thread_annotations.h"
+ANNOTATION_MACRO_RE = re.compile(
+    r"\b(?:CAPABILITY|SCOPED_CAPABILITY|GUARDED_BY|PT_GUARDED_BY"
+    r"|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED"
+    r"|RELEASE|RELEASE_SHARED|RELEASE_GENERIC"
+    r"|TRY_ACQUIRE|TRY_ACQUIRE_SHARED|EXCLUDES"
+    r"|ASSERT_CAPABILITY|ASSERT_SHARED_CAPABILITY|RETURN_CAPABILITY"
+    r"|ACQUIRED_BEFORE|ACQUIRED_AFTER|NO_THREAD_SAFETY_ANALYSIS)\b"
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -103,6 +122,7 @@ def check_file(path: Path, errors: list[str]) -> None:
             )
 
     first_project_include = None
+    project_includes: set[str] = set()
     for lineno, ln in enumerate(raw_lines, 1):
         m = INCLUDE_RE.match(ln)
         if m:
@@ -110,6 +130,7 @@ def check_file(path: Path, errors: list[str]) -> None:
             if style == '"':
                 if first_project_include is None:
                     first_project_include = inc
+                project_includes.add(inc)
                 if inc.startswith("src/"):
                     errors.append(
                         f"{path}:{lineno}: include \"{inc}\" must not "
@@ -143,6 +164,26 @@ def check_file(path: Path, errors: list[str]) -> None:
             errors.append(
                 f"{path}: first project include must be its own header "
                 f"\"{own}\" (found \"{first_project_include}\")"
+            )
+
+    # Rule 6: annotation macros require a direct thread_annotations.h
+    # include.
+    if path != SRC / THREAD_ANNOTATIONS_HEADER:
+        first_use = next(
+            (
+                lineno
+                for lineno, ln in enumerate(code_lines, 1)
+                if ANNOTATION_MACRO_RE.search(ln)
+            ),
+            None,
+        )
+        if first_use is not None and (
+            THREAD_ANNOTATIONS_HEADER not in project_includes
+        ):
+            errors.append(
+                f"{path}:{first_use}: uses thread-safety annotation "
+                f"macros without including "
+                f"\"{THREAD_ANNOTATIONS_HEADER}\" directly"
             )
 
     # Rule 5: raw new/delete outside the allocator.
