@@ -1,6 +1,8 @@
 /**
  * @file
- * The OS-transparent out-of-memory flow (Sec. V-B, Fig. 8).
+ * The OS-transparent out-of-memory flow (Sec. V-B, Fig. 8) — now
+ * self-checking, and the front door to the chaos/soak harness
+ * (DESIGN.md §14).
  *
  * Compresso promises the OS more memory than is installed. If the
  * data turns out less compressible than promised, machine memory runs
@@ -10,17 +12,31 @@
  * pages via its normal LRU, and the freed OSPA pages are invalidated
  * in the controller, releasing their machine chunks.
  *
- * This example provisions a small machine (4 MB of chunks), promises
- * the OS 8 MB, fills memory with well-compressing data, then degrades
- * compressibility until the balloon has to step in.
+ * Default mode walks the classic four-phase balloon story, then runs
+ * a short ChaosEngine rotation (collapse storm, balloon thrash, swap
+ * storm, fault burst...) against the Compresso controller with the
+ * full pressure stack live, and *asserts* the soak gates: zero silent
+ * corruptions, zero invariant-audit violations, bounded p99 stall.
+ * A non-zero exit means a gate failed.
  *
  * Build & run:  ./build/examples/balloon_oom
+ *               ./build/examples/balloon_oom --soak [--refs N]
+ *                   [--seed N] [--jobs N] [--out soak.json]
+ *
+ * --soak runs the full rotation on all four compressed controllers
+ * (sharded over the campaign engine) and writes the versioned
+ * compresso-soak-v1 document for tools/obs_report.py.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/compresso_controller.h"
 #include "os/balloon.h"
+#include "pressure/chaos.h"
+#include "pressure/soak_export.h"
 #include "workloads/datagen.h"
 
 using namespace compresso;
@@ -54,10 +70,9 @@ report(const char *stage, CompressoController &mc, SimOs &os,
                 (unsigned long long)balloon.heldPages());
 }
 
-} // namespace
-
-int
-main()
+/** The original demo: fill, degrade, balloon, deflate. */
+void
+classicDemo()
 {
     // 4 MB installed; the OS is promised 8 MB (2048 OSPA pages).
     constexpr uint64_t kInstalled = uint64_t(4) << 20;
@@ -109,5 +124,113 @@ main()
     std::printf("\nThroughout, the OS ran its stock reclaim path — no "
                 "compression awareness needed\n(the paper's Tab. I "
                 "'OS-transparent' column).\n");
-    return 0;
+}
+
+void
+printReport(const ChaosReport &r)
+{
+    std::printf("\n%s: %s%s%s — %llu refs, oom %llu (rescued %llu), "
+                "throttled %llu, ladder %llu, breaches %llu, "
+                "stall p99 max %llu\n",
+                r.controller.c_str(), r.passed ? "PASS" : "FAIL",
+                r.fail_reason.empty() ? "" : ": ",
+                r.fail_reason.c_str(),
+                (unsigned long long)r.total_refs,
+                (unsigned long long)r.oom_events,
+                (unsigned long long)r.oom_rescued,
+                (unsigned long long)r.throttled_total,
+                (unsigned long long)r.ladder_steps,
+                (unsigned long long)r.watchdog_breaches,
+                (unsigned long long)r.stall_p99_max);
+    for (const ChaosPhaseReport &ph : r.phases)
+        std::printf("  %-18s level %-9s stall p99 %5llu | oom %llu "
+                    "throttle %llu ladder %llu swap_full %llu "
+                    "zero_tol %llu\n",
+                    ph.scenario.c_str(), ph.level_end.c_str(),
+                    (unsigned long long)ph.stall_p99,
+                    (unsigned long long)ph.machine_oom,
+                    (unsigned long long)ph.throttled,
+                    (unsigned long long)ph.ladder_steps,
+                    (unsigned long long)ph.swap_full,
+                    (unsigned long long)ph.zero_tolerated);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool soak = false;
+    uint64_t refs = 0, seed = 1;
+    unsigned jobs = 2;
+    std::string out;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--soak") == 0)
+            soak = true;
+        else if (std::strcmp(argv[i], "--refs") == 0 && i + 1 < argc)
+            refs = std::strtoull(argv[++i], nullptr, 0);
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--soak] [--refs N] [--seed N] "
+                         "[--jobs N] [--out soak.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    ChaosConfig cc;
+    cc.seed = seed;
+    cc.refs_per_phase = refs != 0 ? refs : (soak ? 200000 : 30000);
+
+    if (!soak) {
+        classicDemo();
+
+        // Self-check: the same OOM story under adversarial pressure,
+        // with the governor + watchdog live and every fill verified
+        // against the expected-content model.
+        std::printf("\n--- chaos self-check (compresso, %llu refs x "
+                    "%zu phases) ---\n",
+                    (unsigned long long)cc.refs_per_phase,
+                    ChaosConfig::defaultPhases().size());
+        ChaosEngine engine(cc);
+        ChaosReport r = engine.run("compresso");
+        printReport(r);
+        if (!r.passed)
+            return 1;
+        std::printf("\nall gates held: 0 silent corruptions, 0 audit "
+                    "violations, stall p99 within %llu device ops.\n",
+                    (unsigned long long)engine.config().stall_p99_bound);
+        return 0;
+    }
+
+    SoakConfig sc;
+    sc.chaos = cc;
+    sc.jobs = jobs;
+    std::printf("soak: %llu refs/phase, seed %llu, %u jobs, "
+                "controllers",
+                (unsigned long long)cc.refs_per_phase,
+                (unsigned long long)seed, jobs);
+    for (const std::string &k : ChaosEngine::allKinds())
+        std::printf(" %s", k.c_str());
+    std::printf("\n");
+
+    SoakResult res = runSoak(sc);
+    for (const ChaosReport &r : res.reports)
+        printReport(r);
+
+    if (!out.empty()) {
+        if (!writeSoakJson(out, "balloon_oom", res)) {
+            std::fprintf(stderr, "cannot write %s\n", out.c_str());
+            return 2;
+        }
+        std::printf("\nwrote %s (%s)\n", out.c_str(), kSoakJsonSchema);
+    }
+    std::printf("\nsoak %s\n", res.allPassed() ? "PASSED" : "FAILED");
+    return res.allPassed() ? 0 : 1;
 }

@@ -45,6 +45,10 @@ evalCapacity(const CapacitySpec &spec)
     }
     os.stats().reset();
     os.swap().stats().reset();
+    if (spec.swap_frac > 0) {
+        os.swap().setCapacity(std::max<uint64_t>(
+            1, uint64_t(spec.swap_frac * double(total_pages))));
+    }
 
     std::vector<uint64_t> faults(n, 0);
     std::vector<uint64_t> touches(n, 0);
@@ -91,6 +95,8 @@ evalCapacity(const CapacitySpec &spec)
     }
 
     res.faults = os.faults();
+    res.swap_full = os.swap().swapFullRejections();
+    res.budget_overruns = os.budgetOverruns();
     res.avg_ratio = intervals ? ratio_sum / double(intervals) : 1.0;
 
     double progress_sum = 0;

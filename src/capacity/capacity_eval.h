@@ -34,6 +34,12 @@ struct CapacitySpec
     /** Budget re-evaluation interval in touches (the paper pauses
      *  every 200 M instructions). */
     uint64_t interval = 20000;
+    /** Bounded swap device: capacity = swap_frac * footprint pages.
+     *  0 keeps the unlimited device (pre-pressure-model behaviour);
+     *  bounded, a compressibility collapse that shrinks the budget
+     *  can exhaust swap, and the overruns/rejections are reported
+     *  instead of silently overcommitting (DESIGN.md §14). */
+    double swap_frac = 0.0;
     uint64_t seed = 7;
 };
 
@@ -47,6 +53,8 @@ struct CapacityResult
     double avg_ratio = 1.0; ///< time-averaged compression ratio
     bool stalled = false;   ///< thrashing: excluded benchmarks (Fig. 10b)
     uint64_t faults = 0;
+    uint64_t swap_full = 0;       ///< page-outs a bounded swap rejected
+    uint64_t budget_overruns = 0; ///< evictions with no safe victim
 };
 
 CapacityResult evalCapacity(const CapacitySpec &spec);

@@ -265,6 +265,22 @@ CompressoController::resizeAlloc(MetadataEntry &m, unsigned target)
     assert(target <= kChunksPerPage);
     while (m.chunks < target) {
         ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk && pressure_ != nullptr &&
+            busy_depth_ <= kBusyDepth) {
+            // Machine OOM: ask the governor for emergency ballooning
+            // (most-compressible cold pages first) and retry once.
+            // The busy-page stack keeps the reclaim away from every
+            // metadata entry live on this call stack.
+            PageNum busy = busy_depth_ > 0 ? busy_pages_[busy_depth_ - 1]
+                                           : kNoPage;
+            if (pressure_->onMachineOom(busy)) {
+                c = chunks_.allocate();
+                if (c != kNoChunk) {
+                    ++st_oom_rescues_;
+                    CPR_OBS_EVENT(obs_, ObsEvent::kOomRescue, busy, 1);
+                }
+            }
+        }
         if (c == kNoChunk) {
             ++stats_["machine_oom"];
             return false;
@@ -450,16 +466,31 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
     // The page must grow. Sec. IV-B2: if this page is receiving
     // streaming incompressible data while the system is experiencing
     // page overflows, skip the incremental size bins and speculatively
-    // inflate straight to uncompressed 4 KB.
+    // inflate straight to uncompressed 4 KB. Speculative inflations
+    // consume whole pages of machine memory, so under pressure the
+    // governor bounds how many are in flight per window.
     if (cfg_.overflow_prediction && predictor_.predictInflate(counter)) {
-        ++st_predictor_inflations_;
-        CPR_OBS_EVENT(obs_, ObsEvent::kInflation, page, 1);
-        inflateToUncompressed(page, m, trace);
-        shadow(page).predictor_inflated = true;
-        uint32_t off = idx * uint32_t(kLineBytes);
-        deviceOps(m, off, kLineBytes, true, false, trace);
-        storeBytes(m, off, raw.data(), kLineBytes);
-        return;
+        if (pressure_ == nullptr ||
+            pressure_->admitOp(PressureOp::kInflation,
+                               2ull * kLinesPerPage)) {
+            ++st_predictor_inflations_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kInflation, page, 1);
+            inflateToUncompressed(page, m, trace);
+            if (!m.compressed) {
+                shadow(page).predictor_inflated = true;
+                uint32_t off = idx * uint32_t(kLineBytes);
+                deviceOps(m, off, kLineBytes, true, false, trace);
+                storeBytes(m, off, raw.data(), kLineBytes);
+                return;
+            }
+            // Machine OOM left the page compressed; the identity
+            // store above would corrupt the packed layout, so fall
+            // through to the bounded growth paths instead.
+        } else {
+            ++st_inflations_throttled_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, page,
+                          uint32_t(PressureOp::kInflation));
+        }
     }
 
     // Sec. IV-B3: expand the inflation room by one chunk instead of
@@ -485,7 +516,31 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
     }
 
     // Fall back to growing the slot in place, moving the lines
-    // underneath (Fig. 1c / Fig. 5c Option 1).
+    // underneath (Fig. 1c / Fig. 5c Option 1). Repeated in-place
+    // growth of the same page is the unbounded-stall shape the
+    // watchdog hunts: when the relocation budget is blown, escalate
+    // to the degradation ladder's safe state (one terminal inflation
+    // to uncompressed 4 KB) so the page stops generating relocations.
+    if (pressure_ != nullptr) {
+        uint32_t used = irBase(m) +
+            uint32_t(m.inflate_count) * uint32_t(kLineBytes);
+        uint64_t est = 2ull * ((used + kLineBytes - 1) / kLineBytes);
+        if (!pressure_->admitOp(PressureOp::kRelocation, est)) {
+            ++st_overflow_escalations_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, page,
+                          uint32_t(PressureOp::kRelocation));
+            inflateToUncompressed(page, m, trace);
+            if (!m.compressed) {
+                shadow(page).predictor_inflated = true;
+                uint32_t off = idx * uint32_t(kLineBytes);
+                deviceOps(m, off, kLineBytes, true, false, trace);
+                storeBytes(m, off, raw.data(), kLineBytes);
+                return;
+            }
+            // OOM during escalation: in-place growth below is the
+            // only remaining correct path.
+        }
+    }
     growSlotInPlace(page, m, idx, enc, trace);
 }
 
@@ -551,6 +606,8 @@ CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
     uint32_t moved = old_used > move_from ? old_used - move_from : 0;
     unsigned move_blocks = unsigned((moved + kLineBytes - 1) / kLineBytes);
     st_overflow_move_ops_ += 2ull * move_blocks;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kRelocation, 2ull * move_blocks);
     // Enqueue bandwidth for the move (reads then writes, background).
     if (m.chunks > 0) {
         deviceOps(m, move_from, moved, false, false, trace);
@@ -617,8 +674,11 @@ CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
         : uint32_t(kPageBytes);
     if (m.chunks > 0)
         deviceOps(m, 0, old_used, false, false, trace);
-    st_overflow_move_ops_ +=
+    uint64_t inflate_cost =
         (old_used + kLineBytes - 1) / kLineBytes + kLinesPerPage;
+    st_overflow_move_ops_ += inflate_cost;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kInflation, inflate_cost);
 
     if (!resizeAlloc(m, unsigned(kChunksPerPage)))
         return;
@@ -641,6 +701,22 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
     MetadataEntry &m = mit->second;
     if (!m.valid || m.zero || m.chunks == 0)
         return;
+    // Repacking is a maintenance optimization (Sec. IV-B4): under
+    // pressure the governor may defer it outright — skipping is always
+    // safe, the page just keeps its current (larger) footprint.
+    if (pressure_ != nullptr) {
+        uint32_t est_used = m.compressed
+            ? irBase(m) + uint32_t(m.inflate_count) * uint32_t(kLineBytes)
+            : uint32_t(kPageBytes);
+        uint64_t est = 2ull * ((est_used + kLineBytes - 1) / kLineBytes);
+        if (!pressure_->admitOp(PressureOp::kRepack, est)) {
+            ++st_repacks_throttled_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, page,
+                          uint32_t(PressureOp::kRepack));
+            return;
+        }
+    }
+    BusyScope busy(*this, page);
     PageShadow &sh = shadow(page);
 
     // Gather current data.
@@ -690,6 +766,8 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
         CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page, read_blocks);
         CPR_OBS_HIST(h_repack_cost_, read_blocks);
         CPR_OBS_HIST(h_page_alloc_, 0);
+        if (pressure_ != nullptr)
+            pressure_->onOpCost(PressureOp::kRepack, read_blocks);
         CPR_CHECKED_AUDIT(page, "repack (to zero page)");
         return;
     }
@@ -717,6 +795,9 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
                       read_blocks + unsigned(kLinesPerPage));
         CPR_OBS_HIST(h_repack_cost_, read_blocks + kLinesPerPage);
         CPR_OBS_HIST(h_page_alloc_, kPageBytes);
+        if (pressure_ != nullptr)
+            pressure_->onOpCost(PressureOp::kRepack,
+                                read_blocks + kLinesPerPage);
         CPR_CHECKED_AUDIT(page, "repack (to raw page)");
         return;
     }
@@ -749,6 +830,9 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
                   read_blocks + write_blocks);
     CPR_OBS_HIST(h_repack_cost_, read_blocks + write_blocks);
     CPR_OBS_HIST(h_page_alloc_, new_alloc);
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kRepack,
+                            read_blocks + write_blocks);
     CPR_CHECKED_AUDIT(page, "repack");
 }
 
@@ -802,29 +886,51 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
         return;
     }
 
-    // Rebuild the entry by re-walking the page's stored bytes and
-    // recomputing the layout fields, then rewrite the entry. Repair
-    // traffic is suppressed so it cannot fault recursively.
-    ++stats_["fault_meta_rebuilds"];
-    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
-                  uint32_t(FaultRung::kMetaRebuild));
-    fi->noteMetaRebuild();
+    BusyScope busy(*this, page);
     size_t before = trace.ops.size();
-    {
-        FaultHooks::SuppressScope guard(fault_);
-        if (m.valid && !m.zero && m.chunks > 0) {
-            uint32_t used = m.compressed
-                ? irBase(m) +
-                      uint32_t(m.inflate_count) * uint32_t(kLineBytes)
-                : uint32_t(kPageBytes);
-            deviceOps(m, 0, used, false, false, trace);
-        }
-        trace.add(metadataAddr(page), true, false);
-        ++stats_["md_write_ops"];
+    uint64_t est = 1;
+    if (m.valid && !m.zero && m.chunks > 0) {
+        uint32_t used = m.compressed
+            ? irBase(m) + uint32_t(m.inflate_count) * uint32_t(kLineBytes)
+            : uint32_t(kPageBytes);
+        est += (used + kLineBytes - 1) / kLineBytes;
     }
-    fi->scrub(metadataAddr(page));
-
-    unsigned rebuilds = ++meta_rebuilds_[page];
+    unsigned rebuilds;
+    if (pressure_ == nullptr ||
+        pressure_->admitOp(PressureOp::kMetaRebuild, est)) {
+        // Rebuild the entry by re-walking the page's stored bytes and
+        // recomputing the layout fields, then rewrite the entry.
+        // Repair traffic is suppressed so it cannot fault recursively.
+        ++stats_["fault_meta_rebuilds"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, page,
+                      uint32_t(FaultRung::kMetaRebuild));
+        fi->noteMetaRebuild();
+        {
+            FaultHooks::SuppressScope guard(fault_);
+            if (m.valid && !m.zero && m.chunks > 0) {
+                uint32_t used = m.compressed
+                    ? irBase(m) +
+                          uint32_t(m.inflate_count) * uint32_t(kLineBytes)
+                    : uint32_t(kPageBytes);
+                deviceOps(m, 0, used, false, false, trace);
+            }
+            trace.add(metadataAddr(page), true, false);
+            ++stats_["md_write_ops"];
+        }
+        fi->scrub(metadataAddr(page));
+        rebuilds = ++meta_rebuilds_[page];
+    } else {
+        // The rebuild stall budget is blown (watchdog breach): this
+        // entry's re-walks are what is stalling the machine, so skip
+        // the walk and take the next ladder rung — the safe-state
+        // inflation below — directly.
+        ++stats_["fault_rebuilds_throttled"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, page,
+                      uint32_t(PressureOp::kMetaRebuild));
+        fi->scrub(metadataAddr(page));
+        rebuilds = fi->config().max_meta_rebuilds + 1;
+        meta_rebuilds_[page] = rebuilds;
+    }
     if (rebuilds > fi->config().max_meta_rebuilds && m.valid && !m.zero &&
         m.compressed) {
         // This entry keeps taking hits; stop depending on its fragile
@@ -843,6 +949,8 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
     uint64_t ops = trace.ops.size() - before;
     fi->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kMetaRebuild, ops);
 }
 
 void
@@ -964,6 +1072,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
     ++st_fills_;
+    BusyScope busy(*this, page);
 
     MetadataEntry &m = meta(page);
     mdAccess(page, false, trace);
@@ -1070,6 +1179,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
     ++st_writebacks_;
+    BusyScope busy(*this, page);
 
     MetadataEntry &m = meta(page);
     mdAccess(page, true, trace);

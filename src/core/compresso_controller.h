@@ -31,6 +31,7 @@
 #include "core/memory_controller.h"
 #include "core/offset_circuit.h"
 #include "core/predictor.h"
+#include "core/pressure_hooks.h"
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 #include "meta/metadata_entry.h"
@@ -99,6 +100,38 @@ class CompressoController : public MemoryController
      *  metadata cache; caches histogram handles so the hot paths
      *  never do name lookups. */
     void attachObserver(Observer *obs) override;
+
+    /** Wire the pressure governor (core/pressure_hooks.h): OOM rescue
+     *  via emergency ballooning, admission throttling of repack /
+     *  speculative inflation, and watchdogged stall budgets on the
+     *  relocation and metadata-rebuild paths. */
+    void attachPressureListener(PressureListener *pl) override
+    {
+        pressure_ = pl;
+    }
+
+    /** Machine bytes backing @p page: allocated chunks times 512 B
+     *  (0 for untouched/zero pages). Reclaim-ranking input for the
+     *  governor's most-compressible-first emergency ballooning. */
+    uint64_t pageCompressedBytes(PageNum page) const override
+    {
+        auto it = meta_.find(page);
+        if (it == meta_.end() || !it->second.valid)
+            return 0;
+        return uint64_t(it->second.chunks) * kChunkBytes;
+    }
+
+    /** Pages with a live metadata reference on the call stack
+     *  (writeback / repack-on-evict / fault recovery nest up to
+     *  kBusyDepth deep); the governor's emergency reclaim must not
+     *  free them. */
+    bool pageBusy(PageNum page) const override
+    {
+        for (unsigned i = 0; i < busy_depth_ && i < kBusyDepth; ++i)
+            if (busy_pages_[i] == page)
+                return true;
+        return false;
+    }
 
     StatGroup &stats() override { return stats_; }
     const StatGroup &stats() const override { return stats_; }
@@ -263,6 +296,32 @@ class CompressoController : public MemoryController
     /** Metadata rebuilds taken per page (escalation bound). */
     std::unordered_map<PageNum, unsigned> meta_rebuilds_;
 
+    PressureListener *pressure_ = nullptr;
+    /** Busy-page stack backing pageBusy(): writeback -> md-evict
+     *  repack -> fault recovery is the deepest real nesting. */
+    static constexpr unsigned kBusyDepth = 4;
+    std::array<PageNum, kBusyDepth> busy_pages_{};
+    unsigned busy_depth_ = 0;
+
+    /** RAII busy-page marker for the operations that can reach an
+     *  allocation (and therefore an OOM-rescue reclaim). */
+    class BusyScope
+    {
+      public:
+        BusyScope(CompressoController &mc, PageNum page) : mc_(mc)
+        {
+            if (mc_.busy_depth_ < kBusyDepth)
+                mc_.busy_pages_[mc_.busy_depth_] = page;
+            ++mc_.busy_depth_;
+        }
+        ~BusyScope() { --mc_.busy_depth_; }
+        BusyScope(const BusyScope &) = delete;
+        BusyScope &operator=(const BusyScope &) = delete;
+
+      private:
+        CompressoController &mc_;
+    };
+
     StatGroup stats_{"mc"};
     // Cached hot-path counter handles (stable across reset()).
     uint64_t &st_fills_ = stats_.stat("fills");
@@ -292,6 +351,12 @@ class CompressoController : public MemoryController
     uint64_t &st_repack_write_ops_ = stats_.stat("repack_write_ops");
     uint64_t &st_fault_poison_fills_ = stats_.stat("fault_poison_fills");
     uint64_t &st_fault_dropped_wbs_ = stats_.stat("fault_dropped_wbs");
+    uint64_t &st_oom_rescues_ = stats_.stat("oom_rescues");
+    uint64_t &st_repacks_throttled_ = stats_.stat("repacks_throttled");
+    uint64_t &st_inflations_throttled_ =
+        stats_.stat("inflations_throttled");
+    uint64_t &st_overflow_escalations_ =
+        stats_.stat("overflow_escalations");
 
     // Observability (src/obs): null when disabled.
     Observer *obs_ = nullptr;

@@ -153,6 +153,19 @@ DmcController::resizeAlloc(Page &p, unsigned target)
     assert(target <= kChunksPerPage);
     while (p.chunks < target) {
         ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk && pressure_ != nullptr) {
+            // Machine OOM: emergency ballooning (governor), then one
+            // retry; pageBusy() protects the in-flight page and the
+            // epoch-decay migration target.
+            if (pressure_->onMachineOom(busy_page_)) {
+                c = chunks_.allocate();
+                if (c != kNoChunk) {
+                    ++st_oom_rescues_;
+                    CPR_OBS_EVENT(obs_, ObsEvent::kOomRescue, busy_page_,
+                                  1);
+                }
+            }
+        }
         if (c == kNoChunk) {
             ++stats_["machine_oom"];
             return false;
@@ -274,6 +287,7 @@ void
 DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
 {
     CPR_PROF_SCOPE(ProfPhase::kMcRepack);
+    size_t ops_before = trace.ops.size();
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     st_migration_ops_ += trace.ops.size();
@@ -296,6 +310,9 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
     if (alloc < total) {
         // LZ expansion beyond a page never pays off: stay hot.
         layoutHot(p, buf, trace);
+        if (pressure_ != nullptr)
+            pressure_->onOpCost(PressureOp::kRepack,
+                                trace.ops.size() - ops_before);
         return;
     }
     resizeAlloc(p, (alloc + uint32_t(kChunkBytes) - 1) /
@@ -309,18 +326,25 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
     deviceOps(p, 0, total, true, false, trace);
     ++st_demotions_;
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 0);
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kRepack,
+                            trace.ops.size() - ops_before);
 }
 
 void
 DmcController::promoteToHot(PageNum pn, Page &p, McTrace &trace)
 {
     CPR_PROF_SCOPE(ProfPhase::kMcRepack);
+    size_t ops_before = trace.ops.size();
     std::array<Line, kLinesPerPage> buf;
     gather(p, buf, &trace);
     layoutHot(p, buf, trace);
     st_migration_ops_ += trace.ops.size();
     ++st_promotions_;
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 1);
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kRelocation,
+                            trace.ops.size() - ops_before);
 }
 
 void
@@ -331,7 +355,21 @@ DmcController::decayEpoch(McTrace &trace)
         if (!p.valid || p.zero)
             continue;
         if (!p.touched_this_epoch && !p.cold && budget > 0) {
+            // Maintenance migration: under pressure the governor may
+            // deny it outright (demotion is an optimization, never
+            // required for correctness).
+            if (pressure_ != nullptr &&
+                !pressure_->admitOp(PressureOp::kRepack,
+                                    2ull * kLinesPerPage)) {
+                ++st_demotions_throttled_;
+                CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, pn,
+                              uint32_t(PressureOp::kRepack));
+                p.touched_this_epoch = false;
+                continue;
+            }
+            migrating_page_ = pn;
             demoteToCold(pn, p, trace);
+            migrating_page_ = kNoPage;
             --budget;
         }
         p.touched_this_epoch = false;
@@ -363,15 +401,29 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
 
     // OS-transparent rebuild: like Compresso, the controller re-walks
     // the page's stored image in hardware to reconstruct the entry —
-    // no OS involvement, only the re-walk traffic.
-    ++stats_["fault_meta_rebuilds"];
-    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
-                  uint32_t(FaultRung::kMetaRebuild));
-    fi->noteMetaRebuild();
+    // no OS involvement, only the re-walk traffic. Under a blown
+    // watchdog budget the re-walk is skipped and the page jumps
+    // straight to the raw/hot safe-state rung (bounded worst case).
+    bool throttled =
+        pressure_ != nullptr &&
+        !pressure_->admitOp(PressureOp::kMetaRebuild,
+                            uint64_t(p.chunks) *
+                                    (kChunkBytes / kLineBytes) +
+                                1);
+    if (throttled) {
+        ++stats_["fault_rebuilds_throttled"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, pn,
+                      uint32_t(PressureOp::kMetaRebuild));
+    } else {
+        ++stats_["fault_meta_rebuilds"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                      uint32_t(FaultRung::kMetaRebuild));
+        fi->noteMetaRebuild();
+    }
     size_t before = trace.ops.size();
     {
         FaultHooks::SuppressScope guard(fault_);
-        if (p.valid && !p.zero && p.chunks > 0) {
+        if (!throttled && p.valid && !p.zero && p.chunks > 0) {
             uint32_t used;
             if (p.cold) {
                 used = 0;
@@ -384,7 +436,13 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
         }
         trace.add(metadataAddr(pn), true, false);
         ++stats_["md_write_ops"];
-        unsigned rebuilds = ++meta_rebuilds_[pn];
+        unsigned rebuilds;
+        if (throttled) {
+            rebuilds = fi->config().max_meta_rebuilds + 1;
+            meta_rebuilds_[pn] = rebuilds;
+        } else {
+            rebuilds = ++meta_rebuilds_[pn];
+        }
         bool raw_already = !p.cold;
         for (LineIdx l = 0; raw_already && l < kLinesPerPage; ++l)
             raw_already = p.code[l] ==
@@ -415,6 +473,8 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
     uint64_t ops = trace.ops.size() - before;
     fi->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kMetaRebuild, ops);
 }
 
 void
@@ -440,6 +500,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
+    busy_page_ = pn;
     ++st_fills_;
 
     Page &p = page(pn);
@@ -526,6 +587,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
+    busy_page_ = pn;
     ++st_writebacks_;
 
     Page &p = page(pn);

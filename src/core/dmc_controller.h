@@ -32,6 +32,7 @@
 #include "compress/size_bins.h"
 #include "core/chunk_allocator.h"
 #include "core/memory_controller.h"
+#include "core/pressure_hooks.h"
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 #include "obs/observer.h"
@@ -82,6 +83,32 @@ class DmcController : public MemoryController
      *  overflow = migration, fault-recovery rungs) and the
      *  compressed-line-size histogram (null detaches). */
     void attachObserver(Observer *obs) override;
+
+    /** Pressure wiring (core/pressure_hooks.h): machine-OOM rescue,
+     *  admission throttling of epoch cold-demotions (maintenance),
+     *  and stall-cost reporting on hot/cold migrations. */
+    void attachPressureListener(PressureListener *pl) override
+    {
+        pressure_ = pl;
+    }
+
+    /** Machine bytes backing @p pn (0 for untouched/zero pages);
+     *  governor reclaim-ranking input. */
+    uint64_t pageCompressedBytes(PageNum pn) const override
+    {
+        auto it = pages_.find(pn);
+        if (it == pages_.end() || !it->second.valid)
+            return 0;
+        return uint64_t(it->second.chunks) * kChunkBytes;
+    }
+
+    /** Pages with live references on the call stack (the op's page
+     *  plus the epoch-decay migration target) must not be reclaimed. */
+    bool pageBusy(PageNum pn) const override
+    {
+        return (cur_trace_ != nullptr && pn == busy_page_) ||
+               pn == migrating_page_;
+    }
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -189,6 +216,13 @@ class DmcController : public MemoryController
     uint64_t &st_fault_dropped_wbs_ = stats_.stat("fault_dropped_wbs");
     uint64_t &st_pages_touched_ = stats_.stat("pages_touched");
     uint64_t &st_line_overflows_ = stats_.stat("line_overflows");
+    uint64_t &st_oom_rescues_ = stats_.stat("oom_rescues");
+    uint64_t &st_demotions_throttled_ =
+        stats_.stat("demotions_throttled");
+
+    PressureListener *pressure_ = nullptr;
+    PageNum busy_page_ = kNoPage;      ///< valid while cur_trace_ set
+    PageNum migrating_page_ = kNoPage; ///< epoch-decay demotion target
 
     Observer *obs_ = nullptr;
     Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer

@@ -163,6 +163,19 @@ LcpController::resizeAlloc(Page &p, unsigned target)
     assert(target <= kChunksPerPage);
     while (p.chunks < target) {
         ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk && pressure_ != nullptr) {
+            // Machine OOM: emergency ballooning (governor), then one
+            // retry. pageBusy() keeps the reclaim off the page whose
+            // operation is in flight.
+            if (pressure_->onMachineOom(busy_page_)) {
+                c = chunks_.allocate();
+                if (c != kNoChunk) {
+                    ++st_oom_rescues_;
+                    CPR_OBS_EVENT(obs_, ObsEvent::kOomRescue, busy_page_,
+                                  1);
+                }
+            }
+        }
         if (c == kNoChunk) {
             ++stats_["machine_oom"];
             return false;
@@ -263,6 +276,21 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
                             McTrace &trace)
 {
     CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
+    // Re-layout admission: repeated overflows of one page are the
+    // unbounded-stall shape the watchdog bounds. When the relocation
+    // budget is blown, the OS re-lays the page out uncompressed (the
+    // OS-aware safe state) so it cannot overflow again.
+    bool escalate_raw = false;
+    if (pressure_ != nullptr) {
+        uint64_t est = 2ull * (allocBytes(p) / kLineBytes +
+                               uint64_t(kLinesPerPage));
+        if (!pressure_->admitOp(PressureOp::kRelocation, est)) {
+            escalate_raw = true;
+            ++st_overflow_escalations_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, pn,
+                          uint32_t(PressureOp::kRelocation));
+        }
+    }
     ++st_page_overflows_;
     ++st_page_faults_;
     CPR_OBS_EVENT(obs_, ObsEvent::kPageOverflow, pn, 0);
@@ -298,7 +326,7 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
     LcpLayout layout = lcpPack(sizes, *bins_);
     // Raw 64 B slots hold anything; a layout that would exceed 4 KB
     // falls back to the uncompressed-page layout.
-    if (layout.payload_bytes > kPageBytes) {
+    if (escalate_raw || layout.payload_bytes > kPageBytes) {
         layout.target_bytes = uint16_t(kLineBytes);
         layout.exception.fill(false);
         layout.exception_count = 0;
@@ -337,6 +365,10 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
                         uint32_t(next_exc) * uint32_t(kLineBytes);
     st_overflow_move_ops_ += (new_used + kLineBytes - 1) / kLineBytes;
     deviceOps(p, 0, new_used, true, false, trace);
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kRelocation,
+                            uint64_t(old_used / kLineBytes) +
+                                (new_used + kLineBytes - 1) / kLineBytes);
 }
 
 void
@@ -359,10 +391,20 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
     // OS-aware rebuild: the DUE traps to the OS, which reconstructs
     // the entry from its own page tables and rewrites it (a page
     // fault's worth of stall, unlike Compresso's hardware re-walk).
-    ++stats_["fault_meta_rebuilds"];
-    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
-                  uint32_t(FaultRung::kMetaRebuild));
-    fi->noteMetaRebuild();
+    // A blown rebuild budget (watchdog) skips the re-walk and takes
+    // the uncompressed-re-layout rung directly.
+    bool throttled = pressure_ != nullptr &&
+                     !pressure_->admitOp(PressureOp::kMetaRebuild, 1);
+    if (throttled) {
+        ++stats_["fault_rebuilds_throttled"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, pn,
+                      uint32_t(PressureOp::kMetaRebuild));
+    } else {
+        ++stats_["fault_meta_rebuilds"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                      uint32_t(FaultRung::kMetaRebuild));
+        fi->noteMetaRebuild();
+    }
     ++st_page_faults_;
     st_page_fault_cycles_ += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
@@ -371,7 +413,13 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
         FaultHooks::SuppressScope guard(fault_);
         trace.add(metadataAddr(pn), true, false);
         ++stats_["md_write_ops"];
-        unsigned rebuilds = ++meta_rebuilds_[pn];
+        unsigned rebuilds;
+        if (throttled) {
+            rebuilds = fi->config().max_meta_rebuilds + 1;
+            meta_rebuilds_[pn] = rebuilds;
+        } else {
+            rebuilds = ++meta_rebuilds_[pn];
+        }
         if (rebuilds > fi->config().max_meta_rebuilds && p.valid &&
             !p.zero && p.target != kLineBytes) {
             // Escalate: the OS re-lays the page out uncompressed, so
@@ -401,6 +449,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
     uint64_t ops = trace.ops.size() - before;
     fi->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kMetaRebuild, ops);
 }
 
 void
@@ -426,6 +476,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
+    busy_page_ = pn;
     ++st_fills_;
 
     Page &p = page(pn);
@@ -516,6 +567,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
+    busy_page_ = pn;
     ++st_writebacks_;
 
     Page &p = page(pn);

@@ -24,6 +24,7 @@ namespace compresso {
 
 class FaultInjector;
 class Observer;
+class PressureListener;
 
 /** Timing-relevant outcome of one controller operation. */
 struct McTrace
@@ -120,8 +121,47 @@ class MemoryController
      */
     virtual void attachObserver(Observer *obs) { (void)obs; }
 
+    /**
+     * Attach the memory-pressure listener (core/pressure_hooks.h):
+     * machine-OOM rescue, per-operation admission and stall-cost
+     * reporting. Pass nullptr to detach; controllers without pressure
+     * support ignore the call.
+     */
+    virtual void attachPressureListener(PressureListener *pl) { (void)pl; }
+
     /** Release an OSPA page (balloon driver path, Sec. V-B). */
     virtual void freePage(PageNum page) { (void)page; }
+
+    /**
+     * Machine bytes currently backing OSPA page @p page (0 for
+     * untouched/zero pages). The pressure governor ranks reclaim
+     * victims by this — emergency ballooning frees the
+     * most-compressible pages first, because under a compressibility
+     * collapse those are the cold cheap ones while the incompressible
+     * pages are the hot set. Controllers without per-page accounting
+     * report the worst case (a full page) so the governor deprioritizes
+     * what it cannot see into.
+     */
+    virtual uint64_t
+    pageCompressedBytes(PageNum page) const
+    {
+        (void)page;
+        return kPageBytes;
+    }
+
+    /**
+     * True while an operation on @p page is live on the controller's
+     * call stack (its metadata reference is held by a caller frame).
+     * Emergency reclaim runs *inside* an OOM'd allocation, so the
+     * governor must filter busy pages out of its victim set — freeing
+     * one would reset state a caller still points at.
+     */
+    virtual bool
+    pageBusy(PageNum page) const
+    {
+        (void)page;
+        return false;
+    }
 
     /** Flush lazily-buffered state (e.g., force pending repacking);
      *  used by tests and capacity accounting. */

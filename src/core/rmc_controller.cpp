@@ -165,6 +165,18 @@ RmcController::resizeAlloc(Page &p, unsigned target)
     assert(target <= kChunksPerPage);
     while (p.chunks < target) {
         ChunkNum c = chunks_.allocate();
+        if (c == kNoChunk && pressure_ != nullptr) {
+            // Machine OOM: emergency ballooning (governor), then one
+            // retry; pageBusy() protects the in-flight page.
+            if (pressure_->onMachineOom(busy_page_)) {
+                c = chunks_.allocate();
+                if (c != kNoChunk) {
+                    ++st_oom_rescues_;
+                    CPR_OBS_EVENT(obs_, ObsEvent::kOomRescue, busy_page_,
+                                  1);
+                }
+            }
+        }
         if (c == kNoChunk) {
             ++stats_["machine_oom"];
             return false;
@@ -207,6 +219,22 @@ RmcController::relayout(PageNum pn, Page &p,
                         McTrace &trace)
 {
     CPR_PROF_SCOPE(ProfPhase::kMcOverflow);
+    // Re-layout admission: a blown relocation budget (watchdog)
+    // forces the raw layout — terminal, the page cannot overflow
+    // again — instead of another compressed re-layout.
+    bool escalate_raw = false;
+    if (pressure_ != nullptr) {
+        uint32_t cur = 0;
+        for (unsigned sp = 0; sp < kSubpages; ++sp)
+            cur += p.sub_alloc[sp];
+        uint64_t est = 2ull * (cur / kLineBytes + uint64_t(kLinesPerPage));
+        if (!pressure_->admitOp(PressureOp::kRelocation, est)) {
+            escalate_raw = true;
+            ++st_overflow_escalations_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, pn,
+                          uint32_t(PressureOp::kRelocation));
+        }
+    }
     // Gather current data.
     std::array<Line, kLinesPerPage> buf;
     for (LineIdx l = 0; l < kLinesPerPage; ++l)
@@ -229,7 +257,7 @@ RmcController::relayout(PageNum pn, Page &p,
     }
     uint32_t alloc = pageBinBytes(std::min<uint32_t>(total, kPageBytes),
                                   PageSizing::kVariable4);
-    if (alloc < total) {
+    if (escalate_raw || alloc < total) {
         // Full page: store raw, subpages degenerate to 1 KB each.
         for (unsigned sp = 0; sp < kSubpages; ++sp)
             p.sub_alloc[sp] = uint32_t(kPageBytes / kSubpages);
@@ -270,6 +298,11 @@ RmcController::relayout(PageNum pn, Page &p,
     deviceOps(p, 0, new_used, true, false, trace);
     st_overflow_move_ops_ += (new_used + kLineBytes - 1) /
                                    kLineBytes;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kRelocation,
+                            uint64_t((old_used + kLineBytes - 1) /
+                                     kLineBytes) +
+                                (new_used + kLineBytes - 1) / kLineBytes);
 }
 
 void
@@ -291,11 +324,22 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
 
     // OS-aware rebuild: the DUE traps to the OS, which reconstructs
     // the BST entry from its own page tables and rewrites it (a page
-    // fault's worth of stall, like LCP's recovery path).
-    ++stats_["fault_meta_rebuilds"];
-    CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
-                  uint32_t(FaultRung::kMetaRebuild));
-    fi->noteMetaRebuild();
+    // fault's worth of stall, like LCP's recovery path). Under a blown
+    // watchdog budget the re-walk is skipped and the page jumps
+    // straight to the raw re-layout rung (bounded worst case).
+    bool throttled =
+        pressure_ != nullptr &&
+        !pressure_->admitOp(PressureOp::kMetaRebuild, 1);
+    if (throttled) {
+        ++stats_["fault_rebuilds_throttled"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, pn,
+                      uint32_t(PressureOp::kMetaRebuild));
+    } else {
+        ++stats_["fault_meta_rebuilds"];
+        CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pn,
+                      uint32_t(FaultRung::kMetaRebuild));
+        fi->noteMetaRebuild();
+    }
     ++st_page_faults_;
     st_page_fault_cycles_ += cfg_.page_fault_cycles;
     trace.stall_cycles += cfg_.page_fault_cycles;
@@ -304,7 +348,13 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
         FaultHooks::SuppressScope guard(fault_);
         trace.add(metadataAddr(pn), true, false);
         ++stats_["md_write_ops"];
-        unsigned rebuilds = ++meta_rebuilds_[pn];
+        unsigned rebuilds;
+        if (throttled) {
+            rebuilds = fi->config().max_meta_rebuilds + 1;
+            meta_rebuilds_[pn] = rebuilds;
+        } else {
+            rebuilds = ++meta_rebuilds_[pn];
+        }
         bool raw_already = true;
         for (LineIdx l = 0; l < kLinesPerPage; ++l)
             raw_already &= p.code[l] == uint8_t(bins_->count() - 1);
@@ -340,6 +390,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
     uint64_t ops = trace.ops.size() - before;
     fi->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
+    if (pressure_ != nullptr)
+        pressure_->onOpCost(PressureOp::kMetaRebuild, ops);
 }
 
 void
@@ -365,6 +417,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
+    busy_page_ = pn;
     ++st_fills_;
 
     Page &p = page(pn);
@@ -413,6 +466,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
     PageNum pn = pageOf(addr);
     LineIdx idx = lineOf(addr);
     cur_trace_ = &trace;
+    busy_page_ = pn;
     ++st_writebacks_;
 
     Page &p = page(pn);

@@ -28,6 +28,7 @@
 #include "compress/size_bins.h"
 #include "core/chunk_allocator.h"
 #include "core/memory_controller.h"
+#include "core/pressure_hooks.h"
 #include "fault/fault_hooks.h"
 #include "meta/metadata_cache.h"
 #include "obs/observer.h"
@@ -79,6 +80,31 @@ class RmcController : public MemoryController
      *  fault, fault-recovery rungs) and the compressed-line-size
      *  histogram (null detaches). */
     void attachObserver(Observer *obs) override;
+
+    /** Pressure wiring (core/pressure_hooks.h): machine-OOM rescue
+     *  via emergency ballooning, re-layout admission (denial forces
+     *  the raw layout — terminal, no further overflows), and
+     *  stall-cost reporting. */
+    void attachPressureListener(PressureListener *pl) override
+    {
+        pressure_ = pl;
+    }
+
+    /** Machine bytes backing @p pn (0 for untouched/zero pages);
+     *  governor reclaim-ranking input. */
+    uint64_t pageCompressedBytes(PageNum pn) const override
+    {
+        auto it = pages_.find(pn);
+        if (it == pages_.end() || !it->second.valid)
+            return 0;
+        return uint64_t(it->second.chunks) * kChunkBytes;
+    }
+
+    /** The page of the in-flight operation must not be reclaimed. */
+    bool pageBusy(PageNum pn) const override
+    {
+        return cur_trace_ != nullptr && pn == busy_page_;
+    }
 
     /** Chunk-map invariant audit (src/check): every valid page's
      *  chunks live and exclusively owned, free list complementary. */
@@ -184,6 +210,12 @@ class RmcController : public MemoryController
     uint64_t &st_pages_touched_ = stats_.stat("pages_touched");
     uint64_t &st_line_overflows_ = stats_.stat("line_overflows");
     uint64_t &st_hysteresis_absorbs_ = stats_.stat("hysteresis_absorbs");
+    uint64_t &st_oom_rescues_ = stats_.stat("oom_rescues");
+    uint64_t &st_overflow_escalations_ =
+        stats_.stat("overflow_escalations");
+
+    PressureListener *pressure_ = nullptr;
+    PageNum busy_page_ = kNoPage; ///< valid while cur_trace_ is set
 
     Observer *obs_ = nullptr;
     Histogram *h_line_bytes_ = nullptr; ///< owned by the Observer

@@ -1,8 +1,11 @@
 #include "exec/campaign.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <memory>
+#include <thread>
 
 #include "common/rng.h"
 #include "exec/thread_pool.h"
@@ -44,6 +47,26 @@ jobStatusName(JobStatus status)
         return "skipped";
     }
     return "?";
+}
+
+uint64_t
+retryBackoffNs(const CampaignPolicy &policy, uint64_t job_seed,
+               unsigned attempt)
+{
+    if (policy.backoff_base_ms == 0 || attempt == 0)
+        return 0;
+    double factor = policy.backoff_factor < 1.0 ? 1.0 : policy.backoff_factor;
+    double delay_ms = double(policy.backoff_base_ms) *
+                      std::pow(factor, double(attempt - 1));
+    delay_ms = std::min(delay_ms, double(policy.backoff_max_ms));
+    if (policy.backoff_jitter > 0) {
+        // Deterministic jitter: one fresh stream per (job, attempt),
+        // so the schedule is a pure function of the campaign seed.
+        Rng rng(Rng::combine(job_seed, attempt));
+        double u = double(rng.next() >> 11) * 0x1.0p-53; // [0,1)
+        delay_ms *= 1.0 + policy.backoff_jitter * u;
+    }
+    return uint64_t(delay_ms * 1e6);
 }
 
 uint32_t
@@ -134,8 +157,14 @@ Campaign::run(const CampaignPolicy &policy) const
             for (unsigned attempt = 0; attempt < max_attempts;
                  ++attempt) {
                 rec.attempts = attempt + 1;
-                if (attempt > 0)
+                if (attempt > 0) {
                     retries.fetch_add(1, std::memory_order_relaxed);
+                    uint64_t wait_ns =
+                        retryBackoffNs(policy, rec.seed, attempt);
+                    if (wait_ns > 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::nanoseconds(wait_ns));
+                }
                 uint64_t a0 = nowNs();
                 try {
                     JobContext ctx;

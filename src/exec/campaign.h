@@ -112,8 +112,29 @@ struct CampaignPolicy
     uint64_t timeout_ms = 0;
     /** First failure skips every job not yet started. */
     bool fail_fast = false;
+    /** Retry backoff: attempt k (1-based retry counter) waits
+     *  base * factor^(k-1), capped at backoff_max_ms, plus a
+     *  deterministic jitter fraction drawn from the job's seed stream
+     *  (see retryBackoffNs()). 0 = retry immediately (historical
+     *  behaviour, and the default). */
+    uint64_t backoff_base_ms = 0;
+    double backoff_factor = 2.0;
+    uint64_t backoff_max_ms = 2000;
+    /** Jitter as a fraction of the computed delay in [0, jitter). */
+    double backoff_jitter = 0.25;
     ProgressMode progress = ProgressMode::kAuto;
 };
+
+/**
+ * Backoff delay before retry attempt @p attempt (1-based: the first
+ * *retry* is attempt 1) of the job whose derived stream seed is
+ * @p job_seed. Pure function of its arguments — the jitter comes from
+ * Rng(Rng::combine(job_seed, attempt)), never from host entropy — so
+ * retry schedules are bit-identical across runs and worker counts.
+ * Returns 0 when backoff_base_ms is 0.
+ */
+uint64_t retryBackoffNs(const CampaignPolicy &policy, uint64_t job_seed,
+                        unsigned attempt);
 
 struct CampaignResult
 {

@@ -74,6 +74,16 @@ class FaultInjector
 
     const FaultConfig &config() const { return cfg_; }
 
+    /** Re-aim the ambient upset rates mid-run (chaos burst phases
+     *  switch them on and off); accumulated fault state, the RNG
+     *  stream, and the report are untouched. */
+    void
+    setRates(double data_bit_rate, double meta_bit_rate)
+    {
+        cfg_.data_bit_rate = data_bit_rate;
+        cfg_.meta_bit_rate = meta_bit_rate;
+    }
+
     // ------------------------------------------------------------------
     // Exposure hooks (called by controllers and tests).
     // ------------------------------------------------------------------

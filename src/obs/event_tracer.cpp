@@ -20,6 +20,11 @@ obsEventName(ObsEvent e)
       case ObsEvent::kPredictorFlip: return "predictor_flip";
       case ObsEvent::kFaultRecovery: return "fault_recovery";
       case ObsEvent::kPageFault: return "page_fault";
+      case ObsEvent::kPressureLevel: return "pressure_level";
+      case ObsEvent::kWatchdogBreach: return "watchdog_breach";
+      case ObsEvent::kOpThrottled: return "op_throttled";
+      case ObsEvent::kOomRescue: return "oom_rescue";
+      case ObsEvent::kSwapFull: return "swap_full";
       case ObsEvent::kCount: break;
     }
     return "?";

@@ -47,6 +47,11 @@ enum class ObsEvent : uint8_t
     kPredictorFlip,  ///< global overflow predictor armed/disarmed
     kFaultRecovery,  ///< degradation-ladder step (detail = rung)
     kPageFault,      ///< OS-aware baseline page fault (LCP/RMC)
+    kPressureLevel,  ///< governor level change (detail = new level)
+    kWatchdogBreach, ///< op blew its stall budget (detail = PressureOp)
+    kOpThrottled,    ///< admission denied (detail = PressureOp)
+    kOomRescue,      ///< machine OOM rescued by emergency reclaim
+    kSwapFull,       ///< swap device exhausted on page-out
     kCount
 };
 

@@ -2,28 +2,56 @@
 
 namespace compresso {
 
+void
+BalloonDriver::takePage(PageNum p)
+{
+    mc_.freePage(p);
+    held_.push_back(p);
+    freed_log_.push_back(p);
+}
+
 uint64_t
 BalloonDriver::inflate(uint64_t pages)
 {
     std::vector<PageNum> freed = os_.reclaim(pages);
-    for (PageNum p : freed) {
-        mc_.freePage(p);
-        held_.push_back(p);
-    }
+    for (PageNum p : freed)
+        takePage(p);
     stats_["inflations"] += freed.size();
     // The OS budget shrinks by what the balloon now holds.
     if (os_.budget() >= freed.size())
         os_.setBudget(os_.budget() - freed.size());
+    else
+        os_.setBudget(0);
     return freed.size();
 }
 
-void
+uint64_t
+BalloonDriver::inflateTargeted(const std::vector<PageNum> &pages)
+{
+    uint64_t n = 0;
+    for (PageNum p : pages) {
+        if (!os_.reclaimSpecific(p))
+            continue;
+        takePage(p);
+        ++n;
+    }
+    stats_["inflations"] += n;
+    stats_["targeted_inflations"] += n;
+    if (os_.budget() >= n)
+        os_.setBudget(os_.budget() - n);
+    else
+        os_.setBudget(0);
+    return n;
+}
+
+uint64_t
 BalloonDriver::deflate(uint64_t pages)
 {
     uint64_t n = std::min<uint64_t>(pages, held_.size());
     held_.resize(held_.size() - n);
     os_.setBudget(os_.budget() + n);
     stats_["deflations"] += n;
+    return n;
 }
 
 uint64_t

@@ -10,6 +10,17 @@
  * the demand by reclaiming free or cold pages; the driver then tells
  * the hardware which OSPA pages were freed, and the controller marks
  * them invalid, releasing their machine chunks.
+ *
+ * Two inflation flavors:
+ *  - inflate(n): LRU-order, the stock flow above;
+ *  - inflateTargeted(pages): the emergency flow — the pressure
+ *    governor ranks cold pages by compressed machine footprint and
+ *    demands exactly those, so each reclaimed page yields the most
+ *    chunks per OS page sacrificed.
+ *
+ * Every page the driver frees is also appended to an internal log
+ * (drainFreed()) so harnesses that model page contents can reset
+ * their expectations for reclaimed pages.
  */
 
 #ifndef COMPRESSO_OS_BALLOON_H
@@ -31,12 +42,23 @@ class BalloonDriver
     /**
      * Inflate the balloon by @p pages: reclaim that many pages from
      * the OS and invalidate them in the controller.
-     * @return pages actually reclaimed.
+     * @return pages actually reclaimed (less than @p pages when the
+     * resident set is smaller — inflating beyond physical occupancy is
+     * clamped, never an error).
      */
     uint64_t inflate(uint64_t pages);
 
-    /** Deflate: give @p pages back to the OS budget. */
-    void deflate(uint64_t pages);
+    /**
+     * Inflate by demanding exactly @p pages (governor-ranked victims).
+     * Non-resident entries are skipped.
+     * @return pages actually reclaimed.
+     */
+    uint64_t inflateTargeted(const std::vector<PageNum> &pages);
+
+    /** Deflate: give up to @p pages back to the OS budget (clamped to
+     *  what the balloon holds — deflating below zero is a no-op).
+     *  @return pages actually returned. */
+    uint64_t deflate(uint64_t pages);
 
     uint64_t heldPages() const { return held_.size(); }
 
@@ -48,12 +70,25 @@ class BalloonDriver
      */
     uint64_t balance(uint64_t free_chunks, uint64_t reserve_chunks);
 
+    /** Pages freed (and invalidated in the controller) since the last
+     *  drain; consumed by content-checking harnesses. */
+    std::vector<PageNum>
+    drainFreed()
+    {
+        std::vector<PageNum> out;
+        out.swap(freed_log_);
+        return out;
+    }
+
     StatGroup &stats() { return stats_; }
 
   private:
+    void takePage(PageNum p);
+
     SimOs &os_;
     MemoryController &mc_;
     std::vector<PageNum> held_;
+    std::vector<PageNum> freed_log_;
     StatGroup stats_{"balloon"};
 };
 

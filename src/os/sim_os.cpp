@@ -4,20 +4,39 @@ namespace compresso {
 
 SimOs::SimOs(uint64_t budget_pages) : budget_(budget_pages) {}
 
-void
+bool
 SimOs::evictOne()
 {
     if (lru_.empty())
-        return;
-    PageNum victim = lru_.back();
-    lru_.pop_back();
-    auto it = resident_.find(victim);
-    if (it != resident_.end()) {
-        if (it->second.dirty)
-            swap_.pageOut();
-        resident_.erase(it);
+        return false;
+    // Coldest-first victim scan, bounded: when the swap device is full
+    // a dirty page cannot be cleaned, so probe up to kVictimScan cold
+    // pages for a clean one before declaring an overrun.
+    auto vit = std::prev(lru_.end());
+    for (unsigned probe = 0; probe < kVictimScan; ++probe) {
+        auto it = resident_.find(*vit);
+        bool evictable = true;
+        if (it->second.dirty) {
+            SwapStatus st = swap_.pageOut();
+            if (st == SwapStatus::kFull)
+                evictable = false;
+            else
+                swapped_.insert(*vit);
+        }
+        if (evictable) {
+            resident_.erase(it);
+            lru_.erase(vit);
+            ++stats_["evictions"];
+            return true;
+        }
+        if (vit == lru_.begin())
+            break;
+        --vit;
     }
-    ++stats_["evictions"];
+    ++stats_["budget_overruns"];
+    if (on_overrun_)
+        on_overrun_();
+    return false;
 }
 
 bool
@@ -39,8 +58,16 @@ SimOs::touch(PageNum page, bool dirty)
         // I/O error and proceeds with the (now successful) read.
         ++stats_["swap_read_errors"];
     }
-    while (resident_.size() >= budget_ && !resident_.empty())
-        evictOne();
+    auto sw = swapped_.find(page);
+    if (sw != swapped_.end()) {
+        // The page's swap copy is consumed by the fault-in.
+        swap_.releaseSlot();
+        swapped_.erase(sw);
+    }
+    while (resident_.size() >= budget_ && !resident_.empty()) {
+        if (!evictOne())
+            break; // over budget: recorded + escalated by evictOne()
+    }
     lru_.push_front(page);
     resident_[page] = Resident{lru_.begin(), dirty};
     return true;
@@ -50,8 +77,29 @@ void
 SimOs::setBudget(uint64_t budget_pages)
 {
     budget_ = budget_pages;
-    while (resident_.size() > budget_)
-        evictOne();
+    while (resident_.size() > budget_) {
+        if (!evictOne())
+            break; // over budget: recorded + escalated by evictOne()
+    }
+}
+
+void
+SimOs::removeForBalloon(std::unordered_map<PageNum, Resident>::iterator it)
+{
+    PageNum victim = it->first;
+    if (it->second.dirty) {
+        // Ballooned pages are invalidated in the controller, so when
+        // the swap device is full the copy may be discarded — counted,
+        // never silent.
+        if (swap_.pageOut() == SwapStatus::kFull)
+            ++stats_["swap_full_discards"];
+        else
+            swapped_.insert(victim);
+    }
+    lru_.erase(it->second.lru_it);
+    resident_.erase(it);
+    ++stats_["evictions"];
+    ++stats_["balloon_reclaims"];
 }
 
 std::vector<PageNum>
@@ -61,10 +109,29 @@ SimOs::reclaim(uint64_t n)
     while (n-- > 0 && !lru_.empty()) {
         PageNum victim = lru_.back();
         freed.push_back(victim);
-        evictOne();
-        ++stats_["balloon_reclaims"];
+        removeForBalloon(resident_.find(victim));
     }
     return freed;
+}
+
+bool
+SimOs::reclaimSpecific(PageNum page)
+{
+    auto it = resident_.find(page);
+    if (it == resident_.end())
+        return false;
+    removeForBalloon(it);
+    return true;
+}
+
+std::vector<PageNum>
+SimOs::coldPages(uint64_t n) const
+{
+    std::vector<PageNum> out;
+    for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < n;
+         ++it)
+        out.push_back(*it);
+    return out;
 }
 
 } // namespace compresso

@@ -11,13 +11,22 @@
  *  - the ballooning flow (Sec. V-B): the balloon driver demands pages,
  *    the OS reclaims cold pages via the same LRU path, and the freed
  *    page numbers are handed to the hardware.
+ *
+ * Swap exhaustion is a first-class failure here: when the swap device
+ * rejects a page-out (SwapStatus::kFull) the eviction path probes a
+ * bounded number of cold pages for a clean victim and, if none exists,
+ * records a `budget_overrun`, invokes the pressure-escalation callback
+ * (the governor's hook), and lets the resident set exceed the budget —
+ * loudly, never silently.
  */
 
 #ifndef COMPRESSO_OS_SIM_OS_H
 #define COMPRESSO_OS_SIM_OS_H
 
+#include <functional>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.h"
@@ -46,13 +55,47 @@ class SimOs
     /**
      * Reclaim up to @p n cold pages (LRU order), as the balloon driver
      * does via __alloc_pages(). Clean cold pages are dropped; dirty
-     * ones are paged out first.
+     * ones are paged out first — or consciously discarded
+     * (`swap_full_discards`) when the swap device is full, which is
+     * safe because ballooned pages are invalidated in the controller
+     * anyway.
      * @return the virtual page numbers reclaimed.
      */
     std::vector<PageNum> reclaim(uint64_t n);
 
+    /**
+     * Reclaim one *specific* resident page (targeted ballooning: the
+     * governor ranks victims by compressed footprint and asks for
+     * exactly those). Same dirty/swap-full semantics as reclaim().
+     * @return false if the page was not resident.
+     */
+    bool reclaimSpecific(PageNum page);
+
+    /** Up to @p n coldest resident pages (coldest first), without
+     *  reclaiming anything — the governor's candidate list. */
+    std::vector<PageNum> coldPages(uint64_t n) const;
+
+    bool
+    isResident(PageNum page) const
+    {
+        return resident_.count(page) != 0;
+    }
+
+    /** Invoked whenever an eviction finds no safe victim (swap full,
+     *  all probed cold pages dirty) and the OS is forced over budget;
+     *  the pressure governor registers here to escalate. */
+    void
+    setOverrunCallback(std::function<void()> cb)
+    {
+        on_overrun_ = std::move(cb);
+    }
+
     uint64_t residentPages() const { return resident_.size(); }
     uint64_t faults() const { return stats_.get("faults"); }
+    uint64_t budgetOverruns() const { return stats_.get("budget_overruns"); }
+
+    /** Victim-scan bound when the coldest page cannot be cleaned. */
+    static constexpr unsigned kVictimScan = 8;
 
     SwapDevice &swap() { return swap_; }
     StatGroup &stats() { return stats_; }
@@ -64,12 +107,20 @@ class SimOs
         bool dirty;
     };
 
-    void evictOne();
+    /** @return false when no victim could be evicted (swap full and
+     *  every probed cold page dirty) — recorded as a budget overrun
+     *  and escalated via the callback. */
+    bool evictOne();
+    /** Drop @p it from the resident set with balloon-discard
+     *  semantics for dirty pages on a full swap device. */
+    void removeForBalloon(std::unordered_map<PageNum, Resident>::iterator it);
 
     uint64_t budget_;
     std::list<PageNum> lru_; ///< front = MRU
     std::unordered_map<PageNum, Resident> resident_;
+    std::unordered_set<PageNum> swapped_; ///< pages with a swap slot
     SwapDevice swap_;
+    std::function<void()> on_overrun_;
     StatGroup stats_{"os"};
 };
 

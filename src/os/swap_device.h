@@ -9,6 +9,13 @@
  * at the device level; the retry is charged and always succeeds — the
  * observable effects are the extra latency and the `page_in_errors`
  * count the fault campaigns read back.
+ *
+ * The device can also be bounded: with a non-zero slot capacity a
+ * page-out that finds no free slot fails *typed* (SwapStatus::kFull,
+ * `swap_full` stat) instead of silently absorbing the write. The OS
+ * layer reacts by probing for clean victims and, failing that,
+ * escalating to the pressure governor — never by overcommitting
+ * silently.
  */
 
 #ifndef COMPRESSO_OS_SWAP_DEVICE_H
@@ -20,6 +27,14 @@
 #include "common/stats.h"
 
 namespace compresso {
+
+/** Outcome of a swap-device operation. */
+enum class SwapStatus : uint8_t
+{
+    kOk = 0,  ///< completed first try
+    kRetried, ///< transient error, device-level retry succeeded
+    kFull,    ///< no free slot: the operation did NOT happen
+};
 
 class SwapDevice
 {
@@ -39,6 +54,19 @@ class SwapDevice
         rng_.reseed(Rng::mix(seed, 0x5fa9));
     }
 
+    /** Bound the device to @p pages slots (0 = unlimited, the
+     *  default). Shrinking below the currently stored count only
+     *  affects future page-outs. */
+    void setCapacity(uint64_t pages) { capacity_ = pages; }
+    uint64_t capacity() const { return capacity_; }
+
+    /** True if a page-out would fail with SwapStatus::kFull. */
+    bool
+    full() const
+    {
+        return capacity_ != 0 && stored_pages_ >= capacity_;
+    }
+
     /** @return false when the read failed once and was retried (the
      *  retry is charged and succeeds). */
     bool
@@ -55,17 +83,37 @@ class SwapDevice
         return true;
     }
 
-    void
+    /** Write one dirty page out. On SwapStatus::kFull nothing was
+     *  written (no latency charged) — the caller must keep the page or
+     *  consciously discard it; `swap_full` counts the rejections. */
+    SwapStatus
     pageOut()
     {
+        if (full()) {
+            ++st_swap_full_;
+            return SwapStatus::kFull;
+        }
+        ++stored_pages_;
         ++stats_["page_outs"];
         busy_us_ += page_out_us_;
+        return SwapStatus::kOk;
+    }
+
+    /** Release one stored slot (page faulted back in or its swap copy
+     *  dropped). */
+    void
+    releaseSlot()
+    {
+        if (stored_pages_ > 0)
+            --stored_pages_;
     }
 
     double busyMicros() const { return busy_us_; }
     uint64_t pageIns() const { return stats_.get("page_ins"); }
     uint64_t pageOuts() const { return stats_.get("page_outs"); }
     uint64_t pageInErrors() const { return stats_.get("page_in_errors"); }
+    uint64_t storedPages() const { return stored_pages_; }
+    uint64_t swapFullRejections() const { return st_swap_full_; }
 
     StatGroup &stats() { return stats_; }
 
@@ -75,7 +123,10 @@ class SwapDevice
     double page_in_error_rate_ = 0;
     Rng rng_;
     double busy_us_ = 0;
+    uint64_t capacity_ = 0; ///< slots; 0 = unlimited
+    uint64_t stored_pages_ = 0;
     StatGroup stats_{"swap"};
+    uint64_t &st_swap_full_ = stats_.stat("swap_full");
 };
 
 } // namespace compresso

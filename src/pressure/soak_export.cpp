@@ -1,0 +1,114 @@
+#include "pressure/soak_export.h"
+
+#include <fstream>
+
+#include "common/json_writer.h"
+
+namespace compresso {
+
+namespace {
+
+void
+writeDigest(JsonWriter &w, const Watchdog::Digest &d)
+{
+    w.beginObject();
+    w.field("count", d.count);
+    w.field("p50", d.p50);
+    w.field("p99", d.p99);
+    w.field("max", d.max);
+    w.field("breaches", d.breaches);
+    w.endObject();
+}
+
+void
+writePhase(JsonWriter &w, const ChaosPhaseReport &ph)
+{
+    w.beginObject();
+    w.field("scenario", ph.scenario);
+    w.field("refs", ph.refs);
+    w.field("reads", ph.reads);
+    w.field("writes", ph.writes);
+    w.field("verify_failures", ph.verify_failures);
+    w.field("zero_tolerated", ph.zero_tolerated);
+    w.field("audit_violations", ph.audit_violations);
+    w.field("level_end", ph.level_end);
+    w.field("max_level", uint64_t(ph.max_level));
+    w.key("stall").beginObject();
+    w.field("p50", ph.stall_p50);
+    w.field("p99", ph.stall_p99);
+    w.field("max", ph.stall_max);
+    w.endObject();
+    w.key("ops").beginObject();
+    for (size_t i = 0; i < ph.ops.size(); ++i) {
+        w.key(pressureOpName(PressureOp(i)));
+        writeDigest(w, ph.ops[i]);
+    }
+    w.endObject();
+    w.field("machine_oom", ph.machine_oom);
+    w.field("oom_rescues", ph.oom_rescues);
+    w.field("oom_dropped_writes", ph.oom_dropped_writes);
+    w.field("throttled", ph.throttled);
+    w.field("ladder_steps", ph.ladder_steps);
+    w.field("swap_full", ph.swap_full);
+    w.field("budget_overruns", ph.budget_overruns);
+    w.endObject();
+}
+
+void
+writeReport(JsonWriter &w, const ChaosReport &r)
+{
+    w.beginObject();
+    w.field("controller", r.controller);
+    w.field("seed", r.seed);
+    w.field("total_refs", r.total_refs);
+    w.field("passed", r.passed);
+    w.field("fail_reason", r.fail_reason);
+    w.field("silent_corruptions", r.silent_corruptions);
+    w.field("audit_violations", r.audit_violations);
+    w.field("watchdog_breaches", r.watchdog_breaches);
+    w.field("watchdog_denials", r.watchdog_denials);
+    w.field("throttled", r.throttled_total);
+    w.field("ladder_steps", r.ladder_steps);
+    w.field("oom_events", r.oom_events);
+    w.field("oom_rescued", r.oom_rescued);
+    w.field("oom_unrescued", r.oom_unrescued);
+    w.field("stall_p99_max", r.stall_p99_max);
+    w.key("phases").beginArray();
+    for (const ChaosPhaseReport &ph : r.phases)
+        writePhase(w, ph);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeSoakJson(std::ostream &os, const std::string &tool,
+              const SoakResult &res)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kSoakJsonSchema);
+    w.field("tool", tool);
+    w.field("seed", res.seed);
+    w.field("all_passed", res.allPassed());
+    w.key("reports").beginArray();
+    for (const ChaosReport &r : res.reports)
+        writeReport(w, r);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+bool
+writeSoakJson(const std::string &path, const std::string &tool,
+              const SoakResult &res)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeSoakJson(os, tool, res);
+    return bool(os);
+}
+
+} // namespace compresso

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Soak document export: serializes a SoakResult into the versioned
+ * "compresso-soak-v1" JSON document consumed by tools/obs_report.py.
+ *
+ * One document holds the whole soak — per-controller chaos reports
+ * with per-phase telemetry (verification counters, pressure levels,
+ * stall digests per PressureOp class, counter deltas). The document is
+ * a pure function of the simulated run: no host-timing or environment
+ * fields, so identical seeds produce byte-identical documents at any
+ * `--jobs` worker count (the acceptance gate test diffs exactly this).
+ */
+
+#ifndef COMPRESSO_PRESSURE_SOAK_EXPORT_H
+#define COMPRESSO_PRESSURE_SOAK_EXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "pressure/chaos.h"
+
+namespace compresso {
+
+/** Schema identifier stamped into every soak document. Bump only with
+ *  a reader-side update in tools/obs_report.py. */
+inline constexpr const char *kSoakJsonSchema = "compresso-soak-v1";
+
+/** Write the full soak document to @p os. Key order is fixed, so
+ *  output is byte-identical for identical inputs. */
+void writeSoakJson(std::ostream &os, const std::string &tool,
+                   const SoakResult &res);
+
+/** Path-taking overload; returns false on I/O failure. */
+bool writeSoakJson(const std::string &path, const std::string &tool,
+                   const SoakResult &res);
+
+} // namespace compresso
+
+#endif // COMPRESSO_PRESSURE_SOAK_EXPORT_H

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Watchdog: per-operation stall budgets for the controller maintenance
+ * paths (DESIGN.md §14).
+ *
+ * Compresso's maintenance machinery — repacking, overflow relocation,
+ * metadata-fault rebuilds, inflation-room growth — is unbounded in the
+ * worst case: a compressibility collapse can make every writeback
+ * relocate, and a metadata fault storm can re-walk the same page
+ * forever. The watchdog turns those unbounded tails into *bounded
+ * escalations*: every operation reports its cost in simulated 64 B
+ * device ops (never host time — determinism discipline), and an
+ * operation that blows its per-class budget opens a deterministic
+ * *denial window*. While the window is open the governor denies
+ * admission for that class, which the controllers translate into the
+ * PR-2 degradation ladder (skip the optimization, or jump straight to
+ * the inflate-to-uncompressed safe state) instead of stalling again.
+ *
+ * Cost distributions are kept per class in log2 histograms; phase
+ * digests (count / p50 / p99 / max / breaches) feed the
+ * compresso-soak-v1 export. Single-writer, like Histogram: one
+ * watchdog belongs to one governor belongs to one simulated machine.
+ */
+
+#ifndef COMPRESSO_PRESSURE_WATCHDOG_H
+#define COMPRESSO_PRESSURE_WATCHDOG_H
+
+#include <array>
+#include <cstdint>
+
+#include "core/pressure_hooks.h"
+#include "obs/histogram.h"
+
+namespace compresso {
+
+struct WatchdogConfig
+{
+    /** Per-class stall budget in simulated 64 B device ops; an op
+     *  whose reported cost exceeds its class budget is a breach.
+     *  0 disables the budget for that class. Defaults: a repack or
+     *  relocation touching more than two full pages of device traffic
+     *  (2 * 64 ops read + write) is out of line; metadata rebuilds
+     *  re-walk at most one page; inflation-room growth is cheap. */
+    std::array<uint64_t, size_t(PressureOp::kCount)> op_budget{
+        /*kRepack=*/256, /*kRelocation=*/256, /*kMetaRebuild=*/160,
+        /*kInflation=*/192};
+    /** Admissions denied for a class after it breaches (deterministic
+     *  escalation window, counted in admission queries). */
+    uint64_t denial_window = 32;
+};
+
+class Watchdog
+{
+  public:
+    explicit Watchdog(const WatchdogConfig &cfg = {}) : cfg_(cfg) {}
+
+    const WatchdogConfig &config() const { return cfg_; }
+
+    /**
+     * Record the actual cost of a completed operation.
+     * @return true if this op breached its class budget (a denial
+     * window opens; the next `denial_window` admissions of this class
+     * are refused so the controller escalates instead of stalling).
+     */
+    bool
+    onOpCost(PressureOp op, uint64_t ops)
+    {
+        size_t i = size_t(op);
+        hist_[i].add(ops);
+        uint64_t budget = cfg_.op_budget[i];
+        if (budget == 0 || ops <= budget)
+            return false;
+        ++breaches_[i];
+        ++phase_breaches_[i];
+        denial_left_[i] = cfg_.denial_window;
+        return true;
+    }
+
+    /**
+     * Admission-side check: true while @p op is inside a breach
+     * denial window. Each query consumes one window slot, so the
+     * escalation is bounded and deterministic.
+     */
+    bool
+    denies(PressureOp op)
+    {
+        size_t i = size_t(op);
+        if (denial_left_[i] == 0)
+            return false;
+        --denial_left_[i];
+        return true;
+    }
+
+    uint64_t breaches(PressureOp op) const { return breaches_[size_t(op)]; }
+
+    uint64_t
+    totalBreaches() const
+    {
+        uint64_t n = 0;
+        for (uint64_t b : breaches_)
+            n += b;
+        return n;
+    }
+
+    /** Stall digest of one op class accumulated since the last
+     *  takePhase() (or construction). */
+    struct Digest
+    {
+        uint64_t count = 0;
+        uint64_t p50 = 0;
+        uint64_t p99 = 0;
+        uint64_t max = 0;
+        uint64_t breaches = 0;
+    };
+
+    /** Digest of the current phase without resetting. */
+    Digest
+    digest(PressureOp op) const
+    {
+        size_t i = size_t(op);
+        const Histogram &h = hist_[i];
+        Digest d;
+        d.count = h.count();
+        if (d.count > 0) {
+            d.p50 = h.percentile(0.50);
+            d.p99 = h.percentile(0.99);
+            d.max = h.max();
+        }
+        d.breaches = phase_breaches_[i];
+        return d;
+    }
+
+    /** Snapshot all classes and reset the phase accumulation (the
+     *  lifetime breach counters keep running). */
+    std::array<Digest, size_t(PressureOp::kCount)>
+    takePhase()
+    {
+        std::array<Digest, size_t(PressureOp::kCount)> out;
+        for (size_t i = 0; i < out.size(); ++i) {
+            out[i] = digest(PressureOp(i));
+            hist_[i].reset();
+            phase_breaches_[i] = 0;
+        }
+        return out;
+    }
+
+  private:
+    WatchdogConfig cfg_;
+    std::array<Histogram, size_t(PressureOp::kCount)> hist_{};
+    std::array<uint64_t, size_t(PressureOp::kCount)> breaches_{};
+    std::array<uint64_t, size_t(PressureOp::kCount)> phase_breaches_{};
+    std::array<uint64_t, size_t(PressureOp::kCount)> denial_left_{};
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_PRESSURE_WATCHDOG_H

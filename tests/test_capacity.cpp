@@ -101,6 +101,30 @@ TEST(CapacityEval, CompressionRelievesPressure)
     EXPECT_GE(cmp.progress, uncmp.progress);
 }
 
+TEST(CapacityEval, BoundedSwapSurfacesPressureLoudly)
+{
+    // An LRU-hostile workload against a tight budget: with the
+    // unlimited device nothing escalates, with a bounded one the
+    // rejected page-outs / victimless evictions become visible
+    // telemetry instead of silent overcommit (DESIGN.md §14).
+    CapacitySpec spec;
+    spec.workloads = {"libquantum"};
+    spec.kind = McKind::kUncompressed;
+    spec.mem_frac = 0.5;
+    spec.touches_per_core = 30000;
+
+    CapacityResult unlimited = evalCapacity(spec);
+    EXPECT_EQ(unlimited.swap_full, 0u);
+    EXPECT_EQ(unlimited.budget_overruns, 0u);
+
+    spec.swap_frac = 0.01;
+    CapacityResult bounded = evalCapacity(spec);
+    EXPECT_GT(bounded.swap_full + bounded.budget_overruns, 0u);
+    // A failed eviction leaves the victim resident (over budget,
+    // counted), so the bound can only reduce faults, never add any.
+    EXPECT_LE(bounded.faults, unlimited.faults);
+}
+
 TEST(CapacityEval, SpeedupOrdering)
 {
     // Compresso >= LCP >= 1x-ish on a compressible benchmark.

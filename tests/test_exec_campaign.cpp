@@ -175,6 +175,72 @@ TEST(Campaign, ExhaustedRetriesRecordFailureWithoutAborting)
     EXPECT_EQ(res.retries, 2u);
 }
 
+TEST(Campaign, RetryBackoffSchedulesAreBitIdenticalAtEqualSeeds)
+{
+    CampaignPolicy policy;
+    policy.backoff_base_ms = 10;
+    policy.backoff_factor = 2.0;
+    policy.backoff_max_ms = 2000;
+    policy.backoff_jitter = 0.25;
+
+    // The schedule is a pure function of (policy, job seed, attempt):
+    // recomputing it must be bit-identical, run to run and call to
+    // call — the jitter comes from the job's seed stream, not from
+    // host entropy.
+    const uint64_t seed = Rng::combine(99, 7);
+    for (unsigned attempt = 1; attempt <= 8; ++attempt)
+        EXPECT_EQ(retryBackoffNs(policy, seed, attempt),
+                  retryBackoffNs(policy, seed, attempt));
+
+    // Different job seeds de-correlate (jitter differs)...
+    EXPECT_NE(retryBackoffNs(policy, Rng::combine(99, 7), 1),
+              retryBackoffNs(policy, Rng::combine(99, 8), 1));
+    // ...while the exponential envelope holds: each step sits in
+    // [base * 2^(k-1), base * 2^(k-1) * (1 + jitter)], capped.
+    uint64_t prev = 0;
+    for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+        uint64_t ns = retryBackoffNs(policy, seed, attempt);
+        uint64_t lo = 10000000ull << (attempt - 1);
+        EXPECT_GE(ns, lo);
+        EXPECT_LE(ns, uint64_t(double(lo) * 1.25));
+        EXPECT_GT(ns, prev);
+        prev = ns;
+    }
+    // The cap bounds the tail (with jitter headroom on top).
+    uint64_t capped = retryBackoffNs(policy, seed, 30);
+    EXPECT_LE(capped, uint64_t(2000 * 1.25) * 1000000ull);
+}
+
+TEST(Campaign, BackoffDefaultsToImmediateRetry)
+{
+    CampaignPolicy policy; // backoff_base_ms == 0: historic behavior
+    EXPECT_EQ(retryBackoffNs(policy, 123, 1), 0u);
+    EXPECT_EQ(retryBackoffNs(policy, 123, 5), 0u);
+    // Attempt 0 (the first try) never waits, whatever the policy.
+    policy.backoff_base_ms = 50;
+    EXPECT_EQ(retryBackoffNs(policy, 123, 0), 0u);
+}
+
+TEST(Campaign, BackoffDelaysFlakyRetriesWithoutChangingResults)
+{
+    Campaign c("backoff-retry");
+    c.add("flaky", [](const JobContext &ctx) {
+        if (ctx.attempt == 0)
+            throw std::runtime_error("transient");
+        JobPayload p;
+        p.values["ok"] = 1;
+        return p;
+    });
+    CampaignPolicy policy = quietPolicy(1);
+    policy.max_attempts = 2;
+    policy.backoff_base_ms = 1; // keep the test fast
+    policy.backoff_jitter = 0;
+    CampaignResult res = c.run(policy);
+    EXPECT_TRUE(res.allOk());
+    EXPECT_EQ(res.records[0].attempts, 2u);
+    EXPECT_EQ(res.retries, 1u);
+}
+
 TEST(Campaign, FailFastSkipsJobsNotYetStarted)
 {
     Campaign c("failfast");

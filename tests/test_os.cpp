@@ -101,6 +101,118 @@ TEST(SwapDevice, AccumulatesLatency)
     EXPECT_DOUBLE_EQ(swap.busyMicros(), 125.0);
 }
 
+TEST(SwapDevice, CapacityExhaustionIsTyped)
+{
+    SwapDevice swap(50.0, 25.0);
+    swap.setCapacity(2);
+    EXPECT_EQ(swap.pageOut(), SwapStatus::kOk);
+    EXPECT_EQ(swap.pageOut(), SwapStatus::kOk);
+    EXPECT_TRUE(swap.full());
+    double busy = swap.busyMicros();
+    // The rejection is typed, counted, and free: nothing was written.
+    EXPECT_EQ(swap.pageOut(), SwapStatus::kFull);
+    EXPECT_EQ(swap.swapFullRejections(), 1u);
+    EXPECT_EQ(swap.storedPages(), 2u);
+    EXPECT_DOUBLE_EQ(swap.busyMicros(), busy);
+    // Releasing a slot makes room again.
+    swap.releaseSlot();
+    EXPECT_FALSE(swap.full());
+    EXPECT_EQ(swap.pageOut(), SwapStatus::kOk);
+}
+
+TEST(SwapDevice, UnlimitedByDefault)
+{
+    SwapDevice swap;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(swap.pageOut(), SwapStatus::kOk);
+    EXPECT_EQ(swap.swapFullRejections(), 0u);
+}
+
+TEST(SimOs, SwapExhaustionEscalatesNotSilent)
+{
+    // Budget 2, swap capacity 1, every page dirty: once the swap is
+    // full and all cold candidates are dirty, eviction must fail
+    // loudly — budget_overrun counted, callback invoked, resident set
+    // over budget — never silently dropping a dirty page.
+    SimOs os(2);
+    os.swap().setCapacity(1);
+    unsigned escalations = 0;
+    os.setOverrunCallback([&escalations] { ++escalations; });
+
+    os.touch(1, true);
+    os.touch(2, true);
+    os.touch(3, true); // evicts one dirty page into the last slot
+    EXPECT_EQ(os.swap().storedPages(), 1u);
+    EXPECT_EQ(os.budgetOverruns(), 0u);
+
+    os.touch(4, true); // swap full, all candidates dirty: overrun
+    EXPECT_GE(os.budgetOverruns(), 1u);
+    EXPECT_GE(escalations, 1u);
+    EXPECT_GT(os.residentPages(), os.budget());
+    EXPECT_GE(os.swap().swapFullRejections(), 1u);
+}
+
+TEST(SimOs, SwapFullEvictionPrefersCleanVictims)
+{
+    SimOs os(3);
+    os.touch(1, true);  // coldest, dirty
+    os.touch(2, false); // clean
+    os.touch(3, true);
+    // Now seal the swap: evicting dirty 1 is impossible, but clean 2
+    // can be dropped without a page-out.
+    SwapDevice &swap = os.swap();
+    swap.setCapacity(1);
+    // Fill the only slot so the device is full.
+    EXPECT_EQ(swap.pageOut(), SwapStatus::kOk);
+    os.touch(4, true); // must evict clean 2, not overrun
+    EXPECT_EQ(os.budgetOverruns(), 0u);
+    EXPECT_FALSE(os.isResident(2));
+    EXPECT_TRUE(os.isResident(1));
+}
+
+TEST(SimOs, PageInReleasesSwapSlot)
+{
+    SimOs os(1);
+    os.swap().setCapacity(1);
+    os.touch(1, true);
+    os.touch(2, false); // pages dirty 1 out: slot used
+    EXPECT_EQ(os.swap().storedPages(), 1u);
+    os.touch(1, false); // faults 1 back in: slot released
+    EXPECT_EQ(os.swap().storedPages(), 0u);
+    // Every fault charges a device read (cold faults included), so
+    // all three touches counted; only the slot accounting is special.
+    EXPECT_EQ(os.swap().pageIns(), 3u);
+}
+
+TEST(SimOs, ReclaimSpecificTargetsExactPage)
+{
+    SimOs os(8);
+    for (PageNum p = 0; p < 6; ++p)
+        os.touch(p);
+    EXPECT_TRUE(os.reclaimSpecific(3));
+    EXPECT_FALSE(os.isResident(3));
+    EXPECT_EQ(os.residentPages(), 5u);
+    // Non-resident pages are a clean miss, not an error.
+    EXPECT_FALSE(os.reclaimSpecific(3));
+    EXPECT_FALSE(os.reclaimSpecific(99));
+}
+
+TEST(SimOs, ColdPagesListsLruOrderWithoutReclaiming)
+{
+    SimOs os(8);
+    for (PageNum p = 0; p < 5; ++p)
+        os.touch(p);
+    os.touch(0); // heat up 0
+    auto cold = os.coldPages(3);
+    ASSERT_EQ(cold.size(), 3u);
+    EXPECT_EQ(cold[0], 1u); // coldest first
+    EXPECT_EQ(cold[1], 2u);
+    EXPECT_EQ(cold[2], 3u);
+    EXPECT_EQ(os.residentPages(), 5u); // nothing reclaimed
+    // Asking for more than resident clamps.
+    EXPECT_EQ(os.coldPages(100).size(), 5u);
+}
+
 TEST(Balloon, InflateFreesControllerPages)
 {
     CompressoConfig cfg;
@@ -154,4 +266,134 @@ TEST(Balloon, BalanceTargetsReserve)
     EXPECT_EQ(balloon.balance(1000, 100), 0u);
     // Deficit: inflates.
     EXPECT_GT(balloon.balance(10, 100), 0u);
+}
+
+namespace {
+
+void
+fillPage(MemoryController &mc, PageNum p, DataClass cls, uint64_t seed)
+{
+    Line data;
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        generateLine(cls, Rng::mix(p, l, seed), data);
+        McTrace tr;
+        mc.writebackLine(Addr(p) * kPageBytes + l * kLineBytes, data,
+                         tr);
+    }
+}
+
+} // namespace
+
+TEST(Balloon, DeflateBelowZeroIsClampedNoOp)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(16) << 20;
+    CompressoController mc(cfg);
+    SimOs os(16);
+    BalloonDriver balloon(os, mc);
+
+    // Nothing held: deflate is a clamped no-op, not an underflow.
+    EXPECT_EQ(balloon.deflate(5), 0u);
+    EXPECT_EQ(balloon.heldPages(), 0u);
+    EXPECT_EQ(os.budget(), 16u);
+
+    for (PageNum p = 0; p < 4; ++p) {
+        os.touch(p, true);
+        fillPage(mc, p, DataClass::kRandom, 11);
+    }
+    EXPECT_EQ(balloon.inflate(2), 2u);
+    // Deflating more than held returns only what the balloon has.
+    EXPECT_EQ(balloon.deflate(100), 2u);
+    EXPECT_EQ(balloon.heldPages(), 0u);
+    EXPECT_EQ(os.budget(), 16u);
+    EXPECT_EQ(balloon.deflate(1), 0u);
+}
+
+TEST(Balloon, InflateBeyondPhysicalOccupancyClamps)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(16) << 20;
+    CompressoController mc(cfg);
+    SimOs os(16);
+    BalloonDriver balloon(os, mc);
+    for (PageNum p = 0; p < 3; ++p) {
+        os.touch(p, true);
+        fillPage(mc, p, DataClass::kDeltaInt, 13);
+    }
+    // Only 3 pages are resident; demanding 10 reclaims what exists
+    // and never drives the OS budget negative.
+    uint64_t got = balloon.inflate(10);
+    EXPECT_EQ(got, 3u);
+    EXPECT_EQ(os.residentPages(), 0u);
+    EXPECT_EQ(balloon.heldPages(), 3u);
+    EXPECT_EQ(balloon.inflate(5), 0u);
+}
+
+TEST(Balloon, TargetedInflationSkipsNonResident)
+{
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(16) << 20;
+    CompressoController mc(cfg);
+    SimOs os(16);
+    BalloonDriver balloon(os, mc);
+    for (PageNum p = 0; p < 4; ++p) {
+        os.touch(p, true);
+        fillPage(mc, p, DataClass::kSmallInt, 17);
+    }
+    uint64_t before = mc.mpaDataBytes();
+    EXPECT_EQ(balloon.inflateTargeted({1, 3, 77}), 2u);
+    EXPECT_FALSE(os.isResident(1));
+    EXPECT_FALSE(os.isResident(3));
+    EXPECT_TRUE(os.isResident(0));
+    EXPECT_LT(mc.mpaDataBytes(), before);
+    // The freed log reports exactly the reclaimed pages.
+    auto freed = balloon.drainFreed();
+    ASSERT_EQ(freed.size(), 2u);
+    EXPECT_EQ(freed[0], 1u);
+    EXPECT_EQ(freed[1], 3u);
+    EXPECT_TRUE(balloon.drainFreed().empty());
+}
+
+TEST(Balloon, InflateDeflateInterleavedWithFreePageHeals)
+{
+    // freePage (the PR-2 poison-heal path) and ballooning hit the same
+    // controller invalidation machinery; interleaving them must leave
+    // freed pages reading zero, survivors intact, and the audit clean.
+    CompressoConfig cfg;
+    cfg.installed_bytes = uint64_t(16) << 20;
+    CompressoController mc(cfg);
+    SimOs os(16);
+    BalloonDriver balloon(os, mc);
+    for (PageNum p = 0; p < 8; ++p) {
+        os.touch(p, true);
+        fillPage(mc, p, DataClass::kDeltaInt, 23);
+    }
+
+    EXPECT_EQ(balloon.inflate(2), 2u);      // reclaims cold 0, 1
+    mc.freePage(5);                         // direct poison-heal free
+    EXPECT_EQ(balloon.deflate(1), 1u);
+    EXPECT_EQ(balloon.inflateTargeted({6}), 1u);
+    mc.freePage(6); // already ballooned away: double free is benign
+
+    // Freed pages read zero...
+    Line got;
+    for (PageNum p : {PageNum(0), PageNum(1), PageNum(5), PageNum(6)}) {
+        McTrace tr;
+        mc.fillLine(Addr(p) * kPageBytes, got, tr);
+        for (uint8_t b : got)
+            ASSERT_EQ(b, 0u) << "page " << p;
+    }
+    // ...survivors are intact...
+    Line expect;
+    generateLine(DataClass::kDeltaInt, Rng::mix(7, 0, 23), expect);
+    McTrace tr;
+    mc.fillLine(Addr(7) * kPageBytes, got, tr);
+    EXPECT_EQ(got, expect);
+    // ...freed pages re-touch cleanly and hold new data...
+    fillPage(mc, 5, DataClass::kText, 29);
+    generateLine(DataClass::kText, Rng::mix(5, 0, 29), expect);
+    mc.fillLine(Addr(5) * kPageBytes, got, tr);
+    EXPECT_EQ(got, expect);
+    // ...and the invariant audit stays clean throughout.
+    EXPECT_TRUE(mc.audit().clean());
 }

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * PressureGovernor tests: watermark levels with hysteresis, admission
+ * policy per op class, watchdog-driven denial, OS overrun escalation,
+ * and the emergency OOM-rescue ballooning flow (DESIGN.md §14).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/compresso_controller.h"
+#include "os/balloon.h"
+#include "pressure/governor.h"
+#include "workloads/datagen.h"
+
+using namespace compresso;
+
+namespace {
+
+constexpr uint64_t kInstalled = uint64_t(1) << 20; // 2048 chunks
+
+void
+writePage(MemoryController &mc, SimOs &os, PageNum p, DataClass cls,
+          uint64_t seed)
+{
+    os.touch(p, true);
+    Line data;
+    for (unsigned l = 0; l < kLinesPerPage; ++l) {
+        generateLine(cls, Rng::mix(p, l, seed), data);
+        McTrace tr;
+        mc.writebackLine(Addr(p) * kPageBytes + l * kLineBytes, data,
+                         tr);
+    }
+}
+
+struct Rig
+{
+    CompressoController mc;
+    SimOs os;
+    BalloonDriver balloon;
+    PressureGovernor gov;
+
+    explicit Rig(const GovernorConfig &gc, uint64_t promised = 512)
+        : mc([] {
+              CompressoConfig c;
+              c.installed_bytes = kInstalled;
+              return c;
+          }()),
+          os(promised), balloon(os, mc), gov(gc, mc, os, balloon)
+    {
+    }
+};
+
+GovernorConfig
+baseConfig()
+{
+    GovernorConfig gc;
+    gc.total_chunks = kInstalled / kChunkBytes;
+    return gc;
+}
+
+} // namespace
+
+TEST(PressureGovernor, StartsNormalWithEmptyMachine)
+{
+    Rig rig(baseConfig());
+    EXPECT_EQ(rig.gov.level(), PressureLevel::kNormal);
+    EXPECT_DOUBLE_EQ(rig.gov.freeFraction(), 1.0);
+}
+
+TEST(PressureGovernor, LevelsFollowWatermarksWithHysteresis)
+{
+    Rig rig(baseConfig());
+    auto &gov = rig.gov;
+
+    // Push the free fraction below each watermark in turn.
+    PageNum next = 0;
+    auto fillTo = [&](double frac) {
+        while (gov.freeFraction() >= frac && next < 400)
+            writePage(rig.mc, rig.os, next++, DataClass::kRandom, 7);
+        gov.poll();
+    };
+    fillTo(0.30);
+    EXPECT_EQ(gov.level(), PressureLevel::kNormal);
+    fillTo(0.25);
+    EXPECT_EQ(gov.level(), PressureLevel::kElevated);
+    fillTo(0.10);
+    EXPECT_EQ(gov.level(), PressureLevel::kCritical);
+    fillTo(0.03);
+    EXPECT_EQ(gov.level(), PressureLevel::kEmergency);
+
+    // Hysteresis: leaving a level needs the watermark plus the margin.
+    PageNum victim = 0;
+    auto freeTo = [&](double frac) {
+        while (gov.freeFraction() <= frac && victim < next)
+            rig.mc.freePage(victim++);
+        gov.poll();
+    };
+    freeTo(0.04); // 0.03 cleared, but not 0.03 + 0.02
+    EXPECT_EQ(gov.level(), PressureLevel::kEmergency);
+    freeTo(0.055);
+    EXPECT_EQ(gov.level(), PressureLevel::kCritical);
+    freeTo(0.125);
+    EXPECT_EQ(gov.level(), PressureLevel::kElevated);
+    freeTo(0.28);
+    EXPECT_EQ(gov.level(), PressureLevel::kNormal);
+    EXPECT_GE(gov.stats().get("level_changes"), 6u);
+}
+
+TEST(PressureGovernor, AdmissionShedsOptionalWorkUnderPressure)
+{
+    GovernorConfig gc = baseConfig();
+    gc.elevated_inflation_window = 2;
+    Rig rig(gc);
+    auto &gov = rig.gov;
+
+    // Normal: everything is admitted.
+    EXPECT_TRUE(gov.admitOp(PressureOp::kRepack, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kInflation, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kRelocation, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kMetaRebuild, 16));
+
+    // Elevated: inflation-room growth is windowed.
+    PageNum next = 0;
+    while (gov.freeFraction() >= 0.24 && next < 400)
+        writePage(rig.mc, rig.os, next++, DataClass::kRandom, 9);
+    gov.poll();
+    ASSERT_EQ(gov.level(), PressureLevel::kElevated);
+    EXPECT_TRUE(gov.admitOp(PressureOp::kRepack, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kInflation, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kInflation, 16));
+    EXPECT_FALSE(gov.admitOp(PressureOp::kInflation, 16)); // window hit
+    EXPECT_GE(gov.stats().get("denied_window"), 1u);
+    gov.poll(); // new window
+    EXPECT_TRUE(gov.admitOp(PressureOp::kInflation, 16));
+
+    // Critical: repack and inflation shed; correctness paths stay.
+    while (gov.freeFraction() >= 0.09 && next < 400)
+        writePage(rig.mc, rig.os, next++, DataClass::kRandom, 9);
+    gov.poll();
+    ASSERT_GE(gov.level(), PressureLevel::kCritical);
+    EXPECT_FALSE(gov.admitOp(PressureOp::kRepack, 16));
+    EXPECT_FALSE(gov.admitOp(PressureOp::kInflation, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kRelocation, 16));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kMetaRebuild, 16));
+    EXPECT_GE(gov.stats().get("denied_level"), 2u);
+}
+
+TEST(PressureGovernor, WatchdogBreachDeniesEvenCorrectnessPaths)
+{
+    GovernorConfig gc = baseConfig();
+    gc.watchdog.op_budget = {64, 64, 64, 64};
+    gc.watchdog.denial_window = 2;
+    Rig rig(gc);
+    auto &gov = rig.gov;
+
+    // A relocation blows its stall budget...
+    gov.onOpCost(PressureOp::kRelocation, 1000);
+    EXPECT_EQ(gov.watchdog().totalBreaches(), 1u);
+    EXPECT_GE(gov.stats().get("watchdog_breaches"), 1u);
+    // ...so the next admissions of that class are denied (the
+    // controller escalates to the bounded safe state instead),
+    // even though the level is still normal.
+    EXPECT_EQ(gov.level(), PressureLevel::kNormal);
+    EXPECT_FALSE(gov.admitOp(PressureOp::kRelocation, 8));
+    EXPECT_FALSE(gov.admitOp(PressureOp::kRelocation, 8));
+    EXPECT_TRUE(gov.admitOp(PressureOp::kRelocation, 8));
+    EXPECT_GE(gov.stats().get("denied_watchdog"), 2u);
+    // Unrelated classes are untouched.
+    EXPECT_TRUE(gov.admitOp(PressureOp::kRepack, 8));
+}
+
+TEST(PressureGovernor, CostReportingRepollsAutomatically)
+{
+    GovernorConfig gc = baseConfig();
+    gc.poll_interval_ops = 64;
+    Rig rig(gc);
+    auto &gov = rig.gov;
+
+    // Fill past the elevated watermark *without* polling by hand: the
+    // accumulated op cost must trigger the re-poll.
+    PageNum next = 0;
+    while (gov.freeFraction() >= 0.20 && next < 400)
+        writePage(rig.mc, rig.os, next++, DataClass::kRandom, 13);
+    uint64_t polls = gov.stats().get("polls");
+    gov.onOpCost(PressureOp::kRepack, 65);
+    EXPECT_GT(gov.stats().get("polls"), polls);
+    EXPECT_GE(gov.level(), PressureLevel::kElevated);
+}
+
+TEST(PressureGovernor, OsOverrunForcesCritical)
+{
+    GovernorConfig gc = baseConfig();
+    Rig rig(gc, /*promised=*/2);
+    rig.os.swap().setCapacity(1);
+    // Two dirty resident pages, swap already holding one page: the
+    // next eviction has no safe victim.
+    rig.os.touch(1, true);
+    rig.os.touch(2, true);
+    rig.os.touch(3, true); // fills the only swap slot
+    rig.os.touch(4, true); // overrun: dirty victims, swap full
+    EXPECT_GE(rig.gov.stats().get("os_overruns"), 1u);
+    EXPECT_GE(rig.gov.level(), PressureLevel::kCritical);
+}
+
+TEST(PressureGovernor, EmergencyReclaimPrefersMostCompressible)
+{
+    GovernorConfig gc = baseConfig();
+    gc.emergency_reclaim_pages = 4;
+    Rig rig(gc);
+
+    // 8 cheap constant pages and 8 expensive random pages, all cold.
+    for (PageNum p = 0; p < 8; ++p)
+        writePage(rig.mc, rig.os, p, DataClass::kConstant, 17);
+    for (PageNum p = 8; p < 16; ++p)
+        writePage(rig.mc, rig.os, p, DataClass::kRandom, 17);
+    rig.balloon.drainFreed();
+
+    uint64_t free_before = rig.gov.freeChunks();
+    EXPECT_TRUE(rig.gov.onMachineOom(kNoPage));
+    EXPECT_GT(rig.gov.freeChunks(), free_before);
+    EXPECT_GE(rig.gov.stats().get("oom_rescued"), 1u);
+
+    // The victims are the most-compressible pages (ties by page
+    // number): the four lowest constant pages, never the random set.
+    auto freed = rig.balloon.drainFreed();
+    ASSERT_EQ(freed.size(), 4u);
+    std::sort(freed.begin(), freed.end());
+    for (size_t i = 0; i < freed.size(); ++i)
+        EXPECT_EQ(freed[i], PageNum(i));
+    EXPECT_TRUE(rig.mc.audit().clean());
+}
+
+TEST(PressureGovernor, OomMidWriteIsRescuedTransparently)
+{
+    // Drive a real allocation failure inside writebackLine and let the
+    // governor rescue it: cold compressible pages are ballooned away,
+    // the write retries and succeeds, and the audit stays clean.
+    GovernorConfig gc = baseConfig();
+    gc.emergency_reclaim_pages = 32;
+    gc.candidate_scan = 256;
+    Rig rig(gc, /*promised=*/512);
+
+    // A cold compressible carpet the rescuer can harvest...
+    for (PageNum p = 0; p < 150; ++p)
+        writePage(rig.mc, rig.os, p, DataClass::kConstant, 19);
+    // ...then hot random data until the machine would overflow.
+    for (PageNum p = 150; p < 400; ++p)
+        writePage(rig.mc, rig.os, p, DataClass::kRandom, 19);
+
+    auto &stats = rig.gov.stats();
+    EXPECT_GE(stats.get("oom_events"), 1u);
+    EXPECT_GE(stats.get("oom_rescued"), 1u);
+    EXPECT_GE(stats.get("emergency_pages"), 1u);
+    // Every rescued OOM vanished from the controller's failure stat:
+    // unrescued falls through to the legacy machine_oom accounting.
+    EXPECT_EQ(rig.mc.stats().get("machine_oom"),
+              stats.get("oom_unrescued"));
+    EXPECT_TRUE(rig.mc.audit().clean());
+
+    // The hot random data written after the rescue reads back intact.
+    Line got, expect;
+    McTrace tr;
+    generateLine(DataClass::kRandom, Rng::mix(399, 0, 19), expect);
+    rig.mc.fillLine(Addr(399) * kPageBytes, got, tr);
+    EXPECT_EQ(got, expect);
+}

@@ -15,6 +15,13 @@ the campaign envelope (summary counts vs job statuses, per-job status
 vocabulary, aggregates), and `summary` prints the scheduling digest
 (workers, failures, retries, steals) and custom-job values.
 
+Also reads compresso-soak-v1 documents (src/pressure/soak_export.h,
+written by `balloon_oom --soak --out`): `check` validates the soak
+envelope (per-controller reports, per-phase telemetry, watchdog op
+digests, pass gates vs counted failures), `summary` prints the
+per-controller verdict table and per-phase pressure digest, and
+`diff` compares matching controllers.
+
 Subcommands:
   summary <run.json>            per-result metric table + obs digest
   diff <a.json> <b.json>        metric deltas between matching labels
@@ -27,7 +34,44 @@ import sys
 
 SCHEMAS = ("compresso-run-v1", "compresso-run-v2")
 CAMPAIGN_SCHEMA = "compresso-campaign-v1"
+SOAK_SCHEMA = "compresso-soak-v1"
 JOB_STATUSES = ("ok", "failed", "timeout", "skipped")
+
+SOAK_REPORT_NUMBERS = [
+    "total_refs",
+    "silent_corruptions",
+    "audit_violations",
+    "watchdog_breaches",
+    "watchdog_denials",
+    "throttled",
+    "ladder_steps",
+    "oom_events",
+    "oom_rescued",
+    "oom_unrescued",
+    "stall_p99_max",
+]
+
+SOAK_PHASE_NUMBERS = [
+    "refs",
+    "reads",
+    "writes",
+    "verify_failures",
+    "zero_tolerated",
+    "audit_violations",
+    "max_level",
+    "machine_oom",
+    "oom_rescues",
+    "oom_dropped_writes",
+    "throttled",
+    "ladder_steps",
+    "swap_full",
+    "budget_overruns",
+]
+
+SOAK_OPS = ("repack", "relocation", "meta_rebuild", "inflation")
+
+SOAK_SCENARIOS = ("calm", "collapse_storm", "balloon_thrash",
+                  "swap_storm", "metadata_pressure", "fault_burst")
 
 RESULT_NUMBERS = [
     "cycles",
@@ -119,9 +163,12 @@ def check_doc(doc, path):
     if doc.get("schema") == CAMPAIGN_SCHEMA:
         check_campaign_doc(doc, need)
         return problems
+    if doc.get("schema") == SOAK_SCHEMA:
+        check_soak_doc(doc, need)
+        return problems
     need(doc.get("schema") in SCHEMAS,
          f"schema is {doc.get('schema')!r}, expected one of "
-         f"{SCHEMAS + (CAMPAIGN_SCHEMA,)}")
+         f"{SCHEMAS + (CAMPAIGN_SCHEMA, SOAK_SCHEMA)}")
     v2 = doc.get("schema") == "compresso-run-v2"
     need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
     results = doc.get("results")
@@ -217,6 +264,181 @@ def check_campaign_doc(doc, need):
             need(isinstance(stats, dict), f"{where}: missing {grp}")
 
 
+def check_soak_phase(ph, where, need):
+    """Validate one chaos-phase object of a soak report."""
+    need(ph.get("scenario") in SOAK_SCENARIOS,
+         f"{where}: scenario {ph.get('scenario')!r} not in "
+         f"{SOAK_SCENARIOS}")
+    for k in SOAK_PHASE_NUMBERS:
+        need(isinstance(ph.get(k), int),
+             f"{where}: missing integer field {k!r}")
+    need(isinstance(ph.get("level_end"), str),
+         f"{where}: missing string field 'level_end'")
+    if isinstance(ph.get("reads"), int) and isinstance(
+            ph.get("writes"), int):
+        need(ph["reads"] + ph["writes"] == ph.get("refs"),
+             f"{where}: reads + writes != refs")
+    stall = ph.get("stall")
+    need(isinstance(stall, dict), f"{where}: missing object 'stall'")
+    for k in ("p50", "p99", "max"):
+        need(isinstance((stall or {}).get(k), int),
+             f"{where}: stall.{k} must be an integer")
+    ops = ph.get("ops")
+    need(isinstance(ops, dict), f"{where}: missing object 'ops'")
+    if isinstance(ops, dict):
+        need(sorted(ops) == sorted(SOAK_OPS),
+             f"{where}: ops classes {sorted(ops)} != "
+             f"{sorted(SOAK_OPS)}")
+        for name, d in ops.items():
+            for k in ("count", "p50", "p99", "max", "breaches"):
+                need(isinstance((d or {}).get(k), int),
+                     f"{where}: ops[{name!r}].{k} must be an integer")
+    # Host timing must never leak into the deterministic document.
+    for k in ("host_ns", "wall_ns"):
+        need(k not in ph, f"{where}: host-timing field {k!r} present")
+
+
+def check_soak_doc(doc, need):
+    """Validate the soak envelope plus every controller report."""
+    need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
+    need(isinstance(doc.get("seed"), int),
+         "missing integer field 'seed'")
+    need(isinstance(doc.get("all_passed"), bool),
+         "missing bool field 'all_passed'")
+    reports = doc.get("reports")
+    need(isinstance(reports, list), "missing array field 'reports'")
+    if not isinstance(reports, list):
+        return
+
+    all_passed = True
+    for i, r in enumerate(reports):
+        where = f"reports[{i}]"
+        need(isinstance(r, dict), f"{where} is not an object")
+        if not isinstance(r, dict):
+            continue
+        need(isinstance(r.get("controller"), str),
+             f"{where}: missing string field 'controller'")
+        need(isinstance(r.get("seed"), int),
+             f"{where}: missing integer field 'seed'")
+        need(isinstance(r.get("passed"), bool),
+             f"{where}: missing bool field 'passed'")
+        need(isinstance(r.get("fail_reason"), str),
+             f"{where}: missing string field 'fail_reason'")
+        for k in SOAK_REPORT_NUMBERS:
+            need(isinstance(r.get(k), int),
+                 f"{where}: missing integer field {k!r}")
+        phases = r.get("phases")
+        need(isinstance(phases, list),
+             f"{where}: missing array field 'phases'")
+        if isinstance(phases, list):
+            for j, ph in enumerate(phases):
+                pw = f"{where}.phases[{j}]"
+                need(isinstance(ph, dict), f"{pw} is not an object")
+                if isinstance(ph, dict):
+                    check_soak_phase(ph, pw, need)
+            for total, per_phase in (
+                    ("silent_corruptions", "verify_failures"),
+                    ("audit_violations", "audit_violations"),
+                    ("throttled", "throttled"),
+                    ("ladder_steps", "ladder_steps")):
+                s = sum(ph.get(per_phase, 0) for ph in phases
+                        if isinstance(ph, dict))
+                need(r.get(total) == s,
+                     f"{where}: {total} {r.get(total)!r} != {s} "
+                     f"summed from phases[].{per_phase}")
+            s = sum(ph.get("refs", 0) for ph in phases
+                    if isinstance(ph, dict))
+            need(r.get("total_refs") == s,
+                 f"{where}: total_refs {r.get('total_refs')!r} != "
+                 f"{s} summed from phases[]")
+        # The pass gates: a passing report must be clean, a failing
+        # one must say why.
+        if r.get("passed") is True:
+            need(r.get("silent_corruptions") == 0,
+                 f"{where}: passed with silent corruptions")
+            need(r.get("audit_violations") == 0,
+                 f"{where}: passed with audit violations")
+            need(r.get("fail_reason") == "",
+                 f"{where}: passed with a fail_reason")
+        elif r.get("passed") is False:
+            all_passed = False
+            need(r.get("fail_reason") != "",
+                 f"{where}: failed without a fail_reason")
+    need(doc.get("all_passed") == all_passed,
+         f"all_passed {doc.get('all_passed')!r} != {all_passed} "
+         "derived from reports[]")
+
+
+def soak_digest(doc):
+    """Print the per-controller verdict table + per-phase pressure."""
+    reports = doc["reports"]
+    ok = sum(1 for r in reports if r["passed"])
+    print(f"soak: {doc['tool']}  seed: {doc['seed']}  controllers: "
+          f"{ok}/{len(reports)} passed  all_passed: "
+          f"{str(doc['all_passed']).lower()}")
+    hdr = (f"{'controller':12} {'refs':>10} {'corrupt':>8} "
+           f"{'audit':>6} {'oom r/u':>9} {'thrott':>7} "
+           f"{'ladder':>7} {'p99':>5}  verdict")
+    print(hdr)
+    print("-" * len(hdr))
+    for r in reports:
+        verdict = "PASS" if r["passed"] else f"FAIL ({r['fail_reason']})"
+        oom = f"{r['oom_rescued']}/{r['oom_unrescued']}"
+        print(f"{r['controller'][:12]:12} {r['total_refs']:>10} "
+              f"{r['silent_corruptions']:>8} "
+              f"{r['audit_violations']:>6} {oom:>9} "
+              f"{r['throttled']:>7} {r['ladder_steps']:>7} "
+              f"{r['stall_p99_max']:>5}  {verdict}")
+    print("\nphases (per controller):")
+    for r in reports:
+        print(f"  {r['controller']}:")
+        for ph in r["phases"]:
+            breaches = sum(d["breaches"] for d in ph["ops"].values())
+            print(f"    {ph['scenario']:18} refs={ph['refs']:<7} "
+                  f"end={ph['level_end']:9} "
+                  f"p99={ph['stall']['p99']:<5} "
+                  f"oom={ph['machine_oom']:<4} "
+                  f"thrott={ph['throttled']:<6} "
+                  f"breach={breaches:<3} "
+                  f"swapfull={ph['swap_full']}")
+    print()
+
+
+def soak_diff(a, b, path_a, path_b):
+    """Compare matching controllers of two soak documents."""
+    by_a = {r["controller"]: r for r in a["reports"]}
+    by_b = {r["controller"]: r for r in b["reports"]}
+    shared = [c for c in by_a if c in by_b]
+    only_a = [c for c in by_a if c not in by_b]
+    only_b = [c for c in by_b if c not in by_a]
+    if only_a:
+        print(f"only in {path_a}: {', '.join(only_a)}")
+    if only_b:
+        print(f"only in {path_b}: {', '.join(only_b)}")
+    if not shared:
+        print("no shared controllers to compare", file=sys.stderr)
+        return 1
+    changed = 0
+    for c in shared:
+        ra, rb = by_a[c], by_b[c]
+        lines = []
+        for k in SOAK_REPORT_NUMBERS + ["passed"]:
+            va, vb = ra[k], rb[k]
+            if va == vb:
+                continue
+            lines.append(f"    {k:20} {va} -> {vb}")
+        if lines:
+            changed += 1
+            print(f"  {c}:")
+            print("\n".join(lines))
+    if changed == 0:
+        print(f"{len(shared)} shared controllers, "
+              "all soak metrics identical")
+    else:
+        print(f"{changed}/{len(shared)} shared controllers differ")
+    return 0
+
+
 def run_view(doc):
     """Project a document onto run-v2 shape: campaign documents expose
     their successful run-jobs as the result list."""
@@ -242,6 +464,19 @@ def cmd_check(args):
               f"({doc['tool']}, campaign {doc['campaign']!r}, "
               f"{s['total']} jobs: {s['ok']} ok, {s['failed']} failed, "
               f"{s['timeout']} timeout, {s['skipped']} skipped)")
+        return 0
+    if doc["schema"] == SOAK_SCHEMA:
+        reports = doc["reports"]
+        ok = sum(1 for r in reports if r["passed"])
+        print(f"{args.file}: valid {doc['schema']} "
+              f"({doc['tool']}, {ok}/{len(reports)} controllers "
+              f"passed)")
+        if not doc["all_passed"]:
+            for r in reports:
+                if not r["passed"]:
+                    print(f"{args.file}: {r['controller']} failed: "
+                          f"{r['fail_reason']}", file=sys.stderr)
+            return 1
         return 0
     n = len(doc["results"])
     print(f"{args.file}: valid {doc['schema']} "
@@ -282,6 +517,9 @@ def cmd_summary(args):
         for p in problems:
             print(p, file=sys.stderr)
         return 1
+    if full.get("schema") == SOAK_SCHEMA:
+        soak_digest(full)
+        return 0
     if full.get("schema") == CAMPAIGN_SCHEMA:
         campaign_digest(full)
     doc = run_view(full)
@@ -336,6 +574,14 @@ def cmd_diff(args):
         for p in problems:
             print(p, file=sys.stderr)
         return 1
+    soak_a = a.get("schema") == SOAK_SCHEMA
+    soak_b = b.get("schema") == SOAK_SCHEMA
+    if soak_a != soak_b:
+        print("cannot diff a soak document against a run document",
+              file=sys.stderr)
+        return 1
+    if soak_a:
+        return soak_diff(a, b, args.a, args.b)
     a, b = run_view(a), run_view(b)
 
     by_label_a = {r["label"]: r for r in a["results"]}
