@@ -8,22 +8,38 @@
  *      (write lines in, read identical lines back, watch the machine
  *      footprint shrink);
  *   3. the per-operation timing trace (device accesses + fixed
- *      latencies) that the system simulator consumes.
+ *      latencies) that the system simulator consumes;
+ *   4. the full system simulator in one call, through the shared
+ *      RunSink CLI layer — so the standard flags (`--json out.json`,
+ *      `--obs`, `--prof`, `--help`) work here exactly as they do on
+ *      every bench binary, and `--json` writes the same
+ *      compresso-run-v3 document the tools under tools/ read.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/examples/quickstart [--json out.json] [--obs]
  */
 
 #include <cstdio>
 
 #include "compress/factory.h"
 #include "core/compresso_controller.h"
+#include "sim/run_export.h"
+#include "sim/runner.h"
 #include "workloads/datagen.h"
 
 using namespace compresso;
 
 int
-main()
+main(int argc, char **argv)
 {
+    RunSink sink;
+    sink.init(argc, argv, "quickstart");
+    if (!sink.extraArgs().empty()) {
+        std::fprintf(stderr,
+                     "error: unknown argument '%s' (try --help)\n",
+                     sink.extraArgs().front().c_str());
+        return 2;
+    }
+
     std::printf("== 1. Compressing single cache lines ==\n");
     Line line;
     generateLine(DataClass::kDeltaInt, /*seed=*/42, line);
@@ -93,8 +109,20 @@ main()
     if (trace.ops.empty())
         std::printf("    none (served by the metadata cache alone)\n");
 
+    std::printf("\n== 4. The full system simulator in one call ==\n");
+    RunSpec spec;
+    spec.workloads = {"gcc"};
+    spec.refs_per_core = 30000;
+    spec.warmup_refs = 3000;
+    RunResult sim = sink.run(spec);
+    std::printf("  gcc on Compresso (30k refs): IPC %.2f, compression "
+                "ratio %.2fx,\n  extra device traffic %.1f%%\n",
+                sim.perf, sim.comp_ratio, 100 * sim.extra_total);
+    std::printf("  (--json exports this run; --obs adds event counters "
+                "and the\n  per-component latency breakdown)\n");
+
     std::printf("\nNext: examples/graph_analytics.cpp runs a full system "
                 "simulation;\nexamples/capacity_planner.cpp sizes memory "
                 "under compression.\n");
-    return 0;
+    return sink.finish();
 }

@@ -105,10 +105,11 @@ CompressoController::mdAccess(PageNum page, bool dirty, McTrace &trace)
     const MetadataEntry &m = meta_[page];
     bool hit = mdcache_.access(page, m.halfCacheable(), dirty);
     trace.metadata_hit = hit;
-    trace.fixed_latency += cfg_.mdcache_hit_latency;
+    trace.addFixed(AttribComp::kMdcacheHit, cfg_.mdcache_hit_latency);
     if (!hit) {
         // Fetch the entry from the metadata region (critical).
-        trace.add(metadataAddr(page), false, true);
+        trace.add(metadataAddr(page), false, true,
+                  AttribComp::kMdcacheMiss);
         ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(page)) ==
@@ -122,7 +123,8 @@ void
 CompressoController::onMetaEvict(PageNum page, bool dirty)
 {
     if (dirty && cur_trace_) {
-        cur_trace_->add(metadataAddr(page), true, false);
+        cur_trace_->add(metadataAddr(page), true, false,
+                        AttribComp::kMdcacheMiss);
         ++st_md_write_ops_;
         fault_.onWrite(metadataAddr(page));
     }
@@ -225,7 +227,7 @@ CompressoController::loadBytes(const MetadataEntry &m, uint32_t off,
 unsigned
 CompressoController::deviceOps(const MetadataEntry &m, uint32_t off,
                                size_t len, bool write, bool critical,
-                               McTrace &trace)
+                               McTrace &trace, AttribComp comp)
 {
     if (len == 0)
         return 0;
@@ -234,9 +236,14 @@ CompressoController::deviceOps(const MetadataEntry &m, uint32_t off,
     unsigned issued = 0;
     for (unsigned b = first; b <= last; ++b) {
         Addr block = mpaOf(m, b * uint32_t(kLineBytes));
+        // Split-access attribution: the first issued block of a
+        // critical access carries the caller's component; the rest are
+        // the split penalty.
+        AttribComp op_comp =
+            critical && issued > 0 ? AttribComp::kDeviceExtra : comp;
         if (write) {
             streamBufferInvalidate(block);
-            trace.add(block, true, critical);
+            trace.add(block, true, critical, op_comp);
             ++st_data_write_ops_;
             fault_.onWrite(block);
             ++issued;
@@ -245,7 +252,7 @@ CompressoController::deviceOps(const MetadataEntry &m, uint32_t off,
                 ++st_prefetch_hits_;
                 continue;
             }
-            trace.add(block, false, critical);
+            trace.add(block, false, critical, op_comp);
             ++st_data_read_ops_;
             // Only demand-critical reads are architecturally exposed
             // to stored faults; background traffic rewrites blocks.
@@ -425,7 +432,8 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
                 unsigned blocks =
                     unsigned((moved + kLineBytes - 1) / kLineBytes);
                 st_overflow_move_ops_ += 2ull * blocks;
-                deviceOps(m, 0, moved, false, false, trace);
+                deviceOps(m, 0, moved, false, false, trace,
+                          AttribComp::kOverflowRelayout);
             }
             if (!resizeAlloc(m, unsigned((new_alloc + kChunkBytes - 1) /
                                          kChunkBytes))) {
@@ -434,7 +442,8 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             }
             if (cfg_.page_sizing == PageSizing::kVariable4) {
                 uint32_t moved = offsets_.offset(m.line_code, idx);
-                deviceOps(m, 0, moved, true, false, trace);
+                deviceOps(m, 0, moved, true, false, trace,
+                          AttribComp::kOverflowRelayout);
             }
         }
         writeToSlot(page, m, idx, enc, trace);
@@ -456,7 +465,8 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             uint32_t off = base +
                 uint32_t(m.inflate_count) * uint32_t(kLineBytes);
             m.inflate_line[m.inflate_count++] = uint8_t(idx);
-            deviceOps(m, off, kLineBytes, true, false, trace);
+            deviceOps(m, off, kLineBytes, true, false, trace,
+                      AttribComp::kOverflowRelayout);
             storeBytes(m, off, raw.data(), kLineBytes);
             ++st_ir_placements_;
             return;
@@ -479,7 +489,8 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             if (!m.compressed) {
                 shadow(page).predictor_inflated = true;
                 uint32_t off = idx * uint32_t(kLineBytes);
-                deviceOps(m, off, kLineBytes, true, false, trace);
+                deviceOps(m, off, kLineBytes, true, false, trace,
+                          AttribComp::kOverflowRelayout);
                 storeBytes(m, off, raw.data(), kLineBytes);
                 return;
             }
@@ -509,7 +520,8 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
         uint32_t off =
             base + uint32_t(m.inflate_count) * uint32_t(kLineBytes);
         m.inflate_line[m.inflate_count++] = uint8_t(idx);
-        deviceOps(m, off, kLineBytes, true, false, trace);
+        deviceOps(m, off, kLineBytes, true, false, trace,
+                  AttribComp::kOverflowRelayout);
         storeBytes(m, off, raw.data(), kLineBytes);
         ++st_ir_placements_;
         return;
@@ -529,11 +541,15 @@ CompressoController::handleLineOverflow(PageNum page, MetadataEntry &m,
             ++st_overflow_escalations_;
             CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, page,
                           uint32_t(PressureOp::kRelocation));
-            inflateToUncompressed(page, m, trace);
+            // Escalation the governor forced: attribute the terminal
+            // inflation to pressure, not to ordinary overflow relayout.
+            inflateToUncompressed(page, m, trace,
+                                  AttribComp::kPressureStall);
             if (!m.compressed) {
                 shadow(page).predictor_inflated = true;
                 uint32_t off = idx * uint32_t(kLineBytes);
-                deviceOps(m, off, kLineBytes, true, false, trace);
+                deviceOps(m, off, kLineBytes, true, false, trace,
+                          AttribComp::kPressureStall);
                 storeBytes(m, off, raw.data(), kLineBytes);
                 return;
             }
@@ -610,7 +626,8 @@ CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
         pressure_->onOpCost(PressureOp::kRelocation, 2ull * move_blocks);
     // Enqueue bandwidth for the move (reads then writes, background).
     if (m.chunks > 0) {
-        deviceOps(m, move_from, moved, false, false, trace);
+        deviceOps(m, move_from, moved, false, false, trace,
+                  AttribComp::kOverflowRelayout);
     }
 
     if (!resizeAlloc(m, unsigned((new_alloc + kChunkBytes - 1) /
@@ -647,12 +664,12 @@ CompressoController::growSlotInPlace(PageNum page, MetadataEntry &m,
     uint32_t rewrite_end = uint32_t(roundUp(new_pack, kLineBytes));
     if (rewrite_end > move_from)
         deviceOps(m, move_from, rewrite_end - move_from, true, false,
-                  trace);
+                  trace, AttribComp::kOverflowRelayout);
 }
 
 void
 CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
-                                           McTrace &trace)
+                                           McTrace &trace, AttribComp comp)
 {
     // Read out the whole compressed page, then store it raw in 8
     // chunks. Future streaming writebacks become 1:1 accesses.
@@ -673,7 +690,7 @@ CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
         ? irBase(m) + uint32_t(m.inflate_count) * uint32_t(kLineBytes)
         : uint32_t(kPageBytes);
     if (m.chunks > 0)
-        deviceOps(m, 0, old_used, false, false, trace);
+        deviceOps(m, 0, old_used, false, false, trace, comp);
     uint64_t inflate_cost =
         (old_used + kLineBytes - 1) / kLineBytes + kLinesPerPage;
     st_overflow_move_ops_ += inflate_cost;
@@ -687,7 +704,7 @@ CompressoController::inflateToUncompressed(PageNum page, MetadataEntry &m,
     m.line_code.fill(uint8_t(bins_->count() - 1));
     for (LineIdx i = 0; i < kLinesPerPage; ++i)
         storeBytes(m, i * uint32_t(kLineBytes), buf[i].data(), kLineBytes);
-    deviceOps(m, 0, kPageBytes, true, false, trace);
+    deviceOps(m, 0, kPageBytes, true, false, trace, comp);
     mdcache_.reshape(pageOf(Addr(page) * kPageBytes), m.halfCacheable());
 }
 
@@ -752,7 +769,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
     ++st_repacks_;
     unsigned read_blocks = unsigned((old_used + kLineBytes - 1) / kLineBytes);
     st_repack_read_ops_ += read_blocks;
-    deviceOps(m, 0, old_used, false, false, trace);
+    deviceOps(m, 0, old_used, false, false, trace, AttribComp::kRepack);
     CPR_OBS_HIST(h_page_free_, m.free_space);
 
     if (all_zero) {
@@ -789,7 +806,8 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
             storeBytes(m, i * uint32_t(kLineBytes), buf[i].data(),
                        kLineBytes);
         st_repack_write_ops_ += kLinesPerPage;
-        deviceOps(m, 0, kPageBytes, true, false, trace);
+        deviceOps(m, 0, kPageBytes, true, false, trace,
+                  AttribComp::kRepack);
         mdcache_.reshape(page, m.halfCacheable());
         CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page,
                       read_blocks + unsigned(kLinesPerPage));
@@ -824,7 +842,7 @@ CompressoController::repackPage(PageNum page, McTrace &trace)
     }
     unsigned write_blocks = unsigned((new_used + kLineBytes - 1) / kLineBytes);
     st_repack_write_ops_ += write_blocks;
-    deviceOps(m, 0, new_used, true, false, trace);
+    deviceOps(m, 0, new_used, true, false, trace, AttribComp::kRepack);
     predictorPageShrink(page);
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, page,
                   read_blocks + write_blocks);
@@ -912,9 +930,11 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
                     ? irBase(m) +
                           uint32_t(m.inflate_count) * uint32_t(kLineBytes)
                     : uint32_t(kPageBytes);
-                deviceOps(m, 0, used, false, false, trace);
+                deviceOps(m, 0, used, false, false, trace,
+                          AttribComp::kFaultRecovery);
             }
-            trace.add(metadataAddr(page), true, false);
+            trace.add(metadataAddr(page), true, false,
+                      AttribComp::kFaultRecovery);
             ++stats_["md_write_ops"];
         }
         fi->scrub(metadataAddr(page));
@@ -941,7 +961,8 @@ CompressoController::recoverMetadataFault(PageNum page, McTrace &trace)
                       uint32_t(FaultRung::kInflateSafety));
         fi->notePageInflatedSafety();
         FaultHooks::SuppressScope guard(fault_);
-        inflateToUncompressed(page, m, trace);
+        inflateToUncompressed(page, m, trace,
+                              AttribComp::kFaultRecovery);
         shadow(page).predictor_inflated = true;
         updateFreeSpace(m, shadow(page));
         meta_rebuilds_.erase(page);
@@ -967,8 +988,11 @@ CompressoController::poisonDataFault(Addr ospa_line, const MetadataEntry &m,
     CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
                   uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
-    deviceOps(m, off, len, false, false, trace); // retry read
-    deviceOps(m, off, len, true, false, trace);  // poison rewrite
+    // retry read, then the poison rewrite
+    deviceOps(m, off, len, false, false, trace,
+              AttribComp::kFaultRecovery);
+    deviceOps(m, off, len, true, false, trace,
+              AttribComp::kFaultRecovery);
     uint64_t ops = trace.ops.size() - before;
     fault_.injector()->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
@@ -1130,7 +1154,9 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
         return;
     }
 
-    trace.fixed_latency += offsets_.extraCycles();
+    // The offset circuit is metadata-side work: fold it into the
+    // mdcache_hit component (DESIGN.md §15).
+    trace.addFixed(AttribComp::kMdcacheHit, offsets_.extraCycles());
     uint32_t off = offsets_.offset(m.line_code, idx);
     uint16_t sz = bins_->binSize(code);
     unsigned blocks = deviceOps(m, off, sz, false, true, trace);
@@ -1147,7 +1173,7 @@ CompressoController::fillLine(Addr addr, Line &data, McTrace &trace)
     }
     decodeSlot(m, off, code, data);
     if (sz != kLineBytes)
-        trace.fixed_latency += cfg_.compression_latency;
+        trace.addFixed(AttribComp::kDecompress, cfg_.compression_latency);
 
     // Free prefetch: neighboring compressed lines that arrived whole
     // within the fetched 64 B bursts (Sec. VII-A).
@@ -1219,7 +1245,7 @@ CompressoController::writebackLine(Addr addr, const Line &data,
         resizeAlloc(m, unsigned((alloc + kChunkBytes - 1) / kChunkBytes));
     }
 
-    trace.fixed_latency += cfg_.compression_latency;
+    trace.addFixed(AttribComp::kCompress, cfg_.compression_latency);
 
     if (!m.compressed) {
         uint32_t off = idx * uint32_t(kLineBytes);

@@ -236,9 +236,12 @@ class CompressoController : public MemoryController
     Addr mpaOf(const MetadataEntry &m, uint32_t off) const;
 
     /** Enqueue the device ops covering bytes [off, off+len) of a page;
-     *  returns the number of 64 B blocks touched. */
+     *  returns the number of 64 B blocks touched. Ops are attributed
+     *  to @p comp; the blocks of a critical read beyond the first are
+     *  retagged device_extra (split-access cost, DESIGN.md §15). */
     unsigned deviceOps(const MetadataEntry &m, uint32_t off, size_t len,
-                       bool write, bool critical, McTrace &trace);
+                       bool write, bool critical, McTrace &trace,
+                       AttribComp comp = AttribComp::kDeviceData);
 
     /** Grow/shrink a page's chunk allocation to @p chunks. Returns
      *  false if machine memory is exhausted. */
@@ -266,7 +269,9 @@ class CompressoController : public MemoryController
     void growSlotInPlace(PageNum page, MetadataEntry &m, LineIdx idx,
                          const Encoded &enc, McTrace &trace);
     void inflateToUncompressed(PageNum page, MetadataEntry &m,
-                               McTrace &trace);
+                               McTrace &trace,
+                               AttribComp comp =
+                                   AttribComp::kOverflowRelayout);
     void repackPage(PageNum page, McTrace &trace);
     void updateFreeSpace(MetadataEntry &m, const PageShadow &sh);
 

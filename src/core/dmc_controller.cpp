@@ -25,7 +25,8 @@ DmcController::DmcController(const DmcConfig &cfg)
     assert(hot_codec_ && cold_codec_ && "unknown compressor name");
     mdcache_.setEvictHook([this](PageNum pn, bool dirty) {
         if (dirty && cur_trace_) {
-            cur_trace_->add(metadataAddr(pn), true, false);
+            cur_trace_->add(metadataAddr(pn), true, false,
+                            AttribComp::kMdcacheMiss);
             ++stats_["md_write_ops"];
             fault_.onWrite(metadataAddr(pn));
         }
@@ -53,9 +54,10 @@ DmcController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
 {
     bool hit = mdcache_.access(pn, false, dirty);
     trace.metadata_hit = hit;
-    trace.fixed_latency += cfg_.mdcache_hit_latency;
+    trace.addFixed(AttribComp::kMdcacheHit, cfg_.mdcache_hit_latency);
     if (!hit) {
-        trace.add(metadataAddr(pn), false, true);
+        trace.add(metadataAddr(pn), false, true,
+                  AttribComp::kMdcacheMiss);
         ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(pn)) ==
@@ -129,7 +131,8 @@ DmcController::loadBytes(const Page &p, uint32_t off, uint8_t *dst,
 
 unsigned
 DmcController::deviceOps(const Page &p, uint32_t off, size_t len,
-                         bool write, bool critical, McTrace &trace)
+                         bool write, bool critical, McTrace &trace,
+                         AttribComp comp)
 {
     if (len == 0)
         return 0;
@@ -137,7 +140,12 @@ DmcController::deviceOps(const Page &p, uint32_t off, size_t len,
     unsigned last = unsigned((off + len - 1) / kLineBytes);
     for (unsigned b = first; b <= last; ++b) {
         Addr block = mpaOf(p, b * uint32_t(kLineBytes));
-        trace.add(block, write, critical);
+        // First critical block is the demand word; further critical
+        // blocks are split-access overhead (kDeviceExtra).
+        AttribComp op_comp = critical && b > first
+                                 ? AttribComp::kDeviceExtra
+                                 : comp;
+        trace.add(block, write, critical, op_comp);
         ++(write ? st_data_write_ops_ : st_data_read_ops_);
         if (write)
             fault_.onWrite(block);
@@ -203,7 +211,7 @@ DmcController::readHotLine(const Page &p, LineIdx idx, Line &out) const
 
 void
 DmcController::gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
-                      McTrace *trace)
+                      McTrace *trace, AttribComp comp)
 {
     if (!p.valid || p.zero) {
         for (auto &l : buf)
@@ -215,7 +223,7 @@ DmcController::gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
             readHotLine(p, l, buf[l]);
         if (trace) {
             uint32_t used = hotPack(p);
-            deviceOps(p, 0, used, false, false, *trace);
+            deviceOps(p, 0, used, false, false, *trace, comp);
         }
         return;
     }
@@ -232,7 +240,8 @@ DmcController::gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
             (void)ok;
         }
         if (trace)
-            deviceOps(p, off, p.cold_bytes[b], false, false, *trace);
+            deviceOps(p, off, p.cold_bytes[b], false, false, *trace,
+                      comp);
         off += p.cold_bytes[b];
     }
 }
@@ -240,7 +249,7 @@ DmcController::gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
 void
 DmcController::layoutHot(Page &p,
                          const std::array<Line, kLinesPerPage> &buf,
-                         McTrace &trace)
+                         McTrace &trace, AttribComp comp)
 {
     std::array<std::vector<uint8_t>, kLinesPerPage> enc;
     uint32_t pack = 0;
@@ -280,7 +289,7 @@ DmcController::layoutHot(Page &p,
             storeBytes(p, off, enc[l].data(), enc[l].size());
     }
     deviceOps(p, 0, uint32_t(roundUp(pack, kLineBytes)), true, false,
-              trace);
+              trace, comp);
 }
 
 void
@@ -323,7 +332,7 @@ DmcController::demoteToCold(PageNum pn, Page &p, McTrace &trace)
         storeBytes(p, off, blocks[b].data(), blocks[b].size());
         off += p.cold_bytes[b];
     }
-    deviceOps(p, 0, total, true, false, trace);
+    deviceOps(p, 0, total, true, false, trace, AttribComp::kRepack);
     ++st_demotions_;
     CPR_OBS_EVENT(obs_, ObsEvent::kRepack, pn, 0);
     if (pressure_ != nullptr)
@@ -432,9 +441,11 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
             } else {
                 used = hotPack(p);
             }
-            deviceOps(p, 0, used, false, false, trace);
+            deviceOps(p, 0, used, false, false, trace,
+                      AttribComp::kFaultRecovery);
         }
-        trace.add(metadataAddr(pn), true, false);
+        trace.add(metadataAddr(pn), true, false,
+                  AttribComp::kFaultRecovery);
         ++stats_["md_write_ops"];
         unsigned rebuilds;
         if (throttled) {
@@ -456,7 +467,7 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
                           uint32_t(FaultRung::kInflateSafety));
             fi->notePageInflatedSafety();
             std::array<Line, kLinesPerPage> buf;
-            gather(p, buf, &trace);
+            gather(p, buf, &trace, AttribComp::kFaultRecovery);
             p.cold = false;
             p.cold_bytes.fill(0);
             for (LineIdx l = 0; l < kLinesPerPage; ++l)
@@ -465,7 +476,8 @@ DmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
             for (LineIdx l = 0; l < kLinesPerPage; ++l)
                 storeBytes(p, hotOffset(p, l), buf[l].data(),
                            kLineBytes);
-            deviceOps(p, 0, kPageBytes, true, false, trace);
+            deviceOps(p, 0, kPageBytes, true, false, trace,
+                      AttribComp::kFaultRecovery);
             meta_rebuilds_.erase(pn);
         }
     }
@@ -486,8 +498,10 @@ DmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
     CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
                   uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
-    deviceOps(p, off, len, false, false, trace); // retry read
-    deviceOps(p, off, len, true, false, trace);  // poison rewrite
+    deviceOps(p, off, len, false, false, trace,
+              AttribComp::kFaultRecovery); // retry read
+    deviceOps(p, off, len, true, false, trace,
+              AttribComp::kFaultRecovery); // poison rewrite
     uint64_t ops = trace.ops.size() - before;
     fault_.injector()->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
@@ -529,7 +543,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
         for (unsigned i = 0; i < b; ++i)
             off += p.cold_bytes[i];
         deviceOps(p, off, p.cold_bytes[b], false, true, trace);
-        trace.fixed_latency += cfg_.cold_latency;
+        trace.addFixed(AttribComp::kDecompress, cfg_.cold_latency);
         ++st_cold_block_reads_;
         if (fault_.takePending() == FaultOutcome::kDetected) {
             poisonDataFault(lineAddr(addr), p, off, p.cold_bytes[b],
@@ -561,7 +575,9 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     }
     uint16_t sz = compressoBins().binSize(p.code[idx]);
     uint32_t off = hotOffset(p, idx);
-    trace.fixed_latency += 1;
+    // Offset adder, folded into the metadata component like
+    // Compresso's offset circuit (DESIGN.md §15).
+    trace.addFixed(AttribComp::kMdcacheHit, 1);
     unsigned blocks = deviceOps(p, off, sz, false, true, trace);
     if (blocks > 1) {
         ++st_split_fill_lines_;
@@ -576,7 +592,7 @@ DmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     }
     readHotLine(p, idx, data);
     if (sz != kLineBytes)
-        trace.fixed_latency += cfg_.hot_latency;
+        trace.addFixed(AttribComp::kDecompress, cfg_.hot_latency);
     cur_trace_ = nullptr;
 }
 
@@ -625,7 +641,7 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         promoteToHot(pn, p, trace);
     }
 
-    trace.fixed_latency += cfg_.hot_latency;
+    trace.addFixed(AttribComp::kCompress, cfg_.hot_latency);
     BitWriter w;
     hot_codec_->compress(data, w);
     unsigned bin = compressoBins().binFor(w.bytes().size(), zero);
@@ -655,9 +671,9 @@ DmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         ++st_line_overflows_;
         CPR_OBS_EVENT(obs_, ObsEvent::kLineOverflow, pn, idx);
         std::array<Line, kLinesPerPage> buf;
-        gather(p, buf, &trace);
+        gather(p, buf, &trace, AttribComp::kOverflowRelayout);
         buf[idx] = data;
-        layoutHot(p, buf, trace);
+        layoutHot(p, buf, trace, AttribComp::kOverflowRelayout);
         st_migration_ops_ += 2;
     }
 

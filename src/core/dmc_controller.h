@@ -159,16 +159,19 @@ class DmcController : public MemoryController
     void loadBytes(const Page &p, uint32_t off, uint8_t *dst,
                    size_t len) const;
     unsigned deviceOps(const Page &p, uint32_t off, size_t len,
-                       bool write, bool critical, McTrace &trace);
+                       bool write, bool critical, McTrace &trace,
+                       AttribComp comp = AttribComp::kDeviceData);
     bool resizeAlloc(Page &p, unsigned chunks);
 
     void readHotLine(const Page &p, LineIdx idx, Line &out) const;
     /** Rewrite the page in hot representation with the given data. */
     void layoutHot(Page &p, const std::array<Line, kLinesPerPage> &buf,
-                   McTrace &trace);
+                   McTrace &trace,
+                   AttribComp comp = AttribComp::kRepack);
     /** Gather the page's current content (either representation). */
     void gather(const Page &p, std::array<Line, kLinesPerPage> &buf,
-                McTrace *trace);
+                McTrace *trace,
+                AttribComp comp = AttribComp::kRepack);
 
     void demoteToCold(PageNum pn, Page &p, McTrace &trace);
     void promoteToHot(PageNum pn, Page &p, McTrace &trace);

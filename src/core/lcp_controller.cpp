@@ -27,7 +27,8 @@ LcpController::LcpController(const LcpConfig &cfg)
     assert(codec_ && "unknown compressor name");
     mdcache_.setEvictHook([this](PageNum pn, bool dirty) {
         if (dirty && cur_trace_) {
-            cur_trace_->add(metadataAddr(pn), true, false);
+            cur_trace_->add(metadataAddr(pn), true, false,
+                            AttribComp::kMdcacheMiss);
             ++stats_["md_write_ops"];
             fault_.onWrite(metadataAddr(pn));
         }
@@ -55,9 +56,10 @@ LcpController::mdAccess(PageNum pn, bool dirty, McTrace &trace)
 {
     bool hit = mdcache_.access(pn, false, dirty);
     trace.metadata_hit = hit;
-    trace.fixed_latency += cfg_.mdcache_hit_latency;
+    trace.addFixed(AttribComp::kMdcacheHit, cfg_.mdcache_hit_latency);
     if (!hit) {
-        trace.add(metadataAddr(pn), false, true);
+        trace.add(metadataAddr(pn), false, true,
+                  AttribComp::kMdcacheMiss);
         ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(pn)) ==
@@ -126,17 +128,25 @@ LcpController::loadBytes(const Page &p, uint32_t off, uint8_t *dst,
 
 unsigned
 LcpController::deviceOps(const Page &p, uint32_t off, size_t len,
-                         bool write, bool critical, McTrace &trace)
+                         bool write, bool critical, McTrace &trace,
+                         AttribComp comp)
 {
     if (len == 0)
         return 0;
     unsigned first = off / kLineBytes;
     unsigned last = unsigned((off + len - 1) / kLineBytes);
+    unsigned issued = 0;
     for (unsigned b = first; b <= last; ++b) {
         Addr block = mpaOf(p, b * uint32_t(kLineBytes));
+        // First critical block is the demand word; further critical
+        // blocks are split-access overhead (kDeviceExtra).
+        AttribComp op_comp = critical && issued > 0
+                                 ? AttribComp::kDeviceExtra
+                                 : comp;
         if (write) {
             streamBufferInvalidate(block);
-            trace.add(block, true, critical);
+            trace.add(block, true, critical, op_comp);
+            ++issued;
             ++st_data_write_ops_;
             fault_.onWrite(block);
         } else {
@@ -144,7 +154,8 @@ LcpController::deviceOps(const Page &p, uint32_t off, size_t len,
                 ++st_prefetch_hits_;
                 continue;
             }
-            trace.add(block, false, critical);
+            trace.add(block, false, critical, op_comp);
+            ++issued;
             ++st_data_read_ops_;
             // Demand-critical reads are the architecturally exposed
             // ones; background traffic rewrites and scrubs.
@@ -298,7 +309,12 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
                   uint32_t(cfg_.page_fault_cycles));
     // OS-aware: the overflow raises a page fault; the core stalls.
     st_page_fault_cycles_ += cfg_.page_fault_cycles;
-    trace.stall_cycles += cfg_.page_fault_cycles;
+    trace.addStall(AttribComp::kOsFault, cfg_.page_fault_cycles);
+    // Governor-denied relocations still relocate (to the raw layout);
+    // their traffic is charged to the pressure component.
+    AttribComp relayout_comp = escalate_raw
+                                   ? AttribComp::kPressureStall
+                                   : AttribComp::kOverflowRelayout;
 
     // Gather all current data. The triggering line is taken from the
     // incoming write, not its slot: the caller already flipped its
@@ -315,7 +331,7 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
 
     uint32_t old_used = allocBytes(p);
     st_overflow_move_ops_ += old_used / kLineBytes;
-    deviceOps(p, 0, old_used, false, false, trace);
+    deviceOps(p, 0, old_used, false, false, trace, relayout_comp);
 
     // Re-layout with the best target for the actual sizes.
     std::array<LineSize, kLinesPerPage> sizes;
@@ -364,7 +380,7 @@ LcpController::pageOverflow(PageNum pn, Page &p, LineIdx idx,
     uint32_t new_used = uint32_t(kLinesPerPage) * p.target +
                         uint32_t(next_exc) * uint32_t(kLineBytes);
     st_overflow_move_ops_ += (new_used + kLineBytes - 1) / kLineBytes;
-    deviceOps(p, 0, new_used, true, false, trace);
+    deviceOps(p, 0, new_used, true, false, trace, relayout_comp);
     if (pressure_ != nullptr)
         pressure_->onOpCost(PressureOp::kRelocation,
                             uint64_t(old_used / kLineBytes) +
@@ -407,11 +423,12 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
     }
     ++st_page_faults_;
     st_page_fault_cycles_ += cfg_.page_fault_cycles;
-    trace.stall_cycles += cfg_.page_fault_cycles;
+    trace.addStall(AttribComp::kOsFault, cfg_.page_fault_cycles);
     size_t before = trace.ops.size();
     {
         FaultHooks::SuppressScope guard(fault_);
-        trace.add(metadataAddr(pn), true, false);
+        trace.add(metadataAddr(pn), true, false,
+                  AttribComp::kFaultRecovery);
         ++stats_["md_write_ops"];
         unsigned rebuilds;
         if (throttled) {
@@ -431,7 +448,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
             std::array<Line, kLinesPerPage> buf;
             for (LineIdx i = 0; i < kLinesPerPage; ++i)
                 readStored(p, i, buf[i]);
-            deviceOps(p, 0, allocBytes(p), false, false, trace);
+            deviceOps(p, 0, allocBytes(p), false, false, trace,
+                      AttribComp::kFaultRecovery);
             resizeAlloc(p, unsigned(kChunksPerPage));
             p.target = uint16_t(kLineBytes);
             p.exc_slot.fill(0xff);
@@ -441,7 +459,8 @@ LcpController::recoverMetadataFault(PageNum pn, McTrace &trace)
                     storeBytes(p, slotOffset(p, i), buf[i].data(),
                                kLineBytes);
             }
-            deviceOps(p, 0, kPageBytes, true, false, trace);
+            deviceOps(p, 0, kPageBytes, true, false, trace,
+                      AttribComp::kFaultRecovery);
             meta_rebuilds_.erase(pn);
         }
     }
@@ -462,8 +481,10 @@ LcpController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
     CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
                   uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
-    deviceOps(p, off, len, false, false, trace); // retry read
-    deviceOps(p, off, len, true, false, trace);  // poison rewrite
+    deviceOps(p, off, len, false, false, trace,
+              AttribComp::kFaultRecovery); // retry read
+    deviceOps(p, off, len, true, false, trace,
+              AttribComp::kFaultRecovery); // poison rewrite
     uint64_t ops = trace.ops.size() - before;
     fault_.injector()->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
@@ -513,7 +534,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
         ++st_exception_accesses_;
         st_exception_extra_ops_ += blocks; // the wasted slot read
         deviceOps(p, excOffset(p, p.exc_slot[idx]), kLineBytes, false,
-                  true, trace);
+                  true, trace, AttribComp::kDeviceExtra);
         if (fault_.takePending() == FaultOutcome::kDetected) {
             poisonDataFault(lineAddr(addr), p,
                             excOffset(p, p.exc_slot[idx]), kLineBytes,
@@ -536,7 +557,7 @@ LcpController::fillLine(Addr addr, Line &data, McTrace &trace)
     }
     readStored(p, idx, data);
     if (p.target != kLineBytes)
-        trace.fixed_latency += cfg_.compression_latency;
+        trace.addFixed(AttribComp::kDecompress, cfg_.compression_latency);
 
     // Free prefetch: slot-mates that arrived whole in the same bursts.
     if (p.target < kLineBytes) {
@@ -600,7 +621,7 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         initialAllocate(p, enc);
     }
 
-    trace.fixed_latency += cfg_.compression_latency;
+    trace.addFixed(AttribComp::kCompress, cfg_.compression_latency);
     p.actual_bytes[idx] = uint16_t(enc.bytes.size());
 
     if (enc.zero) {
@@ -649,7 +670,8 @@ LcpController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         p.exc_slot[idx] = uint8_t(free_slot);
         p.exc_map.set(free_slot);
         uint32_t off = excOffset(p, p.exc_slot[idx]);
-        deviceOps(p, off, kLineBytes, true, false, trace);
+        deviceOps(p, off, kLineBytes, true, false, trace,
+                  AttribComp::kOverflowRelayout);
         storeBytes(p, off, data.data(), kLineBytes);
         ++st_ir_placements_;
         cur_trace_ = nullptr;

@@ -179,7 +179,8 @@ class LcpController : public MemoryController
     void loadBytes(const Page &p, uint32_t off, uint8_t *dst,
                    size_t len) const;
     unsigned deviceOps(const Page &p, uint32_t off, size_t len, bool write,
-                       bool critical, McTrace &trace);
+                       bool critical, McTrace &trace,
+                       AttribComp comp = AttribComp::kDeviceData);
     bool resizeAlloc(Page &p, unsigned chunks);
 
     struct Encoded

@@ -13,12 +13,14 @@
 #ifndef COMPRESSO_CORE_MEMORY_CONTROLLER_H
 #define COMPRESSO_CORE_MEMORY_CONTROLLER_H
 
+#include <array>
 #include <vector>
 
 #include "check/audit_report.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "dram/dram_model.h"
+#include "obs/attrib.h"
 
 namespace compresso {
 
@@ -33,8 +35,12 @@ struct McTrace
      *  requesting load; background ops only consume bandwidth. */
     std::vector<DramOp> ops;
     /** Fixed controller latency: metadata-cache hit, offset adder,
-     *  (de)compression. */
+     *  (de)compression. Maintained alongside fixed_by_comp via
+     *  addFixed() so the attribution split always sums to it exactly
+     *  (the DESIGN.md §15 conservation invariant). */
     Cycle fixed_latency = 0;
+    /** Per-component split of fixed_latency. */
+    std::array<Cycle, kAttribComps> fixed_by_comp{};
     /** Whether the OSPA->MPA metadata lookup hit the metadata cache. */
     bool metadata_hit = true;
     /** LCP speculation: the first critical data op may issue in
@@ -43,15 +49,36 @@ struct McTrace
     /** Synchronous software cost (OS page-fault handling in the
      *  OS-aware baseline) that stalls the core outright. */
     Cycle stall_cycles = 0;
+    /** Component the stall_cycles are attributed to. */
+    AttribComp stall_comp = AttribComp::kOsFault;
     /** Free prefetch (Sec. VII-A): other whole compressed lines that
      *  arrived in the same 64 B device bursts; the system inserts them
      *  into the LLC, where they live or die by normal replacement. */
     std::vector<Addr> co_fetched;
 
     void
-    add(Addr addr, bool write, bool critical)
+    add(Addr addr, bool write, bool critical,
+        AttribComp comp = AttribComp::kDeviceData)
     {
-        ops.push_back(DramOp{addr, write, critical});
+        ops.push_back(DramOp{addr, write, critical, comp});
+    }
+
+    /** Add fixed controller latency attributed to @p comp; the only
+     *  sanctioned way to grow fixed_latency, so the per-component
+     *  split can never drift from the total. */
+    void
+    addFixed(AttribComp comp, Cycle cycles)
+    {
+        fixed_latency += cycles;
+        fixed_by_comp[size_t(comp)] += cycles;
+    }
+
+    /** Add a synchronous core stall attributed to @p comp. */
+    void
+    addStall(AttribComp comp, Cycle cycles)
+    {
+        stall_cycles += cycles;
+        stall_comp = comp;
     }
 
     unsigned

@@ -25,7 +25,8 @@ RmcController::RmcController(const RmcConfig &cfg)
     assert(codec_ && "unknown compressor name");
     bst_.setEvictHook([this](PageNum pn, bool dirty) {
         if (dirty && cur_trace_) {
-            cur_trace_->add(metadataAddr(pn), true, false);
+            cur_trace_->add(metadataAddr(pn), true, false,
+                            AttribComp::kBstWalk);
             ++stats_["md_write_ops"];
             fault_.onWrite(metadataAddr(pn));
         }
@@ -53,9 +54,9 @@ RmcController::bstAccess(PageNum pn, bool dirty, McTrace &trace)
 {
     bool hit = bst_.access(pn, false, dirty);
     trace.metadata_hit = hit;
-    trace.fixed_latency += cfg_.bst_hit_latency;
+    trace.addFixed(AttribComp::kBstWalk, cfg_.bst_hit_latency);
     if (!hit) {
-        trace.add(metadataAddr(pn), false, true);
+        trace.add(metadataAddr(pn), false, true, AttribComp::kBstWalk);
         ++st_md_read_ops_;
         if (fault_.active() &&
             fault_.onMetaRead(metadataAddr(pn)) ==
@@ -141,7 +142,8 @@ RmcController::loadBytes(const Page &p, uint32_t off, uint8_t *dst,
 
 unsigned
 RmcController::deviceOps(const Page &p, uint32_t off, size_t len,
-                         bool write, bool critical, McTrace &trace)
+                         bool write, bool critical, McTrace &trace,
+                         AttribComp comp)
 {
     if (len == 0)
         return 0;
@@ -149,7 +151,12 @@ RmcController::deviceOps(const Page &p, uint32_t off, size_t len,
     unsigned last = unsigned((off + len - 1) / kLineBytes);
     for (unsigned b = first; b <= last; ++b) {
         Addr block = mpaOf(p, b * uint32_t(kLineBytes));
-        trace.add(block, write, critical);
+        // First critical block is the demand word; further critical
+        // blocks are split-access overhead (kDeviceExtra).
+        AttribComp op_comp = critical && b > first
+                                 ? AttribComp::kDeviceExtra
+                                 : comp;
+        trace.add(block, write, critical, op_comp);
         ++(write ? st_data_write_ops_ : st_data_read_ops_);
         if (write)
             fault_.onWrite(block);
@@ -235,6 +242,11 @@ RmcController::relayout(PageNum pn, Page &p,
                           uint32_t(PressureOp::kRelocation));
         }
     }
+    // Governor-denied relocations still relocate (to the raw layout);
+    // their traffic is charged to the pressure component.
+    AttribComp relayout_comp = escalate_raw
+                                   ? AttribComp::kPressureStall
+                                   : AttribComp::kOverflowRelayout;
     // Gather current data.
     std::array<Line, kLinesPerPage> buf;
     for (LineIdx l = 0; l < kLinesPerPage; ++l)
@@ -245,7 +257,7 @@ RmcController::relayout(PageNum pn, Page &p,
     for (unsigned sp = 0; sp < kSubpages; ++sp)
         old_used += p.sub_alloc[sp];
     if (p.chunks > 0)
-        deviceOps(p, 0, old_used, false, false, trace);
+        deviceOps(p, 0, old_used, false, false, trace, relayout_comp);
     st_overflow_move_ops_ += (old_used + kLineBytes - 1) /
                                    kLineBytes;
 
@@ -275,7 +287,7 @@ RmcController::relayout(PageNum pn, Page &p,
         CPR_OBS_EVENT(obs_, ObsEvent::kPageFault, pn,
                       uint32_t(cfg_.page_fault_cycles));
         st_page_fault_cycles_ += cfg_.page_fault_cycles;
-        trace.stall_cycles += cfg_.page_fault_cycles;
+        trace.addStall(AttribComp::kOsFault, cfg_.page_fault_cycles);
     } else {
         ++st_subpage_shifts_;
     }
@@ -295,7 +307,7 @@ RmcController::relayout(PageNum pn, Page &p,
             storeBytes(p, off, w.bytes().data(), w.bytes().size());
         }
     }
-    deviceOps(p, 0, new_used, true, false, trace);
+    deviceOps(p, 0, new_used, true, false, trace, relayout_comp);
     st_overflow_move_ops_ += (new_used + kLineBytes - 1) /
                                    kLineBytes;
     if (pressure_ != nullptr)
@@ -342,11 +354,12 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
     }
     ++st_page_faults_;
     st_page_fault_cycles_ += cfg_.page_fault_cycles;
-    trace.stall_cycles += cfg_.page_fault_cycles;
+    trace.addStall(AttribComp::kOsFault, cfg_.page_fault_cycles);
     size_t before = trace.ops.size();
     {
         FaultHooks::SuppressScope guard(fault_);
-        trace.add(metadataAddr(pn), true, false);
+        trace.add(metadataAddr(pn), true, false,
+                  AttribComp::kFaultRecovery);
         ++stats_["md_write_ops"];
         unsigned rebuilds;
         if (throttled) {
@@ -373,7 +386,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
             uint32_t old_used = 0;
             for (unsigned sp = 0; sp < kSubpages; ++sp)
                 old_used += p.sub_alloc[sp];
-            deviceOps(p, 0, old_used, false, false, trace);
+            deviceOps(p, 0, old_used, false, false, trace,
+                      AttribComp::kFaultRecovery);
             for (unsigned sp = 0; sp < kSubpages; ++sp)
                 p.sub_alloc[sp] = uint32_t(kPageBytes / kSubpages);
             for (LineIdx l = 0; l < kLinesPerPage; ++l)
@@ -382,7 +396,8 @@ RmcController::recoverMetadataFault(PageNum pn, McTrace &trace)
             for (LineIdx l = 0; l < kLinesPerPage; ++l)
                 storeBytes(p, lineOffset(p, l), buf[l].data(),
                            kLineBytes);
-            deviceOps(p, 0, kPageBytes, true, false, trace);
+            deviceOps(p, 0, kPageBytes, true, false, trace,
+                      AttribComp::kFaultRecovery);
             meta_rebuilds_.erase(pn);
         }
     }
@@ -403,8 +418,10 @@ RmcController::poisonDataFault(Addr ospa_line, const Page &p, uint32_t off,
     CPR_OBS_EVENT(obs_, ObsEvent::kFaultRecovery, pageOf(ospa_line),
                   uint32_t(FaultRung::kLinePoison));
     size_t before = trace.ops.size();
-    deviceOps(p, off, len, false, false, trace); // retry read
-    deviceOps(p, off, len, true, false, trace);  // poison rewrite
+    deviceOps(p, off, len, false, false, trace,
+              AttribComp::kFaultRecovery); // retry read
+    deviceOps(p, off, len, true, false, trace,
+              AttribComp::kFaultRecovery); // poison rewrite
     uint64_t ops = trace.ops.size() - before;
     fault_.injector()->noteRecoveryOps(ops);
     stats_["fault_recovery_ops"] += ops;
@@ -440,7 +457,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
 
     uint16_t sz = bins_->binSize(p.code[idx]);
     uint32_t off = lineOffset(p, idx);
-    trace.fixed_latency += 1; // BST-side offset adder
+    trace.addFixed(AttribComp::kBstWalk, 1); // BST-side offset adder
     unsigned blocks = deviceOps(p, off, sz, false, true, trace);
     if (blocks > 1) {
         ++st_split_fill_lines_;
@@ -455,7 +472,7 @@ RmcController::fillLine(Addr addr, Line &data, McTrace &trace)
     }
     readStored(p, idx, data);
     if (sz != kLineBytes)
-        trace.fixed_latency += cfg_.compression_latency;
+        trace.addFixed(AttribComp::kDecompress, cfg_.compression_latency);
     cur_trace_ = nullptr;
 }
 
@@ -504,14 +521,14 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         std::array<uint8_t, kLinesPerPage> codes{};
         codes[idx] = uint8_t(bin);
         // relayout() reads old content; page has no chunks yet.
-        trace.fixed_latency += cfg_.compression_latency;
+        trace.addFixed(AttribComp::kCompress, cfg_.compression_latency);
         relayout(pn, p, codes, idx, data, false, trace);
         st_subpage_shifts_ -= 1; // initial layout is not a shift
         cur_trace_ = nullptr;
         return;
     }
 
-    trace.fixed_latency += cfg_.compression_latency;
+    trace.addFixed(AttribComp::kCompress, cfg_.compression_latency);
     unsigned code = p.code[idx];
 
     if (bin <= code) {
@@ -562,7 +579,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
         uint32_t moved_from = lineOffset(p, idx);
         uint32_t sub_end = subBase(p, sp) + p.sub_alloc[sp];
         deviceOps(p, moved_from, sub_end - moved_from, false, false,
-                  trace);
+                  trace, AttribComp::kOverflowRelayout);
         p.code = codes;
         uint32_t off = lineOffset(p, idx);
         if (bins_->binSize(bin) == kLineBytes)
@@ -585,7 +602,7 @@ RmcController::writebackLine(Addr addr, const Line &data, McTrace &trace)
             }
         }
         deviceOps(p, moved_from, sub_end - moved_from, true, false,
-                  trace);
+                  trace, AttribComp::kOverflowRelayout);
         st_overflow_move_ops_ +=
             2ull * ((sub_end - moved_from + kLineBytes - 1) /
                     kLineBytes);

@@ -155,7 +155,8 @@ class RmcController : public MemoryController
     void loadBytes(const Page &p, uint32_t off, uint8_t *dst,
                    size_t len) const;
     unsigned deviceOps(const Page &p, uint32_t off, size_t len,
-                       bool write, bool critical, McTrace &trace);
+                       bool write, bool critical, McTrace &trace,
+                       AttribComp comp = AttribComp::kDeviceData);
     bool resizeAlloc(Page &p, unsigned chunks);
 
     void readStored(const Page &p, LineIdx idx, Line &out) const;

@@ -31,8 +31,8 @@ UncompressedController::fillLine(Addr addr, Line &data, McTrace &trace)
             // the block).
             fault_.poisonLine(la);
             ++st_fault_lines_poisoned_;
-            trace.add(la, false, false);
-            trace.add(la, true, false);
+            trace.add(la, false, false, AttribComp::kFaultRecovery);
+            trace.add(la, true, false, AttribComp::kFaultRecovery);
             fault_.onWrite(la);
             fault_.injector()->noteRecoveryOps(2);
             st_fault_recovery_ops_ += 2;

@@ -22,6 +22,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/attrib.h"
 #include "obs/observer.h"
 
 namespace compresso {
@@ -56,6 +57,10 @@ struct DramOp
     /** On the demand path (stalls the core) vs background traffic
      *  (writebacks, overflow handling, repacking). */
     bool critical = true;
+    /** Latency component this op's service time is attributed to
+     *  (DESIGN.md §15). Inert data: never consulted by the timing
+     *  model, so tagging cannot perturb simulated results. */
+    AttribComp comp = AttribComp::kDeviceData;
 };
 
 class FaultInjector;

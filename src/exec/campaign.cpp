@@ -267,6 +267,14 @@ Campaign::run(const CampaignPolicy &policy) const
             agg.dram_stats.merge(rec.payload.run.dram_stats);
             ++agg.key_mismatches;
         }
+        const AttribSnapshot &at = rec.payload.run.attrib;
+        agg.attrib_refs += at.refs;
+        agg.attrib_cycles += at.total_cycles;
+        agg.attrib_conservation_failures += at.conservation_failures;
+        for (size_t c = 0; c < kAttribComps; ++c) {
+            agg.attrib_comp_cycles[c] += at.comps[c].cycles;
+            agg.attrib_comp_background[c] += at.comps[c].background_cycles;
+        }
     }
     return res;
 }

@@ -34,6 +34,7 @@
 #ifndef COMPRESSO_EXEC_CAMPAIGN_H
 #define COMPRESSO_EXEC_CAMPAIGN_H
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -42,6 +43,7 @@
 #include <vector>
 
 #include "exec/progress.h"
+#include "obs/attrib.h"
 #include "sim/runner.h"
 
 namespace compresso {
@@ -158,6 +160,15 @@ struct CampaignResult
         uint64_t key_mismatches = 0;
         StatGroup mc_stats;
         StatGroup dram_stats;
+        /** Merged simulated-cycle attribution (DESIGN.md §15) over
+         *  the same jobs. Plain sums — refs, cycles and the
+         *  per-component critical/background split add across
+         *  independent runs; all zero when observability was off. */
+        uint64_t attrib_refs = 0;
+        uint64_t attrib_cycles = 0;
+        uint64_t attrib_conservation_failures = 0;
+        std::array<Cycle, kAttribComps> attrib_comp_cycles{};
+        std::array<Cycle, kAttribComps> attrib_comp_background{};
     };
     std::map<std::string, Aggregate> aggregates;
 

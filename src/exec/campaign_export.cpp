@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/json_writer.h"
+#include "obs/attrib.h"
 #include "sim/run_export.h"
 
 namespace compresso {
@@ -83,6 +84,22 @@ writeCampaignJson(std::ostream &os, const std::string &tool,
         writeStatGroup(w, agg.mc_stats);
         w.key("dram_stats");
         writeStatGroup(w, agg.dram_stats);
+        // Merged simulated-cycle attribution (DESIGN.md §15); summed
+        // over the kind's ok run-jobs, all-zero when obs was off.
+        w.key("latency_breakdown").beginObject();
+        w.field("refs", agg.attrib_refs);
+        w.field("total_cycles", agg.attrib_cycles);
+        w.field("conservation_failures",
+                agg.attrib_conservation_failures);
+        w.key("components").beginObject();
+        for (size_t c = 0; c < kAttribComps; ++c) {
+            w.key(attribCompName(AttribComp(c))).beginObject();
+            w.field("cycles", agg.attrib_comp_cycles[c]);
+            w.field("background_cycles", agg.attrib_comp_background[c]);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
         w.endObject();
     }
     w.endObject();

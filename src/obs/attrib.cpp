@@ -1,0 +1,159 @@
+#include "obs/attrib.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace compresso {
+
+const char *
+attribCompName(AttribComp comp)
+{
+    switch (comp) {
+      case AttribComp::kMdcacheHit: return "mdcache_hit";
+      case AttribComp::kMdcacheMiss: return "mdcache_miss";
+      case AttribComp::kBstWalk: return "bst_walk";
+      case AttribComp::kDecompress: return "decompress";
+      case AttribComp::kCompress: return "compress";
+      case AttribComp::kDeviceData: return "device_data";
+      case AttribComp::kDeviceExtra: return "device_extra";
+      case AttribComp::kRepack: return "repack";
+      case AttribComp::kOverflowRelayout: return "overflow_relayout";
+      case AttribComp::kFaultRecovery: return "fault_recovery";
+      case AttribComp::kPressureStall: return "pressure_stall";
+      case AttribComp::kSwapIo: return "swap_io";
+      case AttribComp::kOsFault: return "os_fault";
+      case AttribComp::kCount: break;
+    }
+    return "?";
+}
+
+CycleAttributor::CycleAttributor(const AttribConfig &cfg) : cfg_(cfg)
+{
+    epoch_worst_.reserve(cfg_.exemplars_per_epoch);
+}
+
+void
+CycleAttributor::reset()
+{
+    refs_ = 0;
+    total_cycles_ = 0;
+    conservation_failures_ = 0;
+    critical_.fill(0);
+    background_.fill(0);
+    for (auto &h : hists_)
+        h.reset();
+    total_hist_.reset();
+    epoch_worst_.clear();
+    epoch_start_ref_ = 0;
+    retained_.clear();
+}
+
+void
+CycleAttributor::endEpoch()
+{
+    // Fold the epoch's worst-N into the retained set, keeping only the
+    // globally worst max_exemplars (ties break on ref_index so the
+    // result is deterministic).
+    retained_.insert(retained_.end(), epoch_worst_.begin(),
+                     epoch_worst_.end());
+    std::sort(retained_.begin(), retained_.end(),
+              [](const AttribExemplar &a, const AttribExemplar &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.ref_index < b.ref_index;
+              });
+    if (retained_.size() > cfg_.max_exemplars)
+        retained_.resize(cfg_.max_exemplars);
+    epoch_worst_.clear();
+    epoch_start_ref_ = refs_;
+}
+
+void
+CycleAttributor::record(Addr addr, Cycle total, const AttribVec &comp)
+{
+    Cycle sum = 0;
+    for (Cycle c : comp)
+        sum += c;
+    if (sum != total) {
+        // Conservation breach: the tags no longer telescope to the
+        // observed stall. This is a wiring bug, not a data artifact.
+        ++conservation_failures_;
+#ifdef COMPRESSO_CHECKED_BUILD
+        std::fprintf(stderr,
+                     "attrib: conservation violated at OSPA %#llx: "
+                     "components sum to %llu, observed %llu\n",
+                     (unsigned long long)addr, (unsigned long long)sum,
+                     (unsigned long long)total);
+        std::abort();
+#endif
+    }
+
+    uint64_t ref_index = refs_++;
+    total_cycles_ += total;
+    total_hist_.add(total);
+    for (size_t i = 0; i < kAttribComps; ++i) {
+        if (comp[i] == 0)
+            continue;
+        critical_[i] += comp[i];
+        hists_[i].add(comp[i]);
+    }
+
+    // Tail exemplars: keep the epoch's worst-N by total.
+    if (cfg_.exemplars_per_epoch > 0) {
+        if (epoch_worst_.size() < cfg_.exemplars_per_epoch) {
+            epoch_worst_.push_back(
+                AttribExemplar{addr, ref_index, total, comp});
+        } else {
+            // Replace the smallest (stable: later refs only replace on
+            // strictly greater totals).
+            size_t min_i = 0;
+            for (size_t i = 1; i < epoch_worst_.size(); ++i)
+                if (epoch_worst_[i].total < epoch_worst_[min_i].total)
+                    min_i = i;
+            if (total > epoch_worst_[min_i].total)
+                epoch_worst_[min_i] =
+                    AttribExemplar{addr, ref_index, total, comp};
+        }
+        if (cfg_.epoch_refs > 0 &&
+            refs_ - epoch_start_ref_ >= cfg_.epoch_refs)
+            endEpoch();
+    }
+}
+
+AttribSnapshot
+CycleAttributor::snapshot() const
+{
+    AttribSnapshot snap;
+    snap.enabled = true;
+    snap.refs = refs_;
+    snap.total_cycles = total_cycles_;
+    snap.conservation_failures = conservation_failures_;
+    for (size_t i = 0; i < kAttribComps; ++i) {
+        AttribSnapshot::CompSummary &s = snap.comps[i];
+        s.cycles = critical_[i];
+        s.background_cycles = background_[i];
+        s.count = hists_[i].count();
+        s.max = hists_[i].max();
+        s.p50 = hists_[i].percentile(0.50);
+        s.p90 = hists_[i].percentile(0.90);
+        s.p99 = hists_[i].percentile(0.99);
+    }
+    // The still-open epoch's candidates count too: merge and sort the
+    // same way endEpoch() would.
+    snap.exemplars = retained_;
+    snap.exemplars.insert(snap.exemplars.end(), epoch_worst_.begin(),
+                          epoch_worst_.end());
+    std::sort(snap.exemplars.begin(), snap.exemplars.end(),
+              [](const AttribExemplar &a, const AttribExemplar &b) {
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.ref_index < b.ref_index;
+              });
+    if (snap.exemplars.size() > cfg_.max_exemplars)
+        snap.exemplars.resize(cfg_.max_exemplars);
+    return snap;
+}
+
+} // namespace compresso

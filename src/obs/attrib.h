@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Simulated-cycle attribution (DESIGN.md §15): decompose every memory
+ * reference's latency into a fixed taxonomy of components so Fig. 10/11
+ * deltas become explainable decompositions instead of opaque IPC
+ * differences.
+ *
+ * The controllers *tag* their timing contributions (each DramOp, every
+ * fixed-latency addition, the writeback stall) with an AttribComp; the
+ * System folds the tags into per-reference critical-path costs as it
+ * plays the trace through the DRAM model; the CycleAttributor collects
+ * per-component totals, log2 histograms and the worst-N tail exemplars
+ * per epoch.
+ *
+ * Conservation invariant: for every recorded reference the component
+ * cycles sum EXACTLY (tolerance 0) to the reference's observed stall
+ * contribution. The critical-path deltas telescope by construction and
+ * the fixed-latency split is maintained alongside the total in
+ * McTrace::addFixed, so any drift is a wiring bug; checked builds
+ * (COMPRESSO_CHECKED_BUILD) abort on it, other builds count it in
+ * `conservation_failures`.
+ *
+ * Gating follows the two-level obs gate: the attributor only exists on
+ * an Observer (runtime gate), and with COMPRESSO_OBS_DISABLED the
+ * Observer::attrib() accessor constant-folds to nullptr so every
+ * attribution block in the simulator compiles out (disabled builds stay
+ * bit-identical; the tags themselves are inert data).
+ */
+
+#ifndef COMPRESSO_OBS_ATTRIB_H
+#define COMPRESSO_OBS_ATTRIB_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/histogram.h"
+
+namespace compresso {
+
+/**
+ * Latency components. One per architectural cost source; the taxonomy
+ * is fixed (stable JSON names, stable export order) so documents from
+ * different builds line up column-for-column.
+ */
+enum class AttribComp : uint8_t
+{
+    kMdcacheHit,       ///< metadata-cache hit latency + offset circuit
+    kMdcacheMiss,      ///< metadata fetch/writeback device traffic
+    kBstWalk,          ///< RMC BST walk latency + node fetches
+    kDecompress,       ///< decompression pipeline on fills
+    kCompress,         ///< compression pipeline on writebacks
+    kDeviceData,       ///< first demand data block (the baseline cost)
+    kDeviceExtra,      ///< further blocks of a split access
+    kRepack,           ///< dynamic repacking traffic (Sec. IV-B4)
+    kOverflowRelayout, ///< overflow growth/inflation/relocation moves
+    kFaultRecovery,    ///< degradation-ladder repair traffic
+    kPressureStall,    ///< governor/watchdog escalation paths
+    kSwapIo,           ///< swap device traffic (reserved; OS model
+                       ///< accounts page-outs outside the timing path)
+    kOsFault,          ///< synchronous OS page-fault handling
+    kCount
+};
+
+inline constexpr size_t kAttribComps = size_t(AttribComp::kCount);
+
+/** Stable JSON/report name of @p comp ("mdcache_hit", ...). */
+const char *attribCompName(AttribComp comp);
+
+/** Per-reference component cost vector (cycles). */
+using AttribVec = std::array<Cycle, kAttribComps>;
+
+/** One tail exemplar: the full per-component span of a worst-N
+ *  reference, kept so a fat tail can be explained after the run. */
+struct AttribExemplar
+{
+    Addr addr = 0;          ///< the OSPA reference address
+    uint64_t ref_index = 0; ///< attribution sequence number
+    Cycle total = 0;        ///< observed stall contribution
+    AttribVec comp{};       ///< decomposition (sums to total)
+};
+
+/** Value-type digest carried in RunResult (survives the System). */
+struct AttribSnapshot
+{
+    struct CompSummary
+    {
+        uint64_t cycles = 0;            ///< critical-path cycles
+        uint64_t background_cycles = 0; ///< bandwidth-only service time
+        uint64_t count = 0;             ///< refs with a nonzero share
+        uint64_t max = 0;
+        uint64_t p50 = 0;
+        uint64_t p90 = 0;
+        uint64_t p99 = 0;
+    };
+
+    bool enabled = false;
+    uint64_t refs = 0;         ///< recorded references
+    uint64_t total_cycles = 0; ///< sum of per-ref totals
+    uint64_t conservation_failures = 0;
+    std::array<CompSummary, kAttribComps> comps{};
+    std::vector<AttribExemplar> exemplars; ///< worst-first
+};
+
+struct AttribConfig
+{
+    /** Worst-N references retained per exemplar epoch. */
+    unsigned exemplars_per_epoch = 4;
+    /** Exemplar epoch length in recorded references. */
+    uint64_t epoch_refs = 1 << 16;
+    /** Global retention cap across epochs (worst overall win). */
+    unsigned max_exemplars = 32;
+};
+
+/**
+ * Collector for the per-reference decompositions. Single-writer, like
+ * a cached Histogram handle: the System records from the simulation
+ * thread; snapshot() expects recording to be quiesced.
+ */
+class CycleAttributor
+{
+  public:
+    explicit CycleAttributor(const AttribConfig &cfg = AttribConfig());
+
+    /**
+     * Record one reference: @p total observed stall cycles decomposed
+     * as @p comp. Enforces the conservation invariant (abort in
+     * checked builds, counted otherwise).
+     */
+    void record(Addr addr, Cycle total, const AttribVec &comp);
+
+    /** Account bandwidth-only (non-critical) service time. */
+    void
+    background(AttribComp c, Cycle cycles)
+    {
+        background_[size_t(c)] += cycles;
+    }
+
+    uint64_t refs() const { return refs_; }
+    uint64_t conservationFailures() const { return conservation_failures_; }
+
+    /** Clear all collected state (post-warmup stats reset). */
+    void reset();
+
+    AttribSnapshot snapshot() const;
+
+  private:
+    void endEpoch();
+
+    AttribConfig cfg_;
+    uint64_t refs_ = 0;
+    uint64_t total_cycles_ = 0;
+    uint64_t conservation_failures_ = 0;
+    std::array<uint64_t, kAttribComps> critical_{};
+    std::array<uint64_t, kAttribComps> background_{};
+    std::array<Histogram, kAttribComps> hists_;
+    Histogram total_hist_;
+    /** Current epoch's worst-N candidates (unordered, size <= N). */
+    std::vector<AttribExemplar> epoch_worst_;
+    uint64_t epoch_start_ref_ = 0;
+    /** Retained exemplars across finished epochs (capped). */
+    std::vector<AttribExemplar> retained_;
+};
+
+} // namespace compresso
+
+#endif // COMPRESSO_OBS_ATTRIB_H

@@ -39,6 +39,18 @@ struct ObsConfig
     /** Epoch sampler period in references; 0 disables sampling. Each
      *  epoch snapshots every registered StatGroup. */
     uint64_t epoch_refs = 0;
+
+    /** Simulated-cycle attribution (src/obs/attrib.h, DESIGN.md §15):
+     *  per-reference latency decomposition with tail exemplars. On by
+     *  default so every --obs run carries a latency_breakdown; the
+     *  compile-time COMPRESSO_OBS_DISABLED gate removes it entirely. */
+    bool attribution = true;
+
+    /** Worst-N tail exemplars retained per attribution epoch. */
+    unsigned attrib_exemplars = 4;
+
+    /** Attribution exemplar epoch length in recorded references. */
+    uint64_t attrib_epoch_refs = 1 << 16;
 };
 
 } // namespace compresso

@@ -28,7 +28,10 @@
 #include <map>
 #include <string>
 
+#include <memory>
+
 #include "common/stats.h"
+#include "obs/attrib.h"
 #include "obs/epoch_sampler.h"
 #include "obs/event_tracer.h"
 #include "obs/histogram.h"
@@ -65,6 +68,14 @@ class Observer
     explicit Observer(const ObsConfig &cfg)
         : cfg_(cfg), tracer_(cfg.trace_capacity), sampler_(cfg.epoch_refs)
     {
+#ifndef COMPRESSO_OBS_DISABLED
+        if (cfg_.attribution) {
+            AttribConfig ac;
+            ac.exemplars_per_epoch = cfg_.attrib_exemplars;
+            ac.epoch_refs = cfg_.attrib_epoch_refs;
+            attrib_ = std::make_unique<CycleAttributor>(ac);
+        }
+#endif
     }
 
     const ObsConfig &config() const { return cfg_; }
@@ -105,6 +116,20 @@ class Observer
     }
     const HistogramSet &histograms() const { return hists_; }
 
+    // --- cycle attribution (src/obs/attrib.h) ---
+    /** Cacheable handle; null when attribution is off. Under
+     *  COMPRESSO_OBS_DISABLED this constant-folds to nullptr, so every
+     *  attribution block guarded by it compiles out. */
+    CycleAttributor *
+    attrib()
+    {
+#ifdef COMPRESSO_OBS_DISABLED
+        return nullptr;
+#else
+        return attrib_.get();
+#endif
+    }
+
     // --- epoch sampling ---
     EpochSampler &sampler() { return sampler_; }
     void
@@ -126,6 +151,8 @@ class Observer
     EventTracer tracer_;
     HistogramSet hists_;
     EpochSampler sampler_;
+    /** Present when cfg_.attribution (never under COMPRESSO_OBS_DISABLED). */
+    std::unique_ptr<CycleAttributor> attrib_;
 };
 
 } // namespace compresso

@@ -71,6 +71,48 @@ writeHostProfile(JsonWriter &w, const ProfSnapshot &prof)
     w.endObject();
 }
 
+void
+writeLatencyBreakdown(JsonWriter &w, const AttribSnapshot &a)
+{
+    w.beginObject();
+    w.field("enabled", a.enabled);
+    w.field("refs", a.refs);
+    w.field("total_cycles", a.total_cycles);
+    w.field("conservation_failures", a.conservation_failures);
+    // Fixed taxonomy order (not alphabetical): columns line up across
+    // documents from any build.
+    w.key("components").beginObject();
+    for (size_t c = 0; c < kAttribComps; ++c) {
+        const AttribSnapshot::CompSummary &s = a.comps[c];
+        w.key(attribCompName(AttribComp(c))).beginObject();
+        w.field("cycles", s.cycles);
+        w.field("background_cycles", s.background_cycles);
+        w.field("count", s.count);
+        w.field("max", s.max);
+        w.field("p50", s.p50);
+        w.field("p90", s.p90);
+        w.field("p99", s.p99);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("exemplars").beginArray();
+    for (const AttribExemplar &e : a.exemplars) {
+        w.beginObject();
+        w.field("addr", e.addr);
+        w.field("ref_index", e.ref_index);
+        w.field("total", e.total);
+        w.key("components").beginObject();
+        for (size_t c = 0; c < kAttribComps; ++c) {
+            if (e.comp[c] > 0)
+                w.field(attribCompName(AttribComp(c)), e.comp[c]);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // namespace
 
 void
@@ -99,6 +141,8 @@ writeRunResultJson(JsonWriter &w, const RunResult &r)
     writeObs(w, r.obs);
     w.key("host_profile");
     writeHostProfile(w, r.prof);
+    w.key("latency_breakdown");
+    writeLatencyBreakdown(w, r.attrib);
     w.endObject();
 }
 
@@ -125,6 +169,14 @@ writeEnvironmentJson(JsonWriter &w)
     w.field("pointer_bytes", uint64_t(sizeof(void *)));
     w.field("hardware_concurrency",
             uint64_t(std::thread::hardware_concurrency()));
+    // Which CMake preset produced this binary (stamped by the build;
+    // "unknown" for by-hand cmake invocations). tools/perf_compare.py
+    // warns when baseline and candidate presets disagree.
+#ifdef COMPRESSO_PRESET_NAME
+    w.field("preset", COMPRESSO_PRESET_NAME);
+#else
+    w.field("preset", "unknown");
+#endif
     w.endObject();
 }
 

@@ -1,11 +1,12 @@
 /**
  * @file
  * Machine-readable experiment export: serializes RunResults into a
- * versioned JSON document ("compresso-run-v2") so figures can be
+ * versioned JSON document ("compresso-run-v3") so figures can be
  * regenerated and runs diffed without re-simulating. tools/obs_report.py
- * consumes this format (and still reads v1 documents). v2 adds the
- * per-result `host_profile` object: the src/prof digest (per-phase
- * host nanoseconds plus throughput gauges).
+ * consumes this format (and still reads v1/v2 documents). v2 added the
+ * per-result `host_profile` object (src/prof digest); v3 adds
+ * `latency_breakdown`: the simulated-cycle attribution (DESIGN.md §15)
+ * with per-component cycles, percentiles and tail exemplars.
  *
  * Also provides RunSink, the tiny CLI shim every bench/example binary
  * uses to gain `--json <path>` (plus the observability opt-in flags)
@@ -27,7 +28,7 @@ class JsonWriter;
 
 /** Schema identifier stamped into every run JSON document. Bump only
  *  with a reader-side update in tools/obs_report.py. */
-inline constexpr const char *kRunJsonSchema = "compresso-run-v2";
+inline constexpr const char *kRunJsonSchema = "compresso-run-v3";
 
 /** Write {schema, tool, results: [...]} to @p os. Key order is fixed
  *  and StatGroup counters iterate sorted, so output is deterministic

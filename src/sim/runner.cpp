@@ -88,6 +88,8 @@ runSystem(const RunSpec &spec)
         r.prof = prof->snapshot();
     if (Observer *obs = sys.observer()) {
         r.obs = obs->snapshot();
+        if (CycleAttributor *at = obs->attrib())
+            r.attrib = at->snapshot();
         if (!spec.obs_trace_path.empty())
             obs->writeChromeTrace(spec.obs_trace_path);
         if (!spec.obs_epoch_csv_path.empty())

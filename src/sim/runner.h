@@ -80,6 +80,10 @@ struct RunResult
     /** Observability digest (enabled == false when obs was off). */
     ObsSnapshot obs;
 
+    /** Simulated-cycle attribution digest (DESIGN.md §15; enabled ==
+     *  false when obs or attribution was off). */
+    AttribSnapshot attrib;
+
     /** Host-profile digest (enabled == false when prof was off).
      *  wall_ns/sim_refs cover the measured section (post-warmup). */
     ProfSnapshot prof;

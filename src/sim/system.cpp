@@ -80,6 +80,7 @@ System::System(const SystemConfig &cfg,
         obs_->sampler().registerGroup(&hier_.l3().stats());
         if (MetadataCache *mdc = metadataCache())
             obs_->sampler().registerGroup(&mdc->stats());
+        attrib_ = obs_->attrib();
     }
 
     cores_.assign(cfg.cores, CoreModel(cfg.core));
@@ -147,6 +148,21 @@ System::resetStats()
         mdc->stats().reset();
     if (obs_)
         obs_->sampler().restart();
+    if (attrib_ != nullptr)
+        attrib_->reset();
+}
+
+void
+System::noteBackgroundFixed(const McTrace &tr, bool include_stall)
+{
+    if (attrib_ == nullptr)
+        return;
+    for (size_t c = 0; c < kAttribComps; ++c) {
+        if (tr.fixed_by_comp[c] > 0)
+            attrib_->background(AttribComp(c), tr.fixed_by_comp[c]);
+    }
+    if (include_stall && tr.stall_cycles > 0)
+        attrib_->background(tr.stall_comp, tr.stall_cycles);
 }
 
 Cycle
@@ -160,11 +176,15 @@ System::serviceFill(unsigned core, Addr addr, Cycle now)
     Cycle chain = now;
     bool spec = tr.speculative_parallel;
     unsigned spec_budget = 2; // metadata + slot issue together
+    AttribVec comp{};
     for (const DramOp &op : tr.ops) {
         if (!op.critical) {
-            dram_.access(op.addr, op.write, now);
+            Cycle t = dram_.access(op.addr, op.write, now);
+            if (attrib_ != nullptr)
+                attrib_->background(op.comp, t - now);
             continue;
         }
+        Cycle before = done;
         if (spec && spec_budget > 0) {
             // OS-aware LCP: the slot access issues in parallel with
             // the metadata access (the TLB knows the target size); an
@@ -183,6 +203,20 @@ System::serviceFill(unsigned core, Addr addr, Cycle now)
                 chain = t;
             done = std::max(done, t);
         }
+        // Critical-path share of this op: the deltas telescope to
+        // exactly done - now, the §15 conservation invariant.
+        if (attrib_ != nullptr)
+            comp[size_t(op.comp)] += done - before;
+    }
+    if (attrib_ != nullptr) {
+        for (size_t c = 0; c < kAttribComps; ++c)
+            comp[c] += tr.fixed_by_comp[c];
+        // Fill-side stalls are not applied to the core by the timing
+        // model (only writebacks stall); keep them off the critical
+        // decomposition but visible as background cost.
+        if (tr.stall_cycles > 0)
+            attrib_->background(tr.stall_comp, tr.stall_cycles);
+        attrib_->record(addr, (done - now) + tr.fixed_latency, comp);
     }
     return done + tr.fixed_latency;
 }
@@ -198,10 +232,22 @@ System::serviceWriteback(unsigned core, Addr addr)
     McTrace tr;
     mc_->writebackLine(addr, data, tr);
     Cycle now = cores_[core].now();
-    for (const DramOp &op : tr.ops)
-        dram_.access(op.addr, op.write, now);
-    if (tr.stall_cycles > 0)
+    for (const DramOp &op : tr.ops) {
+        Cycle t = dram_.access(op.addr, op.write, now);
+        if (attrib_ != nullptr)
+            attrib_->background(op.comp, t - now);
+    }
+    // Writeback fixed latency never reaches the core; only the stall
+    // does, and it is recorded as its own attributed reference.
+    noteBackgroundFixed(tr, /*include_stall=*/false);
+    if (tr.stall_cycles > 0) {
         cores_[core].stall(tr.stall_cycles);
+        if (attrib_ != nullptr) {
+            AttribVec comp{};
+            comp[size_t(tr.stall_comp)] = tr.stall_cycles;
+            attrib_->record(addr, tr.stall_cycles, comp);
+        }
+    }
 }
 
 void
@@ -260,8 +306,12 @@ System::prefetchLine(unsigned core, Addr addr)
     McTrace tr;
     mc_->fillLine(addr, data, tr);
     Cycle now = cores_[core].now();
-    for (const DramOp &op : tr.ops)
-        dram_.access(op.addr, op.write, now); // bandwidth, no stall
+    for (const DramOp &op : tr.ops) {
+        Cycle t = dram_.access(op.addr, op.write, now); // bandwidth only
+        if (attrib_ != nullptr)
+            attrib_->background(op.comp, t - now);
+    }
+    noteBackgroundFixed(tr, /*include_stall=*/true);
     CacheResult cr = hier_.l3().access(addr, false);
     if (cr.writeback)
         serviceWriteback(core, cr.victim_addr);

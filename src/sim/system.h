@@ -97,6 +97,9 @@ class System
     void step(unsigned core);
     /** Advance the observer clock and epoch sampler (obs_ non-null). */
     void observeRef(unsigned core);
+    /** Account a trace's fixed latency (and optionally its stall) that
+     *  the timing model does not put on the core's critical path. */
+    void noteBackgroundFixed(const McTrace &tr, bool include_stall);
     Cycle serviceFill(unsigned core, Addr addr, Cycle now);
     void prefetchLine(unsigned core, Addr addr);
     void serviceWriteback(unsigned core, Addr addr);
@@ -105,6 +108,10 @@ class System
     SystemConfig cfg_;
     std::unique_ptr<FaultInjector> fault_;
     std::unique_ptr<Observer> obs_;
+    /** Cached Observer::attrib() handle; null when attribution is off
+     *  (constant nullptr under COMPRESSO_OBS_DISABLED, so every
+     *  attribution block below compiles out). */
+    CycleAttributor *attrib_ = nullptr;
     std::unique_ptr<MemoryController> mc_;
     CompressoController *compresso_ = nullptr; ///< non-owning view
     LcpController *lcp_ = nullptr;

@@ -283,7 +283,7 @@ TEST(RunExport, SchemaAndEscapedLabels)
     writeRunsJson(os, "test_tool", {r});
     std::string doc = os.str();
 
-    EXPECT_NE(doc.find("\"compresso-run-v2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"compresso-run-v3\""), std::string::npos);
     EXPECT_NE(doc.find("\"test_tool\""), std::string::npos);
     EXPECT_NE(doc.find("odd\\\"label\\\\1"), std::string::npos);
     EXPECT_NE(doc.find("\"fills\""), std::string::npos);
@@ -323,7 +323,7 @@ TEST(RunExport, SinkParsesFlagsAndWritesDocument)
     EXPECT_EQ(sink.finish(), 0);
 
     std::string doc = slurp(path);
-    EXPECT_NE(doc.find("\"compresso-run-v2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"compresso-run-v3\""), std::string::npos);
     EXPECT_NE(doc.find("\"only\""), std::string::npos);
     std::remove(path.c_str());
 }

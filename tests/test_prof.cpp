@@ -351,7 +351,7 @@ TEST(ProfIntegration, RunJsonCarriesHostProfile)
     std::ostringstream os;
     writeRunsJson(os, "test_prof", {r});
     std::string doc = os.str();
-    EXPECT_NE(doc.find("\"compresso-run-v2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"compresso-run-v3\""), std::string::npos);
     EXPECT_NE(doc.find("\"host_profile\""), std::string::npos);
     EXPECT_NE(doc.find("\"host_ns_per_ref\""), std::string::npos);
 #ifndef COMPRESSO_PROF_DISABLED

@@ -5,9 +5,10 @@ Every bench/example binary writes this format via `--json <path>`
 (see src/sim/run_export.h). Stdlib-only, so CI and users need nothing
 beyond python3.
 
-Understands compresso-run-v2 (current: adds the per-result
-`host_profile` object written when a run used `--prof`) and still
-reads v1 documents, which simply lack host profiles. Also reads
+Understands compresso-run-v3 (current: adds the per-result
+`latency_breakdown` object — the simulated-cycle attribution of
+DESIGN.md §15) and still reads v2 (adds `host_profile`) and v1
+documents, which simply lack the newer sections. Also reads
 compresso-campaign-v1 documents (`--campaign-json`, see
 src/exec/campaign_export.h): every subcommand treats the campaign's
 successful run-jobs as the result list, `check` additionally validates
@@ -24,15 +25,26 @@ per-controller verdict table and per-phase pressure digest, and
 
 Subcommands:
   summary <run.json>            per-result metric table + obs digest
-  diff <a.json> <b.json>        metric deltas between matching labels
+  diff <a.json> <b.json>        metric deltas between matching labels;
+                                exit 2 on schema-version mismatch
+                                (the newer sections are skipped)
   check <run.json>              schema validation; exit 1 on problems
+                                (including attribution conservation
+                                drift)
+  breakdown <run.json>          per-result cycle-attribution table;
+                                flags any component above --max-share
+                                percent of the total, exit 1 on
+                                conservation drift (--strict makes
+                                share anomalies fatal too)
+  exemplars <run.json>          worst-reference tail exemplars with
+                                their per-component splits
 """
 
 import argparse
 import json
 import sys
 
-SCHEMAS = ("compresso-run-v1", "compresso-run-v2")
+SCHEMAS = ("compresso-run-v1", "compresso-run-v2", "compresso-run-v3")
 CAMPAIGN_SCHEMA = "compresso-campaign-v1"
 SOAK_SCHEMA = "compresso-soak-v1"
 JOB_STATUSES = ("ok", "failed", "timeout", "skipped")
@@ -91,6 +103,26 @@ RESULT_NUMBERS = [
 
 HIST_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p90", "p99"]
 
+# Fixed attribution taxonomy (src/obs/attrib.h), in writer order.
+ATTRIB_COMPS = (
+    "mdcache_hit",
+    "mdcache_miss",
+    "bst_walk",
+    "decompress",
+    "compress",
+    "device_data",
+    "device_extra",
+    "repack",
+    "overflow_relayout",
+    "fault_recovery",
+    "pressure_stall",
+    "swap_io",
+    "os_fault",
+)
+
+ATTRIB_COMP_FIELDS = ("cycles", "background_cycles", "count", "max",
+                      "p50", "p90", "p99")
+
 
 def load(path):
     try:
@@ -100,8 +132,60 @@ def load(path):
         sys.exit(f"error: cannot read {path}: {e}")
 
 
-def check_result(r, where, need, v2):
-    """Validate one run-result object (shared by run and campaign docs)."""
+def check_breakdown(lb, where, need):
+    """Validate one latency_breakdown object (run-v3)."""
+    need(isinstance(lb.get("enabled"), bool),
+         f"{where}: enabled must be a bool")
+    for k in ("refs", "total_cycles", "conservation_failures"):
+        need(isinstance(lb.get(k), int),
+             f"{where}: {k} must be an integer")
+    comps = lb.get("components")
+    need(isinstance(comps, dict), f"{where}: missing components")
+    if isinstance(comps, dict):
+        need(sorted(comps) == sorted(ATTRIB_COMPS),
+             f"{where}: components are not the fixed taxonomy "
+             f"(got {sorted(comps)[:3]}...)")
+        for name, c in comps.items():
+            for k in ATTRIB_COMP_FIELDS:
+                need(isinstance((c or {}).get(k), int),
+                     f"{where}: components[{name!r}].{k} must be "
+                     "an integer")
+    # Conservation: component cycles must sum to the attributed total
+    # (per-reference tolerance is 0, so the sums agree globally too),
+    # and any counted per-reference drift fails validation outright.
+    need(lb.get("conservation_failures") == 0,
+         f"{where}: conservation drift "
+         f"({lb.get('conservation_failures')} failing references)")
+    if isinstance(comps, dict) and isinstance(lb.get("total_cycles"),
+                                              int):
+        s = sum(c.get("cycles", 0) for c in comps.values()
+                if isinstance(c, dict))
+        need(s == lb["total_cycles"],
+             f"{where}: component cycles sum to {s}, "
+             f"total_cycles is {lb['total_cycles']}")
+    exemplars = lb.get("exemplars")
+    need(isinstance(exemplars, list), f"{where}: missing exemplars")
+    for i, e in enumerate(exemplars or []):
+        ew = f"{where}.exemplars[{i}]"
+        for k in ("addr", "ref_index", "total"):
+            need(isinstance((e or {}).get(k), int),
+                 f"{ew}: {k} must be an integer")
+        ecomps = (e or {}).get("components")
+        need(isinstance(ecomps, dict), f"{ew}: missing components")
+        if isinstance(ecomps, dict):
+            bad = [k for k in ecomps if k not in ATTRIB_COMPS]
+            need(not bad, f"{ew}: unknown components {bad[:3]}")
+            if isinstance(e.get("total"), int):
+                s = sum(v for v in ecomps.values()
+                        if isinstance(v, int))
+                need(s == e["total"],
+                     f"{ew}: components sum to {s}, total is "
+                     f"{e['total']}")
+
+
+def check_result(r, where, need, version):
+    """Validate one run-result object (shared by run and campaign
+    docs); @p version is the run-schema generation (1, 2 or 3)."""
     need(isinstance(r.get("label"), str), f"{where}: missing label")
     for k in RESULT_NUMBERS:
         need(isinstance(r.get(k), (int, float)),
@@ -127,7 +211,7 @@ def check_result(r, where, need, v2):
                 need(isinstance(h.get(f), (int, float)),
                      f"{where}: obs.histograms[{name!r}] "
                      f"missing {f!r}")
-    if v2:
+    if version >= 2:
         prof = r.get("host_profile")
         need(isinstance(prof, dict), f"{where}: missing host_profile")
         if isinstance(prof, dict):
@@ -147,6 +231,12 @@ def check_result(r, where, need, v2):
                     need(isinstance(p.get(f), int),
                          f"{where}: host_profile.phases[{name!r}] "
                          f"missing integer {f!r}")
+    if version >= 3:
+        lb = r.get("latency_breakdown")
+        need(isinstance(lb, dict),
+             f"{where}: missing latency_breakdown")
+        if isinstance(lb, dict):
+            check_breakdown(lb, f"{where}.latency_breakdown", need)
 
 
 def check_doc(doc, path):
@@ -169,7 +259,7 @@ def check_doc(doc, path):
     need(doc.get("schema") in SCHEMAS,
          f"schema is {doc.get('schema')!r}, expected one of "
          f"{SCHEMAS + (CAMPAIGN_SCHEMA, SOAK_SCHEMA)}")
-    v2 = doc.get("schema") == "compresso-run-v2"
+    version = run_version(doc)
     need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
     results = doc.get("results")
     need(isinstance(results, list), "missing array field 'results'")
@@ -181,7 +271,7 @@ def check_doc(doc, path):
         need(isinstance(r, dict), f"{where} is not an object")
         if not isinstance(r, dict):
             continue
-        check_result(r, where, need, v2)
+        check_result(r, where, need, version)
     return problems
 
 
@@ -229,7 +319,11 @@ def check_campaign_doc(doc, need):
                  f"{where}: an ok job carries exactly one of "
                  "result/values")
             if isinstance(result, dict):
-                check_result(result, f"{where}.result", need, v2=True)
+                # The campaign schema string stayed v1 across run-v2/v3
+                # bumps; detect the embedded generation per result so
+                # older campaign documents keep validating.
+                version = 3 if "latency_breakdown" in result else 2
+                check_result(result, f"{where}.result", need, version)
             if isinstance(values, dict):
                 bad = [k for k, v in values.items()
                        if not isinstance(v, (int, float))]
@@ -262,6 +356,24 @@ def check_campaign_doc(doc, need):
         for grp in ("mc_stats", "dram_stats"):
             stats = agg.get(grp)
             need(isinstance(stats, dict), f"{where}: missing {grp}")
+        # Merged attribution rode in with run-v3; older campaign
+        # documents simply lack it.
+        lb = agg.get("latency_breakdown")
+        if lb is not None:
+            lw = f"{where}.latency_breakdown"
+            for k in ("refs", "total_cycles", "conservation_failures"):
+                need(isinstance((lb or {}).get(k), int),
+                     f"{lw}: {k} must be an integer")
+            comps = (lb or {}).get("components")
+            need(isinstance(comps, dict), f"{lw}: missing components")
+            if isinstance(comps, dict):
+                need(sorted(comps) == sorted(ATTRIB_COMPS),
+                     f"{lw}: components are not the fixed taxonomy")
+                for name, c in comps.items():
+                    for k in ("cycles", "background_cycles"):
+                        need(isinstance((c or {}).get(k), int),
+                             f"{lw}: components[{name!r}].{k} must "
+                             "be an integer")
 
 
 def check_soak_phase(ph, where, need):
@@ -439,16 +551,35 @@ def soak_diff(a, b, path_a, path_b):
     return 0
 
 
+def run_version(doc):
+    """Run-schema generation (1, 2 or 3) of a run or campaign
+    document; campaigns report the generation of their embedded
+    results (their envelope schema never bumped)."""
+    schema = doc.get("schema")
+    if schema == CAMPAIGN_SCHEMA:
+        results = [j.get("result") for j in doc.get("jobs", [])
+                   if j.get("status") == "ok"]
+        results = [r for r in results if isinstance(r, dict)]
+        if any("latency_breakdown" in r for r in results):
+            return 3
+        return 2
+    if schema == "compresso-run-v1":
+        return 1
+    if schema == "compresso-run-v2":
+        return 2
+    return 3
+
+
 def run_view(doc):
-    """Project a document onto run-v2 shape: campaign documents expose
+    """Project a document onto run shape: campaign documents expose
     their successful run-jobs as the result list."""
     if doc.get("schema") != CAMPAIGN_SCHEMA:
         return doc
     results = [j["result"] for j in doc.get("jobs", [])
                if j.get("status") == "ok" and isinstance(j.get("result"),
                                                          dict)]
-    return {"schema": "compresso-run-v2", "tool": doc.get("tool", "?"),
-            "results": results}
+    return {"schema": f"compresso-run-v{run_version(doc)}",
+            "tool": doc.get("tool", "?"), "results": results}
 
 
 def cmd_check(args):
@@ -582,6 +713,19 @@ def cmd_diff(args):
         return 1
     if soak_a:
         return soak_diff(a, b, args.a, args.b)
+    # Mismatched schema generations still diff the shared sections,
+    # but loudly and with a failing exit code: the newer document's
+    # extra sections are silently absent from the comparison, and a
+    # comparison that quietly ignored them has misled before.
+    ver_a, ver_b = run_version(a), run_version(b)
+    mismatch = ver_a != ver_b
+    if mismatch:
+        skipped = [name for gen, name in
+                   ((2, "host_profile"), (3, "latency_breakdown"))
+                   if gen > min(ver_a, ver_b)]
+        print(f"schema mismatch: {args.a} is run-v{ver_a}, "
+              f"{args.b} is run-v{ver_b}; skipped sections: "
+              f"{', '.join(skipped)}", file=sys.stderr)
     a, b = run_view(a), run_view(b)
 
     by_label_a = {r["label"]: r for r in a["results"]}
@@ -607,6 +751,17 @@ def cmd_diff(args):
                 continue
             rel = f" ({100 * (vb - va) / va:+.1f}%)" if va else ""
             lines.append(f"    {k:18} {va:g} -> {vb:g}{rel}")
+        if not mismatch and ver_a >= 3:
+            ca = ra["latency_breakdown"]["components"]
+            cb = rb["latency_breakdown"]["components"]
+            for comp in ATTRIB_COMPS:
+                va = ca.get(comp, {}).get("cycles", 0)
+                vb = cb.get(comp, {}).get("cycles", 0)
+                if va != vb:
+                    rel = (f" ({100 * (vb - va) / va:+.1f}%)"
+                           if va else "")
+                    key = f"cycles[{comp}]"
+                    lines.append(f"    {key:18} {va:g} -> {vb:g}{rel}")
         if lines:
             changed += 1
             print(f"  {label}:")
@@ -615,6 +770,91 @@ def cmd_diff(args):
         print(f"{len(shared)} shared results, all metrics identical")
     else:
         print(f"{changed}/{len(shared)} shared results differ")
+    return 2 if mismatch else 0
+
+
+def cmd_breakdown(args):
+    full = load(args.file)
+    problems = check_doc(full, args.file)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+    if run_version(full) < 3:
+        print(f"{args.file}: run-v{run_version(full)} has no "
+              "latency_breakdown section", file=sys.stderr)
+        return 1
+    doc = run_view(full)
+
+    anomalies = 0
+    drift = 0
+    for r in doc["results"]:
+        lb = r["latency_breakdown"]
+        if not lb["enabled"]:
+            print(f"{r['label']}: attribution disabled")
+            continue
+        total = lb["total_cycles"]
+        per_ref = total / lb["refs"] if lb["refs"] else 0.0
+        print(f"{r['label']}: {lb['refs']} refs, "
+              f"{total} attributed cycles ({per_ref:.2f}/ref), "
+              f"{lb['conservation_failures']} conservation failures")
+        hdr = (f"  {'component':18} {'cycles':>12} {'share':>7} "
+               f"{'bg cycles':>10} {'count':>10} {'p50':>6} "
+               f"{'p90':>6} {'p99':>6} {'max':>8}")
+        print(hdr)
+        for comp in ATTRIB_COMPS:
+            c = lb["components"][comp]
+            if c["cycles"] == 0 and c["background_cycles"] == 0:
+                continue
+            share = 100 * c["cycles"] / total if total else 0.0
+            print(f"  {comp:18} {c['cycles']:>12} {share:>6.2f}% "
+                  f"{c['background_cycles']:>10} {c['count']:>10} "
+                  f"{c['p50']:>6} {c['p90']:>6} {c['p99']:>6} "
+                  f"{c['max']:>8}")
+            if share > args.max_share:
+                anomalies += 1
+                print(f"  anomaly: {comp} is {share:.1f}% of "
+                      f"{r['label']}'s attributed cycles "
+                      f"(> {args.max_share:g}%)", file=sys.stderr)
+        if lb["conservation_failures"] > 0:
+            drift += 1
+        print()
+    if drift:
+        print(f"anomaly: conservation drift in {drift} result(s)",
+              file=sys.stderr)
+        return 1
+    if anomalies and args.strict:
+        return 1
+    return 0
+
+
+def cmd_exemplars(args):
+    full = load(args.file)
+    problems = check_doc(full, args.file)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+    if run_version(full) < 3:
+        print(f"{args.file}: run-v{run_version(full)} has no "
+              "latency_breakdown section", file=sys.stderr)
+        return 1
+    doc = run_view(full)
+
+    for r in doc["results"]:
+        lb = r["latency_breakdown"]
+        exemplars = lb["exemplars"][:args.top] if args.top else \
+            lb["exemplars"]
+        print(f"{r['label']}: {len(exemplars)} tail exemplars "
+              f"(worst-N per epoch, globally worst retained)")
+        for e in exemplars:
+            comps = "  ".join(
+                f"{k}={v}" for k, v in sorted(
+                    e["components"].items(),
+                    key=lambda kv: (-kv[1], kv[0])))
+            print(f"  ref {e['ref_index']:<10} addr {e['addr']:#014x} "
+                  f"total {e['total']:<6} {comps}")
+        print()
     return 0
 
 
@@ -634,6 +874,24 @@ def main():
     p = sub.add_parser("check", help="validate the schema")
     p.add_argument("file")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("breakdown",
+                       help="cycle-attribution table + anomaly rules")
+    p.add_argument("file")
+    p.add_argument("--max-share", type=float, default=95.0,
+                   help="flag any component above this percent of a "
+                        "result's attributed cycles (default 95)")
+    p.add_argument("--strict", action="store_true",
+                   help="share anomalies fail the command too "
+                        "(conservation drift always does)")
+    p.set_defaults(fn=cmd_breakdown)
+
+    p = sub.add_parser("exemplars",
+                       help="worst-reference tail exemplars")
+    p.add_argument("file")
+    p.add_argument("--top", type=int, default=0,
+                   help="show only the worst N per result (0 = all)")
+    p.set_defaults(fn=cmd_exemplars)
 
     args = parser.parse_args()
     sys.exit(args.fn(args))

@@ -18,7 +18,10 @@ whose per-document spread exceeds the observed delta is reported as
 noise, never failed. Simulated metrics (IPC, compression ratio, ...)
 are diffed informationally: a change there means the *code behaviour*
 changed, which is outside this tool's gate (obs_report.py diff and the
-test suite own that).
+test suite own that). The `environment` blocks are compared up front:
+a gate-state mismatch (build_type / obs_disabled / prof_disabled /
+preset) warns, because host timings measured under different compiled
+gates are not comparable.
 
 Exit codes: 0 ok/warnings, 1 regression past --fail-threshold,
 2 usage or schema problem.
@@ -33,6 +36,29 @@ CAMPAIGN_SCHEMA = "compresso-campaign-v1"
 
 SIM_FIELDS = ["perf", "comp_ratio", "effective_ratio", "extra_total",
               "md_hit_rate"]
+
+# Environment fields that change what a host-time number means: a
+# baseline measured with observability compiled out (or a different
+# preset/build type) is not comparable to a candidate with it on.
+ENV_GATES = ("build_type", "obs_disabled", "prof_disabled", "preset")
+
+
+def warn_env_mismatch(base, cand):
+    """Print a warning per environment gate that differs between the
+    two documents (missing blocks — pre-stamp baselines — included)."""
+    eb = base.get("environment") if isinstance(base, dict) else None
+    ec = cand.get("environment") if isinstance(cand, dict) else None
+    warned = 0
+    if not isinstance(eb, dict) or not isinstance(ec, dict):
+        return 0
+    for k in ENV_GATES:
+        vb, vc = eb.get(k), ec.get(k)
+        if vb != vc:
+            print(f"warning: environment.{k} differs: baseline "
+                  f"{vb!r} vs candidate {vc!r} — host timings were "
+                  "measured under different gate states")
+            warned += 1
+    return warned
 
 
 def load(path):
@@ -187,6 +213,8 @@ def main():
             print(p, file=sys.stderr)
         return 2
 
+    warnings = warn_env_mismatch(base, cand)
+
     bb = benches_view(base, args.baseline)
     cb = benches_view(cand, args.candidate)
     shared = [n for n in bb if n in cb]
@@ -204,7 +232,7 @@ def main():
            f"{'delta':>8}  verdict")
     print(hdr)
     print("-" * len(hdr))
-    failures = warnings = 0
+    failures = 0
     for name in shared:
         hb = bb[name]["host"]["host_ns_per_ref"]
         hc = cb[name]["host"]["host_ns_per_ref"]
