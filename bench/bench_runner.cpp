@@ -27,6 +27,7 @@
 
 #include "common/json_writer.h"
 #include "sim/runner.h"
+#include "sim/schema_versions.h"
 
 using namespace compresso;
 using namespace compresso::bench;
@@ -128,7 +129,7 @@ writeBenchDoc(std::ostream &os, const std::string &suite, unsigned repeat,
 {
     JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "compresso-bench-v1");
+    w.field("schema", kBenchJsonSchema);
     w.field("tool", "bench_runner");
     w.field("suite", suite);
     w.field("repeat", uint64_t(repeat));

@@ -22,10 +22,17 @@
  * Build & run:  ./build/examples/balloon_oom
  *               ./build/examples/balloon_oom --soak [--refs N]
  *                   [--seed N] [--jobs N] [--out soak.json]
+ *                   [--postmortem <dir>]
  *
  * --soak runs the full rotation on all four compressed controllers
  * (sharded over the campaign engine) and writes the versioned
  * compresso-soak-v1 document for tools/obs_report.py.
+ *
+ * --postmortem <dir> attaches the anomaly flight recorder (DESIGN.md
+ * §16) to every chaos run and writes one compresso-postmortem-v1
+ * document per captured bundle — at least one forced bundle per
+ * injected storm — for tools/postmortem_report.py. Works in both
+ * modes; bundles are byte-identical at any --jobs count.
  */
 
 #include <cstdio>
@@ -37,6 +44,7 @@
 #include "os/balloon.h"
 #include "pressure/chaos.h"
 #include "pressure/soak_export.h"
+#include "sim/postmortem_export.h"
 #include "workloads/datagen.h"
 
 using namespace compresso;
@@ -155,6 +163,26 @@ printReport(const ChaosReport &r)
                     (unsigned long long)ph.zero_tolerated);
 }
 
+/** Write @p r's bundles as postmortem-<controller>-NNN.json under
+ *  @p dir; returns false (after complaining) on I/O failure. */
+bool
+dumpPostmortems(const std::string &dir, const ChaosReport &r)
+{
+    int n = writePostmortemBundles(dir, "balloon_oom",
+                                   "postmortem-" + r.controller + "-",
+                                   r.postmortems);
+    if (n < 0) {
+        std::fprintf(stderr, "cannot write post-mortem bundles under %s\n",
+                     dir.c_str());
+        return false;
+    }
+    if (n > 0)
+        std::printf("wrote %d post-mortem bundle%s under %s (%s)\n", n,
+                    n == 1 ? "" : "s", dir.c_str(),
+                    kPostmortemJsonSchema);
+    return true;
+}
+
 } // namespace
 
 int
@@ -163,7 +191,7 @@ main(int argc, char **argv)
     bool soak = false;
     uint64_t refs = 0, seed = 1;
     unsigned jobs = 2;
-    std::string out;
+    std::string out, pm_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--soak") == 0)
             soak = true;
@@ -175,10 +203,14 @@ main(int argc, char **argv)
             jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
             out = argv[++i];
+        else if (std::strcmp(argv[i], "--postmortem") == 0 &&
+                 i + 1 < argc)
+            pm_dir = argv[++i];
         else {
             std::fprintf(stderr,
                          "usage: %s [--soak] [--refs N] [--seed N] "
-                         "[--jobs N] [--out soak.json]\n",
+                         "[--jobs N] [--out soak.json] "
+                         "[--postmortem <dir>]\n",
                          argv[0]);
             return 2;
         }
@@ -187,6 +219,7 @@ main(int argc, char **argv)
     ChaosConfig cc;
     cc.seed = seed;
     cc.refs_per_phase = refs != 0 ? refs : (soak ? 200000 : 30000);
+    cc.postmortem = !pm_dir.empty();
 
     if (!soak) {
         classicDemo();
@@ -201,6 +234,8 @@ main(int argc, char **argv)
         ChaosEngine engine(cc);
         ChaosReport r = engine.run("compresso");
         printReport(r);
+        if (!pm_dir.empty() && !dumpPostmortems(pm_dir, r))
+            return 2;
         if (!r.passed)
             return 1;
         std::printf("\nall gates held: 0 silent corruptions, 0 audit "
@@ -223,6 +258,12 @@ main(int argc, char **argv)
     SoakResult res = runSoak(sc);
     for (const ChaosReport &r : res.reports)
         printReport(r);
+
+    if (!pm_dir.empty()) {
+        for (const ChaosReport &r : res.reports)
+            if (!dumpPostmortems(pm_dir, r))
+                return 2;
+    }
 
     if (!out.empty()) {
         if (!writeSoakJson(out, "balloon_oom", res)) {

@@ -17,14 +17,9 @@
 #include <string>
 
 #include "exec/campaign.h"
+#include "sim/schema_versions.h"
 
 namespace compresso {
-
-/** Schema identifier stamped into every campaign document. Bump only
- *  with a reader-side update in tools/perf_compare.py and
- *  tools/obs_report.py. */
-inline constexpr const char *kCampaignJsonSchema =
-    "compresso-campaign-v1";
 
 /** Write the full campaign document to @p os. Key order is fixed and
  *  all maps iterate sorted, so output is deterministic for identical

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight_recorder.h"
+
 namespace compresso {
 
 const char *
@@ -76,7 +78,8 @@ CycleAttributor::record(Addr addr, Cycle total, const AttribVec &comp)
     Cycle sum = 0;
     for (Cycle c : comp)
         sum += c;
-    if (sum != total) {
+    bool breach = sum != total;
+    if (breach) {
         // Conservation breach: the tags no longer telescope to the
         // observed stall. This is a wiring bug, not a data artifact.
         ++conservation_failures_;
@@ -120,6 +123,14 @@ CycleAttributor::record(Addr addr, Cycle total, const AttribVec &comp)
             refs_ - epoch_start_ref_ >= cfg_.epoch_refs)
             endEpoch();
     }
+
+    // Fire after the reference is folded in, so the bundle's
+    // attribution digest includes the breaching reference itself.
+    if (breach && recorder_ != nullptr)
+        recorder_->trigger(PostmortemTrigger::kConservation,
+                           addr / kPageBytes,
+                           uint32_t(conservation_failures_),
+                           /*force=*/true);
 }
 
 AttribSnapshot

@@ -39,6 +39,8 @@
 
 namespace compresso {
 
+class FlightRecorder;
+
 /**
  * Latency components. One per architectural cost source; the taxonomy
  * is fixed (stable JSON names, stable export order) so documents from
@@ -140,6 +142,12 @@ class CycleAttributor
     uint64_t refs() const { return refs_; }
     uint64_t conservationFailures() const { return conservation_failures_; }
 
+    /** Post-mortem hook (DESIGN.md §16): in non-checked builds a
+     *  conservation failure fires a forced kConservation trigger on
+     *  @p fr instead of only bumping the counter. Non-owning; null
+     *  detaches. The Observer wires this up at construction. */
+    void setFlightRecorder(FlightRecorder *fr) { recorder_ = fr; }
+
     /** Clear all collected state (post-warmup stats reset). */
     void reset();
 
@@ -149,6 +157,7 @@ class CycleAttributor
     void endEpoch();
 
     AttribConfig cfg_;
+    FlightRecorder *recorder_ = nullptr;
     uint64_t refs_ = 0;
     uint64_t total_cycles_ = 0;
     uint64_t conservation_failures_ = 0;

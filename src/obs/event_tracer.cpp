@@ -30,6 +30,33 @@ obsEventName(ObsEvent e)
     return "?";
 }
 
+AttribComp
+obsEventComp(ObsEvent e)
+{
+    switch (e) {
+      case ObsEvent::kSplitAccess: return AttribComp::kDeviceExtra;
+      case ObsEvent::kLineOverflow:
+      case ObsEvent::kPageOverflow:
+      case ObsEvent::kInflation:
+      case ObsEvent::kPredictorFlip:
+          return AttribComp::kOverflowRelayout;
+      case ObsEvent::kRepack: return AttribComp::kRepack;
+      case ObsEvent::kMdMiss:
+      case ObsEvent::kMdEviction:
+          return AttribComp::kMdcacheMiss;
+      case ObsEvent::kFaultRecovery: return AttribComp::kFaultRecovery;
+      case ObsEvent::kPageFault: return AttribComp::kOsFault;
+      case ObsEvent::kPressureLevel:
+      case ObsEvent::kWatchdogBreach:
+      case ObsEvent::kOpThrottled:
+      case ObsEvent::kOomRescue:
+          return AttribComp::kPressureStall;
+      case ObsEvent::kSwapFull: return AttribComp::kSwapIo;
+      case ObsEvent::kCount: break;
+    }
+    return AttribComp::kCount;
+}
+
 EventTracer::EventTracer(size_t capacity)
     : ring_(std::max<size_t>(capacity, 1))
 {
@@ -74,6 +101,9 @@ EventTracer::writeChromeTrace(std::ostream &os, uint64_t cycles_per_us) const
         w.field("page", e.page);
         w.field("detail", uint64_t(e.detail));
         w.field("cycle", e.tick);
+        // Attribution component tag: lets the timeline UI group
+        // events by the latency-breakdown column they land in.
+        w.field("comp", attribCompName(obsEventComp(e.kind)));
         w.endObject();
         w.endObject();
     });

@@ -31,6 +31,7 @@
 
 #include "common/sync.h"
 #include "common/thread_annotations.h"
+#include "obs/attrib.h"
 
 namespace compresso {
 
@@ -56,6 +57,14 @@ enum class ObsEvent : uint8_t
 };
 
 const char *obsEventName(ObsEvent e);
+
+/** The PR-8 attribution component (DESIGN.md §15 taxonomy) an event
+ *  kind accounts against: the bridge between the event stream and the
+ *  latency breakdown. Exported as the `comp` arg of every Chrome
+ *  trace event and as the ring-event component tag in post-mortem
+ *  bundles, so timeline and breakdown views line up. Keep in sync
+ *  with obsEventName(). */
+AttribComp obsEventComp(ObsEvent e);
 
 /** Degradation-ladder rungs carried in kFaultRecovery's detail. */
 enum class FaultRung : uint32_t

@@ -1,0 +1,204 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace compresso {
+
+const char *
+postmortemTriggerName(PostmortemTrigger t)
+{
+    switch (t) {
+    case PostmortemTrigger::kWatchdogBreach: return "watchdog_breach";
+    case PostmortemTrigger::kOpThrottled: return "op_throttled";
+    case PostmortemTrigger::kPressureCritical: return "pressure_critical";
+    case PostmortemTrigger::kPressureEmergency:
+        return "pressure_emergency";
+    case PostmortemTrigger::kOomRescue: return "oom_rescue";
+    case PostmortemTrigger::kSwapFull: return "swap_full";
+    case PostmortemTrigger::kFaultLadder: return "fault_ladder";
+    case PostmortemTrigger::kConservation: return "conservation";
+    case PostmortemTrigger::kAuditViolation: return "audit_violation";
+    case PostmortemTrigger::kChaosStorm: return "chaos_storm";
+    case PostmortemTrigger::kCount: break;
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig &cfg,
+                               const std::atomic<uint64_t> *now,
+                               const EventTracer *tracer,
+                               const CycleAttributor *attrib)
+    : cfg_(cfg), now_(now), tracer_(tracer), attrib_(attrib)
+{
+}
+
+void
+FlightRecorder::onEvent(ObsEvent kind, uint64_t page, uint32_t detail)
+{
+    switch (kind) {
+    case ObsEvent::kWatchdogBreach:
+        trigger(PostmortemTrigger::kWatchdogBreach, page, detail);
+        break;
+    case ObsEvent::kOpThrottled:
+        trigger(PostmortemTrigger::kOpThrottled, page, detail);
+        break;
+    case ObsEvent::kPressureLevel:
+        // Normal/elevated transitions are routine; only the
+        // critical/emergency escalations are anomalies.
+        if (detail == 2)
+            trigger(PostmortemTrigger::kPressureCritical, page, detail);
+        else if (detail >= 3)
+            trigger(PostmortemTrigger::kPressureEmergency, page,
+                    detail);
+        break;
+    case ObsEvent::kOomRescue:
+        trigger(PostmortemTrigger::kOomRescue, page, detail);
+        break;
+    case ObsEvent::kSwapFull:
+        trigger(PostmortemTrigger::kSwapFull, page, detail);
+        break;
+    case ObsEvent::kFaultRecovery:
+        // Metadata rebuild is the ladder's benign first rung; past it
+        // (inflate-to-raw, poison) the system is degrading.
+        if (detail >= uint32_t(FaultRung::kInflateSafety))
+            trigger(PostmortemTrigger::kFaultLadder, page, detail);
+        break;
+    default:
+        break;
+    }
+}
+
+void
+FlightRecorder::trigger(PostmortemTrigger kind, uint64_t page,
+                        uint32_t detail, bool force)
+{
+    MutexLock lk(mu_);
+    ++triggers_total_;
+    uint64_t tick = nowTick();
+
+    // Chain: merge into the newest entry when (kind, detail) repeat;
+    // otherwise append, counting drops past the capacity.
+    if (!chain_.empty() && chain_.back().kind == kind &&
+        chain_.back().detail == detail) {
+        chain_.back().last_tick = tick;
+        ++chain_.back().count;
+    } else if (chain_.size() >= cfg_.chain_capacity) {
+        ++chain_dropped_;
+    } else {
+        PostmortemTriggerEntry e;
+        e.kind = kind;
+        e.first_tick = tick;
+        e.last_tick = tick;
+        e.page = page;
+        e.detail = detail;
+        chain_.push_back(e);
+    }
+
+    if (bundles_.size() >= cfg_.max_bundles) {
+        ++suppressed_;
+        return;
+    }
+    bool armed = bundles_.empty() || force ||
+                 triggers_total_ - last_snapshot_trigger_ >=
+                     cfg_.rearm_triggers;
+    if (!armed) {
+        ++suppressed_;
+        return;
+    }
+    last_snapshot_trigger_ = triggers_total_;
+    snapshotLocked(kind, page, detail);
+}
+
+void
+FlightRecorder::snapshotLocked(PostmortemTrigger kind, uint64_t page,
+                               uint32_t detail)
+{
+    PostmortemBundle b;
+    b.index = uint64_t(bundles_.size());
+    b.tick = nowTick();
+    b.trigger = kind;
+    b.trigger_page = page;
+    b.trigger_detail = detail;
+    b.triggers_total = triggers_total_;
+    b.triggers_suppressed = suppressed_;
+    b.chain = chain_;
+    b.chain_dropped = chain_dropped_;
+
+    if (tracer_ != nullptr) {
+        b.ring_total = tracer_->total();
+        b.ring_dropped = tracer_->dropped();
+        // Keep only the newest ring_snapshot events: a rolling window
+        // over the tracer's oldest-first visit.
+        std::vector<PostmortemRingEvent> &ring = b.ring;
+        size_t cap = std::max<size_t>(cfg_.ring_snapshot, 1);
+        size_t head = 0;
+        size_t filled = 0;
+        ring.resize(cap);
+        tracer_->forEach([&](const TraceEvent &e) {
+            PostmortemRingEvent &out = ring[head];
+            out.tick = e.tick;
+            out.page = e.page;
+            out.detail = e.detail;
+            out.kind = e.kind;
+            if (++head == cap)
+                head = 0;
+            if (filled < cap)
+                ++filled;
+        });
+        // Unroll the rolling window into chronological order.
+        std::vector<PostmortemRingEvent> ordered;
+        ordered.reserve(filled);
+        size_t start = filled < cap ? 0 : head;
+        for (size_t i = 0; i < filled; ++i)
+            ordered.push_back(ring[(start + i) % cap]);
+        ring = std::move(ordered);
+    }
+
+    if (attrib_ != nullptr)
+        b.attrib = attrib_->snapshot();
+
+    b.watermarks = marks_;
+    b.watermarks_dropped = marks_dropped_;
+    b.notes = notes_;
+    for (const Provider &p : providers_)
+        p(b);
+    bundles_.push_back(std::move(b));
+}
+
+void
+FlightRecorder::noteLevel(uint32_t level, uint32_t free_permille)
+{
+    MutexLock lk(mu_);
+    if (marks_.size() >= cfg_.watermark_capacity) {
+        marks_.erase(marks_.begin());
+        ++marks_dropped_;
+    }
+    PostmortemWatermark m;
+    m.tick = nowTick();
+    m.level = level;
+    m.free_permille = free_permille;
+    marks_.push_back(m);
+}
+
+void
+FlightRecorder::setNote(const std::string &key, const std::string &value)
+{
+    MutexLock lk(mu_);
+    notes_[key] = value;
+}
+
+void
+FlightRecorder::addProvider(Provider p)
+{
+    MutexLock lk(mu_);
+    providers_.push_back(std::move(p));
+}
+
+std::vector<PostmortemBundle>
+FlightRecorder::bundles() const
+{
+    MutexLock lk(mu_);
+    return bundles_;
+}
+
+} // namespace compresso

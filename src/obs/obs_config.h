@@ -51,6 +51,21 @@ struct ObsConfig
 
     /** Attribution exemplar epoch length in recorded references. */
     uint64_t attrib_epoch_refs = 1 << 16;
+
+    /** Anomaly flight recorder (src/obs/flight_recorder.h, DESIGN.md
+     *  §16): always-on with obs so every instrumented run can produce
+     *  post-mortem bundles; COMPRESSO_OBS_DISABLED removes it
+     *  entirely. The knobs below map onto FlightRecorderConfig. */
+    bool postmortem = true;
+
+    /** Newest trace-ring events copied into each bundle. */
+    size_t postmortem_ring = 256;
+
+    /** Bundle snapshots retained per recorder (hard overhead cap). */
+    size_t postmortem_max_bundles = 8;
+
+    /** Triggers between non-forced bundle snapshots. */
+    uint64_t postmortem_rearm = 256;
 };
 
 } // namespace compresso

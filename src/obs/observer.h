@@ -34,6 +34,7 @@
 #include "obs/attrib.h"
 #include "obs/epoch_sampler.h"
 #include "obs/event_tracer.h"
+#include "obs/flight_recorder.h"
 #include "obs/histogram.h"
 #include "obs/obs_config.h"
 
@@ -75,6 +76,16 @@ class Observer
             ac.epoch_refs = cfg_.attrib_epoch_refs;
             attrib_ = std::make_unique<CycleAttributor>(ac);
         }
+        if (cfg_.postmortem) {
+            FlightRecorderConfig fc;
+            fc.ring_snapshot = cfg_.postmortem_ring;
+            fc.max_bundles = cfg_.postmortem_max_bundles;
+            fc.rearm_triggers = cfg_.postmortem_rearm;
+            recorder_ = std::make_unique<FlightRecorder>(
+                fc, &now_, &tracer_, attrib_.get());
+            if (attrib_)
+                attrib_->setFlightRecorder(recorder_.get());
+        }
 #endif
     }
 
@@ -102,6 +113,12 @@ class Observer
     {
         if (cfg_.trace_events)
             tracer_.record(now(), kind, page, detail);
+#ifndef COMPRESSO_OBS_DISABLED
+        // Post-mortem tap: anomaly kinds become recorder triggers
+        // (DESIGN.md §16); benign kinds return after one branch.
+        if (recorder_)
+            recorder_->onEvent(kind, page, detail);
+#endif
     }
 
     const EventTracer &tracer() const { return tracer_; }
@@ -130,6 +147,20 @@ class Observer
 #endif
     }
 
+    // --- anomaly flight recorder (src/obs/flight_recorder.h) ---
+    /** Cacheable handle; null when the recorder is off. Under
+     *  COMPRESSO_OBS_DISABLED this constant-folds to nullptr, so
+     *  every post-mortem block guarded by it compiles out. */
+    FlightRecorder *
+    flightRecorder()
+    {
+#ifdef COMPRESSO_OBS_DISABLED
+        return nullptr;
+#else
+        return recorder_.get();
+#endif
+    }
+
     // --- epoch sampling ---
     EpochSampler &sampler() { return sampler_; }
     void
@@ -153,6 +184,8 @@ class Observer
     EpochSampler sampler_;
     /** Present when cfg_.attribution (never under COMPRESSO_OBS_DISABLED). */
     std::unique_ptr<CycleAttributor> attrib_;
+    /** Present when cfg_.postmortem (never under COMPRESSO_OBS_DISABLED). */
+    std::unique_ptr<FlightRecorder> recorder_;
 };
 
 } // namespace compresso

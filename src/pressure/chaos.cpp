@@ -176,11 +176,35 @@ ChaosEngine::run(const std::string &kind) const
         if (allKinds()[kind_idx] == kind)
             break;
 
+    // The observer (when postmortems are on) outlives everything that
+    // records into it: declared first, destroyed last.
+    std::unique_ptr<Observer> obs;
+    if (cfg_.postmortem) {
+        ObsConfig oc;
+        oc.enabled = true;
+        // Attribution needs the per-ref begin/commit protocol the
+        // runner drives; the chaos loop doesn't, so keep it off.
+        oc.attribution = false;
+        // One forced bundle per storm phase plus anomaly headroom; a
+        // long re-arm keeps mid-phase snapshots to true anomalies.
+        oc.postmortem_max_bundles = 2 * cfg_.phases.size() + 4;
+        oc.postmortem_rearm = 4096;
+        obs = std::make_unique<Observer>(oc);
+    }
+
     std::unique_ptr<MemoryController> mc = makeController(kind, cfg_);
     SimOs os(cfg_.promised_pages);
     os.swap().setCapacity(cfg_.swap_capacity_pages);
     BalloonDriver balloon(os, *mc);
     PressureGovernor gov(cfg_.governor, *mc, os, balloon);
+    if (obs != nullptr) {
+        mc->attachObserver(obs.get());
+        gov.attachObserver(obs.get());
+        if (FlightRecorder *fr = obs->flightRecorder()) {
+            fr->setNote("kind", kind);
+            fr->setNote("seed", std::to_string(cfg_.seed));
+        }
+    }
 
     FaultConfig fc;
     fc.seed = Rng::mix(cfg_.seed, kind_idx, 0xFAu);
@@ -195,6 +219,7 @@ ChaosEngine::run(const std::string &kind) const
     Histogram stall;
     CounterSnap snap = CounterSnap::take(*mc, os);
     Line data, got, expect;
+    uint64_t global_ref = 0; ///< recorder tick: references processed
 
     for (size_t pi = 0; pi < cfg_.phases.size(); ++pi) {
         ChaosScenario s = cfg_.phases[pi];
@@ -216,6 +241,12 @@ ChaosEngine::run(const std::string &kind) const
         bool thrash_inflated = false;
 
         for (uint64_t i = 0; i < n; ++i) {
+            // Advance the simulated clock first so every event this
+            // reference emits carries its tick (a pure function of the
+            // schedule — byte-identical bundles at any worker count).
+            if (obs != nullptr)
+                obs->setNow(++global_ref);
+
             PageNum page = 0;
             bool is_write = false;
             DataClass cls = DataClass::kDeltaInt;
@@ -341,6 +372,24 @@ ChaosEngine::run(const std::string &kind) const
         mc->flush();
         AuditReport audit = mc->audit();
         ph.audit_violations = audit.size();
+        if (obs != nullptr) {
+            if (FlightRecorder *fr = obs->flightRecorder()) {
+                if (audit.size() > 0) {
+                    fr->setNote("audit", audit.summary());
+                    fr->trigger(PostmortemTrigger::kAuditViolation,
+                                kNoPage, uint32_t(audit.size()),
+                                /*force=*/true);
+                }
+                // Every injected storm forces a bundle at its phase
+                // boundary: the acceptance-gate forensic record (page
+                // carries the phase index, detail the scenario).
+                if (s != ChaosScenario::kCalm) {
+                    fr->setNote("storm", ph.scenario);
+                    fr->trigger(PostmortemTrigger::kChaosStorm, pi,
+                                uint32_t(s), /*force=*/true);
+                }
+            }
+        }
         ph.level_end = pressureLevelName(gov.level());
         if (stall.count() > 0) {
             ph.stall_p50 = stall.percentile(0.50);
@@ -383,6 +432,12 @@ ChaosEngine::run(const std::string &kind) const
         rep.fail_reason = "stall p99 over bound";
     rep.passed = rep.fail_reason.empty();
 
+    if (obs != nullptr) {
+        if (FlightRecorder *fr = obs->flightRecorder())
+            rep.postmortems = fr->bundles();
+        mc->attachObserver(nullptr);
+        gov.attachObserver(nullptr);
+    }
     // Keep the pressure stack detached from the dying controller.
     mc->attachFaultInjector(nullptr);
     mc->attachPressureListener(nullptr);

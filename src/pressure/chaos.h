@@ -91,6 +91,14 @@ struct ChaosConfig
     /** Soak acceptance bound on per-reference p99 device-op stall. */
     uint64_t stall_p99_bound = 4096;
 
+    /** Anomaly post-mortems (DESIGN.md §16): attach an Observer with
+     *  a flight recorder to every chaos run and force one bundle per
+     *  injected storm phase (plus any audit violation). Off by
+     *  default — the recorder never changes simulated behaviour, but
+     *  a flag keeps the no-observer runs of existing determinism
+     *  tests byte-for-byte untouched. */
+    bool postmortem = false;
+
     /** Governor tuning; total_chunks is filled from installed_bytes. */
     GovernorConfig governor{};
 
@@ -151,6 +159,11 @@ struct ChaosReport
     uint64_t stall_p99_max = 0; ///< max per-phase stall p99
     bool passed = false;
     std::string fail_reason; ///< empty when passed
+
+    /** Flight-recorder bundles (ChaosConfig::postmortem only): one
+     *  forced per storm phase, plus anomaly-triggered captures.
+     *  balloon_oom's --postmortem writes them as JSON documents. */
+    std::vector<PostmortemBundle> postmortems;
 };
 
 class ChaosEngine

@@ -18,6 +18,39 @@ pressureLevelName(PressureLevel level)
     return "?";
 }
 
+void
+PressureGovernor::attachObserver(Observer *obs)
+{
+    obs_ = obs;
+    if (obs_ == nullptr)
+        return;
+    FlightRecorder *fr = obs_->flightRecorder();
+    if (fr == nullptr)
+        return;
+    // Post-mortem context provider: governor state and per-op-class
+    // watchdog stall digests at snapshot time. Runs under the
+    // recorder's lock — read-only and allocation-light by design.
+    fr->addProvider([this](PostmortemBundle &b) {
+        std::map<std::string, uint64_t> &gov = b.sections["governor"];
+        gov["level"] = uint64_t(level_);
+        gov["free_chunks"] = freeChunks();
+        gov["free_permille"] = uint64_t(freeFraction() * 1000.0);
+        for (const auto &[name, val] : stats_.counters())
+            gov[name] = val;
+        for (size_t i = 0; i < size_t(PressureOp::kCount); ++i) {
+            PressureOp op = PressureOp(i);
+            Watchdog::Digest d = watchdog_.digest(op);
+            std::map<std::string, uint64_t> &s =
+                b.sections[std::string("watchdog_") + pressureOpName(op)];
+            s["count"] = d.count;
+            s["p50"] = d.p50;
+            s["p99"] = d.p99;
+            s["max"] = d.max;
+            s["breaches"] = d.breaches;
+        }
+    });
+}
+
 PressureGovernor::PressureGovernor(const GovernorConfig &cfg,
                                    MemoryController &mc, SimOs &os,
                                    BalloonDriver &balloon)
@@ -71,6 +104,13 @@ PressureGovernor::setLevel(PressureLevel lvl)
     level_ = lvl;
     ++st_level_changes_;
     ++stats_["level_" + std::string(pressureLevelName(lvl))];
+    // Watermark first, event second: the recorder's critical/emergency
+    // trigger then snapshots a history that includes this transition.
+    if (obs_ != nullptr) {
+        if (FlightRecorder *fr = obs_->flightRecorder())
+            fr->noteLevel(uint32_t(lvl),
+                          uint32_t(freeFraction() * 1000.0));
+    }
     CPR_OBS_EVENT(obs_, ObsEvent::kPressureLevel, kNoPage,
                   uint32_t(lvl));
 }
@@ -105,6 +145,8 @@ PressureGovernor::admitOp(PressureOp op, uint64_t est_ops)
                    // that want cost-aware gating)
     if (watchdog_.denies(op)) {
         ++st_denied_watchdog_;
+        CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, kNoPage,
+                      uint32_t(op));
         return false;
     }
     switch (op) {
@@ -112,6 +154,8 @@ PressureGovernor::admitOp(PressureOp op, uint64_t est_ops)
         // Maintenance: pure optimization, first thing to shed.
         if (level_ >= PressureLevel::kCritical) {
             ++st_denied_level_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, kNoPage,
+                          uint32_t(op));
             return false;
         }
         break;
@@ -120,11 +164,15 @@ PressureGovernor::admitOp(PressureOp op, uint64_t est_ops)
         // elevated, denied outright at critical and above.
         if (level_ >= PressureLevel::kCritical) {
             ++st_denied_level_;
+            CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, kNoPage,
+                          uint32_t(op));
             return false;
         }
         if (level_ == PressureLevel::kElevated) {
             if (window_inflations_ >= cfg_.elevated_inflation_window) {
                 ++st_denied_window_;
+                CPR_OBS_EVENT(obs_, ObsEvent::kOpThrottled, kNoPage,
+                              uint32_t(op));
                 return false;
             }
             ++window_inflations_;

@@ -96,9 +96,14 @@ class PressureGovernor : public PressureListener
     PressureGovernor(const GovernorConfig &cfg, MemoryController &mc,
                      SimOs &os, BalloonDriver &balloon);
 
-    /** Observability: kPressureLevel / kOomRescue / kSwapFull events.
-     *  Null detaches. */
-    void attachObserver(Observer *obs) { obs_ = obs; }
+    /** Observability: kPressureLevel / kOomRescue / kSwapFull /
+     *  kWatchdogBreach / kOpThrottled events. When the observer
+     *  carries a flight recorder, also registers a post-mortem context
+     *  provider (governor counters + per-op watchdog digests) and
+     *  feeds the watermark history on every level change. Null
+     *  detaches the event stream (providers cannot be unregistered:
+     *  the governor must outlive the recorder's snapshots). */
+    void attachObserver(Observer *obs);
 
     // --- PressureListener ---
     bool onMachineOom(PageNum busy_page) override;

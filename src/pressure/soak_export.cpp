@@ -73,6 +73,9 @@ writeReport(JsonWriter &w, const ChaosReport &r)
     w.field("oom_rescued", r.oom_rescued);
     w.field("oom_unrescued", r.oom_unrescued);
     w.field("stall_p99_max", r.stall_p99_max);
+    // Count only: the bundles themselves are separate per-bundle
+    // documents (src/sim/postmortem_export.h), not soak payload.
+    w.field("postmortems", uint64_t(r.postmortems.size()));
     w.key("phases").beginArray();
     for (const ChaosPhaseReport &ph : r.phases)
         writePhase(w, ph);

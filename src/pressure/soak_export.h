@@ -18,12 +18,9 @@
 #include <string>
 
 #include "pressure/chaos.h"
+#include "sim/schema_versions.h"
 
 namespace compresso {
-
-/** Schema identifier stamped into every soak document. Bump only with
- *  a reader-side update in tools/obs_report.py. */
-inline constexpr const char *kSoakJsonSchema = "compresso-soak-v1";
 
 /** Write the full soak document to @p os. Key order is fixed, so
  *  output is byte-identical for identical inputs. */

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/json_writer.h"
+#include "sim/postmortem_export.h"
 
 namespace compresso {
 
@@ -71,8 +72,10 @@ writeHostProfile(JsonWriter &w, const ProfSnapshot &prof)
     w.endObject();
 }
 
+} // namespace
+
 void
-writeLatencyBreakdown(JsonWriter &w, const AttribSnapshot &a)
+writeLatencyBreakdownJson(JsonWriter &w, const AttribSnapshot &a)
 {
     w.beginObject();
     w.field("enabled", a.enabled);
@@ -113,8 +116,6 @@ writeLatencyBreakdown(JsonWriter &w, const AttribSnapshot &a)
     w.endObject();
 }
 
-} // namespace
-
 void
 writeRunResultJson(JsonWriter &w, const RunResult &r)
 {
@@ -142,7 +143,7 @@ writeRunResultJson(JsonWriter &w, const RunResult &r)
     w.key("host_profile");
     writeHostProfile(w, r.prof);
     w.key("latency_breakdown");
-    writeLatencyBreakdown(w, r.attrib);
+    writeLatencyBreakdownJson(w, r.attrib);
     w.endObject();
 }
 
@@ -227,6 +228,8 @@ printSharedUsage(const char *argv0, const char *extra_usage)
         "  --prof                 activate the host profiler\n"
         "  --obs-trace <path>     Chrome trace export (implies --obs)\n"
         "  --obs-csv <path>       epoch time-series CSV (implies --obs)\n"
+        "  --postmortem <dir>     write anomaly post-mortem bundles\n"
+        "                         into <dir> (implies --obs)\n"
         "  --help                 print this and exit\n",
         kRunJsonSchema);
 }
@@ -266,6 +269,11 @@ RunSink::init(int argc, char **argv, const std::string &tool,
         } else if (a == "--obs-csv") {
             if (const char *v = take(i)) {
                 csv_path_ = v;
+                obs_ = true;
+            }
+        } else if (a == "--postmortem") {
+            if (const char *v = take(i)) {
+                postmortem_dir_ = v;
                 obs_ = true;
             }
         } else if (a == "--help" || a == "-h") {
@@ -325,6 +333,24 @@ RunSink::run(RunSpec spec)
 int
 RunSink::finish()
 {
+    if (!postmortem_dir_.empty()) {
+        // One running index across every recorded run, so a campaign's
+        // bundles land side by side without clobbering each other.
+        size_t next = 0;
+        for (const RunResult &r : results_) {
+            int n = writePostmortemBundles(postmortem_dir_, tool_,
+                                           "postmortem-", r.postmortems,
+                                           next);
+            if (n < 0) {
+                std::fprintf(stderr,
+                             "error: cannot write post-mortem bundles "
+                             "under %s\n",
+                             postmortem_dir_.c_str());
+                return 1;
+            }
+            next += size_t(n);
+        }
+    }
     if (json_path_.empty())
         return 0;
     if (!writeRunsJson(json_path_, tool_, results_)) {

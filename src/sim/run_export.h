@@ -21,14 +21,11 @@
 #include <vector>
 
 #include "sim/runner.h"
+#include "sim/schema_versions.h"
 
 namespace compresso {
 
 class JsonWriter;
-
-/** Schema identifier stamped into every run JSON document. Bump only
- *  with a reader-side update in tools/obs_report.py. */
-inline constexpr const char *kRunJsonSchema = "compresso-run-v3";
 
 /** Write {schema, tool, results: [...]} to @p os. Key order is fixed
  *  and StatGroup counters iterate sorted, so output is deterministic
@@ -49,6 +46,11 @@ void writeRunResultJson(JsonWriter &w, const RunResult &r);
  *  documents measured on different builds apart before comparing
  *  numbers. Shared by bench_runner and the campaign exporter. */
 void writeEnvironmentJson(JsonWriter &w);
+
+/** Write one AttribSnapshot as the run-v3 `latency_breakdown` object
+ *  (fixed taxonomy order, then tail exemplars). Shared with the
+ *  post-mortem exporter so bundles and run documents agree on shape. */
+void writeLatencyBreakdownJson(JsonWriter &w, const AttribSnapshot &a);
 
 /**
  * Per-binary collector behind the shared CLI flags:
@@ -71,6 +73,10 @@ void writeEnvironmentJson(JsonWriter &w);
  *                       not clobber the file)
  *   --obs-csv <path>    epoch time-series CSV (implies --obs; first
  *                       recorded run only)
+ *   --postmortem <dir>  write every anomaly post-mortem bundle the
+ *                       recorded runs captured into <dir>, one
+ *                       compresso-postmortem-v1 document per bundle
+ *                       (implies --obs)
  *   --help              print the shared flags (plus the binary's own
  *                       usage line, when it registered one) and exit
  *
@@ -116,12 +122,21 @@ class RunSink
     /** Destination for the merged campaign document ("" = none). */
     const std::string &campaignJsonPath() const { return campaign_path_; }
 
+    // Parsed export destinations ("" = not requested). Exposed so the
+    // CLI-matrix test can assert every tool resolves the shared flags
+    // identically without touching the filesystem.
+    const std::string &jsonPath() const { return json_path_; }
+    const std::string &tracePath() const { return trace_path_; }
+    const std::string &csvPath() const { return csv_path_; }
+    const std::string &postmortemDir() const { return postmortem_dir_; }
+
   private:
     std::string tool_;
     std::string json_path_;
     std::string campaign_path_;
     std::string trace_path_;
     std::string csv_path_;
+    std::string postmortem_dir_;
     unsigned jobs_flag_ = 0; ///< 0 = not given on the command line
     bool obs_ = false;
     bool prof_ = false;

@@ -37,6 +37,22 @@ runSystem(const RunSpec &spec)
 
     System sys(cfg, spec.workloads, spec.seed);
 
+    // Stamp the run context into the flight recorder up front so every
+    // bundle carries it, however early the first trigger fires.
+    if (Observer *obs = sys.observer()) {
+        if (FlightRecorder *fr = obs->flightRecorder()) {
+            fr->setNote("kind", mcKindName(spec.kind));
+            fr->setNote("seed", std::to_string(spec.seed));
+            std::string wl;
+            for (const std::string &w : spec.workloads) {
+                if (!wl.empty())
+                    wl += ",";
+                wl += w;
+            }
+            fr->setNote("workloads", wl);
+        }
+    }
+
     sys.populate();
     if (spec.warmup_refs > 0) {
         sys.run(spec.warmup_refs);
@@ -94,6 +110,20 @@ runSystem(const RunSpec &spec)
             obs->writeChromeTrace(spec.obs_trace_path);
         if (!spec.obs_epoch_csv_path.empty())
             obs->writeEpochCsv(spec.obs_epoch_csv_path);
+        if (FlightRecorder *fr = obs->flightRecorder()) {
+            // End-of-run invariant sweep: any open violation becomes a
+            // forced trigger so the final bundle names it. mc_stats and
+            // audit_violations were harvested above, so the sweep never
+            // changes the run document's metrics.
+            AuditReport audit = sys.mc().audit();
+            if (!audit.clean()) {
+                fr->setNote("audit", audit.summary());
+                fr->trigger(PostmortemTrigger::kAuditViolation, kNoPage,
+                            uint32_t(audit.violations().size()),
+                            /*force=*/true);
+            }
+            r.postmortems = fr->bundles();
+        }
     }
     return r;
 }

@@ -84,6 +84,11 @@ struct RunResult
      *  false when obs or attribution was off). */
     AttribSnapshot attrib;
 
+    /** Post-mortem bundles the anomaly flight recorder captured
+     *  (DESIGN.md §16; empty when obs or the recorder was off).
+     *  RunSink's --postmortem writes each as one JSON document. */
+    std::vector<PostmortemBundle> postmortems;
+
     /** Host-profile digest (enabled == false when prof was off).
      *  wall_ns/sim_refs cover the measured section (post-warmup). */
     ProfSnapshot prof;

@@ -309,9 +309,13 @@ writeRunDoc(const std::string &name, bool as_v2)
     if (as_v2) {
         // A v2 document is the v3 shape minus the latency_breakdown
         // guarantee; readers must accept it by schema tag alone.
-        size_t pos = doc.find("compresso-run-v3");
+        // Derive the tag from the canonical constant so the literal
+        // stays confined to sim/schema_versions.h.
+        std::string v3 = kRunJsonSchema;
+        std::string v2 = v3.substr(0, v3.size() - 1) + "2";
+        size_t pos = doc.find(v3);
         if (pos != std::string::npos)
-            doc.replace(pos, 16, "compresso-run-v2");
+            doc.replace(pos, v3.size(), v2);
     }
     std::string path = testing::TempDir() + name;
     std::ofstream out(path);

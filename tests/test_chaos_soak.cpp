@@ -13,6 +13,7 @@
 
 #include "pressure/chaos.h"
 #include "pressure/soak_export.h"
+#include "sim/postmortem_export.h"
 
 using namespace compresso;
 
@@ -169,4 +170,59 @@ TEST(SoakExport, SchemaAndShape)
     // No host-timing fields may leak into the deterministic document.
     EXPECT_EQ(doc.find("host_ns"), std::string::npos);
     EXPECT_EQ(doc.find("wall_ns"), std::string::npos);
+}
+
+TEST(RunSoak, PostmortemBundlesRideReportsDeterministically)
+{
+    // Bundles harvested per job must merge in kind order and stay
+    // byte-identical at any worker count (the --postmortem acceptance
+    // gate, mirrored in examples/balloon_oom.cpp).
+    SoakConfig sc;
+    sc.chaos.seed = 3;
+    sc.chaos.refs_per_phase = 2000;
+    sc.chaos.phases = {ChaosScenario::kCalm,
+                       ChaosScenario::kCollapseStorm};
+    sc.chaos.postmortem = true;
+    sc.kinds = {"compresso", "rmc"};
+
+    sc.jobs = 1;
+    SoakResult serial = runSoak(sc);
+    sc.jobs = 4;
+    SoakResult parallel = runSoak(sc);
+
+    ASSERT_EQ(serial.reports.size(), 2u);
+#ifndef COMPRESSO_OBS_DISABLED
+    // The forced collapse-storm bundle is always captured.
+    for (const ChaosReport &r : serial.reports)
+        EXPECT_GE(r.postmortems.size(), 1u);
+#endif
+    auto dump = [](const SoakResult &res) {
+        std::ostringstream os;
+        for (const ChaosReport &r : res.reports)
+            for (const PostmortemBundle &b : r.postmortems)
+                writePostmortemJson(os, "test_chaos_soak", b);
+        return os.str();
+    };
+    EXPECT_EQ(dump(serial), dump(parallel));
+}
+
+TEST(SoakExport, CountsPostmortemBundles)
+{
+    SoakConfig sc;
+    sc.chaos.refs_per_phase = 1000;
+    sc.chaos.phases = {ChaosScenario::kCollapseStorm};
+    sc.chaos.postmortem = true;
+    sc.kinds = {"compresso"};
+    SoakResult res = runSoak(sc);
+    ASSERT_EQ(res.reports.size(), 1u);
+
+    std::ostringstream os;
+    writeSoakJson(os, "unit", res);
+    const std::string doc = os.str();
+    // The envelope carries only the count; the bundles themselves are
+    // separate compresso-postmortem-v1 documents.
+    std::string expect =
+        "\"postmortems\":" +
+        std::to_string(res.reports[0].postmortems.size());
+    EXPECT_NE(doc.find(expect), std::string::npos);
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared RunSink CLI surface (src/sim/run_export.h): every tool that
+ * embeds the sink (bench_runner, fig04, fault_campaign, ...) must
+ * resolve the shared flag matrix — --json / --obs / --obs-trace /
+ * --obs-csv / --prof / --jobs / --campaign-json / --postmortem —
+ * identically, leaving its own flags in extraArgs().
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/run_export.h"
+#include "sim/runner.h"
+
+using namespace compresso;
+
+namespace {
+
+/** Owns the argv storage for one parse. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        ptrs.reserve(strings.size());
+        for (std::string &s : strings)
+            ptrs.push_back(s.data());
+    }
+    int argc() const { return int(ptrs.size()); }
+    char **argv() { return ptrs.data(); }
+
+    std::vector<std::string> strings;
+    std::vector<char *> ptrs;
+};
+
+/** The full shared-flag matrix, plus one tool-specific extra. */
+std::vector<std::string>
+matrixArgs(const std::string &tool)
+{
+    return {tool,
+            "--json", "out.json",
+            "--obs",
+            "--obs-trace", "trace.json",
+            "--obs-csv", "epochs.csv",
+            "--prof",
+            "--jobs", "3",
+            "--campaign-json", "campaign.json",
+            "--postmortem", "pm_dir",
+            "--tool-specific-flag"};
+}
+
+const char *const kTools[] = {"bench_runner", "fig04",
+                              "fault_campaign"};
+
+TEST(RunSink, FlagMatrixParsesIdenticallyAcrossTools)
+{
+    for (const char *tool : kTools) {
+        SCOPED_TRACE(tool);
+        Argv av(matrixArgs(tool));
+        RunSink sink;
+        sink.init(av.argc(), av.argv(), tool);
+
+        EXPECT_EQ(sink.tool(), tool);
+        EXPECT_EQ(sink.jsonPath(), "out.json");
+        EXPECT_EQ(sink.tracePath(), "trace.json");
+        EXPECT_EQ(sink.csvPath(), "epochs.csv");
+        EXPECT_EQ(sink.campaignJsonPath(), "campaign.json");
+        EXPECT_EQ(sink.postmortemDir(), "pm_dir");
+        EXPECT_TRUE(sink.obsRequested());
+        EXPECT_TRUE(sink.profRequested());
+        EXPECT_EQ(sink.jobs(), 3u);
+        // The tool's own flag survives for its own parser.
+        ASSERT_EQ(sink.extraArgs().size(), 1u);
+        EXPECT_EQ(sink.extraArgs()[0], "--tool-specific-flag");
+    }
+}
+
+TEST(RunSink, PostmortemImpliesObservability)
+{
+    for (const char *tool : kTools) {
+        SCOPED_TRACE(tool);
+        Argv av({tool, "--postmortem", "pm_dir"});
+        RunSink sink;
+        sink.init(av.argc(), av.argv(), tool);
+        EXPECT_EQ(sink.postmortemDir(), "pm_dir");
+        EXPECT_TRUE(sink.obsRequested());
+
+        RunSpec spec;
+        sink.apply(spec);
+        EXPECT_TRUE(spec.obs.enabled);
+    }
+}
+
+TEST(RunSink, DefaultsLeaveEverythingOff)
+{
+    Argv av({"bench_runner"});
+    RunSink sink;
+    sink.init(av.argc(), av.argv(), "bench_runner");
+    EXPECT_TRUE(sink.jsonPath().empty());
+    EXPECT_TRUE(sink.tracePath().empty());
+    EXPECT_TRUE(sink.csvPath().empty());
+    EXPECT_TRUE(sink.campaignJsonPath().empty());
+    EXPECT_TRUE(sink.postmortemDir().empty());
+    EXPECT_FALSE(sink.obsRequested());
+    EXPECT_FALSE(sink.profRequested());
+    EXPECT_TRUE(sink.extraArgs().empty());
+    EXPECT_GE(sink.jobs(), 1u);
+    // finish() with nothing requested is a clean no-op.
+    EXPECT_EQ(sink.finish(), 0);
+}
+
+TEST(RunSink, ObsAloneDoesNotRequestPostmortemDir)
+{
+    Argv av({"fig04", "--obs"});
+    RunSink sink;
+    sink.init(av.argc(), av.argv(), "fig04");
+    EXPECT_TRUE(sink.obsRequested());
+    EXPECT_TRUE(sink.postmortemDir().empty());
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Assert the C++ exporters and the Python readers agree on every
+versioned JSON schema identifier.
+
+src/sim/schema_versions.h is the single source of truth (one constant
+per document family). This check, run as a ctest from the repo root,
+enforces two project rules:
+
+ 1. Each Python reader's schema constant matches the header:
+      kRunJsonSchema        == obs_report.SCHEMAS[-1]
+      kCampaignJsonSchema   == obs_report.CAMPAIGN_SCHEMA
+                            == perf_compare.CAMPAIGN_SCHEMA
+      kSoakJsonSchema       == obs_report.SOAK_SCHEMA
+      kBenchJsonSchema      == perf_compare.SCHEMA
+      kPostmortemJsonSchema == postmortem_report.SCHEMA
+ 2. No C++ code re-declares a "compresso-*-v*" string literal outside
+    the header (doc comments may mention them; code may not).
+
+Exit 0 when both hold, 1 otherwise, listing every violation.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+HEADER = os.path.join(REPO, "src", "sim", "schema_versions.h")
+
+sys.path.insert(0, os.path.join(REPO, "tools"))
+import obs_report  # noqa: E402
+import perf_compare  # noqa: E402
+import postmortem_report  # noqa: E402
+
+LITERAL = re.compile(r'"(compresso-[a-z0-9_]+-v[0-9]+)"')
+CONSTANT = re.compile(
+    r'\bk(\w+)JsonSchema\s*=\s*\n?\s*"(compresso-[a-z0-9_]+-v[0-9]+)"')
+
+
+def parse_header():
+    with open(HEADER, encoding="utf-8") as f:
+        text = f.read()
+    return {f"k{name}JsonSchema": value
+            for name, value in CONSTANT.findall(text)}
+
+
+def strip_comments(text):
+    """Drop // and /* */ comments so doc mentions don't count."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def scan_strays():
+    strays = []
+    for sub in ("src", "bench", "examples", "tests"):
+        for root, _, names in os.walk(os.path.join(REPO, sub)):
+            for name in sorted(names):
+                if not name.endswith((".cpp", ".h")):
+                    continue
+                path = os.path.join(root, name)
+                if os.path.samefile(path, HEADER):
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    code = strip_comments(f.read())
+                for m in LITERAL.finditer(code):
+                    strays.append((os.path.relpath(path, REPO),
+                                   m.group(1)))
+    return strays
+
+
+def main():
+    problems = []
+    header = parse_header()
+    expected_names = ("kRunJsonSchema", "kCampaignJsonSchema",
+                      "kSoakJsonSchema", "kBenchJsonSchema",
+                      "kPostmortemJsonSchema")
+    for name in expected_names:
+        if name not in header:
+            problems.append(f"{HEADER}: constant {name} not found")
+    pairs = (
+        ("kRunJsonSchema", "obs_report.SCHEMAS[-1]",
+         obs_report.SCHEMAS[-1]),
+        ("kCampaignJsonSchema", "obs_report.CAMPAIGN_SCHEMA",
+         obs_report.CAMPAIGN_SCHEMA),
+        ("kCampaignJsonSchema", "perf_compare.CAMPAIGN_SCHEMA",
+         perf_compare.CAMPAIGN_SCHEMA),
+        ("kSoakJsonSchema", "obs_report.SOAK_SCHEMA",
+         obs_report.SOAK_SCHEMA),
+        ("kBenchJsonSchema", "perf_compare.SCHEMA",
+         perf_compare.SCHEMA),
+        ("kPostmortemJsonSchema", "postmortem_report.SCHEMA",
+         postmortem_report.SCHEMA),
+    )
+    for cname, pname, pvalue in pairs:
+        cvalue = header.get(cname)
+        if cvalue is not None and cvalue != pvalue:
+            problems.append(f"{cname} is {cvalue!r} but {pname} "
+                            f"is {pvalue!r}")
+    for path, literal in scan_strays():
+        problems.append(f"{path}: stray schema literal {literal!r} — "
+                        "use the constant from "
+                        "src/sim/schema_versions.h")
+    if problems:
+        for p in problems:
+            print(f"PROBLEM: {p}")
+        print(f"\n{len(problems)} schema-version problem(s)")
+        return 1
+    print(f"schema versions consistent: "
+          f"{', '.join(sorted(header.values()))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,9 +25,7 @@ per-controller verdict table and per-phase pressure digest, and
 
 Subcommands:
   summary <run.json>            per-result metric table + obs digest
-  diff <a.json> <b.json>        metric deltas between matching labels;
-                                exit 2 on schema-version mismatch
-                                (the newer sections are skipped)
+  diff <a.json> <b.json>        metric deltas between matching labels
   check <run.json>              schema validation; exit 1 on problems
                                 (including attribution conservation
                                 drift)
@@ -38,6 +36,11 @@ Subcommands:
                                 share anomalies fatal too)
   exemplars <run.json>          worst-reference tail exemplars with
                                 their per-component splits
+
+Exit codes (the convention shared with tools/postmortem_report.py):
+0 = clean, 1 = findings (schema problems, failed gates, anomalies),
+2 = diff across schema generations or document families — the shared
+sections were still compared, but the comparison is incomplete.
 """
 
 import argparse
@@ -439,6 +442,11 @@ def check_soak_doc(doc, need):
         for k in SOAK_REPORT_NUMBERS:
             need(isinstance(r.get(k), int),
                  f"{where}: missing integer field {k!r}")
+        # The post-mortem bundle count rode in later; older soak
+        # documents simply lack it (the envelope schema never bumped).
+        if "postmortems" in r:
+            need(isinstance(r["postmortems"], int),
+                 f"{where}: postmortems must be an integer")
         phases = r.get("phases")
         need(isinstance(phases, list),
              f"{where}: missing array field 'phases'")
@@ -534,8 +542,8 @@ def soak_diff(a, b, path_a, path_b):
     for c in shared:
         ra, rb = by_a[c], by_b[c]
         lines = []
-        for k in SOAK_REPORT_NUMBERS + ["passed"]:
-            va, vb = ra[k], rb[k]
+        for k in SOAK_REPORT_NUMBERS + ["postmortems", "passed"]:
+            va, vb = ra.get(k), rb.get(k)
             if va == vb:
                 continue
             lines.append(f"    {k:20} {va} -> {vb}")
@@ -708,9 +716,11 @@ def cmd_diff(args):
     soak_a = a.get("schema") == SOAK_SCHEMA
     soak_b = b.get("schema") == SOAK_SCHEMA
     if soak_a != soak_b:
+        # Document-family mismatch: nothing shared to compare — the
+        # "incomplete comparison" exit code, not a finding.
         print("cannot diff a soak document against a run document",
               file=sys.stderr)
-        return 1
+        return 2
     if soak_a:
         return soak_diff(a, b, args.a, args.b)
     # Mismatched schema generations still diff the shared sections,

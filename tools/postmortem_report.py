@@ -1,0 +1,432 @@
+#!/usr/bin/env python3
+"""Validate, summarize, triage, and diff compresso-postmortem-v1
+anomaly bundles.
+
+The anomaly flight recorder (src/obs/flight_recorder.h, DESIGN.md §16)
+snapshots one JSON document per captured anomaly: the trigger that
+fired, the deduplicated trigger chain leading up to it, the newest
+slice of the component-tagged event ring, the cycle-attribution
+breakdown, the governor watermark history, per-subsystem counter
+sections, and the run's identity notes. Producers: any RunSink tool
+via `--postmortem <dir>` (bench_runner, fig04, fault_campaign, ...)
+and `balloon_oom [--soak] --postmortem <dir>`.
+
+Stdlib-only, like tools/obs_report.py, whose reader and attribution
+validator this reuses (the `latency_breakdown` object inside a bundle
+is the same shape as a run document's).
+
+Subcommands (every <path> may be a bundle file or a directory, which
+is scanned for *.json bundles):
+  check <path>...               schema validation; exit 1 on problems
+                                or when no bundle is found at all
+  summary <path>...             one-line-per-bundle table: trigger,
+                                chain/ring sizes, suppression counts
+  triage <path>...              group bundles by trigger kind, print
+                                the dominant chains, ring hot-spots,
+                                and governor/watchdog section digest
+  diff <a> <b>                  compare two bundles (or the first
+                                bundle of two directories)
+
+Exit codes (the convention shared with tools/obs_report.py):
+0 = clean, 1 = findings (schema problems, failed gates, anomalies),
+2 = diff across schema generations or document families — the shared
+sections were still compared, but the comparison is incomplete.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import obs_report  # noqa: E402  (reuse load/check_breakdown/taxonomy)
+
+SCHEMA = "compresso-postmortem-v1"
+
+# Fixed trigger taxonomy (src/obs/flight_recorder.h), in enum order.
+TRIGGERS = (
+    "watchdog_breach",
+    "op_throttled",
+    "pressure_critical",
+    "pressure_emergency",
+    "oom_rescue",
+    "swap_full",
+    "fault_ladder",
+    "conservation",
+    "audit_violation",
+    "chaos_storm",
+)
+
+# Fixed event-ring vocabulary (obsEventName, src/obs/event_tracer.h).
+EVENTS = (
+    "split_access",
+    "line_overflow",
+    "page_overflow",
+    "inflation",
+    "repack",
+    "md_miss",
+    "md_eviction",
+    "predictor_flip",
+    "fault_recovery",
+    "page_fault",
+    "pressure_level",
+    "watchdog_breach",
+    "op_throttled",
+    "oom_rescue",
+    "swap_full",
+)
+
+# Watermark levels (pressureLevelName / postmortem_export.cpp).
+LEVELS = ("normal", "elevated", "critical", "emergency")
+
+BUNDLE_NUMBERS = (
+    "bundle_index",
+    "tick",
+    "triggers_total",
+    "triggers_suppressed",
+    "chain_dropped",
+    "ring_total",
+    "ring_dropped",
+    "watermarks_dropped",
+)
+
+
+def expand(paths):
+    """Expand files-or-directories into a sorted list of bundle
+    files. Unreadable paths are fatal, an empty directory is not
+    (check turns zero bundles into a finding)."""
+    out = []
+    for p in paths:
+        if os.path.isdir(p):
+            out.extend(
+                os.path.join(p, n) for n in sorted(os.listdir(p))
+                if n.endswith(".json"))
+        elif os.path.exists(p):
+            out.append(p)
+        else:
+            sys.exit(f"error: no such file or directory: {p}")
+    return out
+
+
+def chain_kinds(doc):
+    return [e.get("kind") for e in doc.get("trigger_chain") or []
+            if isinstance(e, dict)]
+
+
+def check_bundle(doc, path):
+    """Validate one bundle document; returns a list of problems."""
+    problems = []
+
+    def need(ok, msg):
+        if not ok:
+            problems.append(f"{path}: {msg}")
+
+    need(doc.get("schema") == SCHEMA,
+         f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    need(isinstance(doc.get("tool"), str) and doc.get("tool"),
+         "tool must be a non-empty string")
+    for k in BUNDLE_NUMBERS:
+        need(isinstance(doc.get(k), int), f"{k} must be an integer")
+
+    trig = doc.get("trigger")
+    need(isinstance(trig, dict), "missing trigger object")
+    if isinstance(trig, dict):
+        need(trig.get("kind") in TRIGGERS,
+             f"trigger.kind {trig.get('kind')!r} not in the fixed "
+             "taxonomy")
+        for k in ("page", "detail"):
+            need(isinstance(trig.get(k), int),
+                 f"trigger.{k} must be an integer")
+
+    chain = doc.get("trigger_chain")
+    need(isinstance(chain, list), "missing trigger_chain")
+    total_counted = 0
+    for i, e in enumerate(chain or []):
+        ew = f"trigger_chain[{i}]"
+        if not isinstance(e, dict):
+            need(False, f"{ew}: must be an object")
+            continue
+        need(e.get("kind") in TRIGGERS,
+             f"{ew}: kind {e.get('kind')!r} not in the fixed taxonomy")
+        for k in ("first_tick", "last_tick", "page", "detail", "count"):
+            need(isinstance(e.get(k), int),
+                 f"{ew}: {k} must be an integer")
+        if isinstance(e.get("first_tick"), int) and \
+           isinstance(e.get("last_tick"), int):
+            need(e["first_tick"] <= e["last_tick"],
+                 f"{ew}: first_tick {e['first_tick']} after "
+                 f"last_tick {e['last_tick']}")
+        if isinstance(e.get("count"), int):
+            need(e["count"] >= 1, f"{ew}: count must be >= 1")
+            total_counted += e["count"]
+    # The chain merges repeats and counts capacity drops, so the entry
+    # counts plus the drops must reproduce the trigger total exactly.
+    if isinstance(chain, list) and \
+       isinstance(doc.get("chain_dropped"), int) and \
+       isinstance(doc.get("triggers_total"), int):
+        need(total_counted + doc["chain_dropped"] ==
+             doc["triggers_total"],
+             f"chain counts ({total_counted}) + chain_dropped "
+             f"({doc['chain_dropped']}) != triggers_total "
+             f"({doc['triggers_total']})")
+    # The snapshotting trigger is folded into the chain last (unless
+    # the chain was already at capacity and the entry was dropped).
+    if isinstance(trig, dict) and chain and doc.get("chain_dropped") == 0:
+        last = chain[-1]
+        if isinstance(last, dict):
+            need(last.get("kind") == trig.get("kind"),
+                 f"last chain entry is {last.get('kind')!r}, "
+                 f"trigger is {trig.get('kind')!r}")
+
+    ring = doc.get("ring")
+    need(isinstance(ring, list), "missing ring")
+    prev_tick = None
+    for i, e in enumerate(ring or []):
+        ew = f"ring[{i}]"
+        if not isinstance(e, dict):
+            need(False, f"{ew}: must be an object")
+            continue
+        need(e.get("kind") in EVENTS,
+             f"{ew}: kind {e.get('kind')!r} not in the event "
+             "vocabulary")
+        need(e.get("comp") in obs_report.ATTRIB_COMPS,
+             f"{ew}: comp {e.get('comp')!r} not in the attribution "
+             "taxonomy")
+        for k in ("tick", "page", "detail"):
+            need(isinstance(e.get(k), int),
+                 f"{ew}: {k} must be an integer")
+        if isinstance(e.get("tick"), int):
+            if prev_tick is not None:
+                need(prev_tick <= e["tick"],
+                     f"{ew}: ring not in chronological order "
+                     f"({prev_tick} then {e['tick']})")
+            prev_tick = e["tick"]
+    if isinstance(ring, list) and \
+       isinstance(doc.get("ring_total"), int) and \
+       isinstance(doc.get("ring_dropped"), int):
+        need(len(ring) + doc["ring_dropped"] <= doc["ring_total"] or
+             doc["ring_total"] == 0,
+             f"ring holds {len(ring)} events + {doc['ring_dropped']} "
+             f"dropped, but only {doc['ring_total']} were traced")
+
+    lb = doc.get("latency_breakdown")
+    need(isinstance(lb, dict), "missing latency_breakdown")
+    if isinstance(lb, dict):
+        lb_problems = []
+        obs_report.check_breakdown(
+            lb, f"{path}: latency_breakdown",
+            lambda ok, msg: None if ok else lb_problems.append(msg))
+        # A bundle triggered by attribution-conservation drift
+        # *documents* the drift: the failure counter and the resulting
+        # component-sum mismatch are the payload, not a schema problem.
+        if "conservation" in chain_kinds(doc) or \
+           (isinstance(trig, dict) and
+                trig.get("kind") == "conservation"):
+            lb_problems = [m for m in lb_problems
+                           if "conservation drift" not in m and
+                           "cycles sum to" not in m]
+        problems.extend(lb_problems)
+
+    marks = doc.get("watermarks")
+    need(isinstance(marks, list), "missing watermarks")
+    for i, m in enumerate(marks or []):
+        mw = f"watermarks[{i}]"
+        if not isinstance(m, dict):
+            need(False, f"{mw}: must be an object")
+            continue
+        need(m.get("level") in LEVELS,
+             f"{mw}: level {m.get('level')!r} not in the pressure "
+             "vocabulary")
+        need(isinstance(m.get("tick"), int),
+             f"{mw}: tick must be an integer")
+        fp = m.get("free_permille")
+        need(isinstance(fp, int) and 0 <= fp <= 1000,
+             f"{mw}: free_permille must be an integer in [0, 1000]")
+
+    sections = doc.get("sections")
+    need(isinstance(sections, dict), "missing sections")
+    for name, counters in (sections or {}).items():
+        if not isinstance(counters, dict):
+            need(False, f"sections[{name!r}] must be an object")
+            continue
+        for k, v in counters.items():
+            need(isinstance(v, int),
+                 f"sections[{name!r}].{k} must be an integer")
+
+    notes = doc.get("notes")
+    need(isinstance(notes, dict), "missing notes")
+    for k, v in (notes or {}).items():
+        need(isinstance(v, str), f"notes[{k!r}] must be a string")
+
+    need(isinstance(doc.get("environment"), dict),
+         "missing environment")
+    return problems
+
+
+def cmd_check(args):
+    files = expand(args.paths)
+    if not files:
+        print("no post-mortem bundles found")
+        return 1
+    problems = []
+    for path in files:
+        doc = obs_report.load(path)
+        mine = check_bundle(doc, path)
+        problems.extend(mine)
+        verdict = "INVALID" if mine else "valid"
+        print(f"{verdict:7s} {path}  trigger="
+              f"{(doc.get('trigger') or {}).get('kind')} "
+              f"chain={len(doc.get('trigger_chain') or [])} "
+              f"ring={len(doc.get('ring') or [])}")
+    for p in problems:
+        print(f"PROBLEM: {p}")
+    if problems:
+        print(f"\n{len(problems)} problem(s) in {len(files)} bundle(s)")
+        return 1
+    print(f"\nall {len(files)} bundle(s) valid ({SCHEMA})")
+    return 0
+
+
+def cmd_summary(args):
+    files = expand(args.paths)
+    if not files:
+        print("no post-mortem bundles found")
+        return 1
+    print(f"{'bundle':40s} {'tick':>10s} {'trigger':18s} "
+          f"{'chain':>5s} {'ring':>5s} {'suppr':>6s} notes")
+    for path in files:
+        doc = obs_report.load(path)
+        trig = doc.get("trigger") or {}
+        notes = doc.get("notes") or {}
+        tag = ",".join(f"{k}={notes[k]}"
+                       for k in ("kind", "storm", "seed")
+                       if k in notes)
+        print(f"{os.path.basename(path):40s} "
+              f"{doc.get('tick', 0):>10d} "
+              f"{str(trig.get('kind')):18s} "
+              f"{len(doc.get('trigger_chain') or []):>5d} "
+              f"{len(doc.get('ring') or []):>5d} "
+              f"{doc.get('triggers_suppressed', 0):>6d} {tag}")
+    return 0
+
+
+def cmd_triage(args):
+    files = expand(args.paths)
+    if not files:
+        print("no post-mortem bundles found")
+        return 1
+    docs = [(p, obs_report.load(p)) for p in files]
+
+    by_kind = {}
+    for path, doc in docs:
+        kind = (doc.get("trigger") or {}).get("kind") or "?"
+        by_kind.setdefault(kind, []).append((path, doc))
+
+    print(f"{len(docs)} bundle(s), {len(by_kind)} trigger kind(s)\n")
+    for kind in sorted(by_kind, key=lambda k: -len(by_kind[k])):
+        group = by_kind[kind]
+        print(f"== {kind} ({len(group)} bundle(s)) ==")
+        # Dominant chain entries: who kept firing before the snapshot.
+        chain_counts = {}
+        ring_counts = {}
+        for _, doc in group:
+            for e in doc.get("trigger_chain") or []:
+                key = (e.get("kind"), e.get("detail"))
+                chain_counts[key] = (chain_counts.get(key, 0) +
+                                     e.get("count", 0))
+            for e in doc.get("ring") or []:
+                ring_counts[e.get("kind")] = \
+                    ring_counts.get(e.get("kind"), 0) + 1
+        top_chain = sorted(chain_counts.items(),
+                           key=lambda kv: -kv[1])[:5]
+        for (ck, detail), n in top_chain:
+            print(f"  chain  {ck} (detail {detail}): x{n}")
+        top_ring = sorted(ring_counts.items(),
+                          key=lambda kv: -kv[1])[:5]
+        for ek, n in top_ring:
+            print(f"  ring   {ek}: {n} event(s)")
+        for path, doc in group:
+            gov = (doc.get("sections") or {}).get("governor")
+            marks = doc.get("watermarks") or []
+            line = f"  {os.path.basename(path)}: tick " \
+                   f"{doc.get('tick', 0)}"
+            if isinstance(gov, dict):
+                line += (f", governor level {gov.get('level')}, "
+                         f"free {gov.get('free_permille')}‰")
+            if marks:
+                last = marks[-1]
+                line += (f", last watermark {last.get('level')} at "
+                         f"tick {last.get('tick')}")
+            print(line)
+        print()
+    return 0
+
+
+def first_bundle(path):
+    files = expand([path])
+    if not files:
+        sys.exit(f"error: no post-mortem bundle under {path}")
+    return files[0]
+
+
+def cmd_diff(args):
+    path_a, path_b = first_bundle(args.a), first_bundle(args.b)
+    a, b = obs_report.load(path_a), obs_report.load(path_b)
+    if a.get("schema") != b.get("schema"):
+        print(f"schema mismatch: {a.get('schema')!r} vs "
+              f"{b.get('schema')!r} — comparison is incomplete")
+        return 2
+    rows = []
+    for k in BUNDLE_NUMBERS:
+        va, vb = a.get(k, 0), b.get(k, 0)
+        if va != vb:
+            rows.append((k, va, vb))
+    ta = (a.get("trigger") or {}).get("kind")
+    tb = (b.get("trigger") or {}).get("kind")
+    if ta != tb:
+        rows.append(("trigger.kind", ta, tb))
+    for name, field in (("trigger_chain", "chain"), ("ring", "ring"),
+                        ("watermarks", "watermarks")):
+        la, lb_ = len(a.get(name) or []), len(b.get(name) or [])
+        if la != lb_:
+            rows.append((f"len({field})", la, lb_))
+
+    def ring_hist(doc):
+        h = {}
+        for e in doc.get("ring") or []:
+            h[e.get("kind")] = h.get(e.get("kind"), 0) + 1
+        return h
+
+    ha, hb = ring_hist(a), ring_hist(b)
+    for k in sorted(set(ha) | set(hb)):
+        if ha.get(k, 0) != hb.get(k, 0):
+            rows.append((f"ring[{k}]", ha.get(k, 0), hb.get(k, 0)))
+    if not rows:
+        print(f"{path_a} and {path_b} agree on every compared field")
+        return 0
+    print(f"{'field':24s} {'a':>12s} {'b':>12s}")
+    for k, va, vb in rows:
+        print(f"{k:24s} {str(va):>12s} {str(vb):>12s}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    for name, fn in (("check", cmd_check), ("summary", cmd_summary),
+                     ("triage", cmd_triage)):
+        p = sub.add_parser(name)
+        p.add_argument("paths", nargs="+",
+                       help="bundle files or directories")
+        p.set_defaults(fn=fn)
+    p = sub.add_parser("diff")
+    p.add_argument("a", help="bundle file or directory")
+    p.add_argument("b", help="bundle file or directory")
+    p.set_defaults(fn=cmd_diff)
+    args = ap.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()
