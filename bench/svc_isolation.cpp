@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Service-mode isolation bench (DESIGN.md §17, EXPERIMENTS.md): proves
+ * one adversarial tenant cannot collapse its neighbours.
+ *
+ * Two runs of the multi-tenant service over the same seed and tenant
+ * layout (8 tenants, mixed Fig. 2 personalities):
+ *
+ *  A. baseline — every tenant well-behaved;
+ *  B. adversarial — tenant0 turns hostile (page-random incompressible
+ *     writes across its whole partition, the compressibility-collapse
+ *     neighbour), everyone else unchanged.
+ *
+ * For every *neighbour* (tenants 1..7) the bench compares B against A
+ * and enforces the documented isolation bounds:
+ *
+ *  - p99 reference latency within kP99Bound x baseline;
+ *  - effective compression ratio (capacity actually delivered) within
+ *    kCapacityBound of baseline;
+ *  - zero silent corruptions, audit violations and partition-audit
+ *    violations in both runs.
+ *
+ * The QoS layer is what makes this hold: the adversary's md-traffic
+ * share gets it shed at the admission edge, its inflation burns its
+ * own budget, and end-of-round rebalancing ballooning runs under a
+ * PartitionScope so reclaim pressure lands on the most-compressible
+ * *victim partition*, never scattered across every tenant's data.
+ *
+ * All numbers derive from simulated state only: output is
+ * bit-identical across hosts and --jobs counts. CPR_BENCH_QUICK=1
+ * shrinks the round budget for smoke runs.
+ */
+
+#include "bench_common.h"
+
+#include <cinttypes>
+
+#include "service/service.h"
+
+using namespace compresso;
+using namespace compresso::bench;
+
+namespace {
+
+constexpr unsigned kTenants = 8;
+/** Neighbour p99 latency may grow at most this factor under attack. */
+constexpr double kP99Bound = 2.5;
+/** Neighbour effective ratio may shrink to at most this fraction. */
+constexpr double kCapacityBound = 0.70;
+
+const char *const kProfiles[kTenants] = {"gcc",     "mcf",   "bzip2",
+                                         "gromacs", "namd",  "sjeng",
+                                         "astar",   "Pagerank"};
+
+ServiceConfig
+baseConfig(bool adversarial)
+{
+    ServiceConfig cfg;
+    cfg.seed = 42;
+    cfg.rounds = budget(48);
+    cfg.refs_per_round = 512;
+    cfg.jobs = 1;
+    cfg.compresso.mdcache = MetadataCacheConfig{8 * 1024, 8, false};
+    for (unsigned t = 0; t < kTenants; ++t) {
+        TenantSpec spec;
+        spec.name = std::string("tenant") + std::to_string(t);
+        spec.pages = 192;
+        spec.profile = kProfiles[t];
+        spec.adversary = adversarial && t == 0;
+        cfg.tenants.push_back(spec);
+    }
+    return cfg;
+}
+
+bool
+gatesHold(const char *label, const ServiceResult &r)
+{
+    bool ok = r.silent_corruptions == 0 && r.audit_violations == 0 &&
+              r.partition_audit_violations == 0;
+    if (!ok)
+        std::printf("  %s: GATE FAILED — corruptions %" PRIu64
+                    ", audit %" PRIu64 ", partition audit %" PRIu64
+                    "\n",
+                    label, r.silent_corruptions, r.audit_violations,
+                    r.partition_audit_violations);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sink().init(argc, argv, "svc_isolation");
+
+    header("service isolation: 1 adversary among 8 tenants");
+    std::printf("bounds: neighbour p99 <= %.2fx baseline, effective "
+                "ratio >= %.2fx baseline\n",
+                kP99Bound, kCapacityBound);
+
+    ServiceResult base = runService(baseConfig(false));
+    ServiceResult adv = runService(baseConfig(true));
+
+    bool pass = gatesHold("baseline", base) &&
+                gatesHold("adversarial", adv);
+
+    std::printf("\n%-10s %-9s | %13s | %15s | %9s\n", "tenant",
+                "profile", "p99 base/adv", "eff   base/adv", "verdict");
+    std::vector<double> p99_ratios, eff_ratios;
+    for (unsigned t = 0; t < kTenants; ++t) {
+        const TenantReport &b = base.tenants[t];
+        const TenantReport &a = adv.tenants[t];
+        bool neighbour = t != 0;
+        double p99_ratio = b.lat_p99 == 0
+                               ? 1.0
+                               : double(a.lat_p99) / double(b.lat_p99);
+        double eff_ratio =
+            b.effective_ratio == 0.0
+                ? 1.0
+                : a.effective_ratio / b.effective_ratio;
+        bool ok = !neighbour || (p99_ratio <= kP99Bound &&
+                                 eff_ratio >= kCapacityBound);
+        if (neighbour) {
+            p99_ratios.push_back(p99_ratio);
+            eff_ratios.push_back(eff_ratio);
+            pass = pass && ok;
+        }
+        std::printf("%-10s %-9s | %5" PRIu64 " /%5" PRIu64
+                    " | %6.2f /%6.2f | %s\n",
+                    b.name.c_str(), b.profile.c_str(), b.lat_p99,
+                    a.lat_p99, b.effective_ratio, a.effective_ratio,
+                    !neighbour ? (a.adversary ? "adversary" : "-")
+                               : (ok ? "ok" : "VIOLATED"));
+    }
+
+    std::printf("\nneighbour geomean: p99 ratio %.3f (bound %.2f), "
+                "effective-ratio ratio %.3f (bound %.2f)\n",
+                geomean(p99_ratios), kP99Bound, geomean(eff_ratios),
+                kCapacityBound);
+    std::printf("adversary under attack run: shed %" PRIu64
+                " refs, %" PRIu64 " inflation denials, %" PRIu64
+                " pages ballooned away machine-wide (%" PRIu64
+                " rebalances)\n",
+                adv.tenants[0].shed, adv.tenants[0].inflation_denied,
+                adv.rebalance_pages, adv.rebalances);
+    std::printf("pressure: baseline end %s / attack end %s (max level "
+                "%u)\n",
+                base.level_end.c_str(), adv.level_end.c_str(),
+                adv.max_level);
+
+    std::printf("\nisolation %s\n", pass ? "PASSED" : "FAILED");
+    int rc = sink().finish();
+    return pass ? rc : 1;
+}

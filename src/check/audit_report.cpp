@@ -23,6 +23,7 @@ violationName(ViolationKind kind)
     case ViolationKind::kBadInflate: return "bad_inflate";
     case ViolationKind::kOvercommit: return "overcommit";
     case ViolationKind::kRawPageShape: return "raw_page_shape";
+    case ViolationKind::kCrossPartition: return "cross_partition";
     }
     return "unknown";
 }

@@ -41,6 +41,8 @@ enum class ViolationKind : uint8_t
     kBadInflate,       ///< inflate_count/pointers malformed
     kOvercommit,       ///< packed bytes + inflation room > allocation
     kRawPageShape,     ///< uncompressed page with non-raw layout
+    kCrossPartition,   ///< page outside (or partition overlapping) the
+                       ///< declared tenant partitions (DESIGN.md §17)
 };
 
 /** Stable name of @p kind (for messages and test matching). */

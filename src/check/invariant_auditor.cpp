@@ -204,4 +204,36 @@ InvariantAuditor::ChunkCrossCheck::finish(const ChunkAllocator &alloc,
     });
 }
 
+AuditReport
+InvariantAuditor::auditPartitions(
+    const std::vector<PartitionRange> &partitions,
+    const std::vector<PageNum> &pages)
+{
+    AuditReport rep;
+    for (size_t i = 0; i < partitions.size(); ++i) {
+        const PartitionRange &a = partitions[i];
+        for (size_t j = i + 1; j < partitions.size(); ++j) {
+            const PartitionRange &b = partitions[j];
+            if (a.base < b.base + b.pages && b.base < a.base + a.pages)
+                rep.add(ViolationKind::kCrossPartition, a.base,
+                        kNoChunk,
+                        "partition " + std::to_string(i) +
+                            " overlaps partition " + std::to_string(j));
+        }
+    }
+    for (PageNum page : pages) {
+        bool owned = false;
+        for (const PartitionRange &p : partitions) {
+            if (page >= p.base && page < p.base + p.pages) {
+                owned = true;
+                break;
+            }
+        }
+        if (!owned)
+            rep.add(ViolationKind::kCrossPartition, page, kNoChunk,
+                    "page belongs to no tenant partition");
+    }
+    return rep;
+}
+
 } // namespace compresso

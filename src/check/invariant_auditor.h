@@ -32,6 +32,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "check/audit_report.h"
 #include "compress/size_bins.h"
@@ -40,6 +41,13 @@
 #include "packing/linepack.h"
 
 namespace compresso {
+
+/** One tenant partition of the OSPA space: [base, base + pages). */
+struct PartitionRange
+{
+    PageNum base = 0;
+    uint64_t pages = 0;
+};
 
 class InvariantAuditor
 {
@@ -62,6 +70,19 @@ class InvariantAuditor
                             const uint8_t *actual_bin,
                             const ChunkAllocator &alloc,
                             AuditReport &rep) const;
+
+    /**
+     * Tenant-isolation audit (the multi-tenant service mode,
+     * DESIGN.md §17): the declared partitions must be pairwise
+     * disjoint, and every page in @p pages (typically the OS resident
+     * set, or the set of pages a tenant's session touched) must fall
+     * inside one of them. Every breach is a kCrossPartition
+     * violation — a page living outside the partition map means some
+     * path wrote or freed memory no tenant owns.
+     */
+    static AuditReport
+    auditPartitions(const std::vector<PartitionRange> &partitions,
+                    const std::vector<PageNum> &pages);
 
     /** Cross-structure chunk accounting (all controllers). */
     class ChunkCrossCheck

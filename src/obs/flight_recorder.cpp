@@ -19,6 +19,7 @@ postmortemTriggerName(PostmortemTrigger t)
     case PostmortemTrigger::kConservation: return "conservation";
     case PostmortemTrigger::kAuditViolation: return "audit_violation";
     case PostmortemTrigger::kChaosStorm: return "chaos_storm";
+    case PostmortemTrigger::kCrossPartition: return "cross_partition";
     case PostmortemTrigger::kCount: break;
     }
     return "?";

@@ -71,6 +71,9 @@ enum class PostmortemTrigger : uint8_t
     kAuditViolation,     ///< invariant audit found violations
     kChaosStorm,         ///< chaos harness phase marker (detail =
                          ///< ChaosScenario)
+    kCrossPartition,     ///< tenant-scoped reclaim touched a page
+                         ///< outside the calling tenant's partition
+                         ///< (detail = tenant id, DESIGN.md §17)
     kCount
 };
 

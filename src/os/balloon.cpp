@@ -14,15 +14,28 @@ uint64_t
 BalloonDriver::inflate(uint64_t pages)
 {
     std::vector<PageNum> freed = os_.reclaim(pages);
-    for (PageNum p : freed)
+    uint64_t taken = 0;
+    for (PageNum p : freed) {
+        // The OS already honoured its reclaim window; the policy is
+        // the belt-and-braces check on the freeing side.
+        if (policy_ != nullptr && !policy_->mayFreePage(p)) {
+            ++stats_["partition_rejects"];
+            // The page left the resident set but must not be freed in
+            // the controller: fault it back in instead of destroying
+            // a neighbour's data.
+            os_.touch(p, false);
+            continue;
+        }
         takePage(p);
-    stats_["inflations"] += freed.size();
+        ++taken;
+    }
+    stats_["inflations"] += taken;
     // The OS budget shrinks by what the balloon now holds.
-    if (os_.budget() >= freed.size())
-        os_.setBudget(os_.budget() - freed.size());
+    if (os_.budget() >= taken)
+        os_.setBudget(os_.budget() - taken);
     else
         os_.setBudget(0);
-    return freed.size();
+    return taken;
 }
 
 uint64_t
@@ -30,6 +43,10 @@ BalloonDriver::inflateTargeted(const std::vector<PageNum> &pages)
 {
     uint64_t n = 0;
     for (PageNum p : pages) {
+        if (policy_ != nullptr && !policy_->mayFreePage(p)) {
+            ++stats_["partition_rejects"];
+            continue;
+        }
         if (!os_.reclaimSpecific(p))
             continue;
         takePage(p);

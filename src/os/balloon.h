@@ -30,6 +30,7 @@
 
 #include "common/stats.h"
 #include "core/memory_controller.h"
+#include "core/pressure_hooks.h"
 #include "os/sim_os.h"
 
 namespace compresso {
@@ -63,6 +64,22 @@ class BalloonDriver
     uint64_t heldPages() const { return held_.size(); }
 
     /**
+     * Attach the partition guard (core/pressure_hooks.h): every page
+     * the driver is about to free is first checked against the policy;
+     * rejected pages are skipped and counted (`partition_rejects`),
+     * never freed. Null detaches (all pages allowed). The multi-tenant
+     * service installs its TenantRegistry here so a tenant-scoped
+     * balloon operation can never invalidate a neighbour's pages.
+     */
+    void setPartitionPolicy(PartitionPolicy *policy) { policy_ = policy; }
+
+    uint64_t
+    partitionRejects() const
+    {
+        return stats_.get("partition_rejects");
+    }
+
+    /**
      * Policy loop: keep machine free space above @p reserve_chunks by
      * inflating as needed (invoked by the controller's out-of-memory
      * watermark in a real design).
@@ -87,6 +104,7 @@ class BalloonDriver
 
     SimOs &os_;
     MemoryController &mc_;
+    PartitionPolicy *policy_ = nullptr;
     std::vector<PageNum> held_;
     std::vector<PageNum> freed_log_;
     StatGroup stats_{"balloon"};

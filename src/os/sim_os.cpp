@@ -1,5 +1,8 @@
 #include "os/sim_os.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace compresso {
 
 SimOs::SimOs(uint64_t budget_pages) : budget_(budget_pages) {}
@@ -106,8 +109,23 @@ std::vector<PageNum>
 SimOs::reclaim(uint64_t n)
 {
     std::vector<PageNum> freed;
-    while (n-- > 0 && !lru_.empty()) {
-        PageNum victim = lru_.back();
+    if (!window_active_) {
+        while (n-- > 0 && !lru_.empty()) {
+            PageNum victim = lru_.back();
+            freed.push_back(victim);
+            removeForBalloon(resident_.find(victim));
+        }
+        return freed;
+    }
+    // Partition-scoped reclaim: clamp the LRU scan to the window so
+    // one tenant's balloon never drains a neighbour's pages.
+    std::vector<PageNum> victims;
+    for (auto it = lru_.rbegin(); it != lru_.rend() && victims.size() < n;
+         ++it) {
+        if (inReclaimWindow(*it))
+            victims.push_back(*it);
+    }
+    for (PageNum victim : victims) {
         freed.push_back(victim);
         removeForBalloon(resident_.find(victim));
     }
@@ -117,6 +135,20 @@ SimOs::reclaim(uint64_t n)
 bool
 SimOs::reclaimSpecific(PageNum page)
 {
+    if (!inReclaimWindow(page)) {
+        if (window_fatal_) {
+            std::fprintf(stderr,
+                         "SimOs::reclaimSpecific: page %llu outside "
+                         "partition window [%llu, %llu)\n",
+                         (unsigned long long)page,
+                         (unsigned long long)window_base_,
+                         (unsigned long long)(window_base_ +
+                                              window_pages_));
+            std::abort();
+        }
+        ++stats_["window_rejects"];
+        return false;
+    }
     auto it = resident_.find(page);
     if (it == resident_.end())
         return false;
@@ -129,9 +161,29 @@ SimOs::coldPages(uint64_t n) const
 {
     std::vector<PageNum> out;
     for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < n;
-         ++it)
-        out.push_back(*it);
+         ++it) {
+        if (inReclaimWindow(*it))
+            out.push_back(*it);
+    }
     return out;
+}
+
+void
+SimOs::setReclaimWindow(PageNum base, uint64_t pages, bool fatal)
+{
+    window_active_ = true;
+    window_fatal_ = fatal;
+    window_base_ = base;
+    window_pages_ = pages;
+}
+
+void
+SimOs::clearReclaimWindow()
+{
+    window_active_ = false;
+    window_fatal_ = false;
+    window_base_ = 0;
+    window_pages_ = 0;
 }
 
 } // namespace compresso

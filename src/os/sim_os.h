@@ -72,8 +72,35 @@ class SimOs
     bool reclaimSpecific(PageNum page);
 
     /** Up to @p n coldest resident pages (coldest first), without
-     *  reclaiming anything — the governor's candidate list. */
+     *  reclaiming anything — the governor's candidate list. While a
+     *  reclaim window is active, pages outside it are filtered out. */
     std::vector<PageNum> coldPages(uint64_t n) const;
+
+    /**
+     * Restrict the reclaim/balloon paths to OSPA pages in
+     * [base, base + pages) — the multi-tenant partition guard
+     * (DESIGN.md §17). While the window is active:
+     *  - reclaim() clamps its LRU scan to in-window pages;
+     *  - reclaimSpecific() *rejects* out-of-window pages (counted in
+     *    `window_rejects`), or aborts when @p fatal was set — the
+     *    checked-build stance, because a cross-partition free is one
+     *    tenant destroying another tenant's data;
+     *  - coldPages() filters its candidate list.
+     * Global paths (governor emergency rescue) run with no window and
+     * are unaffected. Scopes do not nest.
+     */
+    void setReclaimWindow(PageNum base, uint64_t pages,
+                          bool fatal = false);
+    void clearReclaimWindow();
+    bool reclaimWindowActive() const { return window_active_; }
+    bool
+    inReclaimWindow(PageNum page) const
+    {
+        return !window_active_ ||
+               (page >= window_base_ &&
+                page < window_base_ + window_pages_);
+    }
+    uint64_t windowRejects() const { return stats_.get("window_rejects"); }
 
     bool
     isResident(PageNum page) const
@@ -116,6 +143,10 @@ class SimOs
     void removeForBalloon(std::unordered_map<PageNum, Resident>::iterator it);
 
     uint64_t budget_;
+    bool window_active_ = false;
+    bool window_fatal_ = false;
+    PageNum window_base_ = 0;
+    uint64_t window_pages_ = 0;
     std::list<PageNum> lru_; ///< front = MRU
     std::unordered_map<PageNum, Resident> resident_;
     std::unordered_set<PageNum> swapped_; ///< pages with a swap slot

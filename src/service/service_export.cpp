@@ -1,0 +1,109 @@
+#include "service/service_export.h"
+
+#include <fstream>
+
+#include "common/json_writer.h"
+#include "sim/run_export.h"
+
+namespace compresso {
+
+namespace {
+
+void
+writeTenant(JsonWriter &w, const TenantReport &t)
+{
+    w.beginObject();
+    w.field("name", t.name);
+    w.field("profile", t.profile);
+    w.field("adversary", t.adversary);
+    w.key("partition").beginObject();
+    w.field("base", t.partition_base);
+    w.field("pages", t.partition_pages);
+    w.endObject();
+    w.field("refs", t.refs);
+    w.field("reads", t.reads);
+    w.field("writes", t.writes);
+    w.field("shed", t.shed);
+    w.field("faults", t.faults);
+    w.field("md_ops", t.md_ops);
+    w.field("gov_denied", t.gov_denied);
+    w.field("inflation_denied", t.inflation_denied);
+    w.field("oom_dropped_writes", t.oom_dropped_writes);
+    w.field("verify_failures", t.verify_failures);
+    w.field("zero_tolerated", t.zero_tolerated);
+    w.field("unverified", t.unverified);
+    w.field("pages_lost", t.pages_lost);
+    w.field("touched_pages", t.touched_pages);
+    w.field("comp_ratio", t.comp_ratio);
+    w.field("effective_ratio", t.effective_ratio);
+    w.key("latency").beginObject();
+    w.field("mean", t.lat_mean);
+    w.field("p50", t.lat_p50);
+    w.field("p99", t.lat_p99);
+    w.field("max", t.lat_max);
+    w.endObject();
+    w.key("latency_breakdown");
+    writeLatencyBreakdownJson(w, t.attrib);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeServiceJson(std::ostream &os, const std::string &tool,
+                 const ServiceResult &res)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", kServiceJsonSchema);
+    w.field("tool", tool);
+    w.field("seed", res.seed);
+    w.field("rounds", res.rounds);
+    w.field("refs_per_round", res.refs_per_round);
+    w.field("total_refs", res.total_refs);
+    w.key("pressure").beginObject();
+    w.field("level_end", res.level_end);
+    w.field("max_level", uint64_t(res.max_level));
+    w.field("oom_events", res.oom_events);
+    w.field("oom_rescued", res.oom_rescued);
+    w.field("oom_unrescued", res.oom_unrescued);
+    w.endObject();
+    w.key("isolation").beginObject();
+    w.field("rebalances", res.rebalances);
+    w.field("rebalance_pages", res.rebalance_pages);
+    w.field("cross_partition_attempts", res.cross_partition_attempts);
+    w.field("balloon_partition_rejects",
+            res.balloon_partition_rejects);
+    w.field("os_window_rejects", res.os_window_rejects);
+    w.field("audit_violations", res.audit_violations);
+    w.field("partition_audit_violations",
+            res.partition_audit_violations);
+    w.field("silent_corruptions", res.silent_corruptions);
+    w.endObject();
+    w.field("comp_ratio", res.comp_ratio);
+    w.field("effective_ratio", res.effective_ratio);
+    w.key("tenants").beginArray();
+    for (const TenantReport &t : res.tenants)
+        writeTenant(w, t);
+    w.endArray();
+    // Count only: the bundles themselves are separate per-bundle
+    // documents (src/sim/postmortem_export.h), not service payload.
+    w.field("postmortems", uint64_t(res.postmortems.size()));
+    w.key("environment");
+    writeEnvironmentJson(w);
+    w.endObject();
+    os << "\n";
+}
+
+bool
+writeServiceJson(const std::string &path, const std::string &tool,
+                 const ServiceResult &res)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeServiceJson(os, tool, res);
+    return bool(os);
+}
+
+} // namespace compresso

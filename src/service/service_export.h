@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Service-document export: serializes a ServiceResult into one
+ * versioned "compresso-service-v1" JSON document, consumed by
+ * tools/obs_report.py (check / summary / diff).
+ *
+ * Document shape (key order is fixed; output is byte-identical for
+ * identical results, which is what the serial-vs-parallel identity
+ * test asserts):
+ *
+ *   { schema, tool, seed, rounds, refs_per_round, total_refs,
+ *     pressure: {level_end, max_level, oom_events, oom_rescued,
+ *                oom_unrescued},
+ *     isolation: {rebalances, rebalance_pages,
+ *                 cross_partition_attempts, balloon_partition_rejects,
+ *                 os_window_rejects, audit_violations,
+ *                 partition_audit_violations, silent_corruptions},
+ *     comp_ratio, effective_ratio,
+ *     tenants: [{name, profile, adversary, partition: {base, pages},
+ *                refs, reads, writes, shed, faults, md_ops,
+ *                gov_denied, inflation_denied, oom_dropped_writes,
+ *                verify_failures, zero_tolerated, unverified,
+ *                pages_lost, touched_pages, comp_ratio,
+ *                effective_ratio,
+ *                latency: {mean, p50, p99, max},
+ *                latency_breakdown: {...}}, ...],   // run-v3 shape
+ *     postmortems,                                  // count only
+ *     environment: {...} }
+ *
+ * Lives next to the service (not sim) but reuses the run exporter's
+ * latency-breakdown and environment shapes so tenant breakdowns diff
+ * cleanly against run and postmortem documents.
+ */
+
+#ifndef COMPRESSO_SERVICE_SERVICE_EXPORT_H
+#define COMPRESSO_SERVICE_SERVICE_EXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "service/service.h"
+#include "sim/schema_versions.h"
+
+namespace compresso {
+
+/** Write @p res as one service document to @p os. */
+void writeServiceJson(std::ostream &os, const std::string &tool,
+                      const ServiceResult &res);
+
+/** Path-taking overload; returns false on I/O failure. */
+bool writeServiceJson(const std::string &path, const std::string &tool,
+                      const ServiceResult &res);
+
+} // namespace compresso
+
+#endif // COMPRESSO_SERVICE_SERVICE_EXPORT_H

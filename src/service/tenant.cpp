@@ -1,0 +1,74 @@
+#include "service/tenant.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace compresso {
+
+TenantRegistry::TenantRegistry(std::vector<TenantSpec> specs)
+    : specs_(std::move(specs))
+{
+    if (specs_.empty()) {
+        std::fprintf(stderr, "TenantRegistry: no tenants\n");
+        std::abort();
+    }
+    parts_.reserve(specs_.size());
+    PageNum base = 0;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i].pages == 0) {
+            std::fprintf(stderr,
+                         "TenantRegistry: tenant %zu (%s) has an empty "
+                         "partition\n",
+                         i, specs_[i].name.c_str());
+            std::abort();
+        }
+        TenantPartition p;
+        p.id = TenantId(i);
+        p.base_page = base;
+        p.pages = specs_[i].pages;
+        parts_.push_back(p);
+        base += specs_[i].pages;
+    }
+    total_pages_ = base;
+}
+
+TenantId
+TenantRegistry::ownerOf(PageNum page) const
+{
+    if (page >= total_pages_)
+        return kNoTenant;
+    // Binary search over the contiguous carve: first partition whose
+    // end lies past the page.
+    size_t lo = 0, hi = parts_.size();
+    while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (page < parts_[mid].base_page + parts_[mid].pages)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return TenantId(lo);
+}
+
+std::vector<PartitionRange>
+TenantRegistry::ranges() const
+{
+    std::vector<PartitionRange> out;
+    out.reserve(parts_.size());
+    for (const TenantPartition &p : parts_)
+        out.push_back(PartitionRange{p.base_page, p.pages});
+    return out;
+}
+
+bool
+TenantRegistry::mayFreePage(PageNum page)
+{
+    if (scoped_ == kNoTenant)
+        return true;
+    if (parts_[scoped_].contains(page))
+        return true;
+    ++cross_attempts_;
+    return false;
+}
+
+} // namespace compresso

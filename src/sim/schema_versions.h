@@ -16,6 +16,7 @@
  *  - soak:       src/pressure/soak_export.h
  *  - bench:      bench/bench_runner.cpp
  *  - postmortem: src/sim/postmortem_export.h (DESIGN.md §16)
+ *  - service:    src/service/service_export.h (DESIGN.md §17)
  */
 
 #ifndef COMPRESSO_SIM_SCHEMA_VERSIONS_H
@@ -42,6 +43,11 @@ inline constexpr const char *kBenchJsonSchema = "compresso-bench-v1";
  *  src/sim/postmortem_export.h). */
 inline constexpr const char *kPostmortemJsonSchema =
     "compresso-postmortem-v1";
+
+/** Multi-tenant service documents (`tenant_service --out`,
+ *  src/service/service_export.h). */
+inline constexpr const char *kServiceJsonSchema =
+    "compresso-service-v1";
 
 } // namespace compresso
 

@@ -11,6 +11,7 @@ enforces two project rules:
       kCampaignJsonSchema   == obs_report.CAMPAIGN_SCHEMA
                             == perf_compare.CAMPAIGN_SCHEMA
       kSoakJsonSchema       == obs_report.SOAK_SCHEMA
+      kServiceJsonSchema    == obs_report.SERVICE_SCHEMA
       kBenchJsonSchema      == perf_compare.SCHEMA
       kPostmortemJsonSchema == postmortem_report.SCHEMA
  2. No C++ code re-declares a "compresso-*-v*" string literal outside
@@ -71,8 +72,8 @@ def main():
     problems = []
     header = parse_header()
     expected_names = ("kRunJsonSchema", "kCampaignJsonSchema",
-                      "kSoakJsonSchema", "kBenchJsonSchema",
-                      "kPostmortemJsonSchema")
+                      "kSoakJsonSchema", "kServiceJsonSchema",
+                      "kBenchJsonSchema", "kPostmortemJsonSchema")
     for name in expected_names:
         if name not in header:
             problems.append(f"{HEADER}: constant {name} not found")
@@ -85,6 +86,8 @@ def main():
          perf_compare.CAMPAIGN_SCHEMA),
         ("kSoakJsonSchema", "obs_report.SOAK_SCHEMA",
          obs_report.SOAK_SCHEMA),
+        ("kServiceJsonSchema", "obs_report.SERVICE_SCHEMA",
+         obs_report.SERVICE_SCHEMA),
         ("kBenchJsonSchema", "perf_compare.SCHEMA",
          perf_compare.SCHEMA),
         ("kPostmortemJsonSchema", "postmortem_report.SCHEMA",

@@ -23,6 +23,14 @@ digests, pass gates vs counted failures), `summary` prints the
 per-controller verdict table and per-phase pressure digest, and
 `diff` compares matching controllers.
 
+Also reads compresso-service-v1 documents (src/service/, written by
+`tenant_service --out`): `check` validates the service envelope
+(pressure/isolation sections, per-tenant counters and attribution,
+cross-totals) and fails on isolation-gate breaches (silent
+corruptions, audit violations), `summary` prints the per-tenant
+table plus the isolation digest, and `diff` compares matching
+tenants by name.
+
 Subcommands:
   summary <run.json>            per-result metric table + obs digest
   diff <a.json> <b.json>        metric deltas between matching labels
@@ -50,6 +58,7 @@ import sys
 SCHEMAS = ("compresso-run-v1", "compresso-run-v2", "compresso-run-v3")
 CAMPAIGN_SCHEMA = "compresso-campaign-v1"
 SOAK_SCHEMA = "compresso-soak-v1"
+SERVICE_SCHEMA = "compresso-service-v1"
 JOB_STATUSES = ("ok", "failed", "timeout", "skipped")
 
 SOAK_REPORT_NUMBERS = [
@@ -87,6 +96,49 @@ SOAK_OPS = ("repack", "relocation", "meta_rebuild", "inflation")
 
 SOAK_SCENARIOS = ("calm", "collapse_storm", "balloon_thrash",
                   "swap_storm", "metadata_pressure", "fault_burst")
+
+SERVICE_PRESSURE_NUMBERS = [
+    "max_level",
+    "oom_events",
+    "oom_rescued",
+    "oom_unrescued",
+]
+
+SERVICE_ISOLATION_NUMBERS = [
+    "rebalances",
+    "rebalance_pages",
+    "cross_partition_attempts",
+    "balloon_partition_rejects",
+    "os_window_rejects",
+    "audit_violations",
+    "partition_audit_violations",
+    "silent_corruptions",
+]
+
+SERVICE_TENANT_NUMBERS = [
+    "refs",
+    "reads",
+    "writes",
+    "shed",
+    "faults",
+    "md_ops",
+    "gov_denied",
+    "inflation_denied",
+    "oom_dropped_writes",
+    "verify_failures",
+    "zero_tolerated",
+    "unverified",
+    "pages_lost",
+    "touched_pages",
+]
+
+# The gates a service run must hold for `check` to exit 0: any
+# corruption or audit breach is an isolation failure, not telemetry.
+SERVICE_GATES = ("silent_corruptions", "audit_violations",
+                 "partition_audit_violations")
+
+# Pressure-level vocabulary (pressureLevelName, src/pressure/governor.h).
+PRESSURE_LEVELS = ("normal", "elevated", "critical", "emergency")
 
 RESULT_NUMBERS = [
     "cycles",
@@ -259,9 +311,12 @@ def check_doc(doc, path):
     if doc.get("schema") == SOAK_SCHEMA:
         check_soak_doc(doc, need)
         return problems
+    if doc.get("schema") == SERVICE_SCHEMA:
+        check_service_doc(doc, need)
+        return problems
     need(doc.get("schema") in SCHEMAS,
          f"schema is {doc.get('schema')!r}, expected one of "
-         f"{SCHEMAS + (CAMPAIGN_SCHEMA, SOAK_SCHEMA)}")
+         f"{SCHEMAS + (CAMPAIGN_SCHEMA, SOAK_SCHEMA, SERVICE_SCHEMA)}")
     version = run_version(doc)
     need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
     results = doc.get("results")
@@ -489,6 +544,192 @@ def check_soak_doc(doc, need):
          "derived from reports[]")
 
 
+def check_service_doc(doc, need):
+    """Validate the service envelope plus every tenant report."""
+    need(isinstance(doc.get("tool"), str), "missing string field 'tool'")
+    for k in ("seed", "rounds", "refs_per_round", "total_refs",
+              "postmortems"):
+        need(isinstance(doc.get(k), int),
+             f"missing integer field {k!r}")
+    for k in ("comp_ratio", "effective_ratio"):
+        need(isinstance(doc.get(k), (int, float)),
+             f"missing numeric field {k!r}")
+    need(isinstance(doc.get("environment"), dict),
+         "missing object field 'environment'")
+
+    pressure = doc.get("pressure")
+    need(isinstance(pressure, dict), "missing object field 'pressure'")
+    if isinstance(pressure, dict):
+        need(pressure.get("level_end") in PRESSURE_LEVELS,
+             f"pressure.level_end {pressure.get('level_end')!r} not "
+             f"in {PRESSURE_LEVELS}")
+        for k in SERVICE_PRESSURE_NUMBERS:
+            need(isinstance(pressure.get(k), int),
+                 f"pressure.{k} must be an integer")
+
+    isolation = doc.get("isolation")
+    need(isinstance(isolation, dict),
+         "missing object field 'isolation'")
+    if isinstance(isolation, dict):
+        for k in SERVICE_ISOLATION_NUMBERS:
+            need(isinstance(isolation.get(k), int),
+                 f"isolation.{k} must be an integer")
+
+    tenants = doc.get("tenants")
+    need(isinstance(tenants, list), "missing array field 'tenants'")
+    if not isinstance(tenants, list):
+        return
+    need(len(tenants) >= 1, "a service document needs >= 1 tenant")
+    for i, t in enumerate(tenants):
+        where = f"tenants[{i}]"
+        need(isinstance(t, dict), f"{where} is not an object")
+        if not isinstance(t, dict):
+            continue
+        for k in ("name", "profile"):
+            need(isinstance(t.get(k), str) and t.get(k),
+                 f"{where}: {k} must be a non-empty string")
+        need(isinstance(t.get("adversary"), bool),
+             f"{where}: adversary must be a bool")
+        part = t.get("partition")
+        need(isinstance(part, dict), f"{where}: missing partition")
+        if isinstance(part, dict):
+            for k in ("base", "pages"):
+                need(isinstance(part.get(k), int),
+                     f"{where}: partition.{k} must be an integer")
+            need(not isinstance(part.get("pages"), int) or
+                 part["pages"] >= 1,
+                 f"{where}: an empty partition serves nothing")
+        for k in SERVICE_TENANT_NUMBERS:
+            need(isinstance(t.get(k), int),
+                 f"{where}: missing integer field {k!r}")
+        for k in ("comp_ratio", "effective_ratio"):
+            need(isinstance(t.get(k), (int, float)),
+                 f"{where}: missing numeric field {k!r}")
+        if isinstance(t.get("reads"), int) and \
+           isinstance(t.get("writes"), int):
+            need(t["reads"] + t["writes"] == t.get("refs"),
+                 f"{where}: reads + writes != refs")
+        lat = t.get("latency")
+        need(isinstance(lat, dict), f"{where}: missing latency")
+        if isinstance(lat, dict):
+            need(isinstance(lat.get("mean"), (int, float)),
+                 f"{where}: latency.mean must be numeric")
+            for k in ("p50", "p99", "max"):
+                need(isinstance(lat.get(k), int),
+                     f"{where}: latency.{k} must be an integer")
+        lb = t.get("latency_breakdown")
+        need(isinstance(lb, dict),
+             f"{where}: missing latency_breakdown")
+        if isinstance(lb, dict):
+            check_breakdown(lb, f"{where}.latency_breakdown", need)
+    # Cross-totals: the envelope aggregates must reproduce the
+    # per-tenant counters exactly (the scheduler applies serially, so
+    # there is no tolerance to hide behind).
+    dict_tenants = [t for t in tenants if isinstance(t, dict)]
+    s = sum(t.get("refs", 0) for t in dict_tenants)
+    need(doc.get("total_refs") == s,
+         f"total_refs {doc.get('total_refs')!r} != {s} summed "
+         "from tenants[]")
+    if isinstance(isolation, dict):
+        s = sum(t.get("verify_failures", 0) for t in dict_tenants)
+        need(isolation.get("silent_corruptions") == s,
+             f"isolation.silent_corruptions "
+             f"{isolation.get('silent_corruptions')!r} != {s} summed "
+             "from tenants[].verify_failures")
+
+
+def service_gate_failures(doc):
+    """The isolation-gate counters that are nonzero, as (name, value)
+    pairs; an empty list means the run held its guarantees."""
+    isolation = doc.get("isolation") or {}
+    return [(k, isolation.get(k, 0)) for k in SERVICE_GATES
+            if isolation.get(k, 0) != 0]
+
+
+def service_digest(doc):
+    """Print the per-tenant table + the isolation digest."""
+    pressure = doc["pressure"]
+    isolation = doc["isolation"]
+    print(f"service: {doc['tool']}  seed: {doc['seed']}  "
+          f"tenants: {len(doc['tenants'])}  rounds: {doc['rounds']}  "
+          f"refs: {doc['total_refs']}  "
+          f"pressure end: {pressure['level_end']}")
+    hdr = (f"{'tenant':12} {'profile':10} {'adv':>3} {'refs':>9} "
+           f"{'shed':>6} {'denied':>7} {'lost':>5} {'p99':>6} "
+           f"{'ratio':>6} {'eff':>6} {'corrupt':>8}")
+    print(hdr)
+    print("-" * len(hdr))
+    for t in doc["tenants"]:
+        denied = t["gov_denied"] + t["inflation_denied"]
+        print(f"{t['name'][:12]:12} {t['profile'][:10]:10} "
+              f"{'*' if t['adversary'] else '':>3} {t['refs']:>9} "
+              f"{t['shed']:>6} {denied:>7} {t['pages_lost']:>5} "
+              f"{t['latency']['p99']:>6} {t['comp_ratio']:>6.2f} "
+              f"{t['effective_ratio']:>6.2f} "
+              f"{t['verify_failures']:>8}")
+    print(f"\nisolation: rebalances={isolation['rebalances']} "
+          f"(pages={isolation['rebalance_pages']})  "
+          f"cross_partition={isolation['cross_partition_attempts']} "
+          f"(balloon_rejects={isolation['balloon_partition_rejects']},"
+          f" os_rejects={isolation['os_window_rejects']})")
+    print(f"gates: silent_corruptions="
+          f"{isolation['silent_corruptions']} "
+          f"audit={isolation['audit_violations']} "
+          f"partition_audit={isolation['partition_audit_violations']} "
+          f"postmortems={doc['postmortems']}")
+    print()
+
+
+def service_diff(a, b, path_a, path_b):
+    """Compare matching tenants (by name) of two service documents."""
+    by_a = {t["name"]: t for t in a["tenants"]}
+    by_b = {t["name"]: t for t in b["tenants"]}
+    shared = [n for n in by_a if n in by_b]
+    only_a = [n for n in by_a if n not in by_b]
+    only_b = [n for n in by_b if n not in by_a]
+    if only_a:
+        print(f"only in {path_a}: {', '.join(only_a)}")
+    if only_b:
+        print(f"only in {path_b}: {', '.join(only_b)}")
+    if not shared:
+        print("no shared tenants to compare", file=sys.stderr)
+        return 1
+    changed = 0
+    for n in shared:
+        ta, tb = by_a[n], by_b[n]
+        lines = []
+        for k in SERVICE_TENANT_NUMBERS + ["adversary"]:
+            va, vb = ta.get(k), tb.get(k)
+            if va != vb:
+                lines.append(f"    {k:20} {va} -> {vb}")
+        for k in ("p50", "p99", "max"):
+            va = (ta.get("latency") or {}).get(k)
+            vb = (tb.get("latency") or {}).get(k)
+            if va != vb:
+                lines.append(f"    latency.{k:12} {va} -> {vb}")
+        if lines:
+            changed += 1
+            print(f"  {n}:")
+            print("\n".join(lines))
+    iso_lines = []
+    for k in SERVICE_ISOLATION_NUMBERS:
+        va = (a.get("isolation") or {}).get(k)
+        vb = (b.get("isolation") or {}).get(k)
+        if va != vb:
+            iso_lines.append(f"    {k:26} {va} -> {vb}")
+    if iso_lines:
+        changed += 1
+        print("  isolation:")
+        print("\n".join(iso_lines))
+    if changed == 0:
+        print(f"{len(shared)} shared tenants, "
+              "all service metrics identical")
+    else:
+        print(f"{changed} section(s) differ "
+              f"({len(shared)} shared tenants)")
+    return 0
+
+
 def soak_digest(doc):
     """Print the per-controller verdict table + per-phase pressure."""
     reports = doc["reports"]
@@ -617,6 +858,16 @@ def cmd_check(args):
                           f"{r['fail_reason']}", file=sys.stderr)
             return 1
         return 0
+    if doc["schema"] == SERVICE_SCHEMA:
+        gates = service_gate_failures(doc)
+        print(f"{args.file}: valid {doc['schema']} "
+              f"({doc['tool']}, {len(doc['tenants'])} tenants, "
+              f"{doc['total_refs']} refs, "
+              f"{'gates held' if not gates else 'GATES BREACHED'})")
+        for k, v in gates:
+            print(f"{args.file}: isolation gate failed: {k} = {v}",
+                  file=sys.stderr)
+        return 1 if gates else 0
     n = len(doc["results"])
     print(f"{args.file}: valid {doc['schema']} "
           f"({doc['tool']}, {n} results)")
@@ -658,6 +909,9 @@ def cmd_summary(args):
         return 1
     if full.get("schema") == SOAK_SCHEMA:
         soak_digest(full)
+        return 0
+    if full.get("schema") == SERVICE_SCHEMA:
+        service_digest(full)
         return 0
     if full.get("schema") == CAMPAIGN_SCHEMA:
         campaign_digest(full)
@@ -713,16 +967,24 @@ def cmd_diff(args):
         for p in problems:
             print(p, file=sys.stderr)
         return 1
-    soak_a = a.get("schema") == SOAK_SCHEMA
-    soak_b = b.get("schema") == SOAK_SCHEMA
-    if soak_a != soak_b:
+    def family(doc):
+        if doc.get("schema") == SOAK_SCHEMA:
+            return "soak"
+        if doc.get("schema") == SERVICE_SCHEMA:
+            return "service"
+        return "run"
+
+    fam_a, fam_b = family(a), family(b)
+    if fam_a != fam_b:
         # Document-family mismatch: nothing shared to compare — the
         # "incomplete comparison" exit code, not a finding.
-        print("cannot diff a soak document against a run document",
-              file=sys.stderr)
+        print(f"cannot diff a {fam_a} document against a {fam_b} "
+              "document", file=sys.stderr)
         return 2
-    if soak_a:
+    if fam_a == "soak":
         return soak_diff(a, b, args.a, args.b)
+    if fam_a == "service":
+        return service_diff(a, b, args.a, args.b)
     # Mismatched schema generations still diff the shared sections,
     # but loudly and with a failing exit code: the newer document's
     # extra sections are silently absent from the comparison, and a

@@ -23,7 +23,9 @@ is scanned for *.json bundles):
                                 chain/ring sizes, suppression counts
   triage <path>...              group bundles by trigger kind, print
                                 the dominant chains, ring hot-spots,
-                                and governor/watchdog section digest
+                                the governor/watchdog section digest,
+                                and — for service-mode bundles — the
+                                tenant each storm is attributed to
   diff <a> <b>                  compare two bundles (or the first
                                 bundle of two directories)
 
@@ -54,6 +56,7 @@ TRIGGERS = (
     "conservation",
     "audit_violation",
     "chaos_storm",
+    "cross_partition",
 )
 
 # Fixed event-ring vocabulary (obsEventName, src/obs/event_tracer.h).
@@ -298,8 +301,8 @@ def cmd_summary(args):
         trig = doc.get("trigger") or {}
         notes = doc.get("notes") or {}
         tag = ",".join(f"{k}={notes[k]}"
-                       for k in ("kind", "storm", "seed")
-                       if k in notes)
+                       for k in ("kind", "storm", "seed", "tenant")
+                       if notes.get(k))
         print(f"{os.path.basename(path):40s} "
               f"{doc.get('tick', 0):>10d} "
               f"{str(trig.get('kind')):18s} "
@@ -344,6 +347,38 @@ def cmd_triage(args):
                           key=lambda kv: -kv[1])[:5]
         for ek, n in top_ring:
             print(f"  ring   {ek}: {n} event(s)")
+        # Service-mode attribution: the scheduler tags every bundle
+        # with the tenant whose batch was being applied (notes) and a
+        # sections["service"] digest; cross-partition triggers carry
+        # the offending tenant id as the trigger detail. An empty tag
+        # means the snapshot fired between batches (round boundary).
+        tenant_counts = {}
+        for _, doc in group:
+            notes = doc.get("notes") or {}
+            svc = (doc.get("sections") or {}).get("service")
+            if "tenant" not in notes and not isinstance(svc, dict):
+                continue  # not a service-mode bundle
+            t = notes.get("tenant") or None
+            if t is None and isinstance(svc, dict):
+                ct = svc.get("current_tenant")
+                # kNoTenant exports as 2^64-1: no batch was active.
+                if isinstance(ct, int) and 0 <= ct < 2**63:
+                    t = f"tenant {ct}"
+            if kind == "cross_partition":
+                detail = (doc.get("trigger") or {}).get("detail")
+                if isinstance(detail, int):
+                    t = f"tenant {detail}"
+            t = t if t is not None else "(round boundary)"
+            tenant_counts[t] = tenant_counts.get(t, 0) + 1
+        if tenant_counts:
+            top_t = sorted(tenant_counts.items(),
+                           key=lambda kv: (-kv[1], kv[0]))
+            print("  tenant " +
+                  ", ".join(f"{t}: {n} bundle(s)" for t, n in top_t))
+            if top_t[0][0] != "(round boundary)" and \
+               top_t[0][1] * 2 > len(group):
+                print(f"  => storm attributed to {top_t[0][0]} "
+                      f"({top_t[0][1]}/{len(group)} bundle(s))")
         for path, doc in group:
             gov = (doc.get("sections") or {}).get("governor")
             marks = doc.get("watermarks") or []
